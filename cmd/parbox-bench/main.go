@@ -1,0 +1,105 @@
+// Command parbox-bench regenerates the figures and tables of the paper's
+// experimental study (Section 6) on the simulated cluster and prints them
+// as text tables — one row per x-axis point, one column per series,
+// exactly the data behind Figs. 7–13, the Fig. 4 summary table and the
+// Section 5 maintenance costs.
+//
+// Usage:
+//
+//	parbox-bench -exp all
+//	parbox-bench -exp fig7 -scale 2500 -machines 10 -seed 1
+//
+// -scale converts paper megabytes to nodes (default 2500, the calibrated
+// full scale; smaller values run faster with the same shapes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|fig12|fig13|table4|selection|views|all")
+		scale    = flag.Int("scale", 0, "nodes per paper-MB (default 2500)")
+		machines = flag.Int("machines", 10, "maximum machine count for the sweeps")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		NodesPerMB:  *scale,
+		Seed:        *seed,
+		MaxMachines: *machines,
+	}
+
+	type figFn func(experiments.Config) (*experiments.Figure, error)
+	figs := []struct {
+		name string
+		fn   figFn
+	}{
+		{"fig7", experiments.Fig7},
+		{"fig8", experiments.Fig8},
+		{"fig9", experiments.Fig9},
+		{"fig10", experiments.Fig10},
+		{"fig11", experiments.Fig11},
+		{"fig12", experiments.Fig12},
+		{"fig13", experiments.Fig13},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, f := range figs {
+		if want != "all" && want != f.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fig, err := f.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbox-bench: %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.String())
+		fmt.Printf("(%s computed in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if want == "all" || want == "table4" {
+		ran = true
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbox-bench: table4: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+		fmt.Println()
+	}
+	if want == "all" || want == "selection" {
+		ran = true
+		rows, err := experiments.SelectionExp(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbox-bench: selection: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatSelection(rows))
+		fmt.Println()
+	}
+	if want == "all" || want == "views" {
+		ran = true
+		rows, err := experiments.ViewsExp(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbox-bench: views: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatViews(rows))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "parbox-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,105 @@
+// Command parbox-site is a TCP site daemon: it loads the fragments the
+// manifest assigns to this site, registers the full ParBoX + view
+// maintenance protocol, and serves peers until interrupted. A deployment
+// is one parbox-site per remote site plus a `parbox remote` coordinator.
+//
+//	parbox-site -name S1 -manifest work/manifest.txt
+//
+// The listen address defaults to the manifest's entry for the site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/views"
+)
+
+func main() {
+	name := flag.String("name", "", "site name (required, must appear in the manifest)")
+	manifestPath := flag.String("manifest", "", "manifest file (required)")
+	listen := flag.String("listen", "", "listen address (default: the manifest's address for this site)")
+	flag.Parse()
+
+	if err := run(*name, *manifestPath, *listen); err != nil {
+		fmt.Fprintf(os.Stderr, "parbox-site: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, manifestPath, listen string) error {
+	srv, tr, err := setup(name, manifestPath, listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	defer srv.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("parbox-site %s: shutting down\n", name)
+	return nil
+}
+
+// setup loads the site's fragments, registers the full protocol and
+// starts serving; split out of run so tests can drive it.
+func setup(name, manifestPath, listen string) (*cluster.Server, *cluster.TCPTransport, error) {
+	if name == "" || manifestPath == "" {
+		return nil, nil, fmt.Errorf("-name and -manifest are required")
+	}
+	m, err := manifest.ParseFile(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	siteID := frag.SiteID(name)
+	addr, ok := m.Sites[siteID]
+	if !ok {
+		return nil, nil, fmt.Errorf("site %s not in manifest", name)
+	}
+	if listen == "" {
+		if addr == manifest.LocalAddr {
+			return nil, nil, fmt.Errorf("site %s is declared local; give -listen explicitly", name)
+		}
+		listen = addr
+	}
+
+	// Peers (for FullDist / NaiveDistributed hops between sites).
+	peers := make(map[frag.SiteID]string)
+	for s, a := range m.Sites {
+		if s != siteID && a != manifest.LocalAddr {
+			peers[s] = a
+		}
+	}
+	tr := cluster.NewTCPTransport(peers)
+
+	site := cluster.NewSite(siteID)
+	frags, _, err := m.LoadFragments(siteID)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	total := 0
+	for _, fr := range frags {
+		site.AddFragment(fr)
+		total += fr.Size()
+	}
+	cost := cluster.DefaultCostModel()
+	core.RegisterHandlers(site, tr, cost)
+	views.RegisterHandlers(site, tr)
+
+	srv, err := cluster.Serve(site, listen)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	fmt.Printf("parbox-site %s: serving %d fragments (%d nodes) on %s\n",
+		name, len(frags), total, srv.Addr())
+	return srv, tr, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/xpath"
+)
+
+func writeDeployment(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("f0.xml", `<catalog><a>x</a><parbox.fragment id="1"/></catalog>`)
+	write("f1.xml", `<section><b>y</b></section>`)
+	write("manifest.txt", `
+site S0 local
+site S1 127.0.0.1:0
+frag 0 -1 S0 f0.xml
+frag 1 0 S1 f1.xml
+`)
+	return dir
+}
+
+func TestSiteDaemonServesQueries(t *testing.T) {
+	dir := writeDeployment(t)
+	manifestPath := filepath.Join(dir, "manifest.txt")
+
+	// Start the S1 daemon on an ephemeral port.
+	srv, tr, err := setup("S1", manifestPath, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	defer srv.Close()
+
+	// Coordinator side: local S0 plus the daemon's real address.
+	m, err := manifest.ParseFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTr := cluster.NewTCPTransport(map[frag.SiteID]string{"S1": srv.Addr()})
+	defer coordTr.Close()
+	cost := cluster.DefaultCostModel()
+	s0 := cluster.NewSite("S0")
+	frags, sizes, err := m.LoadFragments("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frags {
+		s0.AddFragment(fr)
+	}
+	core.RegisterHandlers(s0, coordTr, cost)
+	coordTr.Local(s0)
+	st, err := m.SourceTree(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(coordTr, "S0", st, cost)
+	rep, err := eng.ParBoX(context.Background(), xpath.MustCompileString(`//a[text() = "x"] && //b[text() = "y"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Answer {
+		t.Error("expected true through the daemon")
+	}
+	if rep.Visits["S1"] != 1 {
+		t.Errorf("daemon visits = %d, want 1", rep.Visits["S1"])
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	dir := writeDeployment(t)
+	manifestPath := filepath.Join(dir, "manifest.txt")
+	cases := []struct {
+		name, mpath, listen string
+	}{
+		{"", manifestPath, ""},                     // missing name
+		{"S1", "", ""},                             // missing manifest
+		{"SX", manifestPath, ""},                   // unknown site
+		{"S0", manifestPath, ""},                   // local site needs -listen
+		{"S1", filepath.Join(dir, "nope.txt"), ""}, // missing manifest file
+		{"S1", manifestPath, "256.0.0.1:99999"},    // bad listen address
+	}
+	for _, c := range cases {
+		srv, tr, err := setup(c.name, c.mpath, c.listen)
+		if err == nil {
+			srv.Close()
+			tr.Close()
+			t.Errorf("setup(%q,%q,%q) succeeded, want error", c.name, c.mpath, c.listen)
+		}
+	}
+}

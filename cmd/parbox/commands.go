@@ -1,0 +1,388 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	mb := fs.Float64("mb", 1, "document size in paper megabytes")
+	seed := fs.Int64("seed", 1, "generator seed")
+	scale := fs.Int("scale", 0, "nodes per paper-MB (default 2500)")
+	beacon := fs.String("beacon", "", "plant a beacon element with this text")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	doc := xmark.Generate(xmark.Spec{Seed: *seed, MB: *mb, NodesPerMB: *scale, Beacon: *beacon})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmltree.WriteXML(w, doc); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(os.Stderr, "generated %d nodes (depth %d)\n", doc.Size(), doc.Depth())
+	return nil
+}
+
+func loadDoc(path string) (*xmltree.Node, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xmltree.ParseXML(f)
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	docPath := fs.String("doc", "", "document file (required)")
+	query := fs.String("q", "", "Boolean XPath query (required)")
+	fs.Parse(args)
+	if *docPath == "" || *query == "" {
+		return fmt.Errorf("-doc and -q are required")
+	}
+	doc, err := loadDoc(*docPath)
+	if err != nil {
+		return err
+	}
+	prog, err := xpath.CompileString(*query)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ans, steps, err := eval.Evaluate(doc, prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answer: %v\n", ans)
+	fmt.Printf("|T| = %d nodes, |QList| = %d, %d steps, %v\n",
+		doc.Size(), prog.QListSize(), steps, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+// fragmentDoc splits a document into n fragments at the largest top-level
+// split points, falling back to random splits for the remainder.
+func fragmentDoc(doc *xmltree.Node, n int, seed int64) (*frag.Forest, error) {
+	forest := frag.NewForest(doc)
+	// Prefer big subtrees directly under the root (XMark sections or
+	// nested sites) — the natural administrative fragmentation.
+	type cand struct {
+		node *xmltree.Node
+		size int
+	}
+	var cands []cand
+	for _, c := range doc.Children {
+		cands = append(cands, cand{c, c.Size()})
+	}
+	for i := 0; i < len(cands)-1; i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].size > cands[i].size {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	for _, c := range cands {
+		if forest.Count() >= n {
+			break
+		}
+		if c.size < 3 {
+			continue
+		}
+		if _, err := forest.Split(c.node); err != nil {
+			return nil, err
+		}
+	}
+	if forest.Count() < n {
+		if err := forest.SplitRandom(rand.New(rand.NewSource(seed)), n-forest.Count()); err != nil {
+			return nil, err
+		}
+	}
+	return forest, nil
+}
+
+func cmdSplit(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	docPath := fs.String("doc", "", "document file (required)")
+	n := fs.Int("n", 2, "number of fragments")
+	sitesFlag := fs.String("sites", "S0,S1", "comma-separated site names (round-robin assignment)")
+	out := fs.String("out", "work", "output directory")
+	seed := fs.Int64("seed", 1, "seed for fallback random splits")
+	basePort := fs.Int("baseport", 7071, "first TCP port for the generated site addresses")
+	fs.Parse(args)
+	if *docPath == "" {
+		return fmt.Errorf("-doc is required")
+	}
+	doc, err := loadDoc(*docPath)
+	if err != nil {
+		return err
+	}
+	forest, err := fragmentDoc(doc, *n, *seed)
+	if err != nil {
+		return err
+	}
+	sites := strings.Split(*sitesFlag, ",")
+	siteIDs := make([]frag.SiteID, len(sites))
+	for i, s := range sites {
+		siteIDs[i] = frag.SiteID(strings.TrimSpace(s))
+	}
+	assign := frag.AssignRoundRobin(forest, siteIDs)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	m := &manifest.Manifest{Dir: *out, Sites: make(map[frag.SiteID]string)}
+	m.Sites[siteIDs[0]] = manifest.LocalAddr // coordinator
+	port := *basePort
+	for _, s := range siteIDs[1:] {
+		m.Sites[s] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	for _, id := range forest.IDs() {
+		fr, _ := forest.Fragment(id)
+		name := fmt.Sprintf("f%d.xml", id)
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			return err
+		}
+		if err := xmltree.WriteXML(f, fr.Root); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		m.Fragments = append(m.Fragments, manifest.FragmentEntry{
+			ID: id, Parent: fr.Parent, Site: assign[id], File: name,
+		})
+	}
+	mf, err := os.Create(filepath.Join(*out, "manifest.txt"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := m.Write(mf); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d fragments and manifest.txt to %s\n", forest.Count(), *out)
+	fmt.Printf("next: start the remote sites, e.g.\n")
+	for s, addr := range m.Sites {
+		if addr != manifest.LocalAddr {
+			fmt.Printf("  parbox-site -name %s -manifest %s\n", s, filepath.Join(*out, "manifest.txt"))
+		}
+	}
+	fmt.Printf("then: parbox remote -manifest %s -q '//item[quantity]'\n", filepath.Join(*out, "manifest.txt"))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	docPath := fs.String("doc", "", "document file (required; or use -mb to generate)")
+	mb := fs.Float64("mb", 0, "generate a document of this size instead of reading -doc")
+	n := fs.Int("n", 4, "number of fragments")
+	nsites := fs.Int("sites", 3, "number of simulated sites")
+	algo := fs.String("algo", core.AlgoParBoX, "algorithm: "+strings.Join(core.Algorithms(), "|"))
+	query := fs.String("q", "", "Boolean XPath query (required)")
+	seed := fs.Int64("seed", 1, "seed")
+	verbose := fs.Bool("v", false, "print per-site metrics")
+	trace := fs.Bool("trace", false, "print every message exchanged")
+	fs.Parse(args)
+	if *query == "" {
+		return fmt.Errorf("-q is required")
+	}
+	var doc *xmltree.Node
+	var err error
+	switch {
+	case *mb > 0:
+		doc = xmark.Generate(xmark.Spec{Seed: *seed, MB: *mb})
+	case *docPath != "":
+		doc, err = loadDoc(*docPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -doc or -mb is required")
+	}
+	prog, err := xpath.CompileString(*query)
+	if err != nil {
+		return err
+	}
+	forest, err := fragmentDoc(doc, *n, *seed)
+	if err != nil {
+		return err
+	}
+	siteIDs := make([]frag.SiteID, *nsites)
+	for i := range siteIDs {
+		siteIDs[i] = frag.SiteID(fmt.Sprintf("S%d", i))
+	}
+	assign := frag.AssignRoundRobin(forest, siteIDs)
+	c := cluster.New(cluster.DefaultCostModel())
+	var tracer *cluster.Tracer
+	var eng *core.Engine
+	if *trace {
+		// Trace mode: register handlers against the tracing transport so
+		// site-to-site hops are logged too.
+		tracer = cluster.NewTracer()
+		tt := &cluster.TracingTransport{Inner: c, Tracer: tracer}
+		st, err := frag.BuildSourceTree(forest, assign)
+		if err != nil {
+			return err
+		}
+		for _, siteID := range st.Sites() {
+			site := c.AddSite(siteID)
+			for _, id := range st.FragmentsAt(siteID) {
+				fr, _ := forest.Fragment(id)
+				site.AddFragment(fr)
+			}
+			core.RegisterHandlers(site, tt, c.Cost())
+		}
+		rootEntry, _ := st.Entry(st.Root())
+		eng = core.NewEngine(tt, rootEntry.Site, st, c.Cost())
+	} else {
+		var err error
+		eng, err = core.Deploy(c, forest, assign)
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := eng.Run(context.Background(), *algo, prog)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if tracer != nil {
+		fmt.Println("\nmessage trace:")
+		fmt.Print(tracer.String())
+	}
+	if *verbose {
+		fmt.Println(eng.SourceTree().String())
+		fmt.Println(c.Metrics().String())
+	}
+	return nil
+}
+
+func printReport(rep core.Report) {
+	fmt.Printf("answer:      %v\n", rep.Answer)
+	fmt.Printf("algorithm:   %s\n", rep.Algorithm)
+	fmt.Printf("model time:  %v   (wall %v)\n", rep.SimTime.Round(time.Microsecond), rep.Wall.Round(time.Microsecond))
+	fmt.Printf("traffic:     %d bytes in %d messages\n", rep.Bytes, rep.Messages)
+	fmt.Printf("computation: %d node×subquery steps (solve work %d)\n", rep.TotalSteps, rep.SolveWork)
+	if len(rep.Visits) > 0 {
+		fmt.Printf("visits:      ")
+		first := true
+		for _, s := range sortedSites(rep.Visits) {
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s=%d", s, rep.Visits[s])
+			first = false
+		}
+		fmt.Println()
+	}
+}
+
+func sortedSites(m map[frag.SiteID]int64) []frag.SiteID {
+	out := make([]frag.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	for i := 0; i < len(out)-1; i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func cmdRemote(args []string) error {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "manifest file (required)")
+	algo := fs.String("algo", core.AlgoParBoX, "algorithm: "+strings.Join(core.Algorithms(), "|"))
+	query := fs.String("q", "", "Boolean XPath query (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline")
+	fs.Parse(args)
+	if *manifestPath == "" || *query == "" {
+		return fmt.Errorf("-manifest and -q are required")
+	}
+	m, err := manifest.ParseFile(*manifestPath)
+	if err != nil {
+		return err
+	}
+	prog, err := xpath.CompileString(*query)
+	if err != nil {
+		return err
+	}
+
+	// The coordinator serves every "local" site in-process and dials the
+	// rest.
+	cost := cluster.DefaultCostModel()
+	addrs := make(map[frag.SiteID]string)
+	var localSites []frag.SiteID
+	for s, addr := range m.Sites {
+		if addr == manifest.LocalAddr {
+			localSites = append(localSites, s)
+		} else {
+			addrs[s] = addr
+		}
+	}
+	if len(localSites) == 0 {
+		return fmt.Errorf("manifest declares no local site for the coordinator")
+	}
+	tr := cluster.NewTCPTransport(addrs)
+	defer tr.Close()
+
+	sizes := make(map[xmltree.FragmentID]int)
+	for _, siteID := range localSites {
+		site := cluster.NewSite(siteID)
+		frags, szs, err := m.LoadFragments(siteID)
+		if err != nil {
+			return err
+		}
+		for id, fr := range frags {
+			site.AddFragment(fr)
+			sizes[id] = szs[id]
+		}
+		core.RegisterHandlers(site, tr, cost)
+		tr.Local(site)
+	}
+	st, err := m.SourceTree(sizes)
+	if err != nil {
+		return err
+	}
+	rootID, err := m.RootID()
+	if err != nil {
+		return err
+	}
+	coordEntry, _ := st.Entry(rootID)
+	eng := core.NewEngine(tr, coordEntry.Site, st, cost)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := eng.Run(ctx, *algo, prog)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	return nil
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/views"
+)
+
+func TestGenEvalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	if err := cmdGen([]string{"-mb", "0.3", "-seed", "5", "-out", doc}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(doc); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen produced no file: %v", err)
+	}
+	if err := cmdEval([]string{"-doc", doc, "-q", `//item[quantity]`}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := cmdEval([]string{"-doc", doc, "-q", `bad &&`}); err == nil {
+		t.Error("eval accepted a bad query")
+	}
+	if err := cmdEval([]string{"-doc", filepath.Join(dir, "missing.xml"), "-q", `//a`}); err == nil {
+		t.Error("eval accepted a missing file")
+	}
+	if err := cmdEval([]string{}); err == nil {
+		t.Error("eval without flags accepted")
+	}
+}
+
+func TestRunInProcess(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	if err := cmdGen([]string{"-mb", "0.3", "-seed", "5", "-out", doc}); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range core.Algorithms() {
+		if err := cmdRun([]string{"-doc", doc, "-n", "4", "-sites", "3", "-algo", algo, "-q", `//item[quantity]`}); err != nil {
+			t.Errorf("run -algo %s: %v", algo, err)
+		}
+	}
+	// Generate on the fly with -mb.
+	if err := cmdRun([]string{"-mb", "0.2", "-q", `//person`}); err != nil {
+		t.Errorf("run -mb: %v", err)
+	}
+	if err := cmdRun([]string{"-doc", doc}); err == nil {
+		t.Error("run without -q accepted")
+	}
+	if err := cmdRun([]string{"-q", `//a`}); err == nil {
+		t.Error("run without -doc/-mb accepted")
+	}
+}
+
+func TestSplitAndRemote(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	if err := cmdGen([]string{"-mb", "0.3", "-seed", "5", "-out", doc}); err != nil {
+		t.Fatal(err)
+	}
+	work := filepath.Join(dir, "work")
+	if err := cmdSplit([]string{"-doc", doc, "-n", "3", "-sites", "S0,S1,S2", "-out", work}); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	manifestPath := filepath.Join(work, "manifest.txt")
+	m, err := manifest.ParseFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Fragments) != 3 {
+		t.Fatalf("manifest has %d fragments, want 3", len(m.Fragments))
+	}
+
+	// Start the remote sites in-process (what parbox-site does), on
+	// ephemeral ports, then rewrite the manifest with the real addresses.
+	cost := cluster.DefaultCostModel()
+	peers := cluster.NewTCPTransport(nil)
+	defer peers.Close()
+	addrs := map[frag.SiteID]string{}
+	var servers []*cluster.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for siteID, addr := range m.Sites {
+		if addr == manifest.LocalAddr {
+			continue
+		}
+		site := cluster.NewSite(siteID)
+		frags, _, err := m.LoadFragments(siteID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range frags {
+			site.AddFragment(fr)
+		}
+		core.RegisterHandlers(site, peers, cost)
+		views.RegisterHandlers(site, peers)
+		srv, err := cluster.Serve(site, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs[siteID] = srv.Addr()
+	}
+	peers.SetAddrs(addrs)
+	for siteID, addr := range addrs {
+		m.Sites[siteID] = addr
+	}
+	mf, err := os.Create(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	for _, algo := range []string{"parbox", "central", "lazy"} {
+		if err := cmdRemote([]string{"-manifest", manifestPath, "-algo", algo, "-q", `//item[quantity]`}); err != nil {
+			t.Errorf("remote -algo %s: %v", algo, err)
+		}
+	}
+	if err := cmdRemote([]string{"-manifest", manifestPath, "-q", `bad &&`}); err == nil {
+		t.Error("remote accepted a bad query")
+	}
+	if err := cmdRemote([]string{"-q", `//a`}); err == nil {
+		t.Error("remote without manifest accepted")
+	}
+}
+
+func TestFragmentDocPrefersLargeSubtrees(t *testing.T) {
+	docStr := `<r><big>` + strings.Repeat("<x/>", 50) + `</big><small/><tiny/></r>`
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(doc, []byte(docStr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loadDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := fragmentDoc(tree, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Count() != 2 {
+		t.Fatalf("count = %d", forest.Count())
+	}
+	fr, _ := forest.Fragment(1)
+	if fr.Root.Label != "big" {
+		t.Errorf("fragment 1 is %q, want the big subtree", fr.Root.Label)
+	}
+	// Requesting more fragments than natural split points falls back to
+	// random splits.
+	tree2, _ := loadDoc(doc)
+	forest2, err := fragmentDoc(tree2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest2.Count() < 4 {
+		t.Errorf("fallback splitting produced only %d fragments", forest2.Count())
+	}
+	if err := forest2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedSitesHelper(t *testing.T) {
+	m := map[frag.SiteID]int64{"S2": 1, "S0": 2, "S1": 3}
+	got := sortedSites(m)
+	want := []frag.SiteID{"S0", "S1", "S2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("sortedSites = %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package parbox_test
+
+import (
+	"context"
+	"fmt"
+
+	parbox "repro"
+)
+
+// The quick-start flow: fragment, deploy, evaluate.
+func ExampleDeploy() {
+	doc, _ := parbox.ParseXMLString(`<a><b/><c>hi</c></a>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[0]) // <b/> becomes fragment 1
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+
+	q, _ := parbox.ParseQuery(`//b && //c[text() = "hi"]`)
+	ok, _ := sys.Evaluate(context.Background(), q)
+	fmt.Println(ok)
+	// Output: true
+}
+
+// Queries compile to the paper's QList; its size is the |q| of all cost
+// bounds.
+func ExampleParseQuery() {
+	q, _ := parbox.ParseQuery(`//stock[code/text() = "YHOO"]`)
+	fmt.Println(q.QListSize())
+	// Output: 10
+}
+
+// A materialized Boolean XPath view maintained incrementally: only the
+// updated fragment's site is contacted.
+func ExampleSystem_Materialize() {
+	doc, _ := parbox.ParseXMLString(`<portfolio><stock><code>GOOG</code><sell>373</sell></stock></portfolio>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[0]) // the stock subtree → fragment 1
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "desktop", 1: "nasdaq"})
+
+	ctx := context.Background()
+	view, _ := sys.Materialize(ctx, parbox.MustQuery(`//stock[sell = "376"]`))
+	fmt.Println(view.Answer())
+
+	// The price ticks at the nasdaq site: stock/sell is child 1.
+	view.Update(ctx, 1, []parbox.UpdateOp{{Op: parbox.OpSetText, Path: []int{1}, Text: "376"}})
+	fmt.Println(view.Answer())
+	// Output:
+	// false
+	// true
+}
+
+// Data selection (Section 8): locate matching nodes without moving data.
+func ExampleSystem_Select() {
+	doc, _ := parbox.ParseXMLString(`<lib><book><t>A</t></book><book><t>B</t></book></lib>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[1])
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+
+	res, _ := sys.Select(context.Background(), `//book[t = "B"]`)
+	fmt.Println(res.Count)
+	// Output: 1
+}
+
+// COUNT aggregation ships a single integer per fragment.
+func ExampleSystem_Count() {
+	doc, _ := parbox.ParseXMLString(`<lib><book/><book/><book/></lib>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[2])
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+
+	res, _ := sys.Count(context.Background(), `//book`)
+	fmt.Println(res.Count)
+	// Output: 3
+}

@@ -1,0 +1,110 @@
+package parbox
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCostModelOption(t *testing.T) {
+	doc := NewElement("r", "", NewElement("a", ""))
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	slow := CostModel{
+		Latency:        5 * time.Millisecond,
+		BytesPerSecond: 1e3,
+		StepsPerSecond: 1e3,
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1"}, WithCostModel(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.EvaluateWith(context.Background(), AlgoParBoX, MustQuery(`//a`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Answer {
+		t.Error("expected true")
+	}
+	// At 1 kB/s and 5 ms latency even the tiny exchange models ≥ 10 ms.
+	if rep.SimTime < 10*time.Millisecond {
+		t.Errorf("custom cost model ignored: SimTime = %v", rep.SimTime)
+	}
+	d := DefaultCostModel()
+	if d.StepsPerSecond <= 0 || d.BytesPerSecond <= 0 {
+		t.Error("default cost model not populated")
+	}
+}
+
+func TestWriteXMLAndPathOf(t *testing.T) {
+	doc, err := ParseXMLString(`<a><b><c>x</c></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteXML(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<c>x</c>") {
+		t.Errorf("WriteXML output: %q", sb.String())
+	}
+	c := doc.FindFirst("c")
+	p := PathOf(c)
+	if len(p) != 2 || p[0] != 0 || p[1] != 0 {
+		t.Errorf("PathOf(c) = %v", p)
+	}
+}
+
+func TestBuildSourceTreeFacade(t *testing.T) {
+	doc := NewElement("r", "", NewElement("a", ""))
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := BuildSourceTree(forest, Assignment{0: "X", 1: "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 2 {
+		t.Errorf("count = %d", st.Count())
+	}
+	if _, err := BuildSourceTree(forest, Assignment{0: "X"}); err == nil {
+		t.Error("partial assignment accepted")
+	}
+}
+
+func TestAddSiteEnablesSplitTarget(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	view, err := sys.Materialize(ctx, MustQuery(`//stock`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddSite("fresh")
+	// F0's first market subtree is at path [1 1] (broker Bache, market).
+	newID, _, err := view.Split(ctx, 0, []int{1, 1}, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := view.v.SourceTree().Entry(newID)
+	if !ok || e.Site != "fresh" {
+		t.Errorf("split target entry = %+v, %v", e, ok)
+	}
+	if !view.Answer() {
+		t.Error("answer changed")
+	}
+}
+
+func TestSelectAndCountFacadeErrors(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	if _, err := sys.Select(ctx, `//a && //b`); err == nil {
+		t.Error("boolean query accepted as selection")
+	}
+	if _, err := sys.Count(ctx, `bad[`); err == nil {
+		t.Error("bad query accepted by Count")
+	}
+}

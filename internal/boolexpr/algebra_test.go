@@ -1,0 +1,114 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws, verified semantically (under every assignment of the
+// generator's variable universe). The constructors simplify, so the laws
+// must hold for the *values*, not the shapes.
+
+func holdsForAll(t *testing.T, f, g *Formula) bool {
+	t.Helper()
+	// 5 variables → 32 assignments; exhaustive.
+	n := len(genVars)
+	for bits := 0; bits < 1<<n; bits++ {
+		a := make(Assignment, n)
+		for i, v := range genVars {
+			a[v] = bits&(1<<i) != 0
+		}
+		if f.Eval(a.Total) != g.Eval(a.Total) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genFormula(r, 4), genFormula(r, 4)
+		if !holdsForAll(t, Not(And(a, b)), Or(Not(a), Not(b))) {
+			return false
+		}
+		return holdsForAll(t, Not(Or(a, b)), And(Not(a), Not(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAssociativityCommutativity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genFormula(r, 3), genFormula(r, 3), genFormula(r, 3)
+		return holdsForAll(t, And(a, And(b, c)), And(And(a, b), c)) &&
+			holdsForAll(t, Or(a, Or(b, c)), Or(Or(a, b), c)) &&
+			holdsForAll(t, And(a, b), And(b, a)) &&
+			holdsForAll(t, Or(a, b), Or(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistributivityAbsorption(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genFormula(r, 3), genFormula(r, 3), genFormula(r, 3)
+		return holdsForAll(t, And(a, Or(b, c)), Or(And(a, b), And(a, c))) &&
+			holdsForAll(t, Or(a, And(a, b)), a) &&
+			holdsForAll(t, And(a, Or(a, b)), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDoubleNegationExcludedMiddle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genFormula(r, 4)
+		if !holdsForAll(t, Not(Not(a)), a) {
+			return false
+		}
+		if v, ok := Or(a, Not(a)).ConstValue(); ok && !v {
+			return false // if it folds, it must fold to true
+		}
+		return holdsForAll(t, Or(a, Not(a)), True()) &&
+			holdsForAll(t, And(a, Not(a)), False())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSubstComposition: substituting in two stages equals substituting
+// the composed environment — the property that makes evalST's bottom-up
+// order and LazyParBoX's incremental substitution interchangeable.
+func TestPropSubstComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genFormula(r, 5)
+		full := genAssignment(r)
+		first := make(Assignment)
+		second := make(Assignment)
+		for v, b := range full {
+			if r.Intn(2) == 0 {
+				first[v] = b
+			} else {
+				second[v] = b
+			}
+		}
+		staged := g.Subst(first.Lookup).Subst(second.Lookup)
+		direct := g.Subst(full.Lookup)
+		av, aok := staged.ConstValue()
+		bv, bok := direct.ConstValue()
+		return aok && bok && av == bv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

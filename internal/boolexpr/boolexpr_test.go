@@ -1,0 +1,302 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genVars is the small variable universe used by the generators, so random
+// formulas share variables often enough to exercise dedup and folding.
+var genVars = []Var{
+	{Frag: 1, Vec: VecV, Q: 0},
+	{Frag: 1, Vec: VecDV, Q: 1},
+	{Frag: 2, Vec: VecV, Q: 2},
+	{Frag: 2, Vec: VecDV, Q: 0},
+	{Frag: 3, Vec: VecCV, Q: 5},
+}
+
+// genFormula builds a random formula of bounded depth using only the public
+// constructors, so every generated formula is in constructor-normal form.
+func genFormula(r *rand.Rand, depth int) *Formula {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return NewVar(genVars[r.Intn(len(genVars))])
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not(genFormula(r, depth-1))
+	case 1:
+		n := 2 + r.Intn(3)
+		ks := make([]*Formula, n)
+		for i := range ks {
+			ks[i] = genFormula(r, depth-1)
+		}
+		return And(ks...)
+	default:
+		n := 2 + r.Intn(3)
+		ks := make([]*Formula, n)
+		for i := range ks {
+			ks[i] = genFormula(r, depth-1)
+		}
+		return Or(ks...)
+	}
+}
+
+func genAssignment(r *rand.Rand) Assignment {
+	a := make(Assignment, len(genVars))
+	for _, v := range genVars {
+		a[v] = r.Intn(2) == 0
+	}
+	return a
+}
+
+func TestConstants(t *testing.T) {
+	if v, ok := True().ConstValue(); !ok || !v {
+		t.Errorf("True().ConstValue() = %v, %v; want true, true", v, ok)
+	}
+	if v, ok := False().ConstValue(); !ok || v {
+		t.Errorf("False().ConstValue() = %v, %v; want false, true", v, ok)
+	}
+	if Const(true) != True() || Const(false) != False() {
+		t.Error("Const does not return the canonical constants")
+	}
+	if _, ok := NewVar(genVars[0]).ConstValue(); ok {
+		t.Error("a variable must not be constant")
+	}
+}
+
+func TestNotFolding(t *testing.T) {
+	if Not(True()) != False() || Not(False()) != True() {
+		t.Error("Not does not fold constants")
+	}
+	x := NewVar(genVars[0])
+	if Not(Not(x)) != x {
+		t.Error("double negation not eliminated")
+	}
+	if Not(x).Op() != OpNot {
+		t.Error("Not(x) should be a negation node")
+	}
+}
+
+func TestAndOrFolding(t *testing.T) {
+	x, y := NewVar(genVars[0]), NewVar(genVars[1])
+	cases := []struct {
+		name string
+		got  *Formula
+		want *Formula
+	}{
+		{"and-false-absorbs", And(x, False(), y), False()},
+		{"and-true-identity", And(True(), x), x},
+		{"and-empty", And(), True()},
+		{"or-true-absorbs", Or(x, True()), True()},
+		{"or-false-identity", Or(False(), y), y},
+		{"or-empty", Or(), False()},
+		{"and-dedup", And(x, x), x},
+		{"or-dedup", Or(y, y, y), y},
+		{"and-flatten", And(And(x, y), x), And(x, y)},
+		{"or-flatten", Or(x, Or(y, x)), Or(x, y)},
+	}
+	for _, c := range cases {
+		if !c.got.Equal(c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestCompFmTruthTable(t *testing.T) {
+	// Procedure compFm on constants must agree with the Boolean operators;
+	// this is the (0,0) case of the paper's case analysis.
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			if got, _ := CompFm(Const(a), Const(b), AND).ConstValue(); got != (a && b) {
+				t.Errorf("CompFm(%v,%v,AND) = %v", a, b, got)
+			}
+			if got, _ := CompFm(Const(a), Const(b), OR).ConstValue(); got != (a || b) {
+				t.Errorf("CompFm(%v,%v,OR) = %v", a, b, got)
+			}
+		}
+		if got, _ := CompFm(Const(a), nil, NEG).ConstValue(); got != !a {
+			t.Errorf("CompFm(%v,-,NEG) = %v", a, got)
+		}
+	}
+}
+
+func TestCompFmMixed(t *testing.T) {
+	// Cases (c1)-(c3): composing a constant with a residual formula must
+	// either short-circuit or keep the residual.
+	x := NewVar(genVars[0])
+	if CompFm(True(), x, AND) != x {
+		t.Error("true AND f must be f")
+	}
+	if CompFm(False(), x, AND) != False() {
+		t.Error("false AND f must be false")
+	}
+	if CompFm(True(), x, OR) != True() {
+		t.Error("true OR f must be true")
+	}
+	if CompFm(False(), x, OR) != x {
+		t.Error("false OR f must be f")
+	}
+	y := NewVar(genVars[1])
+	f := CompFm(x, y, AND)
+	if f.Op() != OpAnd || len(f.Operands()) != 2 {
+		t.Errorf("x AND y should stay residual, got %v", f)
+	}
+}
+
+// TestPropFoldingSoundness checks that the simplifying constructors preserve
+// semantics: a formula built with constructors evaluates exactly as its
+// un-simplified counterpart on every random assignment.
+func TestPropFoldingSoundness(t *testing.T) {
+	type spec struct {
+		Seed int64
+	}
+	f := func(s spec) bool {
+		r := rand.New(rand.NewSource(s.Seed))
+		// Build a random "raw" evaluation plan and its constructor version.
+		var build func(depth int) (func(Assignment) bool, *Formula)
+		build = func(depth int) (func(Assignment) bool, *Formula) {
+			if depth <= 0 || r.Intn(4) == 0 {
+				switch r.Intn(4) {
+				case 0:
+					return func(Assignment) bool { return true }, True()
+				case 1:
+					return func(Assignment) bool { return false }, False()
+				default:
+					v := genVars[r.Intn(len(genVars))]
+					return func(a Assignment) bool { return a[v] }, NewVar(v)
+				}
+			}
+			switch r.Intn(3) {
+			case 0:
+				e, g := build(depth - 1)
+				return func(a Assignment) bool { return !e(a) }, Not(g)
+			case 1:
+				e1, g1 := build(depth - 1)
+				e2, g2 := build(depth - 1)
+				return func(a Assignment) bool { return e1(a) && e2(a) }, And(g1, g2)
+			default:
+				e1, g1 := build(depth - 1)
+				e2, g2 := build(depth - 1)
+				return func(a Assignment) bool { return e1(a) || e2(a) }, Or(g1, g2)
+			}
+		}
+		eval, formula := build(5)
+		for i := 0; i < 8; i++ {
+			a := genAssignment(r)
+			if formula.Eval(a.Total) != eval(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSubstThenEval checks that partially substituting some variables
+// and then evaluating the residual equals evaluating the original directly.
+func TestPropSubstThenEval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genFormula(r, 5)
+		full := genAssignment(r)
+		// Bind a random subset first.
+		partial := make(Assignment)
+		for v, b := range full {
+			if r.Intn(2) == 0 {
+				partial[v] = b
+			}
+		}
+		resid := g.Subst(partial.Lookup)
+		return resid.Eval(full.Total) == g.Eval(full.Total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSubstTotalIsConstant checks that substituting every variable
+// always folds the formula to a constant — the property Procedure evalST
+// relies on when unifying a leaf fragment's triplet.
+func TestPropSubstTotalIsConstant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genFormula(r, 5)
+		a := genAssignment(r)
+		resid := g.Subst(a.Lookup)
+		v, ok := resid.ConstValue()
+		return ok && v == g.Eval(a.Total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstNoBindingReturnsSame(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := genFormula(r, 4)
+		if got := g.Subst(func(Var) (*Formula, bool) { return nil, false }); got != g {
+			t.Fatalf("Subst with empty env must return the identical formula, got %v from %v", got, g)
+		}
+	}
+}
+
+func TestVarSetSortedDistinct(t *testing.T) {
+	x, y := genVars[0], genVars[2]
+	g := And(NewVar(y), Or(NewVar(x), NewVar(y)))
+	vs := g.VarSet()
+	if len(vs) != 2 || vs[0] != x || vs[1] != y {
+		t.Errorf("VarSet = %v, want [%v %v]", vs, x, y)
+	}
+}
+
+func TestString(t *testing.T) {
+	x, y, z := NewVar(genVars[0]), NewVar(genVars[1]), NewVar(genVars[2])
+	g := Or(And(x, Not(y)), z)
+	s := g.String()
+	for _, want := range []string{"&", "|", "!", "x(1,V,0)", "x(1,DV,1)", "x(2,V,2)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	// Parenthesization must respect precedence: the Or operand that is an
+	// And must not need parens, but an Or under And must get them.
+	h := And(Or(x, y), z)
+	if hs := h.String(); !strings.Contains(hs, "(") {
+		t.Errorf("And(Or(..)) must parenthesize the Or: %q", hs)
+	}
+}
+
+func TestSize(t *testing.T) {
+	x, y := NewVar(genVars[0]), NewVar(genVars[1])
+	if got := True().Size(); got != 1 {
+		t.Errorf("Size(true) = %d", got)
+	}
+	if got := And(x, Not(y)).Size(); got != 4 {
+		t.Errorf("Size(x & !y) = %d, want 4", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	x, y := NewVar(genVars[0]), NewVar(genVars[1])
+	if !And(x, y).Equal(And(x, y)) {
+		t.Error("structurally equal formulas reported unequal")
+	}
+	if And(x, y).Equal(Or(x, y)) {
+		t.Error("And vs Or reported equal")
+	}
+	if And(x, y).Equal(And(y, x)) {
+		t.Error("Equal must be structural (ordered), not semantic")
+	}
+}

@@ -1,0 +1,225 @@
+package boolexpr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format: a pre-order bytecode. Each node is one opcode byte followed
+// by its payload: Var carries (uvarint fragment, byte vector-kind,
+// uvarint subquery index); NOT is followed by its operand; AND/OR carry a
+// uvarint operand count followed by that many operands. The encoding is
+// self-delimiting, so vectors of formulas can be concatenated; its exact
+// byte length is what the cluster layer charges against the network cost
+// model.
+const (
+	wireFalse byte = 0
+	wireTrue  byte = 1
+	wireVar   byte = 2
+	wireNot   byte = 3
+	wireAnd   byte = 4
+	wireOr    byte = 5
+)
+
+// maxOperands bounds the operand count a decoder will accept for one AND/OR
+// node, to refuse absurd allocations from hostile input.
+const maxOperands = 1 << 24
+
+// ErrBadFormula is wrapped by all decoding failures.
+var ErrBadFormula = errors.New("boolexpr: malformed formula encoding")
+
+// AppendEncoded appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendEncoded(dst []byte, f *Formula) []byte {
+	switch f.op {
+	case OpFalse:
+		return append(dst, wireFalse)
+	case OpTrue:
+		return append(dst, wireTrue)
+	case OpVar:
+		dst = append(dst, wireVar)
+		dst = binary.AppendUvarint(dst, uint64(uint32(f.v.Frag)))
+		dst = append(dst, byte(f.v.Vec))
+		return binary.AppendUvarint(dst, uint64(uint32(f.v.Q)))
+	case OpNot:
+		dst = append(dst, wireNot)
+		return AppendEncoded(dst, f.kids[0])
+	case OpAnd, OpOr:
+		op := wireAnd
+		if f.op == OpOr {
+			op = wireOr
+		}
+		dst = append(dst, op)
+		dst = binary.AppendUvarint(dst, uint64(len(f.kids)))
+		for _, k := range f.kids {
+			dst = AppendEncoded(dst, k)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("boolexpr: unknown Op %d", f.op))
+	}
+}
+
+// Encode returns the wire encoding of f.
+func Encode(f *Formula) []byte { return AppendEncoded(nil, f) }
+
+// EncodedSize returns len(Encode(f)) without allocating.
+func EncodedSize(f *Formula) int {
+	switch f.op {
+	case OpFalse, OpTrue:
+		return 1
+	case OpVar:
+		return 1 + uvarintLen(uint64(uint32(f.v.Frag))) + 1 + uvarintLen(uint64(uint32(f.v.Q)))
+	case OpNot:
+		return 1 + EncodedSize(f.kids[0])
+	case OpAnd, OpOr:
+		n := 1 + uvarintLen(uint64(len(f.kids)))
+		for _, k := range f.kids {
+			n += EncodedSize(k)
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("boolexpr: unknown Op %d", f.op))
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Decoder decodes a stream of concatenated formula encodings.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports how many bytes have not been consumed yet.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated at offset %d", ErrBadFormula, d.pos)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at offset %d", ErrBadFormula, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Decode decodes the next formula from the stream.
+func (d *Decoder) Decode() (*Formula, error) {
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case wireFalse:
+		return falseF, nil
+	case wireTrue:
+		return trueF, nil
+	case wireVar:
+		frag, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vec, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if vec > byte(VecDV) {
+			return nil, fmt.Errorf("%w: bad vector kind %d", ErrBadFormula, vec)
+		}
+		q, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return NewVar(Var{Frag: int32(uint32(frag)), Vec: VecKind(vec), Q: int32(uint32(q))}), nil
+	case wireNot:
+		k, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return Not(k), nil
+	case wireAnd, wireOr:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxOperands || n > uint64(d.Remaining()) {
+			return nil, fmt.Errorf("%w: operand count %d exceeds remaining input", ErrBadFormula, n)
+		}
+		ks := make([]*Formula, n)
+		for i := range ks {
+			if ks[i], err = d.Decode(); err != nil {
+				return nil, err
+			}
+		}
+		if op == wireAnd {
+			return And(ks...), nil
+		}
+		return Or(ks...), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d at offset %d", ErrBadFormula, op, d.pos-1)
+	}
+}
+
+// DecodeOne decodes exactly one formula occupying the whole of buf.
+func DecodeOne(buf []byte) (*Formula, error) {
+	d := NewDecoder(buf)
+	f, err := d.Decode()
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFormula, d.Remaining())
+	}
+	return f, nil
+}
+
+// EncodeVector encodes a slice of formulas as a uvarint count followed by
+// the concatenated encodings.
+func EncodeVector(fs []*Formula) []byte { return AppendEncodedVector(nil, fs) }
+
+// AppendEncodedVector appends the encoding of EncodeVector to dst.
+func AppendEncodedVector(dst []byte, fs []*Formula) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(fs)))
+	for _, f := range fs {
+		dst = AppendEncoded(dst, f)
+	}
+	return dst
+}
+
+// DecodeVector decodes a vector produced by EncodeVector from the decoder.
+func (d *Decoder) DecodeVector() ([]*Formula, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("%w: vector length %d exceeds buffer", ErrBadFormula, n)
+	}
+	fs := make([]*Formula, n)
+	for i := range fs {
+		if fs[i], err = d.Decode(); err != nil {
+			return nil, fmt.Errorf("vector entry %d: %w", i, err)
+		}
+	}
+	return fs, nil
+}

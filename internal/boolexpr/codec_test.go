@@ -1,0 +1,135 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripBasics(t *testing.T) {
+	x := NewVar(Var{Frag: 9, Vec: VecDV, Q: 300})
+	y := NewVar(Var{Frag: 130, Vec: VecV, Q: 2})
+	cases := []*Formula{
+		True(), False(), x, y,
+		Not(x),
+		And(x, y), Or(x, Not(y)),
+		Or(And(x, y), Not(And(x, Or(x, y)))),
+	}
+	for _, f := range cases {
+		got, err := DecodeOne(Encode(f))
+		if err != nil {
+			t.Errorf("DecodeOne(%v): %v", f, err)
+			continue
+		}
+		if !got.Equal(f) {
+			t.Errorf("round trip of %v = %v", f, got)
+		}
+	}
+}
+
+// TestPropCodecRoundTrip: Decode(Encode(f)) is structurally identical for
+// every constructor-normal formula, and EncodedSize matches the real length.
+func TestPropCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genFormula(r, 6)
+		enc := Encode(g)
+		if len(enc) != EncodedSize(g) {
+			return false
+		}
+		got, err := DecodeOne(enc)
+		if err != nil {
+			return false
+		}
+		return got.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	fs := make([]*Formula, 17)
+	for i := range fs {
+		fs[i] = genFormula(r, 4)
+	}
+	d := NewDecoder(EncodeVector(fs))
+	got, err := d.DecodeVector()
+	if err != nil {
+		t.Fatalf("DecodeVector: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d trailing bytes", d.Remaining())
+	}
+	if len(got) != len(fs) {
+		t.Fatalf("got %d formulas, want %d", len(got), len(fs))
+	}
+	for i := range fs {
+		if !got[i].Equal(fs[i]) {
+			t.Errorf("entry %d: got %v, want %v", i, got[i], fs[i])
+		}
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	d := NewDecoder(EncodeVector(nil))
+	got, err := d.DecodeVector()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty vector round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"unknown-opcode", []byte{99}},
+		{"truncated-var", []byte{wireVar, 1}},
+		{"bad-vec-kind", []byte{wireVar, 1, 7, 1}},
+		{"truncated-not", []byte{wireNot}},
+		{"and-count-too-big", []byte{wireAnd, 200, 1}},
+		{"trailing-bytes", append(Encode(True()), 1)},
+		{"and-missing-operand", []byte{wireAnd, 2, wireTrue}},
+	}
+	for _, c := range cases {
+		if _, err := DecodeOne(c.buf); err == nil {
+			t.Errorf("%s: DecodeOne succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestDecodeVectorErrors(t *testing.T) {
+	// Length prefix larger than the buffer must be rejected up front.
+	d := NewDecoder([]byte{200, 200, 200})
+	if _, err := d.DecodeVector(); err == nil {
+		t.Error("oversized vector length accepted")
+	}
+}
+
+func TestDecoderConcatenatedStream(t *testing.T) {
+	x := NewVar(Var{Frag: 1, Vec: VecV, Q: 0})
+	a := And(x, Not(NewVar(Var{Frag: 2, Vec: VecDV, Q: 3})))
+	b := Or(x, True()) // folds to true
+	buf := AppendEncoded(AppendEncoded(nil, a), b)
+	d := NewDecoder(buf)
+	g1, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(a) {
+		t.Errorf("first formula: got %v, want %v", g1, a)
+	}
+	if g2 != True() {
+		t.Errorf("second formula: got %v, want true", g2)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left", d.Remaining())
+	}
+}

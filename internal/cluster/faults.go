@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/frag"
+)
+
+// ErrInjected marks failures produced by FaultyTransport.
+var ErrInjected = errors.New("cluster: injected fault")
+
+// FaultyTransport wraps a Transport and fails calls deterministically —
+// the failure-injection harness for testing that the algorithms surface
+// errors instead of hanging or answering wrongly.
+type FaultyTransport struct {
+	Inner Transport
+
+	mu    sync.Mutex
+	calls int
+
+	// FailEveryN makes every Nth remote call fail (0 disables).
+	FailEveryN int
+	// FailSites makes every call to a listed site fail.
+	FailSites map[frag.SiteID]bool
+	// FailKinds makes every request of a listed kind fail.
+	FailKinds map[string]bool
+	// CorruptKinds truncates the response payload of listed kinds,
+	// exercising the decoders' hostile-input paths end to end.
+	CorruptKinds map[string]bool
+}
+
+// Call implements Transport.
+func (f *FaultyTransport) Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error) {
+	if from != to {
+		f.mu.Lock()
+		f.calls++
+		n := f.calls
+		f.mu.Unlock()
+		if f.FailEveryN > 0 && n%f.FailEveryN == 0 {
+			return Response{}, CallCost{}, fmt.Errorf("%w: call %d (%s→%s %s)", ErrInjected, n, from, to, req.Kind)
+		}
+		if f.FailSites[to] {
+			return Response{}, CallCost{}, fmt.Errorf("%w: site %s is down", ErrInjected, to)
+		}
+		if f.FailKinds[req.Kind] {
+			return Response{}, CallCost{}, fmt.Errorf("%w: kind %s blocked", ErrInjected, req.Kind)
+		}
+	}
+	resp, cost, err := f.Inner.Call(ctx, from, to, req)
+	if err == nil && from != to && f.CorruptKinds[req.Kind] && len(resp.Payload) > 0 {
+		resp.Payload = resp.Payload[:len(resp.Payload)/2]
+	}
+	return resp, cost, err
+}
+
+// Site delegates local site lookup to the wrapped transport, so the
+// coordinator can still read its own fragments (faults only affect
+// remote calls).
+func (f *FaultyTransport) Site(id frag.SiteID) (*Site, bool) {
+	if s, ok := f.Inner.(interface {
+		Site(frag.SiteID) (*Site, bool)
+	}); ok {
+		return s.Site(id)
+	}
+	return nil, false
+}
+
+// Calls reports how many remote calls passed through so far.
+func (f *FaultyTransport) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}

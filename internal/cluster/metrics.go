@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/frag"
+)
+
+// SiteMetrics aggregates one site's activity during a run.
+type SiteMetrics struct {
+	// Visits counts requests this site handled for other sites — the
+	// paper's "number of times each site is visited".
+	Visits int64
+	// MessagesIn/Out and BytesIn/Out count remote traffic touching the
+	// site (local from==to calls are free).
+	MessagesIn, MessagesOut int64
+	BytesIn, BytesOut       int64
+	// Steps is the node×subquery computation performed by handlers at this
+	// site (local calls included — local work is still work).
+	Steps int64
+	// Wall is the summed measured handler time at this site.
+	Wall time.Duration
+	// Errors counts failed handler dispatches.
+	Errors int64
+}
+
+// Metrics is the cluster-wide accounting; safe for concurrent use.
+type Metrics struct {
+	mu    sync.Mutex
+	sites map[frag.SiteID]*SiteMetrics
+
+	messages   int64
+	bytesTotal int64
+}
+
+// NewMetrics returns empty accounting.
+func NewMetrics() *Metrics {
+	return &Metrics{sites: make(map[frag.SiteID]*SiteMetrics)}
+}
+
+func (m *Metrics) site(id frag.SiteID) *SiteMetrics {
+	s, ok := m.sites[id]
+	if !ok {
+		s = &SiteMetrics{}
+		m.sites[id] = s
+	}
+	return s
+}
+
+func (m *Metrics) record(from, to frag.SiteID, req Request, resp Response, cost CallCost, remote bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	callee := m.site(to)
+	callee.Steps += resp.Steps
+	callee.Wall += cost.Wall
+	if !remote {
+		return
+	}
+	caller := m.site(from)
+	callee.Visits++
+	callee.MessagesIn++
+	callee.BytesIn += int64(len(req.Payload))
+	callee.MessagesOut++
+	callee.BytesOut += int64(len(resp.Payload))
+	caller.MessagesOut++
+	caller.BytesOut += int64(len(req.Payload))
+	caller.MessagesIn++
+	caller.BytesIn += int64(len(resp.Payload))
+	m.messages += 2 // request + response
+	m.bytesTotal += int64(len(req.Payload) + len(resp.Payload))
+}
+
+func (m *Metrics) recordError(to frag.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.site(to).Errors++
+}
+
+// Reset clears all counters; the harness resets between experiment
+// iterations.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sites = make(map[frag.SiteID]*SiteMetrics)
+	m.messages = 0
+	m.bytesTotal = 0
+}
+
+// Snapshot returns a copy of the per-site metrics.
+func (m *Metrics) Snapshot() map[frag.SiteID]SiteMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[frag.SiteID]SiteMetrics, len(m.sites))
+	for id, s := range m.sites {
+		out[id] = *s
+	}
+	return out
+}
+
+// Site returns a copy of one site's metrics.
+func (m *Metrics) Site(id frag.SiteID) SiteMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sites[id]; ok {
+		return *s
+	}
+	return SiteMetrics{}
+}
+
+// TotalMessages returns the number of remote messages exchanged (requests
+// and responses each count once).
+func (m *Metrics) TotalMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// TotalBytes returns the total remote payload bytes — the paper's network
+// traffic measure.
+func (m *Metrics) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesTotal
+}
+
+// TotalSteps sums computation over all sites — the paper's total
+// computation measure.
+func (m *Metrics) TotalSteps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sites {
+		n += s.Steps
+	}
+	return n
+}
+
+// String renders a per-site table, for the experiment harness.
+func (m *Metrics) String() string {
+	snap := m.Snapshot()
+	ids := make([]frag.SiteID, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %10s %12s %12s %12s\n", "site", "visits", "msgsIn", "bytesIn", "bytesOut", "steps")
+	for _, id := range ids {
+		s := snap[id]
+		fmt.Fprintf(&b, "%-8s %8d %10d %12d %12d %12d\n",
+			id, s.Visits, s.MessagesIn, s.BytesIn, s.BytesOut, s.Steps)
+	}
+	fmt.Fprintf(&b, "total messages %d, total bytes %d, total steps %d\n",
+		m.TotalMessages(), m.TotalBytes(), m.TotalSteps())
+	return b.String()
+}

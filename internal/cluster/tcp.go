@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/frag"
+)
+
+// The TCP wire format, shared by server and client:
+//
+//	request:  uvarint kind length, kind bytes, uvarint payload length, payload
+//	response: one status byte (0 ok, 1 error), uvarint steps,
+//	          uvarint body length, body (payload or error text)
+//
+// Frames are written through a bufio.Writer and flushed per message; one
+// request is in flight per connection at a time.
+
+const (
+	tcpStatusOK  byte = 0
+	tcpStatusErr byte = 1
+)
+
+// maxFrame bounds accepted frame bodies (64 MiB) so a corrupt length prefix
+// cannot trigger an absurd allocation.
+const maxFrame = 64 << 20
+
+var errFrameTooBig = errors.New("cluster: frame exceeds size limit")
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	if err := writeUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Server exposes one site over TCP. Each accepted connection serves
+// requests sequentially; multiple connections serve concurrently.
+type Server struct {
+	site *Site
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the site on addr ("host:port"; ":0" picks a free
+// port). It returns immediately; use Addr for the bound address and Close
+// to stop.
+func Serve(site *Site, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &Server{site: site, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		kind, err := readBytes(r)
+		if err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		payload, err := readBytes(r)
+		if err != nil {
+			return
+		}
+		resp, herr := s.site.dispatch(context.Background(), Request{Kind: string(kind), Payload: payload})
+		if herr != nil {
+			if writeResponse(w, tcpStatusErr, 0, []byte(herr.Error())) != nil {
+				return
+			}
+			continue
+		}
+		if writeResponse(w, tcpStatusOK, resp.Steps, resp.Payload) != nil {
+			return
+		}
+	}
+}
+
+func writeResponse(w *bufio.Writer, status byte, steps int64, body []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(steps)); err != nil {
+		return err
+	}
+	if err := writeBytes(w, body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ErrRemote wraps handler errors reported by a remote site.
+var ErrRemote = errors.New("cluster: remote error")
+
+// TCPTransport implements Transport over real sockets. Site names map to
+// addresses; the coordinator's own site may be registered with Local so
+// that from==to calls bypass the network (free local work, as in the
+// in-process cluster).
+type TCPTransport struct {
+	mu     sync.Mutex
+	addrs  map[frag.SiteID]string
+	conns  map[frag.SiteID]*tcpConn
+	locals map[frag.SiteID]*Site
+
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+
+	metrics *Metrics
+	cost    CostModel
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewTCPTransport creates a transport over the given site→address map.
+func NewTCPTransport(addrs map[frag.SiteID]string) *TCPTransport {
+	cp := make(map[frag.SiteID]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCPTransport{
+		addrs:       cp,
+		conns:       make(map[frag.SiteID]*tcpConn),
+		locals:      make(map[frag.SiteID]*Site),
+		DialTimeout: 5 * time.Second,
+		metrics:     NewMetrics(),
+	}
+}
+
+// SetAddrs replaces the site→address map. It exists for the bootstrap
+// cycle of multi-site deployments: sites capture the transport at handler
+// registration, before the listeners' ports are known.
+func (t *TCPTransport) SetAddrs(addrs map[frag.SiteID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs = make(map[frag.SiteID]string, len(addrs))
+	for k, v := range addrs {
+		t.addrs[k] = v
+	}
+}
+
+// Local registers an in-process site, served without sockets.
+func (t *TCPTransport) Local(site *Site) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.locals[site.ID()] = site
+}
+
+// Site returns a locally registered site, satisfying the same lookup
+// interface as the in-process cluster (the coordinator reads its own
+// fragments through it).
+func (t *TCPTransport) Site(id frag.SiteID) (*Site, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.locals[id]
+	return s, ok
+}
+
+// Metrics returns the transport's accounting.
+func (t *TCPTransport) Metrics() *Metrics { return t.metrics }
+
+// Close closes all pooled connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for id, c := range t.conns {
+		if err := c.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(t.conns, id)
+	}
+	return first
+}
+
+func (t *TCPTransport) connFor(to frag.SiteID) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	t.mu.Lock()
+	if prev, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return prev, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCPTransport) drop(to frag.SiteID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+// Call implements Transport. A deadline on ctx is applied to the socket.
+func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, CallCost{}, err
+	}
+	t.mu.Lock()
+	local, isLocal := t.locals[to]
+	t.mu.Unlock()
+	var cost CallCost
+	cost.ReqBytes = len(req.Payload)
+	if isLocal && from == to {
+		start := time.Now()
+		resp, err := local.dispatch(ctx, req)
+		cost.Wall = time.Since(start)
+		cost.Steps = resp.Steps
+		if err != nil {
+			t.metrics.recordError(to)
+			return Response{}, cost, err
+		}
+		cost.RespBytes = len(resp.Payload)
+		t.metrics.record(from, to, req, resp, cost, false)
+		return resp, cost, nil
+	}
+	c, err := t.connFor(to)
+	if err != nil {
+		return Response{}, cost, err
+	}
+	start := time.Now()
+	resp, err := c.roundTrip(ctx, req)
+	cost.Wall = time.Since(start)
+	if err != nil {
+		t.drop(to, c)
+		t.metrics.recordError(to)
+		return Response{}, cost, err
+	}
+	cost.RespBytes = len(resp.Payload)
+	cost.Steps = resp.Steps
+	cost.Net = cost.Wall // real network: measured, not modeled
+	t.metrics.record(from, to, req, resp, cost, true)
+	return resp, cost, nil
+}
+
+func (c *tcpConn) roundTrip(ctx context.Context, req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(dl); err != nil {
+			return Response{}, err
+		}
+	} else {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			return Response{}, err
+		}
+	}
+	if err := writeBytes(c.w, []byte(req.Kind)); err != nil {
+		return Response{}, err
+	}
+	if err := writeBytes(c.w, req.Payload); err != nil {
+		return Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return Response{}, err
+	}
+	steps, err := readUvarint(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	body, err := readBytes(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	if status == tcpStatusErr {
+		return Response{}, fmt.Errorf("%w: %s", ErrRemote, body)
+	}
+	return Response{Payload: body, Steps: int64(steps)}, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/frag"
+)
+
+// TraceEvent records one remote call, in completion order.
+type TraceEvent struct {
+	Seq       int
+	From, To  frag.SiteID
+	Kind      string
+	ReqBytes  int
+	RespBytes int
+	Steps     int64
+	Err       string
+	At        time.Time
+}
+
+// String renders the event as one line: "S0→S1 parbox.evalQual 120B/86B".
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("#%d %s→%s %s %dB/%dB steps=%d", e.Seq, e.From, e.To, e.Kind, e.ReqBytes, e.RespBytes, e.Steps)
+	if e.Err != "" {
+		s += " ERR:" + e.Err
+	}
+	return s
+}
+
+// Tracer collects TraceEvents; attach with TracingTransport or
+// Cluster.SetTracer. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	seq    int
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) record(e TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	e.Seq = t.seq
+	e.At = time.Now()
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events in completion order.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Reset clears the log.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.seq = 0
+}
+
+// KindCounts tallies events by request kind.
+func (t *Tracer) KindCounts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range t.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// String renders the whole log, one event per line.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TracingTransport wraps any Transport, logging every remote call. Local
+// (from == to) calls are not logged, mirroring the visit accounting.
+type TracingTransport struct {
+	Inner  Transport
+	Tracer *Tracer
+}
+
+// Call implements Transport.
+func (t *TracingTransport) Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error) {
+	resp, cost, err := t.Inner.Call(ctx, from, to, req)
+	if from != to {
+		e := TraceEvent{
+			From: from, To: to, Kind: req.Kind,
+			ReqBytes: len(req.Payload), RespBytes: len(resp.Payload),
+			Steps: resp.Steps,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		t.Tracer.record(e)
+	}
+	return resp, cost, err
+}
+
+// Site delegates local site lookup to the wrapped transport.
+func (t *TracingTransport) Site(id frag.SiteID) (*Site, bool) {
+	if s, ok := t.Inner.(interface {
+		Site(frag.SiteID) (*Site, bool)
+	}); ok {
+		return s.Site(id)
+	}
+	return nil, false
+}

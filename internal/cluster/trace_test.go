@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func tracedPair(t *testing.T) (*Tracer, *TracingTransport, *Cluster) {
+	t.Helper()
+	c := New(DefaultCostModel())
+	c.AddSite("A")
+	b := c.AddSite("B")
+	b.Handle("echo", echoHandler)
+	b.Handle("boom", func(context.Context, *Site, Request) (Response, error) {
+		return Response{}, errors.New("kaput")
+	})
+	tracer := NewTracer()
+	return tracer, &TracingTransport{Inner: c, Tracer: tracer}, c
+}
+
+func TestTracerRecordsRemoteCallsOnly(t *testing.T) {
+	tracer, tt, _ := tracedPair(t)
+	ctx := context.Background()
+	if _, _, err := tt.Call(ctx, "A", "B", Request{Kind: "echo", Payload: []byte("xy")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tt.Call(ctx, "B", "B", Request{Kind: "echo", Payload: []byte("local")}); err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1 (local calls unlogged)", len(events))
+	}
+	e := events[0]
+	if e.From != "A" || e.To != "B" || e.Kind != "echo" || e.ReqBytes != 2 || e.RespBytes != 2 || e.Steps != 2 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Seq != 1 || e.At.IsZero() {
+		t.Errorf("sequence/timestamp not set: %+v", e)
+	}
+	if s := e.String(); !strings.Contains(s, "A→B") {
+		t.Errorf("event rendering: %q", s)
+	}
+}
+
+func TestTracerRecordsErrors(t *testing.T) {
+	tracer, tt, _ := tracedPair(t)
+	if _, _, err := tt.Call(context.Background(), "A", "B", Request{Kind: "boom"}); err == nil {
+		t.Fatal("expected handler error")
+	}
+	events := tracer.Events()
+	if len(events) != 1 || events[0].Err == "" {
+		t.Errorf("error not traced: %+v", events)
+	}
+	if s := tracer.String(); !strings.Contains(s, "ERR:") {
+		t.Errorf("error missing from rendering: %q", s)
+	}
+	if got := tracer.KindCounts()["boom"]; got != 1 {
+		t.Errorf("KindCounts[boom] = %d", got)
+	}
+}
+
+func TestTracerConcurrentSequencing(t *testing.T) {
+	tracer, tt, _ := tracedPair(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tt.Call(context.Background(), "A", "B", Request{Kind: "echo"})
+		}()
+	}
+	wg.Wait()
+	events := tracer.Events()
+	if len(events) != 50 {
+		t.Fatalf("%d events", len(events))
+	}
+	seen := make(map[int]bool)
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestTracingTransportSiteDelegation(t *testing.T) {
+	_, tt, c := tracedPair(t)
+	if s, ok := tt.Site("A"); !ok || s.ID() != "A" {
+		t.Error("Site delegation failed")
+	}
+	if _, ok := tt.Site("nope"); ok {
+		t.Error("unknown site reported present")
+	}
+	// A TracingTransport over a non-lookup transport reports absence.
+	nested := &TracingTransport{Inner: &FaultyTransport{Inner: c}, Tracer: NewTracer()}
+	if s, ok := nested.Site("A"); !ok || s.ID() != "A" {
+		t.Error("nested delegation through FaultyTransport failed")
+	}
+}

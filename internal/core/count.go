@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// KindCount is the aggregation variant of pass 2: propagate the selection
+// automaton but return only the per-fragment match count. Section 8 of
+// the paper singles out "numerical and aggregating computations over
+// large data sets" as a natural beneficiary of partial evaluation — the
+// response shrinks from a path list to a single integer, so the traffic
+// bound drops back to O(|q|·card(F)) regardless of how many nodes match.
+const KindCount = "parbox.count"
+
+// CountReport is the outcome of a distributed COUNT query.
+type CountReport struct {
+	Count      int64
+	PerSite    map[frag.SiteID]int64
+	SimTime    time.Duration
+	Wall       time.Duration
+	Bytes      int64
+	Messages   int64
+	TotalSteps int64
+}
+
+// CountParBoX counts the nodes a path query selects, without materializing
+// their identities anywhere: pass 1 as in SelectParBoX, pass 2 returns one
+// integer per fragment.
+func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (CountReport, error) {
+	start := time.Now()
+	rec := newRecorder()
+
+	sites := e.st.Sites()
+	type siteResult struct {
+		fts []fragTriplet
+		sim time.Duration
+		err error
+	}
+	results := make(chan siteResult, len(sites))
+	for _, site := range sites {
+		go func(site frag.SiteID) {
+			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+				Kind:    KindEvalQual,
+				Payload: encodeEvalQualReq(evalQualReq{prog: sp.Bool, ids: e.st.FragmentsAt(site)}),
+			})
+			if err != nil {
+				results <- siteResult{err: err}
+				return
+			}
+			fts, err := decodeEvalQualResp(resp.Payload)
+			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
+		}(site)
+	}
+	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
+	var sim time.Duration
+	var firstErr error
+	for range sites {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		if res.sim > sim {
+			sim = res.sim
+		}
+		for _, ft := range res.fts {
+			triplets[ft.id] = ft.triplet
+		}
+	}
+	if firstErr != nil {
+		return CountReport{}, firstErr
+	}
+	vecs, solveWork, err := eval.SolveAll(e.st, triplets, sp.Bool)
+	if err != nil {
+		return CountReport{}, err
+	}
+	rec.steps += solveWork
+	sim += e.cost.ComputeTime(solveWork)
+
+	rep := CountReport{PerSite: make(map[frag.SiteID]int64)}
+	spBytes := encodeSelectProgram(sp)
+	pending := map[xmltree.FragmentID]eval.Arrival{e.st.Root(): eval.StartArrival()}
+	for len(pending) > 0 {
+		type countResult struct {
+			site    frag.SiteID
+			count   int64
+			forward map[xmltree.FragmentID]eval.Arrival
+			sim     time.Duration
+			err     error
+		}
+		results := make(chan countResult, len(pending))
+		for id, arr := range pending {
+			entry, ok := e.st.Entry(id)
+			if !ok {
+				return CountReport{}, fmt.Errorf("core: fragment %d not in source tree", id)
+			}
+			childVecs := make(map[xmltree.FragmentID]eval.BoolVecs, len(entry.Children))
+			for _, c := range entry.Children {
+				childVecs[c] = vecs[c]
+			}
+			go func(id xmltree.FragmentID, site frag.SiteID, arr eval.Arrival, childVecs map[xmltree.FragmentID]eval.BoolVecs) {
+				resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+					Kind:    KindCount,
+					Payload: encodeSelectReq(spBytes, id, arr, childVecs),
+				})
+				if err != nil {
+					results <- countResult{site: site, err: err}
+					return
+				}
+				count, fwd, err := decodeCountResp(resp.Payload)
+				results <- countResult{site: site, count: count, forward: fwd, sim: cost.Total(), err: err}
+			}(id, entry.Site, arr, childVecs)
+		}
+		next := make(map[xmltree.FragmentID]eval.Arrival)
+		var simLevel time.Duration
+		for range pending {
+			res := <-results
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			if res.sim > simLevel {
+				simLevel = res.sim
+			}
+			rep.Count += res.count
+			rep.PerSite[res.site] += res.count
+			for c, arr := range res.forward {
+				prev := next[c]
+				prev.States |= arr.States
+				prev.Sticky |= arr.Sticky
+				next[c] = prev
+			}
+		}
+		if firstErr != nil {
+			return CountReport{}, firstErr
+		}
+		sim += simLevel
+		pending = next
+	}
+	rep.SimTime = sim
+	rep.Wall = time.Since(start)
+	rec.mu.Lock()
+	rep.Bytes = rec.bytes
+	rep.Messages = rec.messages
+	rep.TotalSteps = rec.steps
+	rec.mu.Unlock()
+	return rep, nil
+}
+
+// handleCount is the site side: SelectFragment, but only the count leaves
+// the site.
+func handleCount(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	sp, id, arr, childVecs, err := decodeSelectReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	fr, ok := site.Fragment(id)
+	if !ok {
+		return cluster.Response{}, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
+	}
+	res, err := eval.SelectFragment(fr.Root, sp, childVecs, arr)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	return cluster.Response{
+		Payload: encodeCountResp(int64(len(res.Selected)), res.Forward),
+		Steps:   res.Steps,
+	}, nil
+}
+
+func encodeCountResp(count int64, forward map[xmltree.FragmentID]eval.Arrival) []byte {
+	dst := binary.AppendUvarint(nil, uint64(count))
+	return append(dst, encodeSelectResp(nil, forward)...)
+}
+
+func decodeCountResp(buf []byte) (int64, map[xmltree.FragmentID]eval.Arrival, error) {
+	r := &reader{buf: buf}
+	count, err := r.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	paths, fwd, err := decodeSelectResp(buf[r.pos:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(paths) != 0 {
+		return 0, nil, fmt.Errorf("%w: count response carries paths", ErrBadMessage)
+	}
+	return int64(count), fwd, nil
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/frag"
+)
+
+// Deploy places the fragments of a forest onto the in-process cluster per
+// the assignment, registers the ParBoX protocol handlers on every involved
+// site, and returns the source tree plus an engine coordinating from the
+// root fragment's site (the paper's convention: the coordinating site
+// stores the root fragment).
+//
+// Deploy does not copy fragment trees; the forest must not be mutated
+// while the cluster serves queries, except through the view-maintenance
+// layer, which owns that protocol.
+func Deploy(c *cluster.Cluster, forest *frag.Forest, assign frag.Assignment) (*Engine, error) {
+	st, err := frag.BuildSourceTree(forest, assign)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range forest.IDs() {
+		fr, _ := forest.Fragment(id)
+		site := c.AddSite(assign[id])
+		site.AddFragment(fr)
+	}
+	for _, siteID := range st.Sites() {
+		site := c.AddSite(siteID)
+		RegisterHandlers(site, c, c.Cost())
+	}
+	rootEntry, _ := st.Entry(st.Root())
+	return NewEngine(c, rootEntry.Site, st, c.Cost()), nil
+}

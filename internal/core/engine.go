@@ -1,0 +1,571 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Algorithm names, as reported in Report.Algorithm and accepted by Run.
+const (
+	AlgoParBoX           = "parbox"
+	AlgoNaiveCentralized = "central"
+	AlgoNaiveDistributed = "distrib"
+	AlgoHybrid           = "hybrid"
+	AlgoFullDist         = "fulldist"
+	AlgoLazy             = "lazy"
+)
+
+// Algorithms lists every implemented algorithm name.
+func Algorithms() []string {
+	return []string{AlgoParBoX, AlgoNaiveCentralized, AlgoNaiveDistributed, AlgoHybrid, AlgoFullDist, AlgoLazy}
+}
+
+// Report is the outcome of one distributed evaluation: the answer plus the
+// accounting the paper's experiments plot.
+type Report struct {
+	Algorithm string
+	Answer    bool
+	// SimTime is the deterministic modeled elapsed (parallel) time: network
+	// transfers per the cost model plus per-site computation at
+	// StepsPerSecond, maxed over concurrent branches and summed over
+	// sequential phases. The figures are plotted from this.
+	SimTime time.Duration
+	// Wall is the measured wall-clock duration of the run.
+	Wall time.Duration
+	// TotalSteps is the summed node×subquery computation over all sites,
+	// including the coordinator's solve work.
+	TotalSteps int64
+	// Bytes is the total remote payload traffic of this run.
+	Bytes int64
+	// Messages counts remote requests+responses.
+	Messages int64
+	// Visits counts, per site, the requests it served for other sites.
+	Visits map[frag.SiteID]int64
+	// SolveWork is the formula work of the coordinator's evalST phase.
+	SolveWork int64
+}
+
+// Engine evaluates queries over one fragmented document hosted on a
+// cluster. It is the coordinating site of the paper: it holds the source
+// tree and speaks the ParBoX protocol to the participating sites.
+type Engine struct {
+	tr    cluster.Transport
+	coord frag.SiteID
+	st    *frag.SourceTree
+	cost  cluster.CostModel
+
+	runSeq atomic.Int64
+}
+
+// NewEngine builds an engine for the document described by st, coordinated
+// from site coord. The cost model must match the one the sites were
+// registered with for the modeled times to be coherent.
+func NewEngine(tr cluster.Transport, coord frag.SiteID, st *frag.SourceTree, cost cluster.CostModel) *Engine {
+	return &Engine{tr: tr, coord: coord, st: st, cost: cost}
+}
+
+// SourceTree returns the engine's source tree.
+func (e *Engine) SourceTree() *frag.SourceTree { return e.st }
+
+// Coordinator returns the coordinating site.
+func (e *Engine) Coordinator() frag.SiteID { return e.coord }
+
+// Run dispatches to the named algorithm.
+func (e *Engine) Run(ctx context.Context, algo string, prog *xpath.Program) (Report, error) {
+	switch algo {
+	case AlgoParBoX:
+		return e.ParBoX(ctx, prog)
+	case AlgoNaiveCentralized:
+		return e.NaiveCentralized(ctx, prog)
+	case AlgoNaiveDistributed:
+		return e.NaiveDistributed(ctx, prog)
+	case AlgoHybrid:
+		return e.Hybrid(ctx, prog)
+	case AlgoFullDist:
+		return e.FullDist(ctx, prog)
+	case AlgoLazy:
+		return e.Lazy(ctx, prog)
+	default:
+		return Report{}, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}
+
+// recorder accumulates per-run accounting from call costs.
+type recorder struct {
+	mu       sync.Mutex
+	bytes    int64
+	messages int64
+	steps    int64
+	visits   map[frag.SiteID]int64
+}
+
+func newRecorder() *recorder { return &recorder{visits: make(map[frag.SiteID]int64)} }
+
+func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.steps += cost.Steps
+	if from != to {
+		r.bytes += int64(cost.ReqBytes + cost.RespBytes)
+		r.messages += 2
+		r.visits[to]++
+	}
+}
+
+func (r *recorder) fill(rep *Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep.Bytes = r.bytes
+	rep.Messages = r.messages
+	rep.TotalSteps = r.steps
+	rep.Visits = make(map[frag.SiteID]int64, len(r.visits))
+	for k, v := range r.visits {
+		rep.Visits[k] = v
+	}
+}
+
+// call is a thin wrapper recording accounting.
+func (e *Engine) call(ctx context.Context, rec *recorder, to frag.SiteID, req cluster.Request) (cluster.Response, cluster.CallCost, error) {
+	resp, cost, err := e.tr.Call(ctx, e.coord, to, req)
+	if err != nil {
+		return resp, cost, err
+	}
+	rec.record(e.coord, to, cost)
+	return resp, cost, nil
+}
+
+// ParBoX is Algorithm ParBoX (Fig. 3a): broadcast the QList to every site
+// holding fragments (each visited exactly once), collect the triplets
+// computed in parallel, and solve the Boolean equation system over the
+// source tree.
+func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error) {
+	start := time.Now()
+	rec := newRecorder()
+
+	// Stage 1: identify the participating sites from the source tree.
+	sites := e.st.Sites()
+
+	// Stage 2: evalQual on every site, in parallel.
+	type siteResult struct {
+		fts []fragTriplet
+		sim time.Duration
+		err error
+	}
+	results := make(chan siteResult, len(sites))
+	for _, site := range sites {
+		go func(site frag.SiteID) {
+			req := cluster.Request{
+				Kind: KindEvalQual,
+				Payload: encodeEvalQualReq(evalQualReq{
+					prog: prog,
+					ids:  e.st.FragmentsAt(site),
+				}),
+			}
+			resp, cost, err := e.call(ctx, rec, site, req)
+			if err != nil {
+				results <- siteResult{err: err}
+				return
+			}
+			fts, err := decodeEvalQualResp(resp.Payload)
+			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
+		}(site)
+	}
+	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
+	var simStage2 time.Duration
+	var firstErr error
+	for range sites {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		if res.sim > simStage2 {
+			simStage2 = res.sim
+		}
+		for _, ft := range res.fts {
+			triplets[ft.id] = ft.triplet
+		}
+	}
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+
+	// Stage 3: solve the equation system at the coordinator.
+	ans, work, err := eval.Solve(e.st, triplets, prog)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Algorithm: AlgoParBoX,
+		Answer:    ans,
+		SimTime:   simStage2 + e.cost.ComputeTime(work),
+		Wall:      time.Since(start),
+		SolveWork: work,
+	}
+	rec.steps += work
+	rec.fill(&rep)
+	return rep, nil
+}
+
+// NaiveCentralized collects every fragment at the coordinating site and
+// evaluates centrally — O(|T|) communication, the data-shipping baseline.
+// Fetches fan out in parallel, but the modeled time charges all transfers
+// to the coordinator's link, which is the bottleneck resource.
+func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Report, error) {
+	start := time.Now()
+	rec := newRecorder()
+	sites := e.st.Sites()
+
+	type siteResult struct {
+		frs []*frag.Fragment
+		net time.Duration
+		err error
+	}
+	results := make(chan siteResult, len(sites))
+	calls := 0
+	var local []*frag.Fragment
+	for _, site := range sites {
+		ids := e.st.FragmentsAt(site)
+		if site == e.coord {
+			// The coordinator's own fragments are read from local storage.
+			for _, id := range ids {
+				fr, err := e.localFragment(id)
+				if err != nil {
+					return Report{}, err
+				}
+				local = append(local, fr)
+			}
+			continue
+		}
+		calls++
+		go func(site frag.SiteID, ids []xmltree.FragmentID) {
+			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+				Kind:    KindFetchFragments,
+				Payload: encodeFetchReq(ids),
+			})
+			if err != nil {
+				results <- siteResult{err: err}
+				return
+			}
+			frs, err := decodeFetchResp(resp.Payload)
+			results <- siteResult{frs: frs, net: cost.Net, err: err}
+		}(site, ids)
+	}
+	frs := local
+	var simTransfer time.Duration
+	var firstErr error
+	for i := 0; i < calls; i++ {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		simTransfer += res.net // the coordinator's link serializes transfers
+		frs = append(frs, res.frs...)
+	}
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+
+	forest, err := frag.FromFragments(frs, e.st.Root())
+	if err != nil {
+		return Report{}, fmt.Errorf("core: reassembling fetched fragments: %w", err)
+	}
+	doc, err := forest.Assemble()
+	if err != nil {
+		return Report{}, err
+	}
+	ans, steps, err := eval.Evaluate(doc, prog)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Algorithm: AlgoNaiveCentralized,
+		Answer:    ans,
+		SimTime:   simTransfer + e.cost.ComputeTime(steps),
+		Wall:      time.Since(start),
+	}
+	rec.steps += steps
+	rec.fill(&rep)
+	return rep, nil
+}
+
+// localFragment reads a fragment from the coordinator's own site storage.
+func (e *Engine) localFragment(id xmltree.FragmentID) (*frag.Fragment, error) {
+	type fragmentStore interface {
+		Site(frag.SiteID) (*cluster.Site, bool)
+	}
+	if c, ok := e.tr.(fragmentStore); ok {
+		if s, ok := c.Site(e.coord); ok {
+			if fr, ok := s.Fragment(id); ok {
+				return fr, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: coordinator %s does not store fragment %d locally", e.coord, id)
+}
+
+// NaiveDistributed performs the distributed sequential bottom-up traversal
+// of Section 3: control passes from a fragment to each of its
+// sub-fragments' sites in turn, so a site is visited once per fragment it
+// stores and nothing runs in parallel.
+func (e *Engine) NaiveDistributed(ctx context.Context, prog *xpath.Program) (Report, error) {
+	start := time.Now()
+	rec := newRecorder()
+	rootEntry, ok := e.st.Entry(e.st.Root())
+	if !ok {
+		return Report{}, fmt.Errorf("core: source tree has no root entry")
+	}
+	resp, cost, err := e.call(ctx, rec, rootEntry.Site, cluster.Request{
+		Kind:    KindEvalFragDist,
+		Payload: encodeEvalFragDistReq(prog, e.st, e.st.Root()),
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	t, stats, err := decodeResolveResp(resp.Payload)
+	if err != nil {
+		return Report{}, err
+	}
+	ansF := t.V[prog.Root()]
+	ans, okc := ansF.ConstValue()
+	if !okc {
+		return Report{}, fmt.Errorf("core: NaiveDistributed produced a residual answer %v", ansF)
+	}
+	rep := Report{
+		Algorithm: AlgoNaiveDistributed,
+		Answer:    ans,
+		SimTime:   time.Duration(stats.simNanos) + cost.Net,
+		Wall:      time.Since(start),
+	}
+	rec.fill(&rep)
+	// The recursion's nested calls are invisible to the coordinator's
+	// recorder; fold in what the response reported. (Per-site visit
+	// counts of the nested hops live in the cluster metrics.)
+	rep.TotalSteps = stats.steps
+	rep.Bytes += stats.bytes
+	rep.Messages += stats.messages
+	return rep, nil
+}
+
+// Hybrid is HybridParBoX (Section 4): ParBoX while card(F) < |T|/|q|,
+// NaiveCentralized past the tipping point (pathological fragmentations
+// where shipping formulas costs more than shipping the data).
+func (e *Engine) Hybrid(ctx context.Context, prog *xpath.Program) (Report, error) {
+	cardF := e.st.Count()
+	sizeT := e.st.TotalSize()
+	q := prog.QListSize()
+	var rep Report
+	var err error
+	if cardF*q < sizeT {
+		rep, err = e.ParBoX(ctx, prog)
+	} else {
+		rep, err = e.NaiveCentralized(ctx, prog)
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.Algorithm = AlgoHybrid
+	return rep, nil
+}
+
+// FullDist is FullDistParBoX (Section 4): stage 2 caches the triplets at
+// the sites (each holding a copy of the source tree), and the third phase
+// runs evalDistrST — triplets are unified site-by-site up the source tree,
+// so no variables ever travel and the coordinator is no bottleneck.
+func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, error) {
+	start := time.Now()
+	rec := newRecorder()
+	runKey := fmt.Sprintf("%s-%d", e.coord, e.runSeq.Add(1))
+	sites := e.st.Sites()
+
+	// Stage 2 (parallel): evalQual with caching.
+	type siteResult struct {
+		sim time.Duration
+		err error
+	}
+	results := make(chan siteResult, len(sites))
+	for _, site := range sites {
+		go func(site frag.SiteID) {
+			_, cost, err := e.call(ctx, rec, site, cluster.Request{
+				Kind: KindEvalQualKeep,
+				Payload: encodeEvalQualReq(evalQualReq{
+					prog:   prog,
+					ids:    e.st.FragmentsAt(site),
+					runKey: runKey,
+					st:     e.st,
+				}),
+			})
+			results <- siteResult{sim: cost.Total(), err: err}
+		}(site)
+	}
+	var simStage2 time.Duration
+	var firstErr error
+	for range sites {
+		res := <-results
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		if res.sim > simStage2 {
+			simStage2 = res.sim
+		}
+	}
+	if firstErr != nil {
+		e.cleanup(ctx, rec, runKey)
+		return Report{}, firstErr
+	}
+
+	// Stage 3: resolve the root fragment; unification cascades down/up the
+	// source tree between the sites themselves.
+	rootEntry, _ := e.st.Entry(e.st.Root())
+	resp, cost, err := e.call(ctx, rec, rootEntry.Site, cluster.Request{
+		Kind:    KindResolve,
+		Payload: encodeResolveReq(runKey, e.st.Root()),
+	})
+	if err != nil {
+		e.cleanup(ctx, rec, runKey)
+		return Report{}, err
+	}
+	t, stats, err := decodeResolveResp(resp.Payload)
+	if err != nil {
+		e.cleanup(ctx, rec, runKey)
+		return Report{}, err
+	}
+	// No cleanup on success: run states self-destruct once each site's
+	// last fragment has been resolved, keeping the per-site visit count at
+	// the paper's 1 + card(F_Si).
+	ansF := t.V[prog.Root()]
+	ans, okc := ansF.ConstValue()
+	if !okc {
+		return Report{}, fmt.Errorf("core: FullDistParBoX produced a residual answer %v", ansF)
+	}
+	rep := Report{
+		Algorithm: AlgoFullDist,
+		Answer:    ans,
+		SimTime:   simStage2 + time.Duration(stats.simNanos) + cost.Net,
+		Wall:      time.Since(start),
+	}
+	rec.fill(&rep)
+	rep.Bytes += stats.bytes
+	rep.Messages += stats.messages
+	// stats.steps covers the entire resolve recursion including the root
+	// frame, which the recorder also saw via the root call; remove the
+	// duplicate.
+	rep.TotalSteps += stats.steps - resp.Steps
+	return rep, nil
+}
+
+func (e *Engine) cleanup(ctx context.Context, rec *recorder, runKey string) {
+	for _, site := range e.st.Sites() {
+		// Best effort; cleanup failures must not mask the result.
+		_, _, _ = e.tr.Call(ctx, e.coord, site, cluster.Request{Kind: KindCleanup, Payload: []byte(runKey)})
+	}
+}
+
+// Lazy is LazyParBoX (Section 4): evaluate the source tree in increasing
+// depths, attempting to solve the partial equation system after each step,
+// and stop as soon as the answer no longer depends on deeper fragments.
+// Per the paper, the first step covers the coordinator AND the fragments
+// at depth 1 ("LazyParBoX initially evaluates a query only in the
+// coordinator and in the fragments of depth 1"); each further step
+// descends one level. Within a step sites work in parallel; steps are
+// sequential.
+func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) {
+	start := time.Now()
+	rec := newRecorder()
+	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
+	var simTotal time.Duration
+	var solveWork int64
+
+	levels := e.st.Levels()
+	var steps [][]xmltree.FragmentID
+	if len(levels) >= 2 {
+		first := append(append([]xmltree.FragmentID(nil), levels[0]...), levels[1]...)
+		steps = append([][]xmltree.FragmentID{first}, levels[2:]...)
+	} else {
+		steps = levels
+	}
+	for _, level := range steps {
+		// Group this level's fragments by site; each site evaluates its
+		// fragments of this level only.
+		yieldSites := make(map[frag.SiteID][]xmltree.FragmentID)
+		for _, id := range level {
+			entry, _ := e.st.Entry(id)
+			yieldSites[entry.Site] = append(yieldSites[entry.Site], id)
+		}
+		type siteResult struct {
+			fts []fragTriplet
+			sim time.Duration
+			err error
+		}
+		results := make(chan siteResult, len(yieldSites))
+		for site, ids := range yieldSites {
+			go func(site frag.SiteID, ids []xmltree.FragmentID) {
+				resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+					Kind:    KindEvalQual,
+					Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: ids}),
+				})
+				if err != nil {
+					results <- siteResult{err: err}
+					return
+				}
+				fts, err := decodeEvalQualResp(resp.Payload)
+				results <- siteResult{fts: fts, sim: cost.Total(), err: err}
+			}(site, ids)
+		}
+		var simLevel time.Duration
+		var firstErr error
+		for range yieldSites {
+			res := <-results
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			if res.sim > simLevel {
+				simLevel = res.sim
+			}
+			for _, ft := range res.fts {
+				triplets[ft.id] = ft.triplet
+			}
+		}
+		if firstErr != nil {
+			return Report{}, firstErr
+		}
+		simTotal += simLevel
+
+		ans, work, resolved, err := eval.SolvePartial(e.st, triplets, prog)
+		solveWork += work
+		simTotal += e.cost.ComputeTime(work)
+		if err != nil {
+			return Report{}, err
+		}
+		if resolved {
+			rep := Report{
+				Algorithm: AlgoLazy,
+				Answer:    ans,
+				SimTime:   simTotal,
+				Wall:      time.Since(start),
+				SolveWork: solveWork,
+			}
+			rec.steps += solveWork
+			rec.fill(&rep)
+			return rep, nil
+		}
+	}
+	return Report{}, fmt.Errorf("core: LazyParBoX exhausted all levels without resolving (inconsistent source tree?)")
+}

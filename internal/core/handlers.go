@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// runState is the per-query state FullDistParBoX caches at a site between
+// stage 2 (evalQualKeep) and stage 3 (resolve): the program, the site's
+// copy of the source tree, and the local triplets.
+type runState struct {
+	prog     *xpath.Program
+	st       *frag.SourceTree
+	mu       sync.Mutex
+	triplets map[xmltree.FragmentID]eval.Triplet
+	// remaining counts the local fragments not yet resolved; the state
+	// self-destructs at zero, since evalDistrST resolves every fragment
+	// exactly once — no cleanup round trip is needed on the happy path.
+	remaining int
+}
+
+func runStateKey(runKey string) string { return "parbox.run." + runKey }
+
+// RegisterHandlers installs the ParBoX protocol handlers on a site. tr is
+// the transport the site uses to reach its peers (needed by the recursive
+// NaiveDistributed and FullDistParBoX handlers) and cost is the cost model
+// the site uses to report modeled times for its own computation.
+//
+// The same registration serves the in-process cluster and a TCP site
+// daemon.
+func RegisterHandlers(site *cluster.Site, tr cluster.Transport, cost cluster.CostModel) {
+	site.Handle(KindEvalQual, handleEvalQual(false))
+	site.Handle(KindEvalQualKeep, handleEvalQual(true))
+	site.Handle(KindResolve, handleResolve(tr, cost))
+	site.Handle(KindCleanup, handleCleanup)
+	site.Handle(KindFetchFragments, handleFetchFragments)
+	site.Handle(KindEvalFragDist, handleEvalFragDist(tr, cost))
+	site.Handle(KindSelect, handleSelect)
+	site.Handle(KindCount, handleCount)
+}
+
+// handleEvalQual is Procedure evalQual (Fig. 3b): run bottomUp over each
+// requested locally stored fragment, in request order, and return the
+// triplets. With keep=true the triplets are cached for a later resolve.
+func handleEvalQual(keep bool) cluster.Handler {
+	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+		q, err := decodeEvalQualReq(req.Payload)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		var steps int64
+		fts := make([]fragTriplet, 0, len(q.ids))
+		var state *runState
+		if keep {
+			if q.st == nil {
+				return cluster.Response{}, fmt.Errorf("%w: evalQualKeep without source tree", ErrBadMessage)
+			}
+			state = &runState{prog: q.prog, st: q.st, triplets: make(map[xmltree.FragmentID]eval.Triplet)}
+		}
+		for _, id := range q.ids {
+			if err := ctx.Err(); err != nil {
+				return cluster.Response{}, err
+			}
+			fr, ok := site.Fragment(id)
+			if !ok {
+				return cluster.Response{}, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
+			}
+			t, s, err := eval.BottomUp(fr.Root, q.prog)
+			steps += s
+			if err != nil {
+				return cluster.Response{}, fmt.Errorf("core: fragment %d: %w", id, err)
+			}
+			fts = append(fts, fragTriplet{id: id, triplet: t})
+			if keep {
+				state.triplets[id] = t
+			}
+		}
+		if keep {
+			state.remaining = len(state.triplets)
+			site.Put(runStateKey(q.runKey), state)
+		}
+		return cluster.Response{Payload: encodeEvalQualResp(fts), Steps: steps}, nil
+	}
+}
+
+// handleResolve is the per-fragment unification step of Procedure
+// evalDistrST: gather the resolved triplets of the fragment's
+// sub-fragments from their sites (in parallel), substitute them into the
+// local triplet, and return a variable-free triplet. The paper formulates
+// this as children pushing triplets to parents; pulling from the parent
+// side is traffic- and topology-equivalent (see DESIGN.md).
+func handleResolve(tr cluster.Transport, cost cluster.CostModel) cluster.Handler {
+	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+		runKey, id, err := decodeResolveReq(req.Payload)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		stateAny, ok := site.Get(runStateKey(runKey))
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: site %s has no state for run %q (evalQualKeep first)", site.ID(), runKey)
+		}
+		state := stateAny.(*runState)
+		state.mu.Lock()
+		own, ok := state.triplets[id]
+		state.mu.Unlock()
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: run %q has no triplet for fragment %d at %s", runKey, id, site.ID())
+		}
+		entry, ok := state.st.Entry(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: fragment %d not in source tree", id)
+		}
+
+		// Gather children in parallel, as the sites at one level of S_T
+		// work concurrently in the paper.
+		type childResult struct {
+			id    xmltree.FragmentID
+			t     eval.Triplet
+			stats resolveStats
+			err   error
+		}
+		results := make(chan childResult, len(entry.Children))
+		for _, child := range entry.Children {
+			go func(child xmltree.FragmentID) {
+				centry, ok := state.st.Entry(child)
+				if !ok {
+					results <- childResult{id: child, err: fmt.Errorf("core: fragment %d not in source tree", child)}
+					return
+				}
+				resp, cc, err := tr.Call(ctx, site.ID(), centry.Site, cluster.Request{
+					Kind:    KindResolve,
+					Payload: encodeResolveReq(runKey, child),
+				})
+				if err != nil {
+					results <- childResult{id: child, err: err}
+					return
+				}
+				t, cst, err := decodeResolveResp(resp.Payload)
+				// The child's reported makespan plus this round trip; the
+				// hop's own traffic joins the nested totals.
+				cst.simNanos += int64(cc.Net)
+				if site.ID() != centry.Site {
+					cst.bytes += int64(cc.ReqBytes + cc.RespBytes)
+					cst.messages += 2
+				}
+				results <- childResult{id: child, t: t, stats: cst, err: err}
+			}(child)
+		}
+		subs := make(map[xmltree.FragmentID]eval.Triplet, len(entry.Children))
+		var agg resolveStats
+		var firstErr error
+		for range entry.Children {
+			res := <-results
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+			if res.err == nil {
+				subs[res.id] = res.t
+				if res.stats.simNanos > agg.simNanos {
+					agg.simNanos = res.stats.simNanos // parallel: makespan is the max
+				}
+				agg.bytes += res.stats.bytes
+				agg.messages += res.stats.messages
+				agg.steps += res.stats.steps
+			}
+		}
+		if firstErr != nil {
+			return cluster.Response{}, firstErr
+		}
+		resolved, work, err := eval.ResolveTriplet(id, own, subs, state.prog)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		agg.simNanos += int64(cost.ComputeTime(work))
+		agg.steps += work
+		// Every fragment is resolved exactly once per run; drop the run
+		// state once this site's last fragment has been resolved.
+		state.mu.Lock()
+		state.remaining--
+		done := state.remaining <= 0
+		state.mu.Unlock()
+		if done {
+			site.Delete(runStateKey(runKey))
+		}
+		return cluster.Response{Payload: encodeResolveResp(resolved, agg), Steps: work}, nil
+	}
+}
+
+// handleCleanup drops cached run state.
+func handleCleanup(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	site.Delete(runStateKey(string(req.Payload)))
+	return cluster.Response{}, nil
+}
+
+// handleFetchFragments ships whole fragments, the data movement
+// NaiveCentralized pays for.
+func handleFetchFragments(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	ids, err := decodeFetchReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	frs := make([]*frag.Fragment, 0, len(ids))
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return cluster.Response{}, err
+		}
+		fr, ok := site.Fragment(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
+		}
+		frs = append(frs, fr)
+	}
+	return cluster.Response{Payload: encodeFetchResp(frs)}, nil
+}
+
+// handleEvalFragDist is NaiveDistributed's per-fragment step: evaluate the
+// fragment locally, then sequentially descend into each sub-fragment's
+// site, blocking until it answers — the distributed bottom-up traversal
+// whose control passes "forth and back" between sites. The response is a
+// variable-free triplet plus the accumulated modeled time of the whole
+// (sequential) sub-computation.
+func handleEvalFragDist(tr cluster.Transport, cost cluster.CostModel) cluster.Handler {
+	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+		prog, st, id, err := decodeEvalFragDistReq(req.Payload)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		fr, ok := site.Fragment(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
+		}
+		own, steps, err := eval.BottomUp(fr.Root, prog)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		entry, ok := st.Entry(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("core: fragment %d not in source tree", id)
+		}
+		var agg resolveStats
+		subs := make(map[xmltree.FragmentID]eval.Triplet, len(entry.Children))
+		for _, child := range entry.Children {
+			centry, ok := st.Entry(child)
+			if !ok {
+				return cluster.Response{}, fmt.Errorf("core: fragment %d not in source tree", child)
+			}
+			resp, cc, err := tr.Call(ctx, site.ID(), centry.Site, cluster.Request{
+				Kind:    KindEvalFragDist,
+				Payload: encodeEvalFragDistReq(prog, st, child),
+			})
+			if err != nil {
+				return cluster.Response{}, err
+			}
+			t, cst, err := decodeResolveResp(resp.Payload)
+			if err != nil {
+				return cluster.Response{}, err
+			}
+			subs[child] = t
+			agg.simNanos += cst.simNanos + int64(cc.Net) // sequential: children add up
+			agg.bytes += cst.bytes
+			agg.messages += cst.messages
+			agg.steps += cst.steps
+			if site.ID() != centry.Site {
+				agg.bytes += int64(cc.ReqBytes + cc.RespBytes)
+				agg.messages += 2
+			}
+		}
+		resolved, work, err := eval.ResolveTriplet(id, own, subs, prog)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		agg.simNanos += int64(cost.ComputeTime(steps + work))
+		agg.steps += steps + work
+		return cluster.Response{Payload: encodeResolveResp(resolved, agg), Steps: steps + work}, nil
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// RequestTriplets asks one site to run Procedure evalQual over the given
+// locally stored fragments and returns the resulting triplets by fragment.
+// The view-maintenance layer uses it to (re)compute partial answers for
+// exactly one fragment after an update — the paper's localized
+// recomputation.
+func RequestTriplets(ctx context.Context, tr cluster.Transport, from, to frag.SiteID,
+	prog *xpath.Program, ids []xmltree.FragmentID) (map[xmltree.FragmentID]eval.Triplet, cluster.CallCost, error) {
+	resp, cost, err := tr.Call(ctx, from, to, cluster.Request{
+		Kind:    KindEvalQual,
+		Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: ids}),
+	})
+	if err != nil {
+		return nil, cost, err
+	}
+	fts, err := decodeEvalQualResp(resp.Payload)
+	if err != nil {
+		return nil, cost, err
+	}
+	out := make(map[xmltree.FragmentID]eval.Triplet, len(fts))
+	for _, ft := range fts {
+		out[ft.id] = ft.triplet
+	}
+	return out, cost, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fixtures"
+	"repro/internal/frag"
+	"repro/internal/xpath"
+)
+
+// deployTraced builds the Fig. 2 deployment behind a tracing transport.
+func deployTraced(t *testing.T) (*cluster.Tracer, *Engine) {
+	t.Helper()
+	forest, _, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fixtures.Fig2SourceTree(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.DefaultCostModel())
+	tracer := cluster.NewTracer()
+	tt := &cluster.TracingTransport{Inner: c, Tracer: tracer}
+	for _, siteID := range st.Sites() {
+		site := c.AddSite(siteID)
+		for _, id := range st.FragmentsAt(siteID) {
+			fr, _ := forest.Fragment(id)
+			site.AddFragment(fr)
+		}
+		RegisterHandlers(site, tt, c.Cost())
+	}
+	return tracer, NewEngine(tt, "S0", st, c.Cost())
+}
+
+// TestTraceParBoXMessageFlow pins the protocol shape of ParBoX: exactly
+// one evalQual request per remote site and nothing else.
+func TestTraceParBoXMessageFlow(t *testing.T) {
+	tracer, eng := deployTraced(t)
+	prog := xpath.MustCompileString(`//stock[code = "YHOO"]`)
+	if _, err := eng.ParBoX(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	events := tracer.Events()
+	if len(events) != 2 {
+		t.Fatalf("ParBoX produced %d remote calls, want 2:\n%s", len(events), tracer)
+	}
+	targets := map[frag.SiteID]bool{}
+	for _, e := range events {
+		if e.Kind != KindEvalQual {
+			t.Errorf("unexpected message kind %s", e.Kind)
+		}
+		if e.From != "S0" {
+			t.Errorf("message from %s, want the coordinator", e.From)
+		}
+		targets[e.To] = true
+	}
+	if !targets["S1"] || !targets["S2"] {
+		t.Errorf("targets = %v, want S1 and S2", targets)
+	}
+}
+
+// TestTraceFullDistMessageFlow pins FullDist: one evalQualKeep per remote
+// site, then resolve hops following the source tree (S0→S1 for F1, S1→S2
+// for F2, S0→S2 for F3) — and no cleanup messages on the happy path.
+func TestTraceFullDistMessageFlow(t *testing.T) {
+	tracer, eng := deployTraced(t)
+	prog := xpath.MustCompileString(`//stock[code = "YHOO"]`)
+	if _, err := eng.FullDist(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	counts := tracer.KindCounts()
+	if counts[KindEvalQualKeep] != 2 {
+		t.Errorf("evalQualKeep count = %d, want 2", counts[KindEvalQualKeep])
+	}
+	if counts[KindResolve] != 3 {
+		t.Errorf("resolve count = %d, want 3 (F1, F2, F3)", counts[KindResolve])
+	}
+	if counts[KindCleanup] != 0 {
+		t.Errorf("cleanup count = %d, want 0 on the happy path", counts[KindCleanup])
+	}
+	// The S1→S2 hop (resolving F2 from F1's site) must appear.
+	found := false
+	for _, e := range tracer.Events() {
+		if e.Kind == KindResolve && e.From == "S1" && e.To == "S2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing S1→S2 resolve hop:\n%s", tracer)
+	}
+}
+
+func TestTracerRendering(t *testing.T) {
+	tracer, eng := deployTraced(t)
+	prog := xpath.MustCompileString(`//broker`)
+	if _, err := eng.ParBoX(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	s := tracer.String()
+	if !strings.Contains(s, "S0→S1") || !strings.Contains(s, KindEvalQual) {
+		t.Errorf("trace rendering:\n%s", s)
+	}
+	tracer.Reset()
+	if len(tracer.Events()) != 0 {
+		t.Error("Reset did not clear the trace")
+	}
+}

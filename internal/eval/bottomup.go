@@ -1,0 +1,240 @@
+// Package eval implements the two computational procedures at the heart of
+// ParBoX (Fig. 3b of the paper):
+//
+//   - BottomUp — Procedure bottomUp: a single bottom-up traversal of one
+//     fragment that computes, for every subquery of the QList, a Boolean
+//     formula over the variables introduced at the fragment's virtual
+//     nodes. The result is the triplet (V, CV, DV) for the fragment root.
+//   - Solve / SolvePartial — Procedure evalST: a bottom-up pass over the
+//     source tree that unifies the variables of each fragment's triplet
+//     with the computed triplets of its sub-fragments, solving the linear
+//     system of Boolean equations.
+//
+// The package also provides the optimal centralized evaluator (the
+// paper's [10, 18] baseline): BottomUp over an unfragmented tree, whose
+// vectors contain no variables.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/boolexpr"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Triplet is the partial answer of one fragment: the vectors of subquery
+// values at the fragment root (V), the disjunction over its children (CV)
+// and over its descendants-or-self (DV). Entries are Boolean formulas over
+// the variables of the fragment's virtual nodes; on a fragment without
+// virtual nodes every entry is constant.
+type Triplet struct {
+	V, CV, DV []*boolexpr.Formula
+}
+
+// Equal reports entry-wise structural equality; the incremental
+// maintenance algorithm compares a recomputed triplet against the cached
+// one to decide whether the view can change at all.
+func (t Triplet) Equal(u Triplet) bool {
+	eq := func(a, b []*boolexpr.Formula) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(t.V, u.V) && eq(t.CV, u.CV) && eq(t.DV, u.DV)
+}
+
+// Size returns the total formula size of the triplet, the unit of the
+// paper's O(|q|·card(F_j)) communication bound.
+func (t Triplet) Size() int {
+	n := 0
+	for _, vec := range [][]*boolexpr.Formula{t.V, t.CV, t.DV} {
+		for _, f := range vec {
+			n += f.Size()
+		}
+	}
+	return n
+}
+
+// BottomUp is Procedure bottomUp of the paper, run over the fragment rooted
+// at root for the compiled QList prog. It returns the fragment's triplet
+// and the number of computation steps performed (node × subquery units, the
+// paper's total-computation measure).
+//
+// The traversal is iterative so that arbitrarily deep fragments cannot
+// overflow the stack, and — like the paper's formulation — keeps only one
+// accumulator pair (CV, DV) per tree level, not per node.
+//
+// Virtual nodes do not recurse: a virtual child standing for fragment k
+// contributes the variables x(k,V,i) to the parent's CV and x(k,DV,i) to
+// the parent's DV. (A parent never consumes a child's CV vector, so no CV
+// variables are ever created; see DESIGN.md.)
+func BottomUp(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
+	if root == nil {
+		return Triplet{}, 0, errors.New("eval: nil fragment root")
+	}
+	if root.Virtual {
+		return Triplet{}, 0, errors.New("eval: fragment root is a virtual node")
+	}
+	n := len(prog.Subs)
+	var steps int64
+
+	type frame struct {
+		node   *xmltree.Node
+		next   int // next child index to process
+		cv, dv []*boolexpr.Formula
+	}
+	// Popped frames' vectors are recycled through a free list: the
+	// traversal allocates O(depth) vectors instead of O(|F_j|).
+	var pool [][]*boolexpr.Formula
+	newVec := func() []*boolexpr.Formula {
+		if len(pool) > 0 {
+			v := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			for i := range v {
+				v[i] = boolexpr.False()
+			}
+			return v
+		}
+		v := make([]*boolexpr.Formula, n)
+		for i := range v {
+			v[i] = boolexpr.False()
+		}
+		return v
+	}
+	stack := []*frame{{node: root, cv: newVec(), dv: newVec()}}
+	var result Triplet
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		// Fold in virtual children directly; descend into real ones.
+		descended := false
+		for f.next < len(f.node.Children) {
+			c := f.node.Children[f.next]
+			f.next++
+			if c.Virtual {
+				steps += int64(n)
+				for i := 0; i < n; i++ {
+					vVar := boolexpr.NewVar(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecV, Q: int32(i)})
+					dVar := boolexpr.NewVar(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecDV, Q: int32(i)})
+					f.cv[i] = boolexpr.Or(f.cv[i], vVar)
+					f.dv[i] = boolexpr.Or(f.dv[i], dVar)
+				}
+				continue
+			}
+			stack = append(stack, &frame{node: c, cv: newVec(), dv: newVec()})
+			descended = true
+			break
+		}
+		if descended {
+			continue
+		}
+		// All children folded: evaluate the nine cases at this node.
+		steps += int64(n)
+		v := newVec()
+		evalCasesInto(v, f.node, prog, f.cv, f.dv)
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			result = Triplet{V: v, CV: f.cv, DV: f.dv}
+			break
+		}
+		p := stack[len(stack)-1]
+		for i := 0; i < n; i++ {
+			p.cv[i] = boolexpr.Or(p.cv[i], v[i])    // line 4 of bottomUp
+			p.dv[i] = boolexpr.Or(p.dv[i], f.dv[i]) // line 5 of bottomUp
+		}
+		// The child's vectors only carried formula POINTERS upward; the
+		// slices themselves are free for reuse.
+		pool = append(pool, v, f.cv, f.dv)
+	}
+	return result, steps, nil
+}
+
+// evalCases computes the value vector V_v at node v (lines 6-17 of
+// Procedure bottomUp), updating dv to descendant-or-self as it goes
+// (line 17). The write to dv[i] must happen inside the loop: a later
+// subquery //q_i reads dv[i] and expects it to include V_v (the paper's
+// left-to-right processing order).
+func evalCases(node *xmltree.Node, prog *xpath.Program, cv, dv []*boolexpr.Formula) []*boolexpr.Formula {
+	v := make([]*boolexpr.Formula, len(prog.Subs))
+	evalCasesInto(v, node, prog, cv, dv)
+	return v
+}
+
+// evalCasesInto is evalCases writing into a caller-provided vector (the
+// hot path reuses pooled vectors).
+func evalCasesInto(v []*boolexpr.Formula, node *xmltree.Node, prog *xpath.Program, cv, dv []*boolexpr.Formula) {
+	for i, sq := range prog.Subs {
+		var f *boolexpr.Formula
+		switch sq.Kind {
+		case xpath.KTrue: // (c0) ε
+			f = boolexpr.True()
+		case xpath.KLabel: // (c1) label() = l
+			f = boolexpr.Const(node.Label == sq.Str)
+		case xpath.KText: // (c2) text() = str
+			f = boolexpr.Const(node.Text == sq.Str)
+		case xpath.KChild: // (c3) */q
+			f = cv[sq.A]
+		case xpath.KFilter: // (c4) ε[q]/q'
+			f = v[sq.A]
+			if sq.B >= 0 {
+				f = boolexpr.CompFm(f, v[sq.B], boolexpr.AND)
+			}
+		case xpath.KDesc: // (c5) //q
+			f = dv[sq.A]
+		case xpath.KOr: // (c6)
+			f = boolexpr.CompFm(v[sq.A], v[sq.B], boolexpr.OR)
+		case xpath.KAnd: // (c7)
+			f = boolexpr.CompFm(v[sq.A], v[sq.B], boolexpr.AND)
+		case xpath.KNot: // (c8)
+			f = boolexpr.CompFm(v[sq.A], nil, boolexpr.NEG)
+		default:
+			panic(fmt.Sprintf("eval: unknown subquery kind %v", sq.Kind))
+		}
+		v[i] = f
+		dv[i] = boolexpr.Or(f, dv[i]) // line 17
+	}
+}
+
+// Evaluate is the optimal centralized algorithm: one traversal of a
+// complete (virtual-node-free) tree. It errors if the tree still contains
+// virtual nodes, because then the answer is a residual formula, not a
+// truth value.
+func Evaluate(root *xmltree.Node, prog *xpath.Program) (bool, int64, error) {
+	t, steps, err := BottomUp(root, prog)
+	if err != nil {
+		return false, steps, err
+	}
+	ans, ok := t.V[prog.Root()].ConstValue()
+	if !ok {
+		return false, steps, fmt.Errorf("eval: residual answer %v (tree has virtual nodes)", t.V[prog.Root()])
+	}
+	return ans, steps, nil
+}
+
+// EvaluateAll runs BottomUp over every fragment of a forest, as the
+// participating sites do in stage 2 of ParBoX (Procedure evalQual), and
+// returns the triplets by fragment. Exposed for tests and the view layer;
+// the distributed algorithms call BottomUp per site instead.
+func EvaluateAll(f *frag.Forest, prog *xpath.Program) (map[xmltree.FragmentID]Triplet, int64, error) {
+	out := make(map[xmltree.FragmentID]Triplet, f.Count())
+	var total int64
+	for _, id := range f.IDs() {
+		fr, _ := f.Fragment(id)
+		t, steps, err := BottomUp(fr.Root, prog)
+		total += steps
+		if err != nil {
+			return nil, total, fmt.Errorf("fragment %d: %w", id, err)
+		}
+		out[id] = t
+	}
+	return out, total, nil
+}

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/boolexpr"
+)
+
+// Encode serializes the triplet as its three formula vectors, V then CV
+// then DV. The byte length is exactly what a participating site pays to
+// ship its partial answer to the coordinator.
+func (t Triplet) Encode() []byte {
+	dst := boolexpr.AppendEncodedVector(nil, t.V)
+	dst = boolexpr.AppendEncodedVector(dst, t.CV)
+	return boolexpr.AppendEncodedVector(dst, t.DV)
+}
+
+// EncodedSize returns len(Encode()) cheaply enough for accounting.
+func (t Triplet) EncodedSize() int { return len(t.Encode()) }
+
+// DecodeTriplet parses a triplet produced by Encode, requiring all three
+// vectors to have the same arity.
+func DecodeTriplet(buf []byte) (Triplet, error) {
+	d := boolexpr.NewDecoder(buf)
+	var t Triplet
+	var err error
+	if t.V, err = d.DecodeVector(); err != nil {
+		return Triplet{}, fmt.Errorf("eval: triplet V: %w", err)
+	}
+	if t.CV, err = d.DecodeVector(); err != nil {
+		return Triplet{}, fmt.Errorf("eval: triplet CV: %w", err)
+	}
+	if t.DV, err = d.DecodeVector(); err != nil {
+		return Triplet{}, fmt.Errorf("eval: triplet DV: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return Triplet{}, fmt.Errorf("eval: triplet has %d trailing bytes", d.Remaining())
+	}
+	if len(t.CV) != len(t.V) || len(t.DV) != len(t.V) {
+		return Triplet{}, fmt.Errorf("eval: triplet vectors disagree on arity (%d/%d/%d)",
+			len(t.V), len(t.CV), len(t.DV))
+	}
+	return t, nil
+}

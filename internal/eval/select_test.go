@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixtures"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// pathKey canonicalizes a child-index path for set comparison.
+func pathKey(p []int) string { return fmt.Sprint(p) }
+
+// absolutePathOf computes the child-index path of node from the root of
+// the whole (unfragmented) tree.
+func absolutePathOf(node *xmltree.Node) []int {
+	var rev []int
+	for n := node; n.Parent != nil; n = n.Parent {
+		for i, c := range n.Parent.Children {
+			if c == n {
+				rev = append(rev, i)
+				break
+			}
+		}
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func selectOracle(t *testing.T, src string, root *xmltree.Node) map[string]bool {
+	t.Helper()
+	e, err := xpath.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := xpath.SelectRaw(e, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		set[pathKey(absolutePathOf(n))] = true
+	}
+	return set
+}
+
+func TestSelectLocalAgainstOracle(t *testing.T) {
+	doc := fixtures.Portfolio()
+	queries := []string{
+		`//stock`,
+		`//stock[code = "GOOG"]`,
+		`broker/market`,
+		`//market[name = "NASDAQ"]/stock/code`,
+		`.`,
+		`//name`,
+		`broker//code`,
+		`//nothing`,
+		`*`,
+		`/portofolio/broker`,
+	}
+	for _, src := range queries {
+		sp, err := xpath.CompileSelectString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		got, err := SelectLocal(doc, sp)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		gotSet := make(map[string]bool, len(got))
+		for _, p := range got {
+			if gotSet[pathKey(p)] {
+				t.Errorf("%q: duplicate selection %v", src, p)
+			}
+			gotSet[pathKey(p)] = true
+		}
+		want := selectOracle(t, src, doc)
+		if len(gotSet) != len(want) {
+			t.Errorf("%q: selected %d nodes, want %d", src, len(gotSet), len(want))
+			continue
+		}
+		for k := range want {
+			if !gotSet[k] {
+				t.Errorf("%q: missing selection %s", src, k)
+			}
+		}
+	}
+}
+
+// TestPropSelectLocalMatchesOracle: random path queries over random trees
+// select exactly the oracle's node set.
+func TestPropSelectLocalMatchesOracle(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 1 + int(sizeRaw%60)})
+		var e xpath.Expr
+		for {
+			e = xpath.RandomQuery(r, xpath.RandomSpec{AllowNot: true})
+			if _, ok := e.(*xpath.Path); ok {
+				break
+			}
+		}
+		sp, err := xpath.CompileSelect(e)
+		if err != nil {
+			return false
+		}
+		got, err := SelectLocal(tree, sp)
+		if err != nil {
+			t.Logf("SelectLocal(%q): %v", e.String(), err)
+			return false
+		}
+		want, err := xpath.SelectRaw(e, tree)
+		if err != nil {
+			return false
+		}
+		wantSet := make(map[string]bool, len(want))
+		for _, n := range want {
+			wantSet[pathKey(absolutePathOf(n))] = true
+		}
+		if len(got) != len(wantSet) {
+			t.Logf("%q: got %d, want %d (seed %d)", e.String(), len(got), len(wantSet), seed)
+			return false
+		}
+		for _, p := range got {
+			if !wantSet[pathKey(p)] {
+				t.Logf("%q: spurious %v (seed %d)", e.String(), p, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectFragmentForwarding(t *testing.T) {
+	// Fragment with a virtual node: live states crossing the boundary
+	// must be reported, not silently dropped.
+	root := xmltree.NewElement("r", "",
+		xmltree.NewElement("a", ""),
+		xmltree.NewVirtual(5))
+	sp, err := xpath.CompileSelectString(`//a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := map[xmltree.FragmentID]BoolVecs{
+		5: {V: make([]bool, len(sp.Bool.Subs)), DV: make([]bool, len(sp.Bool.Subs))},
+	}
+	res, err := SelectFragment(root, sp, vecs, StartArrival())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 1 {
+		t.Errorf("selected %d nodes in the local fragment, want 1 (the <a/>)", len(res.Selected))
+	}
+	fwd, ok := res.Forward[5]
+	if !ok || fwd.States == 0 {
+		t.Errorf("no states forwarded to the sub-fragment: %+v", res.Forward)
+	}
+	if fwd.Sticky == 0 {
+		t.Error("descendant-or-self state must be sticky across the boundary")
+	}
+}
+
+func TestSelectFragmentMissingSubVals(t *testing.T) {
+	root := xmltree.NewElement("r", "", xmltree.NewVirtual(9))
+	sp, err := xpath.CompileSelectString(`//a[b]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelectFragment(root, sp, nil, StartArrival()); err == nil {
+		t.Error("missing sub-fragment vectors must fail")
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	forest, _, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fixtures.Fig2SourceTree(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := xpath.MustCompileString(`//stock[code = "YHOO"]`)
+	triplets, _, err := EvaluateAll(forest, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, _, err := SolveAll(st, triplets, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 4 {
+		t.Fatalf("resolved %d fragments", len(vecs))
+	}
+	// The root fragment's V[last] is the query answer (true).
+	if !vecs[0].V[prog.Root()] {
+		t.Error("SolveAll root answer should be true")
+	}
+	// Missing triplet must fail.
+	delete(triplets, 3)
+	if _, _, err := SolveAll(st, triplets, prog); err == nil {
+		t.Error("SolveAll with a missing triplet must fail")
+	}
+}

@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/boolexpr"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// ErrUnresolved is returned by Solve when a triplet's formulas cannot be
+// reduced to constants — some referenced fragment's triplet is missing.
+var ErrUnresolved = errors.New("eval: unresolved variables in the equation system")
+
+// Solve is Procedure evalST: a single bottom-up traversal of the source
+// tree that unifies the variables of each fragment's triplet with its
+// sub-fragments' computed values, and returns the answer — the value of
+// the last QList entry at the root fragment. All fragments of st must have
+// a triplet; the returned work is the number of formula nodes visited,
+// which realizes the paper's O(|q|·card(F)) bound for the third phase.
+func Solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (bool, int64, error) {
+	ans, work, resolved, err := solve(st, triplets, prog, true)
+	if err != nil {
+		return false, work, err
+	}
+	if !resolved {
+		return false, work, ErrUnresolved
+	}
+	return ans, work, nil
+}
+
+// SolvePartial is the relaxation LazyParBoX uses: only the fragments
+// evaluated so far have triplets. It substitutes what it can; resolved
+// reports whether the root answer already folded to a constant (in which
+// case deeper fragments need not be evaluated at all).
+func SolvePartial(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (ans bool, work int64, resolved bool, err error) {
+	return solve(st, triplets, prog, false)
+}
+
+func solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program, needAll bool) (bool, int64, bool, error) {
+	n := len(prog.Subs)
+	root := st.Root()
+	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(triplets))
+	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+		f, ok := env[v]
+		return f, ok
+	}
+	var work int64
+	var rootV []*boolexpr.Formula
+
+	topo := st.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- { // children before parents
+		id := topo[i]
+		t, ok := triplets[id]
+		if !ok {
+			if needAll {
+				return false, work, false, fmt.Errorf("eval: missing triplet for fragment %d", id)
+			}
+			continue
+		}
+		if len(t.V) != n || len(t.DV) != n {
+			return false, work, false, fmt.Errorf("eval: fragment %d triplet has wrong arity", id)
+		}
+		var resolvedV []*boolexpr.Formula
+		for _, vec := range []struct {
+			kind boolexpr.VecKind
+			fs   []*boolexpr.Formula
+		}{
+			{boolexpr.VecV, t.V},
+			{boolexpr.VecDV, t.DV},
+		} {
+			for q, f := range vec.fs {
+				work += int64(f.Size())
+				g := f.Subst(lookup)
+				env[boolexpr.Var{Frag: int32(id), Vec: vec.kind, Q: int32(q)}] = g
+				if vec.kind == boolexpr.VecV {
+					if resolvedV == nil {
+						resolvedV = make([]*boolexpr.Formula, n)
+					}
+					resolvedV[q] = g
+				}
+			}
+		}
+		if id == root {
+			rootV = resolvedV
+		}
+	}
+	if rootV == nil {
+		return false, work, false, fmt.Errorf("eval: missing triplet for root fragment %d", root)
+	}
+	ansF := rootV[prog.Root()]
+	if v, ok := ansF.ConstValue(); ok {
+		return v, work, true, nil
+	}
+	return false, work, false, nil
+}
+
+// SolveMulti solves the equation system once and reads off the values of
+// several entries at the root fragment — the third phase of batch
+// evaluation, where one shared QList answers many queries.
+func SolveMulti(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program, roots []int32) ([]bool, int64, error) {
+	vecs, work, err := SolveAll(st, triplets, prog)
+	if err != nil {
+		return nil, work, err
+	}
+	rootVec, ok := vecs[st.Root()]
+	if !ok {
+		return nil, work, fmt.Errorf("eval: missing root fragment %d", st.Root())
+	}
+	out := make([]bool, len(roots))
+	for i, idx := range roots {
+		if idx < 0 || int(idx) >= len(rootVec.V) {
+			return nil, work, fmt.Errorf("eval: root index %d out of range", idx)
+		}
+		out[i] = rootVec.V[idx]
+	}
+	return out, work, nil
+}
+
+// SolveAll solves the equation system like Solve but returns the resolved
+// constant V/DV vectors of EVERY fragment — the values pass 2 of
+// SelectParBoX distributes so that guards at virtual nodes become plain
+// booleans.
+func SolveAll(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (map[xmltree.FragmentID]BoolVecs, int64, error) {
+	n := len(prog.Subs)
+	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(triplets))
+	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+		f, ok := env[v]
+		return f, ok
+	}
+	out := make(map[xmltree.FragmentID]BoolVecs, len(triplets))
+	var work int64
+	topo := st.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		t, ok := triplets[id]
+		if !ok {
+			return nil, work, fmt.Errorf("eval: missing triplet for fragment %d", id)
+		}
+		if len(t.V) != n || len(t.DV) != n {
+			return nil, work, fmt.Errorf("eval: fragment %d triplet has wrong arity", id)
+		}
+		bv := BoolVecs{V: make([]bool, n), DV: make([]bool, n)}
+		for q := 0; q < n; q++ {
+			work += int64(t.V[q].Size() + t.DV[q].Size())
+			rv := t.V[q].Subst(lookup)
+			rd := t.DV[q].Subst(lookup)
+			cv, okv := rv.ConstValue()
+			cd, okd := rd.ConstValue()
+			if !okv || !okd {
+				return nil, work, fmt.Errorf("eval: fragment %d: %w", id, ErrUnresolved)
+			}
+			bv.V[q], bv.DV[q] = cv, cd
+			env[boolexpr.Var{Frag: int32(id), Vec: boolexpr.VecV, Q: int32(q)}] = rv
+			env[boolexpr.Var{Frag: int32(id), Vec: boolexpr.VecDV, Q: int32(q)}] = rd
+		}
+		out[id] = bv
+	}
+	return out, work, nil
+}
+
+// ResolveTriplet substitutes the fully resolved triplets of a fragment's
+// sub-fragments into its own triplet, producing a variable-free triplet.
+// This is the per-site unification step of Procedure evalDistrST
+// (FullDistParBoX): "no variables appear in the resulting triplet".
+func ResolveTriplet(id xmltree.FragmentID, own Triplet, subs map[xmltree.FragmentID]Triplet, prog *xpath.Program) (Triplet, int64, error) {
+	n := len(prog.Subs)
+	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(subs))
+	for sub, t := range subs {
+		if len(t.V) != n || len(t.DV) != n {
+			return Triplet{}, 0, fmt.Errorf("eval: sub-fragment %d triplet has wrong arity", sub)
+		}
+		for q := 0; q < n; q++ {
+			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecV, Q: int32(q)}] = t.V[q]
+			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecDV, Q: int32(q)}] = t.DV[q]
+			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecCV, Q: int32(q)}] = t.CV[q]
+		}
+	}
+	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+		f, ok := env[v]
+		return f, ok
+	}
+	var work int64
+	out := Triplet{
+		V:  make([]*boolexpr.Formula, n),
+		CV: make([]*boolexpr.Formula, n),
+		DV: make([]*boolexpr.Formula, n),
+	}
+	for q := 0; q < n; q++ {
+		work += int64(own.V[q].Size() + own.CV[q].Size() + own.DV[q].Size())
+		out.V[q] = own.V[q].Subst(lookup)
+		out.CV[q] = own.CV[q].Subst(lookup)
+		out.DV[q] = own.DV[q].Subst(lookup)
+	}
+	for q := 0; q < n; q++ {
+		for _, f := range []*boolexpr.Formula{out.V[q], out.CV[q], out.DV[q]} {
+			if !f.IsConst() {
+				return Triplet{}, work, fmt.Errorf("eval: fragment %d: %w: %v", id, ErrUnresolved, f)
+			}
+		}
+	}
+	return out, work, nil
+}

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestDeepTreeNoStackOverflow: the traversals are iterative, so a
+// pathological 200k-deep chain document must evaluate fine.
+func TestDeepTreeNoStackOverflow(t *testing.T) {
+	const depth = 60_000
+	root := xmltree.NewElement("n", "")
+	cur := root
+	for i := 1; i < depth; i++ {
+		cur = cur.AppendChild(xmltree.NewElement("n", ""))
+	}
+	cur.Label = "leaf"
+	prog := xpath.MustCompileString(`//leaf`)
+	ans, steps, err := Evaluate(root, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("deep leaf not found")
+	}
+	if want := int64(depth * prog.QListSize()); steps != want {
+		t.Errorf("steps = %d, want %d", steps, want)
+	}
+	// Selection down the same chain.
+	sp, err := xpath.CompileSelectString(`//leaf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectLocal(root, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || len(sel[0]) != depth-1 {
+		t.Errorf("selected %d nodes (path len %d), want the single deep leaf", len(sel), len(sel[0]))
+	}
+}
+
+// TestLongFragmentChainSolve: a 2000-fragment chain exercises evalST's
+// bottom-up substitution at card(F) far beyond any practical deployment.
+func TestLongFragmentChainSolve(t *testing.T) {
+	const n = 2000
+	root := xmltree.NewElement("n", "")
+	cur := root
+	var splitPoints []*xmltree.Node
+	for i := 1; i < n; i++ {
+		cur = cur.AppendChild(xmltree.NewElement("n", ""))
+		splitPoints = append(splitPoints, cur)
+	}
+	cur.AppendChild(xmltree.NewElement("leaf", ""))
+	forest := frag.NewForest(root)
+	for _, p := range splitPoints {
+		if _, err := forest.Split(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if forest.Count() != n {
+		t.Fatalf("count = %d", forest.Count())
+	}
+	assign := frag.AssignAll(forest, "S")
+	st, err := frag.BuildSourceTree(forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := xpath.MustCompileString(`//leaf`)
+	triplets, _, err := EvaluateAll(forest, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, work, err := Solve(st, triplets, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("leaf not found through a 2000-fragment chain")
+	}
+	// The solve work is O(|q|·card(F)): comfortably bounded.
+	if work > int64(prog.QListSize()*n*20) {
+		t.Errorf("solve work %d looks superlinear in card(F)", work)
+	}
+}

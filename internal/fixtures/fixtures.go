@@ -1,0 +1,76 @@
+// Package fixtures builds the paper's running examples: the stock
+// portfolio of Fig. 1(b) and its fragmentation into F0–F3 of Fig. 2, with
+// the site assignment of the source tree (F0→S0, F1→S1, F2,F3→S2). Tests,
+// benchmarks and examples all share these builders.
+package fixtures
+
+import (
+	"fmt"
+
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// Stock builds one stock element with code, buy and sell children.
+func Stock(code, buy, sell string) *xmltree.Node {
+	return xmltree.NewElement("stock", "",
+		xmltree.NewElement("code", code),
+		xmltree.NewElement("buy", buy),
+		xmltree.NewElement("sell", sell))
+}
+
+// Portfolio builds the document of Fig. 1(b): a portfolio with two brokers
+// trading in (overlapping) markets.
+func Portfolio() *xmltree.Node {
+	return xmltree.NewElement("portofolio", "",
+		xmltree.NewElement("broker", "",
+			xmltree.NewElement("name", "Merill Lynch"),
+			xmltree.NewElement("market", "",
+				xmltree.NewElement("name", "NASDAQ"),
+				Stock("GOOG", "370", "372"),
+				Stock("AAPL", "71", "65"))),
+		xmltree.NewElement("broker", "",
+			xmltree.NewElement("name", "Bache"),
+			xmltree.NewElement("market", "",
+				xmltree.NewElement("name", "NYSE"),
+				Stock("IBM", "80", "78")),
+			xmltree.NewElement("market", "",
+				xmltree.NewElement("name", "NASDAQ"),
+				Stock("GOOG", "374", "373"),
+				Stock("YHOO", "33", "35"))))
+}
+
+// Fig2Forest fragments a Portfolio into the four fragments of Fig. 2(a):
+// F0 holds the root, Bache's subtree and virtual nodes for F1 and F3; F1 is
+// Merill Lynch's market with a virtual node for F2; F2 is a stock subtree
+// nested inside F1; F3 is Bache's NASDAQ market. It returns the forest and
+// a clone of the unfragmented document.
+func Fig2Forest() (*frag.Forest, *xmltree.Node, error) {
+	doc := Portfolio()
+	orig := doc.Clone()
+	f := frag.NewForest(doc)
+
+	merill := doc.Children[0]          // broker Merill Lynch
+	merillMarket := merill.Children[1] // its NASDAQ market
+	if _, err := f.Split(merillMarket); err != nil {
+		return nil, nil, fmt.Errorf("split F1: %w", err)
+	}
+	googStock := merillMarket.FindAll("stock")[0]
+	if _, err := f.Split(googStock); err != nil {
+		return nil, nil, fmt.Errorf("split F2: %w", err)
+	}
+	bache := doc.Children[1]
+	bacheNasdaq := bache.Children[2] // Bache's NASDAQ market
+	if _, err := f.Split(bacheNasdaq); err != nil {
+		return nil, nil, fmt.Errorf("split F3: %w", err)
+	}
+	return f, orig, nil
+}
+
+// Fig2SourceTree builds the source tree of Fig. 2(b): S0 holds F0, S1
+// holds F1, and S2 (the NASDAQ site) holds both F2 and F3.
+func Fig2SourceTree(f *frag.Forest) (*frag.SourceTree, error) {
+	return frag.BuildSourceTree(f, frag.Assignment{
+		0: "S0", 1: "S1", 2: "S2", 3: "S2",
+	})
+}

@@ -1,0 +1,148 @@
+package frag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestFromFragments(t *testing.T) {
+	f, orig := fig2(t)
+	// Rebuild the forest from its parts, as NaiveCentralized does with
+	// shipped fragments.
+	var parts []*Fragment
+	for _, id := range f.IDs() {
+		fr, _ := f.Fragment(id)
+		parts = append(parts, &Fragment{ID: fr.ID, Parent: fr.Parent, Root: fr.Root.Clone()})
+	}
+	rebuilt, err := FromFragments(parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := rebuilt.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(orig) {
+		t.Error("FromFragments + Assemble does not reproduce the document")
+	}
+}
+
+func TestFromFragmentsErrors(t *testing.T) {
+	a := &Fragment{ID: 0, Parent: NoParent, Root: xmltree.NewElement("r", "")}
+	if _, err := FromFragments([]*Fragment{a, a}, 0); err == nil {
+		t.Error("duplicate fragment accepted")
+	}
+	// Missing root.
+	b := &Fragment{ID: 1, Parent: 0, Root: xmltree.NewElement("s", "")}
+	if _, err := FromFragments([]*Fragment{b}, 0); err == nil {
+		t.Error("missing root accepted")
+	}
+	// Dangling sub-fragment reference.
+	c := &Fragment{ID: 0, Parent: NoParent,
+		Root: xmltree.NewElement("r", "", xmltree.NewVirtual(9))}
+	if _, err := FromFragments([]*Fragment{c}, 0); err == nil {
+		t.Error("dangling virtual reference accepted")
+	}
+}
+
+func TestSourceTreeSiteAndTotalSize(t *testing.T) {
+	_, st := buildST(t)
+	site, ok := st.Site(2)
+	if !ok || site != "S2" {
+		t.Errorf("Site(2) = %s, %v", site, ok)
+	}
+	if _, ok := st.Site(99); ok {
+		t.Error("Site(99) should not exist")
+	}
+	// TotalSize counts fragment sizes (virtual placeholders included).
+	total := 0
+	for _, id := range st.Fragments() {
+		e, _ := st.Entry(id)
+		total += e.Size
+	}
+	if got := st.TotalSize(); got != total {
+		t.Errorf("TotalSize = %d, want %d", got, total)
+	}
+	s := st.String()
+	for _, want := range []string{"F0 @ S0", "F1 @ S1", "  F2 @ S2", "F3 @ S2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSourceTreeFromEntriesHappyPath(t *testing.T) {
+	st, err := SourceTreeFromEntries([]Entry{
+		{Frag: 0, Parent: NoParent, Site: "A", Size: 10},
+		{Frag: 1, Parent: 0, Site: "B", Size: 5},
+		{Frag: 2, Parent: 1, Site: "A", Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != 0 || st.Count() != 3 {
+		t.Fatalf("root %d count %d", st.Root(), st.Count())
+	}
+	e2, _ := st.Entry(2)
+	if e2.Depth != 2 {
+		t.Errorf("F2 depth = %d", e2.Depth)
+	}
+	if got := st.FragmentsAt("A"); len(got) != 2 {
+		t.Errorf("FragmentsAt(A) = %v", got)
+	}
+	// Cycles must be rejected.
+	if _, err := SourceTreeFromEntries([]Entry{
+		{Frag: 0, Parent: NoParent, Site: "A"},
+		{Frag: 1, Parent: 2, Site: "A"},
+		{Frag: 2, Parent: 1, Site: "A"},
+	}); err == nil {
+		t.Error("cycle accepted")
+	}
+	// Unknown parent must be rejected.
+	if _, err := SourceTreeFromEntries([]Entry{
+		{Frag: 0, Parent: NoParent, Site: "A"},
+		{Frag: 1, Parent: 9, Site: "A"},
+	}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	f, _ := fig2(t)
+	// A virtual node pointing at an unknown fragment.
+	ghost := xmltree.NewVirtual(42)
+	fr, _ := f.Fragment(0)
+	fr.Root.AppendChild(ghost)
+	if err := f.Merge(ghost); err == nil {
+		t.Error("merge of unknown fragment accepted")
+	}
+	fr.Root.RemoveChild(ghost)
+	// A virtual node for a fragment whose parent does not match.
+	wrong := xmltree.NewVirtual(2) // F2's parent is F1, not F0
+	fr.Root.AppendChild(wrong)
+	if err := f.Merge(wrong); err == nil {
+		t.Error("merge with mismatched parent accepted")
+	}
+}
+
+func TestMergeAllDangling(t *testing.T) {
+	f, _ := fig2(t)
+	// Orphan F2 by removing F1's virtual node: MergeAll cannot finish.
+	f1, _ := f.Fragment(1)
+	for _, v := range f1.Root.VirtualNodes() {
+		v.Parent.RemoveChild(v)
+	}
+	if _, err := f.MergeAll(); err == nil {
+		t.Error("MergeAll with dangling fragments must fail")
+	}
+}
+
+func TestAssembleMissingFragment(t *testing.T) {
+	f, _ := fig2(t)
+	delete(f.frags, 2)
+	if _, err := f.Assemble(); err == nil {
+		t.Error("Assemble with a missing fragment must fail")
+	}
+}

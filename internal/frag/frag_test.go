@@ -1,0 +1,350 @@
+package frag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// fig2 builds the running example of Fig. 2 of the paper: the portfolio
+// document split into fragments F0..F3, with F2 a sub-fragment of F1 and
+// F1, F3 sub-fragments of F0.
+func fig2(t *testing.T) (*Forest, *xmltree.Node) {
+	t.Helper()
+	stock := func(code, buy, sell string) *xmltree.Node {
+		return xmltree.NewElement("stock", "",
+			xmltree.NewElement("code", code),
+			xmltree.NewElement("buy", buy),
+			xmltree.NewElement("sell", sell))
+	}
+	merillMarket := xmltree.NewElement("market", "",
+		xmltree.NewElement("name", "NASDAQ"),
+		stock("GOOG", "370", "372"),
+		stock("AAPL", "71", "65"))
+	bacheNasdaq := xmltree.NewElement("market", "",
+		xmltree.NewElement("name", "NASDAQ"),
+		stock("GOOG", "374", "373"),
+		stock("YHOO", "33", "35"))
+	doc := xmltree.NewElement("portofolio", "",
+		xmltree.NewElement("broker", "",
+			xmltree.NewElement("name", "Merill Lynch"),
+			merillMarket),
+		xmltree.NewElement("broker", "",
+			xmltree.NewElement("name", "Bache"),
+			xmltree.NewElement("market", "",
+				xmltree.NewElement("name", "NYSE"),
+				stock("IBM", "80", "78")),
+			bacheNasdaq))
+	orig := doc.Clone()
+	f := NewForest(doc)
+	// F1 = Merill Lynch's market subtree; F2 = a stock inside F1; F3 =
+	// Bache's NASDAQ market.
+	f1, err := f.Split(merillMarket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 {
+		t.Fatalf("first split got ID %d, want 1", f1)
+	}
+	f2, err := f.Split(merillMarket.FindAll("stock")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := f.Split(bacheNasdaq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != 2 || f3 != 3 {
+		t.Fatalf("split IDs = %d, %d; want 2, 3", f2, f3)
+	}
+	return f, orig
+}
+
+func TestSplitStructure(t *testing.T) {
+	f, _ := fig2(t)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if f.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", f.Count())
+	}
+	f1, _ := f.Fragment(1)
+	if f1.Parent != 0 {
+		t.Errorf("F1 parent = %d, want 0", f1.Parent)
+	}
+	f2, _ := f.Fragment(2)
+	if f2.Parent != 1 {
+		t.Errorf("F2 parent = %d, want 1 (nested fragment)", f2.Parent)
+	}
+	f3, _ := f.Fragment(3)
+	if f3.Parent != 0 {
+		t.Errorf("F3 parent = %d, want 0", f3.Parent)
+	}
+	if subs := f1.SubFragments(); len(subs) != 1 || subs[0] != 2 {
+		t.Errorf("F1 sub-fragments = %v, want [2]", subs)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	doc := xmltree.NewElement("r", "", xmltree.NewElement("a", ""))
+	f := NewForest(doc)
+	if _, err := f.Split(doc); err == nil {
+		t.Error("splitting at the root fragment root must fail")
+	}
+	if _, err := f.Split(doc.Children[0]); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	v := doc.VirtualNodes()[0]
+	if _, err := f.Split(v); err == nil {
+		t.Error("splitting at a virtual node must fail")
+	}
+	foreign := xmltree.NewElement("x", "", xmltree.NewElement("y", ""))
+	if _, err := f.Split(foreign.Children[0]); err == nil {
+		t.Error("splitting a foreign node must fail")
+	}
+}
+
+func TestAssembleMatchesOriginal(t *testing.T) {
+	f, orig := fig2(t)
+	got, err := f.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Errorf("Assemble mismatch:\n got %v\nwant %v", got, orig)
+	}
+	// Assemble must not consume the forest.
+	if f.Count() != 4 {
+		t.Errorf("Assemble consumed the forest: %d fragments left", f.Count())
+	}
+}
+
+func TestMergeInverseOfSplit(t *testing.T) {
+	f, orig := fig2(t)
+	root, err := f.MergeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Equal(orig) {
+		t.Errorf("MergeAll mismatch:\n got %v\nwant %v", root, orig)
+	}
+	if f.Count() != 1 {
+		t.Errorf("Count after MergeAll = %d, want 1", f.Count())
+	}
+}
+
+func TestMergeNonVirtualNoop(t *testing.T) {
+	f, _ := fig2(t)
+	fr, _ := f.Fragment(0)
+	if err := f.Merge(fr.Root.Children[0]); err != nil {
+		t.Errorf("merge of non-virtual node must be a no-op, got %v", err)
+	}
+	if f.Count() != 4 {
+		t.Errorf("no-op merge changed the forest")
+	}
+}
+
+func TestMergeReparentsGrandchildren(t *testing.T) {
+	f, _ := fig2(t)
+	// Merging F1 into F0 must make F2 a child of F0.
+	f0, _ := f.Fragment(0)
+	for _, v := range f0.Root.VirtualNodes() {
+		if v.Frag == 1 {
+			if err := f.Merge(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f2, _ := f.Fragment(2)
+	if f2.Parent != 0 {
+		t.Errorf("F2 parent after merging F1 = %d, want 0", f2.Parent)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	f, orig := fig2(t)
+	if got, want := f.TotalSize(), orig.Size(); got != want {
+		t.Errorf("TotalSize = %d, want %d", got, want)
+	}
+}
+
+// TestPropSplitAssembleIdentity: random splits never change the assembled
+// document.
+func TestPropSplitAssembleIdentity(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%80)
+		k := int(kRaw % 10)
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: n})
+		orig := tree.Clone()
+		forest := NewForest(tree)
+		if err := forest.SplitRandom(r, k); err != nil {
+			return false
+		}
+		if forest.Validate() != nil {
+			return false
+		}
+		got, err := forest.Assemble()
+		if err != nil {
+			return false
+		}
+		if !got.Equal(orig) {
+			return false
+		}
+		// And merge-all restores the original too.
+		root, err := forest.MergeAll()
+		return err == nil && root.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildST(t *testing.T) (*Forest, *SourceTree) {
+	t.Helper()
+	f, _ := fig2(t)
+	// Assignment of Fig. 2(b): F0→S0, F1→S1, F2 and F3→S2.
+	st, err := BuildSourceTree(f, Assignment{0: "S0", 1: "S1", 2: "S2", 3: "S2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, st
+}
+
+func TestSourceTreeStructure(t *testing.T) {
+	_, st := buildST(t)
+	if st.Root() != 0 || st.Count() != 4 {
+		t.Fatalf("Root=%d Count=%d", st.Root(), st.Count())
+	}
+	sites := st.Sites()
+	if len(sites) != 3 || sites[0] != "S0" || sites[2] != "S2" {
+		t.Errorf("Sites = %v", sites)
+	}
+	if got := st.FragmentsAt("S2"); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("FragmentsAt(S2) = %v, want [2 3]", got)
+	}
+	e1, _ := st.Entry(1)
+	if e1.Depth != 1 || e1.Parent != 0 {
+		t.Errorf("F1 entry = %+v", e1)
+	}
+	e2, _ := st.Entry(2)
+	if e2.Depth != 2 {
+		t.Errorf("F2 depth = %d, want 2", e2.Depth)
+	}
+	levels := st.Levels()
+	if len(levels) != 3 || len(levels[0]) != 1 || len(levels[1]) != 2 || len(levels[2]) != 1 {
+		t.Errorf("Levels = %v", levels)
+	}
+	topo := st.TopoOrder()
+	pos := make(map[xmltree.FragmentID]int)
+	for i, id := range topo {
+		pos[id] = i
+	}
+	for _, id := range st.Fragments() {
+		e, _ := st.Entry(id)
+		if e.Parent != NoParent && pos[e.Parent] > pos[id] {
+			t.Errorf("TopoOrder: parent %d after child %d", e.Parent, id)
+		}
+	}
+}
+
+func TestBuildSourceTreeErrors(t *testing.T) {
+	f, _ := fig2(t)
+	if _, err := BuildSourceTree(f, Assignment{0: "S0"}); err == nil {
+		t.Error("missing assignments must fail")
+	}
+	if _, err := BuildSourceTree(f, Assignment{0: "S0", 1: "", 2: "S2", 3: "S2"}); err == nil {
+		t.Error("empty site must fail")
+	}
+}
+
+func TestSourceTreeCodec(t *testing.T) {
+	_, st := buildST(t)
+	got, err := DecodeSourceTree(st.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root() != st.Root() || got.Count() != st.Count() {
+		t.Fatalf("round trip root/count mismatch")
+	}
+	for _, id := range st.Fragments() {
+		a, _ := st.Entry(id)
+		b, _ := got.Entry(id)
+		if a.Parent != b.Parent || a.Site != b.Site || a.Size != b.Size || a.Depth != b.Depth {
+			t.Errorf("entry %d: got %+v, want %+v", id, b, a)
+		}
+	}
+}
+
+func TestDecodeSourceTreeErrors(t *testing.T) {
+	_, st := buildST(t)
+	good := st.Encode()
+	cases := [][]byte{
+		nil,
+		{0},                                   // zero entries
+		good[:len(good)-1],                    // truncated
+		append(good, 0),                       // trailing
+		{1, 5, 7, 0, 0},                       // single entry with non-root parent (unknown)
+		{2, 0, 0, 0, 1, 'a', 0, 0, 0, 1, 'a'}, // duplicate fragment 0 / two roots
+	}
+	for i, buf := range cases {
+		if _, err := DecodeSourceTree(buf); err == nil {
+			t.Errorf("case %d: DecodeSourceTree succeeded, want error", i)
+		}
+	}
+}
+
+func TestSetRemoveEntry(t *testing.T) {
+	_, st := buildST(t)
+	// Simulate splitFragments: F4 under F0 at a new site S3.
+	if err := st.SetEntry(Entry{Frag: 4, Parent: 0, Site: "S3", Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+	e4, ok := st.Entry(4)
+	if !ok || e4.Depth != 1 {
+		t.Fatalf("F4 entry = %+v, ok=%v", e4, ok)
+	}
+	if err := st.RemoveEntry(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Entry(4); ok {
+		t.Error("F4 still present after RemoveEntry")
+	}
+	// Removing a fragment with children must fail.
+	if err := st.RemoveEntry(1); err == nil {
+		t.Error("RemoveEntry(F1) must fail: F2 is its child")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, st := buildST(t)
+	c := st.Clone()
+	if err := c.SetEntry(Entry{Frag: 9, Parent: 0, Site: "S9", Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Entry(9); ok {
+		t.Error("mutating the clone leaked into the original")
+	}
+}
+
+func TestAssignHelpers(t *testing.T) {
+	f, _ := fig2(t)
+	a := AssignRoundRobin(f, []SiteID{"S0", "S1", "S2"})
+	if a[0] != "S0" {
+		t.Errorf("root fragment must go to the first site, got %s", a[0])
+	}
+	if len(a) != 4 {
+		t.Errorf("assignment covers %d fragments, want 4", len(a))
+	}
+	b := AssignAll(f, "X")
+	for id, s := range b {
+		if s != "X" {
+			t.Errorf("AssignAll: fragment %d at %s", id, s)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package manifest defines the on-disk description of a fragmented,
+// distributed document that the CLI tools share: which fragments exist,
+// how they nest, which site stores each, where each site listens, and
+// which XML file holds each fragment's subtree.
+//
+// Format (line-oriented, '#' comments):
+//
+//	site  S0  local
+//	site  S1  127.0.0.1:7071
+//	frag  0   -1  S0  fragments/f0.xml
+//	frag  1    0  S1  fragments/f1.xml
+//
+// A site address of "local" means the process reading the manifest serves
+// that site in-process (the coordinator's own site).
+package manifest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// LocalAddr marks a site served in-process.
+const LocalAddr = "local"
+
+// FragmentEntry is one frag line.
+type FragmentEntry struct {
+	ID     xmltree.FragmentID
+	Parent xmltree.FragmentID // frag.NoParent for the root
+	Site   frag.SiteID
+	// File is the fragment's XML file, relative to the manifest location.
+	File string
+}
+
+// Manifest is a parsed manifest.
+type Manifest struct {
+	// Dir is the directory the manifest was read from; fragment files
+	// resolve relative to it.
+	Dir string
+	// Sites maps site names to addresses ("local" or host:port).
+	Sites map[frag.SiteID]string
+	// Fragments in ascending ID order.
+	Fragments []FragmentEntry
+}
+
+// ErrBadManifest is wrapped by parse failures.
+var ErrBadManifest = errors.New("manifest: malformed manifest")
+
+// Parse reads a manifest. dir is recorded for file resolution.
+func Parse(r io.Reader, dir string) (*Manifest, error) {
+	m := &Manifest{Dir: dir, Sites: make(map[frag.SiteID]string)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "site":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: site needs name and address", ErrBadManifest, lineNo)
+			}
+			m.Sites[frag.SiteID(fields[1])] = fields[2]
+		case "frag":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: line %d: frag needs id, parent, site, file", ErrBadManifest, lineNo)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad fragment id %q", ErrBadManifest, lineNo, fields[1])
+			}
+			parent, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad parent id %q", ErrBadManifest, lineNo, fields[2])
+			}
+			m.Fragments = append(m.Fragments, FragmentEntry{
+				ID:     xmltree.FragmentID(id),
+				Parent: xmltree.FragmentID(parent),
+				Site:   frag.SiteID(fields[3]),
+				File:   fields[4],
+			})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrBadManifest, lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(m.Fragments, func(i, j int) bool { return m.Fragments[i].ID < m.Fragments[j].ID })
+	return m, m.validate()
+}
+
+func (m *Manifest) validate() error {
+	if len(m.Fragments) == 0 {
+		return fmt.Errorf("%w: no fragments", ErrBadManifest)
+	}
+	roots := 0
+	for _, f := range m.Fragments {
+		if f.Parent == frag.NoParent {
+			roots++
+		}
+		if _, ok := m.Sites[f.Site]; !ok {
+			return fmt.Errorf("%w: fragment %d references undeclared site %s", ErrBadManifest, f.ID, f.Site)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%w: %d root fragments, want exactly 1", ErrBadManifest, roots)
+	}
+	return nil
+}
+
+// ParseFile reads a manifest from disk.
+func ParseFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, filepath.Dir(path))
+}
+
+// Write renders the manifest.
+func (m *Manifest) Write(w io.Writer) error {
+	var sites []frag.SiteID
+	for s := range m.Sites {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		if _, err := fmt.Fprintf(w, "site %s %s\n", s, m.Sites[s]); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.Fragments {
+		if _, err := fmt.Fprintf(w, "frag %d %d %s %s\n", f.ID, f.Parent, f.Site, f.File); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RootID returns the root fragment's ID.
+func (m *Manifest) RootID() (xmltree.FragmentID, error) {
+	for _, f := range m.Fragments {
+		if f.Parent == frag.NoParent {
+			return f.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no root fragment", ErrBadManifest)
+}
+
+// SourceTree derives the source tree from the manifest, loading each
+// fragment file only to count nodes when sizes are needed; to avoid
+// reading every file on every site, sizes come from the fragment files of
+// the fragments this process loads and are zero elsewhere (the algorithms
+// only use sizes for the Hybrid tipping point, which the coordinator can
+// refresh via LoadAll).
+func (m *Manifest) SourceTree(sizes map[xmltree.FragmentID]int) (*frag.SourceTree, error) {
+	entries := make([]frag.Entry, 0, len(m.Fragments))
+	for _, f := range m.Fragments {
+		entries = append(entries, frag.Entry{
+			Frag:   f.ID,
+			Parent: f.Parent,
+			Site:   f.Site,
+			Size:   sizes[f.ID],
+		})
+	}
+	return frag.SourceTreeFromEntries(entries)
+}
+
+// LoadFragments reads the XML files of the manifest's fragments stored at
+// the given site ("" loads every fragment) and returns them with node
+// counts.
+func (m *Manifest) LoadFragments(site frag.SiteID) (map[xmltree.FragmentID]*frag.Fragment, map[xmltree.FragmentID]int, error) {
+	frags := make(map[xmltree.FragmentID]*frag.Fragment)
+	sizes := make(map[xmltree.FragmentID]int)
+	for _, fe := range m.Fragments {
+		if site != "" && fe.Site != site {
+			continue
+		}
+		path := fe.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(m.Dir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("manifest: fragment %d: %w", fe.ID, err)
+		}
+		root, err := xmltree.ParseXML(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("manifest: fragment %d (%s): %w", fe.ID, path, err)
+		}
+		frags[fe.ID] = &frag.Fragment{ID: fe.ID, Parent: fe.Parent, Root: root}
+		sizes[fe.ID] = root.Size()
+	}
+	return frags, sizes, nil
+}

@@ -1,0 +1,160 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frag"
+)
+
+const sample = `
+# a comment
+site S0 local
+site S1 127.0.0.1:7071
+
+frag 0 -1 S0 f0.xml
+frag 1 0 S1 f1.xml
+`
+
+func TestParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample), "/tmp/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dir != "/tmp/x" {
+		t.Errorf("Dir = %q", m.Dir)
+	}
+	if m.Sites["S0"] != LocalAddr || m.Sites["S1"] != "127.0.0.1:7071" {
+		t.Errorf("Sites = %v", m.Sites)
+	}
+	if len(m.Fragments) != 2 {
+		t.Fatalf("%d fragments", len(m.Fragments))
+	}
+	if m.Fragments[0].ID != 0 || m.Fragments[0].Parent != frag.NoParent {
+		t.Errorf("fragment 0 = %+v", m.Fragments[0])
+	}
+	if m.Fragments[1].Site != "S1" || m.Fragments[1].File != "f1.xml" {
+		t.Errorf("fragment 1 = %+v", m.Fragments[1])
+	}
+	root, err := m.RootID()
+	if err != nil || root != 0 {
+		t.Errorf("RootID = %d, %v", root, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no fragments
+		"bogus line here",                   // unknown directive
+		"site S0",                           // short site
+		"frag 0 -1 S0",                      // short frag
+		"frag x -1 S0 f.xml",                // bad id
+		"frag 0 y S0 f.xml",                 // bad parent
+		"site S0 local\nfrag 0 -1 SX f.xml", // undeclared site
+		"site S0 local\nfrag 0 -1 S0 a.xml\nfrag 1 -1 S0 b.xml", // two roots
+		"site S0 local\nfrag 0 0 S0 a.xml",                      // no root
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), "."); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := m.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(strings.NewReader(b.String()), ".")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, b.String())
+	}
+	if len(m2.Fragments) != len(m.Fragments) || len(m2.Sites) != len(m.Sites) {
+		t.Error("round trip lost entries")
+	}
+}
+
+func TestLoadFragmentsAndSourceTree(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("f0.xml", `<root><a/><parbox.fragment id="1"/></root>`)
+	write("f1.xml", `<sub><b>x</b></sub>`)
+	write("manifest.txt", sample)
+	m, err := ParseFile(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Site-filtered load.
+	frags, sizes, err := m.LoadFragments("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[1] == nil {
+		t.Fatalf("LoadFragments(S1) = %v", frags)
+	}
+	if sizes[1] != 2 {
+		t.Errorf("size of f1 = %d, want 2", sizes[1])
+	}
+
+	// Full load + source tree.
+	all, sizes, err := m.LoadFragments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("LoadFragments(all) = %d", len(all))
+	}
+	if got := all[0].Root.VirtualNodes(); len(got) != 1 || got[0].Frag != 1 {
+		t.Errorf("virtual nodes of f0 = %v", got)
+	}
+	st, err := m.SourceTree(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Root() != 0 || st.Count() != 2 {
+		t.Errorf("source tree root=%d count=%d", st.Root(), st.Count())
+	}
+	e1, _ := st.Entry(1)
+	if e1.Site != "S1" || e1.Depth != 1 || e1.Size != 2 {
+		t.Errorf("entry 1 = %+v", e1)
+	}
+}
+
+func TestLoadFragmentsMissingFile(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.LoadFragments("S0"); err == nil {
+		t.Error("missing fragment file must fail")
+	}
+}
+
+func TestSourceTreeFromEntriesErrors(t *testing.T) {
+	if _, err := frag.SourceTreeFromEntries(nil); err == nil {
+		t.Error("empty entries must fail")
+	}
+	if _, err := frag.SourceTreeFromEntries([]frag.Entry{
+		{Frag: 0, Parent: frag.NoParent, Site: "A"},
+		{Frag: 0, Parent: frag.NoParent, Site: "A"},
+	}); err == nil {
+		t.Error("duplicate fragment must fail")
+	}
+	if _, err := frag.SourceTreeFromEntries([]frag.Entry{
+		{Frag: 0, Parent: frag.NoParent, Site: ""},
+	}); err == nil {
+		t.Error("empty site must fail")
+	}
+}

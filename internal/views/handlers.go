@@ -1,0 +1,237 @@
+package views
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// RegisterHandlers installs the view-maintenance handlers on a site. tr is
+// the transport the site uses to ship subtrees during cross-site
+// splitFragments/mergeFragments.
+func RegisterHandlers(site *cluster.Site, tr cluster.Transport) {
+	site.Handle(KindApplyUpdate, handleApplyUpdate)
+	site.Handle(KindSplit, handleSplit(tr))
+	site.Handle(KindAdopt, handleAdopt)
+	site.Handle(KindMerge, handleMerge(tr))
+	site.Handle(KindYield, handleYield)
+}
+
+func decodeProg(buf []byte) (*xpath.Program, error) {
+	prog, err := xpath.DecodeProgram(buf)
+	if err != nil {
+		return nil, fmt.Errorf("views: %w", err)
+	}
+	return prog, nil
+}
+
+// handleApplyUpdate applies content updates to one fragment and re-runs
+// Procedure bottomUp on it alone — the paper's localized recomputation.
+func handleApplyUpdate(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	progBytes, id, ops, err := decodeApplyUpdateReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	prog, err := decodeProg(progBytes)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	fr, ok := site.Fragment(id)
+	if !ok {
+		return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
+	}
+	for i, op := range ops {
+		if err := op.Apply(fr.Root); err != nil {
+			return cluster.Response{}, fmt.Errorf("views: op %d: %w", i, err)
+		}
+	}
+	t, steps, err := eval.BottomUp(fr.Root, prog)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	return cluster.Response{
+		Payload: encodeTripletSizeResp(t.Encode(), fr.Size()),
+		Steps:   steps,
+	}, nil
+}
+
+// handleSplit is splitFragments(v) at the owning site: the subtree at the
+// path becomes fragment newID (shipped to the target site if it differs),
+// and both affected triplets are recomputed and returned.
+func handleSplit(tr cluster.Transport) cluster.Handler {
+	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+		progBytes, id, path, newID, target, err := decodeSplitReq(req.Payload)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		prog, err := decodeProg(progBytes)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		fr, ok := site.Fragment(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
+		}
+		node, err := NodeAt(fr.Root, path)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		if node.Parent == nil {
+			return cluster.Response{}, fmt.Errorf("%w: cannot split at the fragment root", ErrBadUpdate)
+		}
+		if node.Virtual {
+			return cluster.Response{}, fmt.Errorf("%w: cannot split at a virtual node", ErrBadUpdate)
+		}
+		if !node.Parent.ReplaceChild(node, xmltree.NewVirtual(newID)) {
+			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
+		}
+		newFrag := &frag.Fragment{ID: newID, Parent: id, Root: node}
+
+		var newTripletBytes []byte
+		var newSize int
+		var steps int64
+		if target == "" || frag.SiteID(target) == site.ID() {
+			site.AddFragment(newFrag)
+			t, s, err := eval.BottomUp(newFrag.Root, prog)
+			if err != nil {
+				return cluster.Response{}, err
+			}
+			steps += s
+			newTripletBytes = t.Encode()
+			newSize = newFrag.Size()
+		} else {
+			// Ship the subtree to the adopting site, which computes and
+			// returns the new fragment's triplet.
+			resp, _, err := tr.Call(ctx, site.ID(), frag.SiteID(target), cluster.Request{
+				Kind:    KindAdopt,
+				Payload: encodeAdoptReq(progBytes, newID, id, xmltree.Encode(node)),
+			})
+			if err != nil {
+				return cluster.Response{}, fmt.Errorf("views: adoption by %s failed: %w", target, err)
+			}
+			newTripletBytes, newSize, err = decodeTripletSizeResp(resp.Payload)
+			if err != nil {
+				return cluster.Response{}, err
+			}
+		}
+
+		own, s, err := eval.BottomUp(fr.Root, prog)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		steps += s
+		return cluster.Response{
+			Payload: encodeSplitResp(own.Encode(), fr.Size(), newTripletBytes, newSize),
+			Steps:   steps,
+		}, nil
+	}
+}
+
+// handleAdopt installs a shipped fragment and computes its triplet.
+func handleAdopt(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	progBytes, id, parent, subtree, err := decodeAdoptReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	prog, err := decodeProg(progBytes)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	root, err := xmltree.Decode(subtree)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	fr := &frag.Fragment{ID: id, Parent: parent, Root: root}
+	site.AddFragment(fr)
+	t, steps, err := eval.BottomUp(root, prog)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	return cluster.Response{
+		Payload: encodeTripletSizeResp(t.Encode(), fr.Size()),
+		Steps:   steps,
+	}, nil
+}
+
+// handleMerge is mergeFragments(v): the fragment absorbs sub-fragment
+// child, pulling its subtree from childSite when remote, and returns the
+// recomputed triplet of the merged fragment.
+func handleMerge(tr cluster.Transport) cluster.Handler {
+	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+		progBytes, id, childID, childSite, err := decodeMergeReq(req.Payload)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		prog, err := decodeProg(progBytes)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		fr, ok := site.Fragment(id)
+		if !ok {
+			return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
+		}
+		// Locate the virtual node for the child.
+		var vnode *xmltree.Node
+		for _, v := range fr.Root.VirtualNodes() {
+			if v.Frag == childID {
+				vnode = v
+				break
+			}
+		}
+		if vnode == nil {
+			return cluster.Response{}, fmt.Errorf("views: fragment %d has no virtual node for %d", id, childID)
+		}
+		// Obtain the child subtree.
+		var childRoot *xmltree.Node
+		if childSite == "" || frag.SiteID(childSite) == site.ID() {
+			cfr, ok := site.Fragment(childID)
+			if !ok {
+				return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), childID)
+			}
+			site.RemoveFragment(childID)
+			childRoot = cfr.Root
+		} else {
+			resp, _, err := tr.Call(ctx, site.ID(), frag.SiteID(childSite), cluster.Request{
+				Kind:    KindYield,
+				Payload: encodeFragIDReq(childID),
+			})
+			if err != nil {
+				return cluster.Response{}, fmt.Errorf("views: yield from %s failed: %w", childSite, err)
+			}
+			if childRoot, err = xmltree.Decode(resp.Payload); err != nil {
+				return cluster.Response{}, err
+			}
+		}
+		if !vnode.Parent.ReplaceChild(vnode, childRoot) {
+			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
+		}
+		t, steps, err := eval.BottomUp(fr.Root, prog)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		return cluster.Response{
+			Payload: encodeTripletSizeResp(t.Encode(), fr.Size()),
+			Steps:   steps,
+		}, nil
+	}
+}
+
+// handleYield removes a fragment from the site and returns its encoded
+// subtree.
+func handleYield(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	id, err := decodeFragIDReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	fr, ok := site.Fragment(id)
+	if !ok {
+		return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
+	}
+	site.RemoveFragment(id)
+	return cluster.Response{Payload: xmltree.Encode(fr.Root)}, nil
+}

@@ -1,0 +1,483 @@
+// Package views implements Section 5 of the paper: materialized Boolean
+// XPath views and their incremental maintenance.
+//
+// A materialized view M(q, T) is the pair (S_T, ans) — the source tree and
+// the cached answer — augmented, exactly as the paper prescribes, with the
+// triplet (V, CV, DV) of every fragment. The maintenance algorithm has the
+// paper's two salient features:
+//
+//   - recomputation is localized: after updates inside fragment F_j, only
+//     the site storing F_j re-runs Procedure bottomUp, and only on F_j;
+//   - network traffic depends on neither |T| nor the size of the update —
+//     only the O(|q|·card(F_j)) triplet travels.
+//
+// Updates come in two classes (Section 5): content updates (insNode,
+// delNode) and fragmentation updates (splitFragments, mergeFragments).
+// Nodes inside a fragment are addressed by child-index paths from the
+// fragment root, so updates work identically over the in-process cluster
+// and TCP sites.
+package views
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Message kinds of the view-maintenance protocol.
+const (
+	// KindApplyUpdate applies content updates to one fragment and returns
+	// the recomputed triplet.
+	KindApplyUpdate = "views.applyUpdate"
+	// KindSplit performs splitFragments(v) at the fragment's site,
+	// optionally shipping the new fragment to another site.
+	KindSplit = "views.split"
+	// KindAdopt installs a shipped fragment at a site and returns its
+	// triplet.
+	KindAdopt = "views.adopt"
+	// KindMerge performs mergeFragments(v): the fragment absorbs one of
+	// its sub-fragments (fetched from its site if remote).
+	KindMerge = "views.merge"
+	// KindYield removes a fragment from a site and returns its subtree.
+	KindYield = "views.yield"
+)
+
+// OpKind is the content-update operation type.
+type OpKind uint8
+
+const (
+	// OpInsert is insNode(A, v): insert a node labeled Label (with
+	// optional Text) as the last child of the node at Path.
+	OpInsert OpKind = iota
+	// OpDelete is delNode(v): delete the node at Path (and its subtree).
+	OpDelete
+	// OpSetText replaces the text content of the node at Path. (A
+	// convenience composite of delNode/insNode on text, needed by every
+	// realistic workload — e.g. a stock's sell price changing.)
+	OpSetText
+)
+
+// UpdateOp is one primitive update, addressed by the child-index path from
+// the fragment root (empty path = the root itself).
+type UpdateOp struct {
+	Op    OpKind
+	Path  []int
+	Label string // OpInsert
+	Text  string // OpInsert, OpSetText
+}
+
+// ErrBadUpdate is wrapped by update decoding/application failures.
+var ErrBadUpdate = errors.New("views: bad update")
+
+// NodeAt resolves a child-index path from root.
+func NodeAt(root *xmltree.Node, path []int) (*xmltree.Node, error) {
+	n := root
+	for depth, i := range path {
+		if i < 0 || i >= len(n.Children) {
+			return nil, fmt.Errorf("%w: index %d out of range at depth %d", ErrBadUpdate, i, depth)
+		}
+		n = n.Children[i]
+	}
+	return n, nil
+}
+
+// PathOf computes the child-index path of a node within its fragment
+// (climbing Parent pointers to the fragment root).
+func PathOf(node *xmltree.Node) []int {
+	var rev []int
+	for n := node; n.Parent != nil; n = n.Parent {
+		idx := -1
+		for i, c := range n.Parent.Children {
+			if c == n {
+				idx = i
+				break
+			}
+		}
+		rev = append(rev, idx)
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+// Apply executes the op against a fragment root, mutating it in place.
+func (op UpdateOp) Apply(root *xmltree.Node) error {
+	n, err := NodeAt(root, op.Path)
+	if err != nil {
+		return err
+	}
+	switch op.Op {
+	case OpInsert:
+		if n.Virtual {
+			return fmt.Errorf("%w: cannot insert under a virtual node", ErrBadUpdate)
+		}
+		n.AppendChild(xmltree.NewElement(op.Label, op.Text))
+		return nil
+	case OpDelete:
+		if n.Parent == nil {
+			return fmt.Errorf("%w: cannot delete the fragment root", ErrBadUpdate)
+		}
+		if len(n.VirtualNodes()) > 0 {
+			return fmt.Errorf("%w: subtree contains virtual nodes; merge sub-fragments first", ErrBadUpdate)
+		}
+		n.Parent.RemoveChild(n)
+		return nil
+	case OpSetText:
+		if n.Virtual {
+			return fmt.Errorf("%w: virtual nodes carry no text", ErrBadUpdate)
+		}
+		n.Text = op.Text
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrBadUpdate, op.Op)
+	}
+}
+
+// --- codecs ----------------------------------------------------------------
+
+func appendOp(dst []byte, op UpdateOp) []byte {
+	dst = append(dst, byte(op.Op))
+	dst = binary.AppendUvarint(dst, uint64(len(op.Path)))
+	for _, i := range op.Path {
+		dst = binary.AppendUvarint(dst, uint64(i))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(op.Label)))
+	dst = append(dst, op.Label...)
+	dst = binary.AppendUvarint(dst, uint64(len(op.Text)))
+	dst = append(dst, op.Text...)
+	return dst
+}
+
+type opReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *opReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at %d", ErrBadUpdate, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *opReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return "", fmt.Errorf("%w: string overruns buffer", ErrBadUpdate)
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *opReader) op() (UpdateOp, error) {
+	var op UpdateOp
+	if r.pos >= len(r.buf) {
+		return op, fmt.Errorf("%w: truncated op", ErrBadUpdate)
+	}
+	op.Op = OpKind(r.buf[r.pos])
+	r.pos++
+	n, err := r.uvarint()
+	if err != nil {
+		return op, err
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		return op, fmt.Errorf("%w: path overruns buffer", ErrBadUpdate)
+	}
+	op.Path = make([]int, n)
+	for i := range op.Path {
+		v, err := r.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.Path[i] = int(v)
+	}
+	if op.Label, err = r.str(); err != nil {
+		return op, err
+	}
+	if op.Text, err = r.str(); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// applyUpdateReq: program, fragment ID, ops.
+func encodeApplyUpdateReq(prog []byte, id xmltree.FragmentID, ops []UpdateOp) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(prog)))
+	dst = append(dst, prog...)
+	dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
+		dst = appendOp(dst, op)
+	}
+	return dst
+}
+
+func decodeApplyUpdateReq(buf []byte) (prog []byte, id xmltree.FragmentID, ops []UpdateOp, err error) {
+	r := &opReader{buf: buf}
+	pn, err := r.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if pn > uint64(len(buf)-r.pos) {
+		return nil, 0, nil, fmt.Errorf("%w: program overruns buffer", ErrBadUpdate)
+	}
+	prog = buf[r.pos : r.pos+int(pn)]
+	r.pos += int(pn)
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	id = xmltree.FragmentID(uint32(idRaw))
+	opn, err := r.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if opn > uint64(len(buf)-r.pos)+1 {
+		return nil, 0, nil, fmt.Errorf("%w: op count overruns buffer", ErrBadUpdate)
+	}
+	ops = make([]UpdateOp, opn)
+	for i := range ops {
+		if ops[i], err = r.op(); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	if r.pos != len(buf) {
+		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return prog, id, ops, nil
+}
+
+// tripletSizeResp: encoded triplet plus the fragment's new size.
+func encodeTripletSizeResp(triplet []byte, size int) []byte {
+	dst := binary.AppendUvarint(nil, uint64(size))
+	dst = binary.AppendUvarint(dst, uint64(len(triplet)))
+	return append(dst, triplet...)
+}
+
+func decodeTripletSizeResp(buf []byte) (triplet []byte, size int, err error) {
+	r := &opReader{buf: buf}
+	sz, err := r.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > uint64(len(buf)-r.pos) {
+		return nil, 0, fmt.Errorf("%w: triplet overruns buffer", ErrBadUpdate)
+	}
+	triplet = buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	if r.pos != len(buf) {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return triplet, int(sz), nil
+}
+
+// splitReq: program, fragment, path of the split node, the new fragment's
+// ID, and the site that should adopt it ("" keeps it at the same site).
+func encodeSplitReq(prog []byte, id xmltree.FragmentID, path []int, newID xmltree.FragmentID, target string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(prog)))
+	dst = append(dst, prog...)
+	dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	dst = binary.AppendUvarint(dst, uint64(len(path)))
+	for _, i := range path {
+		dst = binary.AppendUvarint(dst, uint64(i))
+	}
+	dst = binary.AppendUvarint(dst, uint64(uint32(newID)))
+	dst = binary.AppendUvarint(dst, uint64(len(target)))
+	return append(dst, target...)
+}
+
+func decodeSplitReq(buf []byte) (prog []byte, id xmltree.FragmentID, path []int, newID xmltree.FragmentID, target string, err error) {
+	r := &opReader{buf: buf}
+	pn, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if pn > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: program overruns buffer", ErrBadUpdate)
+		return
+	}
+	prog = buf[r.pos : r.pos+int(pn)]
+	r.pos += int(pn)
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	id = xmltree.FragmentID(uint32(idRaw))
+	n, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if n > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: path overruns buffer", ErrBadUpdate)
+		return
+	}
+	path = make([]int, n)
+	for i := range path {
+		v, verr := r.uvarint()
+		if verr != nil {
+			err = verr
+			return
+		}
+		path[i] = int(v)
+	}
+	newRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	newID = xmltree.FragmentID(uint32(newRaw))
+	target, err = r.str()
+	if err != nil {
+		return
+	}
+	if r.pos != len(buf) {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return
+}
+
+// splitResp: two (triplet, size) pairs — the revised fragment and the new
+// fragment.
+func encodeSplitResp(ownTriplet []byte, ownSize int, newTriplet []byte, newSize int) []byte {
+	dst := encodeTripletSizeResp(ownTriplet, ownSize)
+	return append(dst, encodeTripletSizeResp(newTriplet, newSize)...)
+}
+
+func decodeSplitResp(buf []byte) (own []byte, ownSize int, nw []byte, newSize int, err error) {
+	// encodeTripletSizeResp is self-delimiting; split at the boundary.
+	r := &opReader{buf: buf}
+	sz, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if n > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: triplet overruns buffer", ErrBadUpdate)
+		return
+	}
+	own = buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	ownSize = int(sz)
+	nw, newSize, err = decodeTripletSizeResp(buf[r.pos:])
+	return
+}
+
+// adoptReq: program, fragment ID, parent fragment ID, subtree bytes.
+func encodeAdoptReq(prog []byte, id, parent xmltree.FragmentID, subtree []byte) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(prog)))
+	dst = append(dst, prog...)
+	dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	dst = binary.AppendUvarint(dst, uint64(parent+1))
+	dst = binary.AppendUvarint(dst, uint64(len(subtree)))
+	return append(dst, subtree...)
+}
+
+func decodeAdoptReq(buf []byte) (prog []byte, id, parent xmltree.FragmentID, subtree []byte, err error) {
+	r := &opReader{buf: buf}
+	pn, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if pn > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: program overruns buffer", ErrBadUpdate)
+		return
+	}
+	prog = buf[r.pos : r.pos+int(pn)]
+	r.pos += int(pn)
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	id = xmltree.FragmentID(uint32(idRaw))
+	parentRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	parent = xmltree.FragmentID(uint32(parentRaw)) - 1
+	n, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if n > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: subtree overruns buffer", ErrBadUpdate)
+		return
+	}
+	subtree = buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	if r.pos != len(buf) {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return
+}
+
+// fragIDReq: a bare fragment ID (yield requests).
+func encodeFragIDReq(id xmltree.FragmentID) []byte {
+	return binary.AppendUvarint(nil, uint64(uint32(id)))
+}
+
+func decodeFragIDReq(buf []byte) (xmltree.FragmentID, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, fmt.Errorf("%w: bad fragment id request", ErrBadUpdate)
+	}
+	return xmltree.FragmentID(uint32(v)), nil
+}
+
+// mergeReq: program, parent fragment, child fragment, and the site holding
+// the child ("" = same site).
+func encodeMergeReq(prog []byte, id, child xmltree.FragmentID, childSite string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(prog)))
+	dst = append(dst, prog...)
+	dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(child)))
+	dst = binary.AppendUvarint(dst, uint64(len(childSite)))
+	return append(dst, childSite...)
+}
+
+func decodeMergeReq(buf []byte) (prog []byte, id, child xmltree.FragmentID, childSite string, err error) {
+	r := &opReader{buf: buf}
+	pn, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if pn > uint64(len(buf)-r.pos) {
+		err = fmt.Errorf("%w: program overruns buffer", ErrBadUpdate)
+		return
+	}
+	prog = buf[r.pos : r.pos+int(pn)]
+	r.pos += int(pn)
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	id = xmltree.FragmentID(uint32(idRaw))
+	childRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	child = xmltree.FragmentID(uint32(childRaw))
+	childSite, err = r.str()
+	if err != nil {
+		return
+	}
+	if r.pos != len(buf) {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return
+}

@@ -1,0 +1,117 @@
+package views
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/frag"
+	"repro/internal/xpath"
+)
+
+// TestViewsOverTCP maintains a materialized view across real sockets:
+// updates at a remote TCP site, a cross-site split (subtree shipped over
+// TCP to another daemon) and a cross-site merge.
+func TestViewsOverTCP(t *testing.T) {
+	forest, _, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fixtures.Fig2SourceTree(forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := cluster.DefaultCostModel()
+	tr := cluster.NewTCPTransport(nil)
+	defer tr.Close()
+	var servers []*cluster.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	addrs := make(map[frag.SiteID]string)
+	sitesByID := make(map[frag.SiteID]*cluster.Site)
+	for _, siteID := range append(st.Sites(), "S3") {
+		site := cluster.NewSite(siteID)
+		for _, id := range st.FragmentsAt(siteID) {
+			fr, _ := forest.Fragment(id)
+			site.AddFragment(fr)
+		}
+		core.RegisterHandlers(site, tr, cost)
+		RegisterHandlers(site, tr)
+		sitesByID[siteID] = site
+		if siteID == "S0" {
+			tr.Local(site)
+			continue
+		}
+		srv, err := cluster.Serve(site, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs[siteID] = srv.Addr()
+	}
+	tr.SetAddrs(addrs)
+
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//stock[code = "GOOG" && sell = "376"]`)
+	v, err := Materialize(ctx, tr, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Answer() {
+		t.Fatal("initially false")
+	}
+
+	// Price tick at the remote NASDAQ site (F3 at S2): market's first
+	// stock's sell node is path [1 2].
+	if _, err := v.Update(ctx, 3, []UpdateOp{{Op: OpSetText, Path: []int{1, 2}, Text: "376"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Answer() {
+		t.Error("view did not flip over TCP")
+	}
+
+	// Cross-site split: Bache's NYSE market (inside F0 at local S0) moves
+	// to the remote S3 daemon — the subtree travels over the socket.
+	s0 := sitesByID["S0"]
+	f0, _ := s0.Fragment(0)
+	nyse := f0.Root.FindAll("market")[0]
+	newID, mc, err := v.Split(ctx, 0, PathOf(nyse), "S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Answer() {
+		t.Error("split changed the answer")
+	}
+	if len(mc.SitesVisited) != 2 {
+		t.Errorf("cross-site split visited %v", mc.SitesVisited)
+	}
+	if _, ok := sitesByID["S3"].Fragment(newID); !ok {
+		t.Error("S3 daemon did not adopt the shipped fragment")
+	}
+
+	// Cross-site merge: F2 (at S2) folds into F1 (at S1) over the wire.
+	if _, err := v.Merge(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v.SourceTree().Count() != 4 { // 0, 1, 3, newID
+		t.Errorf("fragment count after merge = %d, want 4", v.SourceTree().Count())
+	}
+	if !v.Answer() {
+		t.Error("merge changed the answer")
+	}
+
+	// The maintained state still matches a fresh evaluation.
+	eng := core.NewEngine(tr, "S0", v.SourceTree(), cost)
+	rep, err := eng.ParBoX(ctx, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Answer != v.Answer() {
+		t.Errorf("fresh evaluation %v != view %v", rep.Answer, v.Answer())
+	}
+}

@@ -1,0 +1,280 @@
+package views
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// MaintenanceCost is the accounting of one maintenance operation, so tests
+// (and EXPERIMENTS.md) can verify the paper's bounds: traffic independent
+// of |T| and of the update size; recomputation localized to the updated
+// fragment.
+type MaintenanceCost struct {
+	Bytes        int64
+	Steps        int64
+	SolveWork    int64
+	SitesVisited []frag.SiteID
+	Recomputed   bool // whether evalST had to re-run
+	Elapsed      time.Duration
+}
+
+// View is a materialized Boolean XPath view M(q, T): the source tree, the
+// cached answer, and — per Section 5 — the triplets of every fragment. The
+// view lives at a "home" site (the paper's site S storing the state).
+type View struct {
+	tr   cluster.Transport
+	home frag.SiteID
+	prog *xpath.Program
+
+	mu       sync.Mutex
+	st       *frag.SourceTree
+	triplets map[xmltree.FragmentID]eval.Triplet
+	ans      bool
+	nextID   xmltree.FragmentID
+}
+
+// Materialize computes the view's initial state by running stage 2 of
+// ParBoX over all sites and solving the equation system at the home site.
+func Materialize(ctx context.Context, tr cluster.Transport, home frag.SiteID,
+	st *frag.SourceTree, prog *xpath.Program) (*View, error) {
+	v := &View{
+		tr:       tr,
+		home:     home,
+		prog:     prog,
+		st:       st.Clone(),
+		triplets: make(map[xmltree.FragmentID]eval.Triplet, st.Count()),
+	}
+	for _, id := range st.Fragments() {
+		if id >= v.nextID {
+			v.nextID = id + 1
+		}
+	}
+	for _, site := range st.Sites() {
+		ts, _, err := core.RequestTriplets(ctx, tr, home, site, prog, st.FragmentsAt(site))
+		if err != nil {
+			return nil, fmt.Errorf("views: materialize at %s: %w", site, err)
+		}
+		for id, t := range ts {
+			v.triplets[id] = t
+		}
+	}
+	ans, _, err := eval.Solve(v.st, v.triplets, prog)
+	if err != nil {
+		return nil, err
+	}
+	v.ans = ans
+	return v, nil
+}
+
+// Answer returns the cached answer — reading a materialized view costs
+// nothing.
+func (v *View) Answer() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.ans
+}
+
+// Query returns the view's query program.
+func (v *View) Query() *xpath.Program { return v.prog }
+
+// SourceTree returns a copy of the view's source tree.
+func (v *View) SourceTree() *frag.SourceTree {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.st.Clone()
+}
+
+// Update applies content updates (insNode/delNode/setText) to fragment id
+// and incrementally maintains the answer: only the owning site is visited,
+// only that fragment is re-evaluated, and the equation system is re-solved
+// at the home site only if the fragment's triplet actually changed.
+func (v *View) Update(ctx context.Context, id xmltree.FragmentID, ops []UpdateOp) (MaintenanceCost, error) {
+	start := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var mc MaintenanceCost
+	entry, ok := v.st.Entry(id)
+	if !ok {
+		return mc, fmt.Errorf("views: unknown fragment %d", id)
+	}
+	resp, cost, err := v.tr.Call(ctx, v.home, entry.Site, cluster.Request{
+		Kind:    KindApplyUpdate,
+		Payload: encodeApplyUpdateReq(v.prog.Encode(), id, ops),
+	})
+	if err != nil {
+		return mc, err
+	}
+	mc.Bytes = int64(cost.ReqBytes + cost.RespBytes)
+	mc.Steps = cost.Steps
+	mc.SitesVisited = append(mc.SitesVisited, entry.Site)
+	tb, size, err := decodeTripletSizeResp(resp.Payload)
+	if err != nil {
+		return mc, err
+	}
+	t, err := eval.DecodeTriplet(tb)
+	if err != nil {
+		return mc, err
+	}
+	entry.Size = size
+	// "The triplet is then compared with the one stored ... if they are
+	// identical, incremental evaluation terminates without changing ans."
+	if old, ok := v.triplets[id]; ok && old.Equal(t) {
+		mc.Elapsed = time.Since(start)
+		return mc, nil
+	}
+	v.triplets[id] = t
+	ans, work, err := eval.Solve(v.st, v.triplets, v.prog)
+	if err != nil {
+		return mc, err
+	}
+	v.ans = ans
+	mc.SolveWork = work
+	mc.Recomputed = true
+	mc.Elapsed = time.Since(start)
+	return mc, nil
+}
+
+// Split performs splitFragments at the node addressed by path inside
+// fragment id; the subtree becomes a new fragment assigned to target
+// (which may equal the current site). The answer is unaffected — only the
+// source tree and the two triplets change, exactly as in Section 5.
+// It returns the new fragment's ID.
+func (v *View) Split(ctx context.Context, id xmltree.FragmentID, path []int, target frag.SiteID) (xmltree.FragmentID, MaintenanceCost, error) {
+	start := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var mc MaintenanceCost
+	entry, ok := v.st.Entry(id)
+	if !ok {
+		return 0, mc, fmt.Errorf("views: unknown fragment %d", id)
+	}
+	if target == "" {
+		target = entry.Site
+	}
+	newID := v.nextID
+	resp, cost, err := v.tr.Call(ctx, v.home, entry.Site, cluster.Request{
+		Kind:    KindSplit,
+		Payload: encodeSplitReq(v.prog.Encode(), id, path, newID, string(target)),
+	})
+	if err != nil {
+		return 0, mc, err
+	}
+	v.nextID++
+	mc.Bytes = int64(cost.ReqBytes + cost.RespBytes)
+	mc.Steps = cost.Steps
+	mc.SitesVisited = append(mc.SitesVisited, entry.Site)
+	if target != entry.Site {
+		mc.SitesVisited = append(mc.SitesVisited, target)
+	}
+	ownB, ownSize, newB, newSize, err := decodeSplitResp(resp.Payload)
+	if err != nil {
+		return 0, mc, err
+	}
+	own, err := eval.DecodeTriplet(ownB)
+	if err != nil {
+		return 0, mc, err
+	}
+	nw, err := eval.DecodeTriplet(newB)
+	if err != nil {
+		return 0, mc, err
+	}
+	entry.Size = ownSize
+	v.triplets[id] = own
+	v.triplets[newID] = nw
+	if err := v.st.SetEntry(frag.Entry{Frag: newID, Parent: id, Site: target, Size: newSize}); err != nil {
+		return 0, mc, err
+	}
+	mc.Elapsed = time.Since(start)
+	return newID, mc, nil
+}
+
+// Merge performs mergeFragments: fragment id absorbs its sub-fragment
+// child. The answer is unaffected; the source tree loses an entry and the
+// merged fragment's triplet is replaced.
+func (v *View) Merge(ctx context.Context, id, child xmltree.FragmentID) (MaintenanceCost, error) {
+	start := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var mc MaintenanceCost
+	entry, ok := v.st.Entry(id)
+	if !ok {
+		return mc, fmt.Errorf("views: unknown fragment %d", id)
+	}
+	centry, ok := v.st.Entry(child)
+	if !ok {
+		return mc, fmt.Errorf("views: unknown fragment %d", child)
+	}
+	if centry.Parent != id {
+		return mc, fmt.Errorf("views: fragment %d is not a sub-fragment of %d", child, id)
+	}
+	if len(centry.Children) > 0 {
+		return mc, fmt.Errorf("views: fragment %d still has sub-fragments; merge bottom-up", child)
+	}
+	childSite := ""
+	if centry.Site != entry.Site {
+		childSite = string(centry.Site)
+	}
+	resp, cost, err := v.tr.Call(ctx, v.home, entry.Site, cluster.Request{
+		Kind:    KindMerge,
+		Payload: encodeMergeReq(v.prog.Encode(), id, child, childSite),
+	})
+	if err != nil {
+		return mc, err
+	}
+	mc.Bytes = int64(cost.ReqBytes + cost.RespBytes)
+	mc.Steps = cost.Steps
+	mc.SitesVisited = append(mc.SitesVisited, entry.Site)
+	if childSite != "" {
+		mc.SitesVisited = append(mc.SitesVisited, centry.Site)
+	}
+	tb, size, err := decodeTripletSizeResp(resp.Payload)
+	if err != nil {
+		return mc, err
+	}
+	t, err := eval.DecodeTriplet(tb)
+	if err != nil {
+		return mc, err
+	}
+	if err := v.st.RemoveEntry(child); err != nil {
+		return mc, err
+	}
+	delete(v.triplets, child)
+	entry2, _ := v.st.Entry(id)
+	entry2.Size = size
+	v.triplets[id] = t
+	mc.Elapsed = time.Since(start)
+	return mc, nil
+}
+
+// Refresh recomputes the view from scratch (every site visited); tests use
+// it as the oracle the incremental path must match.
+func (v *View) Refresh(ctx context.Context) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	triplets := make(map[xmltree.FragmentID]eval.Triplet, v.st.Count())
+	for _, site := range v.st.Sites() {
+		ts, _, err := core.RequestTriplets(ctx, v.tr, v.home, site, v.prog, v.st.FragmentsAt(site))
+		if err != nil {
+			return err
+		}
+		for id, t := range ts {
+			triplets[id] = t
+		}
+	}
+	ans, _, err := eval.Solve(v.st, triplets, v.prog)
+	if err != nil {
+		return err
+	}
+	v.triplets = triplets
+	v.ans = ans
+	return nil
+}

@@ -1,0 +1,245 @@
+package views
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestRefreshMatchesIncremental(t *testing.T) {
+	c, forest, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//stock[sell = "999"]`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, _ := forest.Fragment(3)
+	sell := f3.Root.FindAll("sell")[0]
+	if _, err := v.Update(ctx, 3, []UpdateOp{{Op: OpSetText, Path: PathOf(sell), Text: "999"}}); err != nil {
+		t.Fatal(err)
+	}
+	incr := v.Answer()
+	if err := v.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v.Answer() != incr {
+		t.Errorf("Refresh answer %v != incremental %v", v.Answer(), incr)
+	}
+	if !incr {
+		t.Error("expected true after the price update")
+	}
+}
+
+func TestSplitAtRootAndVirtualRejected(t *testing.T) {
+	c, forest, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//x`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting at the fragment root is invalid.
+	if _, _, err := v.Split(ctx, 0, nil, ""); err == nil {
+		t.Error("split at fragment root accepted")
+	}
+	// Splitting at a virtual node is invalid: find F1's virtual node path.
+	f0, _ := forest.Fragment(0)
+	var vpath []int
+	for _, vn := range f0.Root.VirtualNodes() {
+		vpath = PathOf(vn)
+		break
+	}
+	if _, _, err := v.Split(ctx, 0, vpath, ""); err == nil {
+		t.Error("split at virtual node accepted")
+	}
+	// Unknown fragment.
+	if _, _, err := v.Split(ctx, 77, []int{0}, ""); err == nil {
+		t.Error("split of unknown fragment accepted")
+	}
+	// Out-of-range path.
+	if _, _, err := v.Split(ctx, 0, []int{44}, ""); err == nil {
+		t.Error("split at bad path accepted")
+	}
+}
+
+func TestMergeOfNestedChildRejected(t *testing.T) {
+	c, _, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//x`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F1 still has sub-fragment F2: merging F1 into F0 must be refused
+	// until F2 is merged first (the view requires bottom-up merging).
+	if _, err := v.Merge(ctx, 0, 1); err == nil {
+		t.Error("merge of a fragment with children accepted")
+	}
+	// Unknown fragments.
+	if _, err := v.Merge(ctx, 0, 77); err == nil {
+		t.Error("merge of unknown child accepted")
+	}
+	if _, err := v.Merge(ctx, 77, 1); err == nil {
+		t.Error("merge into unknown parent accepted")
+	}
+	// Bottom-up order works: F2 into F1, then F1 into F0.
+	if _, err := v.Merge(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Merge(ctx, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v.SourceTree().Count() != 2 {
+		t.Errorf("count after merges = %d, want 2", v.SourceTree().Count())
+	}
+}
+
+func TestSplitToSameSite(t *testing.T) {
+	c, forest, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//stock[code = "IBM"]`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := v.Answer()
+	f0, _ := forest.Fragment(0)
+	nyse := f0.Root.FindAll("market")[0]
+	// Empty target keeps the new fragment at the same site.
+	newID, mc, err := v.Split(ctx, 0, PathOf(nyse), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Answer() != before {
+		t.Error("same-site split changed the answer")
+	}
+	e, _ := v.SourceTree().Entry(newID)
+	if e.Site != "S0" {
+		t.Errorf("new fragment at %s, want S0", e.Site)
+	}
+	if len(mc.SitesVisited) != 1 {
+		t.Errorf("same-site split visited %v", mc.SitesVisited)
+	}
+	// The fragment is now stored at S0.
+	s0, _ := c.Site("S0")
+	if _, ok := s0.Fragment(newID); !ok {
+		t.Error("S0 does not store the new fragment")
+	}
+}
+
+func TestUpdateOpCodecsReject(t *testing.T) {
+	// Truncated / malformed payloads must be rejected by every decoder.
+	bad := [][]byte{nil, {1}, {200, 200}, {0, 0}}
+	for _, buf := range bad {
+		if _, _, _, err := decodeApplyUpdateReq(buf); err == nil {
+			t.Errorf("decodeApplyUpdateReq(%v) accepted", buf)
+		}
+		if _, _, _, _, _, err := decodeSplitReq(buf); err == nil {
+			t.Errorf("decodeSplitReq(%v) accepted", buf)
+		}
+		if _, _, _, _, err := decodeAdoptReq(buf); err == nil {
+			t.Errorf("decodeAdoptReq(%v) accepted", buf)
+		}
+		if _, _, _, _, err := decodeMergeReq(buf); err == nil {
+			t.Errorf("decodeMergeReq(%v) accepted", buf)
+		}
+	}
+	// Round trips.
+	prog := xpath.MustCompileString(`//a`).Encode()
+	ops := []UpdateOp{{Op: OpInsert, Path: []int{1, 2}, Label: "x", Text: "y"}}
+	p2, id, ops2, err := decodeApplyUpdateReq(encodeApplyUpdateReq(prog, 7, ops))
+	if err != nil || id != 7 || len(ops2) != 1 || ops2[0].Label != "x" || len(p2) != len(prog) {
+		t.Errorf("applyUpdate round trip: %v %d %v", err, id, ops2)
+	}
+	p3, id3, path, newID, target, err := decodeSplitReq(encodeSplitReq(prog, 3, []int{0, 1}, 9, "S7"))
+	if err != nil || id3 != 3 || newID != 9 || target != "S7" || len(path) != 2 || len(p3) != len(prog) {
+		t.Errorf("split round trip: %v", err)
+	}
+	p4, id4, parent, sub, err := decodeAdoptReq(encodeAdoptReq(prog, 5, 2, []byte{1, 2, 3}))
+	if err != nil || id4 != 5 || parent != 2 || len(sub) != 3 || len(p4) != len(prog) {
+		t.Errorf("adopt round trip: %v", err)
+	}
+	p5, id5, child, site, err := decodeMergeReq(encodeMergeReq(prog, 1, 2, "S9"))
+	if err != nil || id5 != 1 || child != 2 || site != "S9" || len(p5) != len(prog) {
+		t.Errorf("merge round trip: %v", err)
+	}
+}
+
+func TestHandlersRejectUnknownFragment(t *testing.T) {
+	c := cluster.New(cluster.DefaultCostModel())
+	site := c.AddSite("X")
+	RegisterHandlers(site, c)
+	core.RegisterHandlers(site, c, c.Cost())
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//a`).Encode()
+	calls := []cluster.Request{
+		{Kind: KindApplyUpdate, Payload: encodeApplyUpdateReq(prog, 9, nil)},
+		{Kind: KindSplit, Payload: encodeSplitReq(prog, 9, []int{0}, 10, "")},
+		{Kind: KindMerge, Payload: encodeMergeReq(prog, 9, 10, "")},
+		{Kind: KindYield, Payload: encodeFragIDReq(9)},
+	}
+	for _, req := range calls {
+		if _, _, err := c.Call(ctx, "X", "X", req); err == nil {
+			t.Errorf("%s for unknown fragment accepted", req.Kind)
+		}
+	}
+}
+
+func TestAdoptHandler(t *testing.T) {
+	c := cluster.New(cluster.DefaultCostModel())
+	site := c.AddSite("X")
+	RegisterHandlers(site, c)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//b`)
+	subtree := xmltree.NewElement("a", "", xmltree.NewElement("b", ""))
+	resp, _, err := c.Call(ctx, "X", "X", cluster.Request{
+		Kind:    KindAdopt,
+		Payload: encodeAdoptReq(prog.Encode(), 4, 0, xmltree.Encode(subtree)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, size, err := decodeTripletSizeResp(resp.Payload)
+	if err != nil || size != 2 || len(tb) == 0 {
+		t.Fatalf("adopt response: %v size=%d", err, size)
+	}
+	if _, ok := site.Fragment(4); !ok {
+		t.Error("fragment not adopted")
+	}
+	// Bad subtree bytes must fail.
+	if _, _, err := c.Call(ctx, "X", "X", cluster.Request{
+		Kind:    KindAdopt,
+		Payload: encodeAdoptReq(prog.Encode(), 5, 0, []byte{9, 9, 9}),
+	}); err == nil {
+		t.Error("bad subtree accepted")
+	}
+}
+
+func TestMaintenanceCostFields(t *testing.T) {
+	c, forest, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//stock`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := forest.Fragment(1)
+	name := f1.Root.FindAll("name")[0]
+	mc, err := v.Update(ctx, 1, []UpdateOp{{Op: OpSetText, Path: PathOf(name), Text: "zzz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Bytes <= 0 || mc.Steps <= 0 || mc.Elapsed <= 0 {
+		t.Errorf("MaintenanceCost not populated: %+v", mc)
+	}
+	var z frag.SiteID = "S1"
+	if len(mc.SitesVisited) != 1 || mc.SitesVisited[0] != z {
+		t.Errorf("SitesVisited = %v", mc.SitesVisited)
+	}
+}

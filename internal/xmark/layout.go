@@ -1,0 +1,141 @@
+package xmark
+
+import (
+	"fmt"
+
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// TreeSpec describes a multi-site document for the experiments: one XMark
+// site per entry, arranged into a fragment hierarchy.
+type TreeSpec struct {
+	// Seed makes the whole document deterministic.
+	Seed int64
+	// Parents[i] is the index of the site under which site i's subtree is
+	// attached; Parents[0] must be -1 (site 0 carries the document root).
+	Parents []int
+	// MBs[i] is site i's size in paper megabytes.
+	MBs []float64
+	// NodesPerMB scales paper megabytes to nodes (DefaultNodesPerMB if 0).
+	NodesPerMB int
+	// Beacons[i], when non-empty, plants a unique beacon in site i (see
+	// Spec.Beacon). May be nil.
+	Beacons []string
+}
+
+// BuildDoc materializes the document: site i's subtree is appended under
+// site Parents[i]'s root element. It returns the document root and the
+// per-site subtree roots (the split points for fragmentation).
+func BuildDoc(ts TreeSpec) (*xmltree.Node, []*xmltree.Node, error) {
+	if len(ts.Parents) == 0 || ts.Parents[0] != -1 {
+		return nil, nil, fmt.Errorf("xmark: Parents[0] must be -1, got %v", ts.Parents)
+	}
+	if len(ts.MBs) != len(ts.Parents) {
+		return nil, nil, fmt.Errorf("xmark: %d sizes for %d sites", len(ts.MBs), len(ts.Parents))
+	}
+	roots := make([]*xmltree.Node, len(ts.Parents))
+	for i := range ts.Parents {
+		beacon := ""
+		if i < len(ts.Beacons) {
+			beacon = ts.Beacons[i]
+		}
+		roots[i] = Generate(Spec{
+			Seed:       ts.Seed + int64(i)*7919,
+			MB:         ts.MBs[i],
+			NodesPerMB: ts.NodesPerMB,
+			Beacon:     beacon,
+		})
+	}
+	for i := 1; i < len(ts.Parents); i++ {
+		p := ts.Parents[i]
+		if p < 0 || p >= i {
+			return nil, nil, fmt.Errorf("xmark: Parents[%d] = %d out of range (must name an earlier site)", i, p)
+		}
+		roots[p].AppendChild(roots[i])
+	}
+	return roots[0], roots, nil
+}
+
+// Fragment splits the document of BuildDoc so that each site subtree is its
+// own fragment (fragment i+... — fragment IDs follow split order, so site
+// i becomes fragment i). The returned forest's fragment i corresponds to
+// site i.
+func Fragment(root *xmltree.Node, siteRoots []*xmltree.Node) (*frag.Forest, error) {
+	forest := frag.NewForest(root)
+	for i := 1; i < len(siteRoots); i++ {
+		id, err := forest.Split(siteRoots[i])
+		if err != nil {
+			return nil, fmt.Errorf("xmark: splitting site %d: %w", i, err)
+		}
+		if id != xmltree.FragmentID(i) {
+			return nil, fmt.Errorf("xmark: site %d became fragment %d", i, id)
+		}
+	}
+	return forest, nil
+}
+
+// StarParents returns the FT1 topology of Fig. 6: fragments F1..Fn-1 are
+// all sub-fragments of F0.
+func StarParents(n int) []int {
+	p := make([]int, n)
+	p[0] = -1
+	for i := 1; i < n; i++ {
+		p[i] = 0
+	}
+	return p
+}
+
+// ChainParents returns the FT2 topology: Fi is a sub-fragment of Fi-1
+// (the "version history" shape of Experiment 2).
+func ChainParents(n int) []int {
+	p := make([]int, n)
+	p[0] = -1
+	for i := 1; i < n; i++ {
+		p[i] = i - 1
+	}
+	return p
+}
+
+// FT3Parents returns the "natural" two-level topology of Fig. 6 (FT3):
+// eight fragments, F0 → {F1, F2, F3}, F1 → {F4, F5}, F2 → {F6},
+// F3 → {F7}.
+func FT3Parents() []int {
+	return []int{-1, 0, 0, 0, 1, 1, 2, 3}
+}
+
+// FT3MBs scales Experiment 3's fragment sizes: F0 ≈ 10 MB fixed, F1 the
+// largest (10–50 MB), the rest proportionally smaller, matching the ranges
+// reported in Section 6. scale=1 gives the first iteration (≈45 MB total);
+// scale=s multiplies every fragment except F0.
+func FT3MBs(scale float64) []float64 {
+	return []float64{
+		10,          // F0: "always around 10MB"
+		10 * scale,  // F1: 10MB..50MB
+		3.5 * scale, // F2: 3.5MB..15MB (paper range ≈)
+		3 * scale,
+		2.5 * scale,
+		2 * scale,
+		1.5 * scale,
+		0.7 * scale, // F7: 700K..3.7MB
+	}
+}
+
+// EvenMBs splits total paper megabytes evenly over n fragments
+// (Experiments 1, 2 and 4 keep the cumulative size constant at 50 MB).
+func EvenMBs(total float64, n int) []float64 {
+	mbs := make([]float64, n)
+	for i := range mbs {
+		mbs[i] = total / float64(n)
+	}
+	return mbs
+}
+
+// BeaconName returns the canonical beacon text for site i.
+func BeaconName(i int) string { return fmt.Sprintf("beacon-%04d", i) }
+
+// BeaconQuery returns the Boolean query satisfied exactly by the site
+// carrying BeaconName(i) — the q_F0/q_Fn/q_F⌈n/2⌉ device of Experiment 2.
+func BeaconQuery(i int) string {
+	return fmt.Sprintf(`//beacon[text() = %q]`, BeaconName(i))
+}

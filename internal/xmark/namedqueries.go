@@ -1,0 +1,38 @@
+package xmark
+
+// Named benchmark queries in the spirit of the original XMark suite,
+// adapted to XBL's Boolean form (XMark's Q1, Q5, Q8... are value/join
+// queries; these keep their access patterns — point lookups, structural
+// scans, deep predicates — as existence tests). The pub-sub example and
+// the soak tests draw from this set; TestNamedQueries pins that each one
+// parses, compiles and is satisfiable on a generated site.
+var NamedQueries = map[string]string{
+	// BQ1: point lookup by content (XMark Q1's person lookup).
+	"BQ1-person-lookup": `//person[name = "Ada Ahmed"]`,
+	// BQ2: existence of a structural pattern (Q2's bidder increases).
+	"BQ2-bidder-increase": `//open_auction/bidder/increase`,
+	// BQ3: deep qualified path (Q5's closed auctions above a price —
+	// adapted to an equality probe).
+	"BQ3-closed-price": `//closed_auction[price]`,
+	// BQ4: conjunction across sections (Q8/Q9 join flavour: people and
+	// auctions both present).
+	"BQ4-cross-section": `//person[address/country = "Japan"] && //open_auction[type = "Regular"]`,
+	// BQ5: negation (Q7 counting flavour as a Boolean absence test).
+	"BQ5-absence": `!(//item[payment = "Barter"])`,
+	// BQ6: wildcard scan (Q6: items per region, as existence under any
+	// region).
+	"BQ6-region-items": `regions/*/item`,
+	// BQ7: descendant chain with text probes (Q14 keyword flavour).
+	"BQ7-mail-date": `//item/mailbox/mail/date`,
+	// BQ8: disjunctive screening (routing-style subscription).
+	"BQ8-routing": `//item[location = "Kenya"] || //item[location = "Brazil"]`,
+}
+
+// SelectionQueries are named data-selection workloads for the Section 8
+// extension benchmarks: each is a plain path.
+var SelectionQueries = map[string]string{
+	"SQ1-item-names":   `//item/name`,
+	"SQ2-kenyan-items": `//item[location = "Kenya"]`,
+	"SQ3-bidders":      `//open_auction/bidder`,
+	"SQ4-cities":       `//person/address/city`,
+}

@@ -1,0 +1,17 @@
+package xmark
+
+// Queries are the benchmark queries of Experiments 1 and 3, keyed by their
+// |QList(q)| size — the paper sweeps |QList| ∈ {2, 8, 15, 23}. The sizes
+// are pinned by TestQuerySizes; all four touch element vocabulary every
+// generated site contains, and all evaluate to true on any non-trivial
+// site (so the whole document is always traversed, as in a worst-case
+// Boolean evaluation).
+var Queries = map[int]string{
+	2:  `label() = site`,
+	8:  `//item[quantity]`,
+	15: `//person[address/city = "Seoul"] && label() = site`,
+	23: `//item[quantity = "1"] && //open_auction[bidder/increase = "9.00"]`,
+}
+
+// QuerySizes lists the available |QList| values in ascending order.
+func QuerySizes() []int { return []int{2, 8, 15, 23} }

@@ -1,0 +1,215 @@
+// Package xmark generates the experiments' workload: deterministic,
+// seeded XMark-style auction-site documents ("sites" in the paper's
+// terminology — Section 6 generated multiple XMark sites and assigned
+// fragments of them to machines).
+//
+// The real 2006 XMark generator (xmlgen) is closed tooling of its era; this
+// package reproduces its document shape — regions with items, categories,
+// people, open and closed auctions — with the element vocabulary the
+// benchmark queries touch. Document size is parameterized in "paper
+// megabytes": NodesPerMB scales a paper-MB to a node count, so the
+// experiment harness sweeps the same x-axes as the paper's figures at a
+// laptop-friendly scale (see DESIGN.md, substitutions).
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// DefaultNodesPerMB converts the paper's megabytes to nodes: 2500 nodes per
+// paper-MB makes the 50 MB documents of Experiments 1/2 ≈ 125k nodes.
+const DefaultNodesPerMB = 2500
+
+// Spec controls one generated site document.
+type Spec struct {
+	// Seed makes the document deterministic.
+	Seed int64
+	// MB is the target size in paper megabytes.
+	MB float64
+	// NodesPerMB scales MB to nodes (DefaultNodesPerMB when 0).
+	NodesPerMB int
+	// Beacon, when non-empty, plants a unique <beacon> element carrying
+	// this text directly under the site root. Experiment 2's queries
+	// q_F0/q_Fn/q_F⌈n/2⌉ are "carefully selected so that [they are]
+	// satisfied by" one designated fragment; a beacon realizes exactly
+	// that.
+	Beacon string
+}
+
+func (s Spec) nodes() int {
+	npm := s.NodesPerMB
+	if npm <= 0 {
+		npm = DefaultNodesPerMB
+	}
+	n := int(s.MB * float64(npm))
+	if n < 16 {
+		n = 16 // the fixed skeleton needs a handful of nodes
+	}
+	return n
+}
+
+var (
+	words = []string{
+		"gold", "silver", "vintage", "rare", "classic", "modern", "large",
+		"small", "antique", "mint", "signed", "limited", "original", "fine",
+	}
+	regions    = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	countries  = []string{"United States", "Germany", "Japan", "Brazil", "Kenya", "Australia"}
+	cities     = []string{"Seoul", "Edinburgh", "Boston", "Nairobi", "Osaka", "Recife"}
+	firstNames = []string{"Ada", "Bela", "Chen", "Dara", "Eiji", "Fay", "Gus", "Hana"}
+	lastNames  = []string{"Ahmed", "Baker", "Cole", "Diaz", "Endo", "Frey", "Gupta", "Hart"}
+)
+
+// Generate builds one XMark-style site document of roughly spec.MB paper
+// megabytes. The exact node count is deterministic in the spec; the
+// sections keep approximately XMark's proportions (items dominate,
+// auctions next, then people).
+func Generate(spec Spec) *xmltree.Node {
+	r := rand.New(rand.NewSource(spec.Seed))
+	budget := spec.nodes()
+
+	site := xmltree.NewElement("site", "")
+	budget--
+	if spec.Beacon != "" {
+		site.AppendChild(xmltree.NewElement("beacon", spec.Beacon))
+		budget--
+	}
+
+	regionsEl := xmltree.NewElement("regions", "")
+	site.AppendChild(regionsEl)
+	regionEls := make([]*xmltree.Node, len(regions))
+	for i, name := range regions {
+		regionEls[i] = xmltree.NewElement(name, "")
+		regionsEl.AppendChild(regionEls[i])
+	}
+	categoriesEl := xmltree.NewElement("categories", "")
+	peopleEl := xmltree.NewElement("people", "")
+	openEl := xmltree.NewElement("open_auctions", "")
+	closedEl := xmltree.NewElement("closed_auctions", "")
+	site.AppendChild(categoriesEl)
+	site.AppendChild(peopleEl)
+	site.AppendChild(openEl)
+	site.AppendChild(closedEl)
+	budget -= 5 + len(regions)
+
+	// A few categories regardless of size.
+	nCategories := 4
+	for i := 0; i < nCategories && budget > 4; i++ {
+		c := category(r, i)
+		categoriesEl.AppendChild(c)
+		budget -= c.Size()
+	}
+
+	// Fill the remaining budget with the proportioned sections. Shares
+	// follow XMark's rough document composition.
+	type section struct {
+		parent *xmltree.Node
+		share  float64
+		build  func(*rand.Rand, int) *xmltree.Node
+	}
+	seq := 0
+	sections := []section{
+		{regionsEl, 0.50, func(r *rand.Rand, i int) *xmltree.Node { return item(r, i) }},
+		{peopleEl, 0.20, func(r *rand.Rand, i int) *xmltree.Node { return person(r, i) }},
+		{openEl, 0.20, func(r *rand.Rand, i int) *xmltree.Node { return openAuction(r, i) }},
+		{closedEl, 0.10, func(r *rand.Rand, i int) *xmltree.Node { return closedAuction(r, i) }},
+	}
+	total := budget
+	for si, sec := range sections {
+		sectionBudget := int(float64(total) * sec.share)
+		if si == len(sections)-1 {
+			sectionBudget = budget // last section absorbs rounding
+		}
+		for sectionBudget > 0 && budget > 0 {
+			n := sec.build(r, seq)
+			seq++
+			parent := sec.parent
+			if si == 0 {
+				parent = regionEls[r.Intn(len(regionEls))]
+			}
+			parent.AppendChild(n)
+			sz := n.Size()
+			sectionBudget -= sz
+			budget -= sz
+		}
+	}
+	return site
+}
+
+func pick(r *rand.Rand, ss []string) string { return ss[r.Intn(len(ss))] }
+
+func itemName(r *rand.Rand) string {
+	return pick(r, words) + " " + pick(r, words)
+}
+
+func category(r *rand.Rand, i int) *xmltree.Node {
+	return xmltree.NewElement("category", "",
+		xmltree.NewElement("name", fmt.Sprintf("category%d", i)),
+		xmltree.NewElement("description", pick(r, words)+" goods"))
+}
+
+// item is an XMark region item: ~11 nodes.
+func item(r *rand.Rand, i int) *xmltree.Node {
+	return xmltree.NewElement("item", "",
+		xmltree.NewElement("name", itemName(r)),
+		xmltree.NewElement("location", pick(r, countries)),
+		xmltree.NewElement("quantity", fmt.Sprintf("%d", 1+r.Intn(5))),
+		xmltree.NewElement("payment", "Creditcard"),
+		xmltree.NewElement("description", pick(r, words)+" "+pick(r, words)),
+		xmltree.NewElement("shipping", "Will ship internationally"),
+		xmltree.NewElement("incategory", fmt.Sprintf("category%d", r.Intn(4))),
+		xmltree.NewElement("mailbox", "",
+			xmltree.NewElement("mail", "",
+				xmltree.NewElement("from", pick(r, firstNames)),
+				xmltree.NewElement("date", fmt.Sprintf("2006-%02d-%02d", 1+r.Intn(12), 1+r.Intn(28))))))
+}
+
+// person: ~9 nodes.
+func person(r *rand.Rand, i int) *xmltree.Node {
+	return xmltree.NewElement("person", "",
+		xmltree.NewElement("name", pick(r, firstNames)+" "+pick(r, lastNames)),
+		xmltree.NewElement("emailaddress", fmt.Sprintf("mailto:p%d@example.com", i)),
+		xmltree.NewElement("phone", fmt.Sprintf("+%d", 1000000+r.Intn(8999999))),
+		xmltree.NewElement("address", "",
+			xmltree.NewElement("street", fmt.Sprintf("%d %s St", 1+r.Intn(99), pick(r, lastNames))),
+			xmltree.NewElement("city", pick(r, cities)),
+			xmltree.NewElement("country", pick(r, countries)),
+			xmltree.NewElement("zipcode", fmt.Sprintf("%d", 10000+r.Intn(89999)))))
+}
+
+// openAuction: ~12 nodes.
+func openAuction(r *rand.Rand, i int) *xmltree.Node {
+	return xmltree.NewElement("open_auction", "",
+		xmltree.NewElement("initial", price(r)),
+		xmltree.NewElement("bidder", "",
+			xmltree.NewElement("date", fmt.Sprintf("2006-%02d-%02d", 1+r.Intn(12), 1+r.Intn(28))),
+			xmltree.NewElement("personref", fmt.Sprintf("person%d", r.Intn(1000))),
+			xmltree.NewElement("increase", fmt.Sprintf("%d.00", 1+r.Intn(50)))),
+		xmltree.NewElement("current", price(r)),
+		xmltree.NewElement("itemref", fmt.Sprintf("item%d", r.Intn(1000))),
+		xmltree.NewElement("seller", fmt.Sprintf("person%d", r.Intn(1000))),
+		xmltree.NewElement("quantity", fmt.Sprintf("%d", 1+r.Intn(3))),
+		xmltree.NewElement("type", "Regular"),
+		xmltree.NewElement("interval", "",
+			xmltree.NewElement("start", "2006-01-01"),
+			xmltree.NewElement("end", "2006-12-31")))
+}
+
+// closedAuction: ~8 nodes.
+func closedAuction(r *rand.Rand, i int) *xmltree.Node {
+	return xmltree.NewElement("closed_auction", "",
+		xmltree.NewElement("seller", fmt.Sprintf("person%d", r.Intn(1000))),
+		xmltree.NewElement("buyer", fmt.Sprintf("person%d", r.Intn(1000))),
+		xmltree.NewElement("itemref", fmt.Sprintf("item%d", r.Intn(1000))),
+		xmltree.NewElement("price", price(r)),
+		xmltree.NewElement("date", fmt.Sprintf("2006-%02d-%02d", 1+r.Intn(12), 1+r.Intn(28))),
+		xmltree.NewElement("quantity", "1"),
+		xmltree.NewElement("annotation", pick(r, words)))
+}
+
+func price(r *rand.Rand) string {
+	return fmt.Sprintf("%d.%02d", 5+r.Intn(495), r.Intn(100))
+}

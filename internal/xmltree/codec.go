@@ -1,0 +1,183 @@
+package xmltree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire format for shipping whole fragments (what NaiveCentralized
+// pays for). Pre-order; per node:
+//
+//	flags byte (bit0 = virtual)
+//	if virtual:  uvarint fragment id
+//	else:        uvarint label length + label bytes,
+//	             uvarint text length + text bytes
+//	uvarint child count, then the children
+//
+// The format is compact and deterministic, so the byte counts charged to the
+// network cost model are reproducible across runs and platforms.
+
+const flagVirtual byte = 1
+
+// ErrBadTree is wrapped by binary decoding failures.
+var ErrBadTree = errors.New("xmltree: malformed tree encoding")
+
+// maxChildren bounds the child count a decoder accepts per node, to refuse
+// absurd allocations from hostile input.
+const maxChildren = 1 << 26
+
+// AppendEncoded appends the binary encoding of the subtree at n to dst.
+func AppendEncoded(dst []byte, n *Node) []byte {
+	if n.Virtual {
+		dst = append(dst, flagVirtual)
+		dst = binary.AppendUvarint(dst, uint64(uint32(n.Frag)))
+	} else {
+		dst = append(dst, 0)
+		dst = binary.AppendUvarint(dst, uint64(len(n.Label)))
+		dst = append(dst, n.Label...)
+		dst = binary.AppendUvarint(dst, uint64(len(n.Text)))
+		dst = append(dst, n.Text...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+	for _, c := range n.Children {
+		dst = AppendEncoded(dst, c)
+	}
+	return dst
+}
+
+// Encode returns the binary encoding of the subtree at n.
+func Encode(n *Node) []byte { return AppendEncoded(nil, n) }
+
+// EncodedSize returns len(Encode(n)) without building the buffer. The
+// cluster layer uses it to charge transfer costs without double-allocating.
+func EncodedSize(n *Node) int {
+	size := 0
+	n.Walk(func(c *Node) {
+		size++ // flags
+		if c.Virtual {
+			size += uvarintLen(uint64(uint32(c.Frag)))
+		} else {
+			size += uvarintLen(uint64(len(c.Label))) + len(c.Label)
+			size += uvarintLen(uint64(len(c.Text))) + len(c.Text)
+		}
+		size += uvarintLen(uint64(len(c.Children)))
+	})
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// treeDecoder tracks position while decoding.
+type treeDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *treeDecoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated at offset %d", ErrBadTree, d.pos)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *treeDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at offset %d", ErrBadTree, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *treeDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", fmt.Errorf("%w: string length %d exceeds buffer", ErrBadTree, n)
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *treeDecoder) node() (*Node, error) {
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{}
+	if flags&flagVirtual != 0 {
+		n.Virtual = true
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n.Frag = FragmentID(uint32(id))
+	} else {
+		if n.Label, err = d.str(); err != nil {
+			return nil, err
+		}
+		if n.Text, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	nc, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nc > maxChildren || nc > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("%w: child count %d exceeds remaining input", ErrBadTree, nc)
+	}
+	if n.Virtual && nc != 0 {
+		return nil, fmt.Errorf("%w: virtual node with %d children", ErrBadTree, nc)
+	}
+	if nc > 0 {
+		n.Children = make([]*Node, nc)
+		for i := range n.Children {
+			c, err := d.node()
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = n
+			n.Children[i] = c
+		}
+	}
+	return n, nil
+}
+
+// Decode decodes a subtree encoded by Encode, consuming the whole buffer.
+func Decode(buf []byte) (*Node, error) {
+	d := &treeDecoder{buf: buf}
+	n, err := d.node()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadTree, len(d.buf)-d.pos)
+	}
+	return n, nil
+}
+
+// DecodeFrom decodes one subtree from the front of buf, returning the node
+// and the number of bytes consumed, so multiple fragments can be shipped in
+// one message.
+func DecodeFrom(buf []byte) (*Node, int, error) {
+	d := &treeDecoder{buf: buf}
+	n, err := d.node()
+	if err != nil {
+		return nil, 0, err
+	}
+	return n, d.pos, nil
+}

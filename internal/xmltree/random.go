@@ -1,0 +1,60 @@
+package xmltree
+
+import "math/rand"
+
+// RandomSpec controls RandomTree. The defaults (zero value fixed up by
+// RandomTree) produce small bushy trees suitable for property tests.
+type RandomSpec struct {
+	// Nodes is the exact number of element nodes to generate (≥ 1).
+	Nodes int
+	// Labels is the vocabulary; a label is drawn uniformly per node.
+	Labels []string
+	// Texts is the text vocabulary; "" entries leave nodes without text.
+	Texts []string
+	// MaxChildren bounds the fan-out used while growing the tree.
+	MaxChildren int
+}
+
+var (
+	defaultLabels = []string{"a", "b", "c", "d", "e"}
+	defaultTexts  = []string{"", "", "x", "y", "z"}
+)
+
+// RandomTree grows a uniformly random ordered tree with exactly spec.Nodes
+// element nodes, by attaching each new node under a uniformly chosen
+// existing node that still has spare fan-out. It is deterministic in r, so
+// property-test failures reproduce from the seed alone.
+func RandomTree(r *rand.Rand, spec RandomSpec) *Node {
+	if spec.Nodes < 1 {
+		spec.Nodes = 1
+	}
+	if len(spec.Labels) == 0 {
+		spec.Labels = defaultLabels
+	}
+	if len(spec.Texts) == 0 {
+		spec.Texts = defaultTexts
+	}
+	if spec.MaxChildren < 1 {
+		spec.MaxChildren = 4
+	}
+	newNode := func() *Node {
+		return &Node{
+			Label: spec.Labels[r.Intn(len(spec.Labels))],
+			Text:  spec.Texts[r.Intn(len(spec.Texts))],
+		}
+	}
+	root := newNode()
+	open := []*Node{root} // nodes with spare fan-out
+	for i := 1; i < spec.Nodes; i++ {
+		j := r.Intn(len(open))
+		parent := open[j]
+		c := newNode()
+		parent.AppendChild(c)
+		open = append(open, c)
+		if len(parent.Children) >= spec.MaxChildren {
+			open[j] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+	}
+	return root
+}

@@ -1,0 +1,152 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VirtualElem is the element name used to round-trip virtual nodes through
+// textual XML; its "id" attribute carries the fragment ID. It is namespaced
+// with a dot so it cannot collide with ordinary labels produced by the
+// workload generators.
+const VirtualElem = "parbox.fragment"
+
+// ErrBadXML is wrapped by parse failures.
+var ErrBadXML = errors.New("xmltree: malformed document")
+
+// ParseXML reads one XML document from r and returns its root element.
+// Character data directly under an element becomes the element's Text
+// (surrounding whitespace trimmed); comments and processing instructions are
+// skipped; <parbox.fragment id="N"/> elements become virtual nodes.
+func ParseXML(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	var texts [][]byte
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadXML, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var n *Node
+			if t.Name.Local == VirtualElem {
+				id, err := virtualID(t)
+				if err != nil {
+					return nil, err
+				}
+				n = NewVirtual(id)
+			} else {
+				n = &Node{Label: t.Name.Local}
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("%w: multiple root elements", ErrBadXML)
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+			texts = append(texts, nil)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("%w: unbalanced end element", ErrBadXML)
+			}
+			n := stack[len(stack)-1]
+			n.Text = strings.TrimSpace(string(texts[len(texts)-1]))
+			if n.Virtual && n.Text != "" {
+				return nil, fmt.Errorf("%w: virtual node with text content", ErrBadXML)
+			}
+			if n.Virtual && len(n.Children) > 0 {
+				return nil, fmt.Errorf("%w: virtual node with children", ErrBadXML)
+			}
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+		case xml.CharData:
+			if len(texts) > 0 {
+				texts[len(texts)-1] = append(texts[len(texts)-1], t...)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%w: unterminated element %q", ErrBadXML, stack[len(stack)-1].Label)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: no root element", ErrBadXML)
+	}
+	return root, nil
+}
+
+func virtualID(t xml.StartElement) (FragmentID, error) {
+	for _, a := range t.Attr {
+		if a.Name.Local == "id" {
+			id, err := strconv.ParseInt(a.Value, 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("%w: bad fragment id %q", ErrBadXML, a.Value)
+			}
+			return FragmentID(id), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s without id attribute", ErrBadXML, VirtualElem)
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Node, error) { return ParseXML(strings.NewReader(s)) }
+
+// WriteXML writes the subtree rooted at n as an XML document. The output
+// parses back to an Equal tree via ParseXML.
+func WriteXML(w io.Writer, n *Node) error {
+	enc := xml.NewEncoder(w)
+	if err := writeXMLNode(enc, n); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+func writeXMLNode(enc *xml.Encoder, n *Node) error {
+	if n.Virtual {
+		start := xml.StartElement{
+			Name: xml.Name{Local: VirtualElem},
+			Attr: []xml.Attr{{Name: xml.Name{Local: "id"}, Value: strconv.FormatInt(int64(n.Frag), 10)}},
+		}
+		if err := enc.EncodeToken(start); err != nil {
+			return err
+		}
+		return enc.EncodeToken(start.End())
+	}
+	start := xml.StartElement{Name: xml.Name{Local: n.Label}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := writeXMLNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// XMLString renders the subtree as an XML string, for examples and debugging.
+func XMLString(n *Node) string {
+	var b strings.Builder
+	if err := WriteXML(&b, n); err != nil {
+		// Writing to a strings.Builder cannot fail; an error here means the
+		// encoder itself rejected the tree, which Validate would catch.
+		return fmt.Sprintf("<!-- xmltree: %v -->", err)
+	}
+	return b.String()
+}

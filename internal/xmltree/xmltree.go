@@ -1,0 +1,325 @@
+// Package xmltree provides the XML document model that every other layer
+// builds on: ordered labeled trees whose elements carry text content, plus
+// virtual nodes — placeholders that stand for a sub-fragment stored at some
+// other site (Section 2.1 of the paper).
+//
+// The model intentionally matches the paper's semantics for XBL: element
+// nodes have a label and text content (the concatenated character data
+// directly under the element); the child axis ranges over element children
+// only. A virtual node is a leaf from the point of view of its own fragment;
+// during query evaluation it contributes Boolean variables instead of
+// values.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FragmentID identifies a fragment of a distributed document. IDs are
+// assigned by the fragmentation layer; the root fragment is conventionally 0.
+type FragmentID int32
+
+// Node is one node of an XML tree. The zero value is an empty element with
+// no label. Nodes form an ordered tree via Children; Parent is maintained by
+// the mutation helpers so that incremental updates (Section 5 of the paper)
+// can locate the enclosing fragment.
+type Node struct {
+	// Label is the element tag. Virtual nodes have an empty label.
+	Label string
+	// Text is the concatenated character data directly under the element,
+	// with surrounding whitespace trimmed. The paper's predicate
+	// text() = "str" compares against this value.
+	Text string
+	// Virtual marks the node as a placeholder for sub-fragment Frag.
+	Virtual bool
+	// Frag is the sub-fragment this virtual node stands for.
+	Frag FragmentID
+	// Children are the element (and virtual) children in document order.
+	Children []*Node
+	// Parent is the parent element, nil at a fragment root.
+	Parent *Node
+}
+
+// NewElement builds an element node and claims the given children.
+func NewElement(label, text string, children ...*Node) *Node {
+	n := &Node{Label: label, Text: text}
+	for _, c := range children {
+		n.AppendChild(c)
+	}
+	return n
+}
+
+// NewVirtual builds a virtual placeholder node for fragment id.
+func NewVirtual(id FragmentID) *Node {
+	return &Node{Virtual: true, Frag: id}
+}
+
+// AppendChild appends c as the last child of n and sets c.Parent.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// InsertChild inserts c at position i (0 ≤ i ≤ len(Children)).
+func (n *Node) InsertChild(i int, c *Node) {
+	if i < 0 || i > len(n.Children) {
+		panic(fmt.Sprintf("xmltree: InsertChild index %d out of range [0,%d]", i, len(n.Children)))
+	}
+	c.Parent = n
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+}
+
+// RemoveChild detaches c from n. It reports whether c was a child of n.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, k := range n.Children {
+		if k == c {
+			copy(n.Children[i:], n.Children[i+1:])
+			n.Children[len(n.Children)-1] = nil
+			n.Children = n.Children[:len(n.Children)-1]
+			c.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceChild swaps old for repl in place, preserving document order.
+// It reports whether old was found.
+func (n *Node) ReplaceChild(old, repl *Node) bool {
+	for i, k := range n.Children {
+		if k == old {
+			repl.Parent = n
+			n.Children[i] = repl
+			old.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of nodes in the subtree rooted at n, virtual
+// placeholders included. It is the |T| (resp. |F_j|) of the paper's cost
+// expressions.
+func (n *Node) Size() int {
+	size := 0
+	n.Walk(func(*Node) { size++ })
+	return size
+}
+
+// Depth returns the height of the subtree rooted at n (a leaf has depth 1).
+func (n *Node) Depth() int {
+	type frame struct {
+		n *Node
+		d int
+	}
+	max := 0
+	stack := []frame{{n, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.d > max {
+			max = f.d
+		}
+		for _, c := range f.n.Children {
+			stack = append(stack, frame{c, f.d + 1})
+		}
+	}
+	return max
+}
+
+// Walk visits every node of the subtree in pre-order, iteratively, so deep
+// trees (chain fragmentations) cannot exhaust the goroutine stack.
+func (n *Node) Walk(visit func(*Node)) {
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(cur)
+		// Push children in reverse so they pop in document order.
+		for i := len(cur.Children) - 1; i >= 0; i-- {
+			stack = append(stack, cur.Children[i])
+		}
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy's Parent is
+// nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Label: n.Label, Text: n.Text, Virtual: n.Virtual, Frag: n.Frag}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, 0, len(n.Children))
+		for _, k := range n.Children {
+			kc := k.Clone()
+			kc.Parent = c
+			c.Children = append(c.Children, kc)
+		}
+	}
+	return c
+}
+
+// Equal reports deep structural equality of two subtrees (labels, text,
+// virtual markers and child order).
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Label != m.Label || n.Text != m.Text || n.Virtual != m.Virtual ||
+		n.Frag != m.Frag || len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VirtualNodes returns the virtual placeholders in the subtree in document
+// order; these identify the sub-fragments of the fragment rooted at n.
+func (n *Node) VirtualNodes() []*Node {
+	var vs []*Node
+	n.Walk(func(c *Node) {
+		if c.Virtual {
+			vs = append(vs, c)
+		}
+	})
+	return vs
+}
+
+// FindFirst returns the first node (pre-order) with the given label, or nil.
+func (n *Node) FindFirst(label string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) {
+		if found == nil && !c.Virtual && c.Label == label {
+			found = c
+		}
+	})
+	return found
+}
+
+// FindAll returns every node with the given label in document order.
+func (n *Node) FindAll(label string) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) {
+		if !c.Virtual && c.Label == label {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// Stats summarizes a subtree; the experiment harness prints these so that
+// EXPERIMENTS.md can record the actual workload sizes.
+type Stats struct {
+	Nodes    int
+	Virtuals int
+	Depth    int
+	Labels   map[string]int
+}
+
+// ComputeStats gathers Stats for the subtree rooted at n.
+func ComputeStats(n *Node) Stats {
+	s := Stats{Labels: make(map[string]int)}
+	n.Walk(func(c *Node) {
+		s.Nodes++
+		if c.Virtual {
+			s.Virtuals++
+		} else {
+			s.Labels[c.Label]++
+		}
+	})
+	s.Depth = n.Depth()
+	return s
+}
+
+// String renders a compact single-line form of the subtree, for tests and
+// error messages: label{text}(children...) and @N for virtual nodes.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.writeString(&b)
+	return b.String()
+}
+
+func (n *Node) writeString(b *strings.Builder) {
+	if n.Virtual {
+		fmt.Fprintf(b, "@%d", n.Frag)
+		return
+	}
+	b.WriteString(n.Label)
+	if n.Text != "" {
+		b.WriteByte('{')
+		b.WriteString(n.Text)
+		b.WriteByte('}')
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.writeString(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// SortedLabels returns the distinct element labels of the subtree, sorted;
+// workload generators use it to pick query vocabulary deterministically.
+func SortedLabels(n *Node) []string {
+	set := make(map[string]bool)
+	n.Walk(func(c *Node) {
+		if !c.Virtual {
+			set[c.Label] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural invariants of the subtree: parent pointers are
+// consistent, virtual nodes are leaves with empty labels, and no node is
+// its own ancestor. It returns the first violation found.
+func Validate(root *Node) error {
+	seen := make(map[*Node]bool)
+	var err error
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if seen[n] {
+			err = fmt.Errorf("xmltree: node %q appears twice (cycle or shared subtree)", n.Label)
+			return false
+		}
+		seen[n] = true
+		if n.Virtual {
+			if len(n.Children) > 0 {
+				err = fmt.Errorf("xmltree: virtual node @%d has children", n.Frag)
+				return false
+			}
+			if n.Label != "" {
+				err = fmt.Errorf("xmltree: virtual node @%d has label %q", n.Frag, n.Label)
+				return false
+			}
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				err = fmt.Errorf("xmltree: child %q of %q has wrong parent", c.Label, n.Label)
+				return false
+			}
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(root)
+	return err
+}

@@ -1,0 +1,301 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// portfolio builds a miniature of the paper's Fig. 1(b) stock portfolio.
+func portfolio() *Node {
+	stock := func(code, buy, sell string) *Node {
+		return NewElement("stock", "",
+			NewElement("code", code),
+			NewElement("buy", buy),
+			NewElement("sell", sell))
+	}
+	return NewElement("portfolio", "",
+		NewElement("broker", "",
+			NewElement("name", "Bache"),
+			NewElement("market", "",
+				NewElement("name", "NYSE"),
+				stock("IBM", "$80", "$78"))),
+		NewElement("broker", "",
+			NewElement("name", "Merill Lynch"),
+			NewElement("market", "",
+				NewElement("name", "NASDAQ"),
+				stock("GOOG", "$374", "$373"))))
+}
+
+func TestBuildAndNavigate(t *testing.T) {
+	p := portfolio()
+	if got := p.Size(); got != 17 {
+		t.Errorf("Size = %d, want 17", got)
+	}
+	if got := p.Depth(); got != 5 {
+		t.Errorf("Depth = %d, want 5", got)
+	}
+	if n := p.FindFirst("code"); n == nil || n.Text != "IBM" {
+		t.Errorf("FindFirst(code) = %v", n)
+	}
+	if all := p.FindAll("stock"); len(all) != 2 {
+		t.Errorf("FindAll(stock) = %d nodes, want 2", len(all))
+	}
+	if err := Validate(p); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMutationHelpers(t *testing.T) {
+	p := NewElement("r", "")
+	a := p.AppendChild(NewElement("a", ""))
+	c := NewElement("c", "")
+	p.InsertChild(1, c)
+	b := NewElement("b", "")
+	p.InsertChild(1, b)
+	want := []*Node{a, b, c}
+	for i, w := range want {
+		if p.Children[i] != w {
+			t.Fatalf("child %d = %q, want %q", i, p.Children[i].Label, w.Label)
+		}
+		if w.Parent != p {
+			t.Fatalf("child %q has wrong parent", w.Label)
+		}
+	}
+	if !p.RemoveChild(b) {
+		t.Fatal("RemoveChild(b) = false")
+	}
+	if b.Parent != nil {
+		t.Error("removed child keeps parent pointer")
+	}
+	if len(p.Children) != 2 || p.Children[0] != a || p.Children[1] != c {
+		t.Errorf("children after removal: %v", p.Children)
+	}
+	if p.RemoveChild(b) {
+		t.Error("RemoveChild of a non-child returned true")
+	}
+	v := NewVirtual(7)
+	if !p.ReplaceChild(c, v) {
+		t.Fatal("ReplaceChild failed")
+	}
+	if p.Children[1] != v || v.Parent != p || c.Parent != nil {
+		t.Error("ReplaceChild did not rewire parents")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	p := portfolio()
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone is not Equal to original")
+	}
+	if q.Parent != nil {
+		t.Error("clone has a parent")
+	}
+	// Mutating the clone must not affect the original.
+	q.FindFirst("code").Text = "MSFT"
+	if p.Equal(q) {
+		t.Error("deep copy shares text with the original")
+	}
+	if err := Validate(q); err != nil {
+		t.Errorf("Validate(clone): %v", err)
+	}
+}
+
+func TestVirtualNodes(t *testing.T) {
+	p := portfolio()
+	market := p.FindAll("market")[1]
+	v := NewVirtual(3)
+	market.Parent.ReplaceChild(market, v)
+	vs := p.VirtualNodes()
+	if len(vs) != 1 || vs[0].Frag != 3 {
+		t.Errorf("VirtualNodes = %v", vs)
+	}
+	if err := Validate(p); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	// Wrong parent pointer.
+	p := NewElement("r", "")
+	c := NewElement("a", "")
+	p.Children = append(p.Children, c) // bypass AppendChild
+	if err := Validate(p); err == nil {
+		t.Error("Validate missed a wrong parent pointer")
+	}
+	// Virtual with children.
+	v := NewVirtual(1)
+	v.Children = append(v.Children, NewElement("x", ""))
+	v.Children[0].Parent = v
+	if err := Validate(v); err == nil {
+		t.Error("Validate missed virtual node with children")
+	}
+	// Shared subtree.
+	p2 := NewElement("r", "")
+	shared := NewElement("s", "")
+	p2.AppendChild(shared)
+	p2.Children = append(p2.Children, shared)
+	if err := Validate(p2); err == nil {
+		t.Error("Validate missed a shared subtree")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	p := portfolio()
+	p.FindAll("market")[1].Parent.ReplaceChild(p.FindAll("market")[1], NewVirtual(5))
+	s := XMLString(p)
+	got, err := ParseXMLString(s)
+	if err != nil {
+		t.Fatalf("ParseXMLString(%q): %v", s, err)
+	}
+	if !got.Equal(p) {
+		t.Errorf("XML round trip:\n got %v\nwant %v", got, p)
+	}
+}
+
+func TestParseXMLWhitespaceAndText(t *testing.T) {
+	n, err := ParseXMLString("<a>\n  <b> hello </b>\n  <c/>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Text != "" {
+		t.Errorf("container text = %q, want empty", n.Text)
+	}
+	if b := n.FindFirst("b"); b.Text != "hello" {
+		t.Errorf("b text = %q, want hello", b.Text)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<a>",
+		"<a></b>",
+		"<a/><b/>",
+		`<parbox.fragment/>`,
+		`<parbox.fragment id="zzz"/>`,
+		`<parbox.fragment id="1">text</parbox.fragment>`,
+		`<parbox.fragment id="1"><a/></parbox.fragment>`,
+	}
+	for _, s := range cases {
+		if _, err := ParseXMLString(s); err == nil {
+			t.Errorf("ParseXMLString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	p := portfolio()
+	p.AppendChild(NewVirtual(12))
+	enc := Encode(p)
+	if len(enc) != EncodedSize(p) {
+		t.Errorf("EncodedSize = %d, len(Encode) = %d", EncodedSize(p), len(enc))
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Errorf("binary round trip mismatch:\n got %v\nwant %v", got, p)
+	}
+	if err := Validate(got); err != nil {
+		t.Errorf("decoded tree invalid: %v", err)
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},                                    // truncated label
+		{0, 1},                                 // label length 1 but no bytes
+		{flagVirtual},                          // truncated frag id
+		{0, 0, 0, 200, 10},                     // child count exceeds input
+		append(Encode(NewElement("a", "")), 9), // trailing byte
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("case %d: Decode succeeded, want error", i)
+		}
+	}
+}
+
+func TestDecodeFromConcatenated(t *testing.T) {
+	a, b := NewElement("a", "1"), NewElement("b", "2", NewElement("c", ""))
+	buf := AppendEncoded(AppendEncoded(nil, a), b)
+	g1, n1, err := DecodeFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, n2, err := DecodeFrom(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) {
+		t.Errorf("consumed %d+%d of %d bytes", n1, n2, len(buf))
+	}
+	if !g1.Equal(a) || !g2.Equal(b) {
+		t.Error("concatenated decode mismatch")
+	}
+}
+
+// TestPropCodecsRoundTrip: for random trees, both codecs round-trip and the
+// parsed tree validates.
+func TestPropCodecsRoundTrip(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := RandomTree(r, RandomSpec{Nodes: 1 + int(sizeRaw%64)})
+		bin, err := Decode(Encode(n))
+		if err != nil || !bin.Equal(n) {
+			return false
+		}
+		xmlTree, err := ParseXMLString(XMLString(n))
+		if err != nil || !xmlTree.Equal(n) {
+			return false
+		}
+		return Validate(n) == nil && Validate(bin) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeDeterministicAndSized(t *testing.T) {
+	spec := RandomSpec{Nodes: 500}
+	a := RandomTree(rand.New(rand.NewSource(11)), spec)
+	b := RandomTree(rand.New(rand.NewSource(11)), spec)
+	if !a.Equal(b) {
+		t.Error("RandomTree is not deterministic in the seed")
+	}
+	if got := a.Size(); got != 500 {
+		t.Errorf("Size = %d, want 500", got)
+	}
+	c := RandomTree(rand.New(rand.NewSource(12)), spec)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+func TestStatsAndLabels(t *testing.T) {
+	p := portfolio()
+	s := ComputeStats(p)
+	if s.Nodes != 17 || s.Virtuals != 0 || s.Depth != 5 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Labels["stock"] != 2 || s.Labels["name"] != 4 {
+		t.Errorf("label counts wrong: %v", s.Labels)
+	}
+	labels := SortedLabels(p)
+	want := []string{"broker", "buy", "code", "market", "name", "portfolio", "sell", "stock"}
+	if strings.Join(labels, ",") != strings.Join(want, ",") {
+		t.Errorf("SortedLabels = %v", labels)
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	n := NewElement("a", "", NewElement("b", "t"), NewVirtual(4))
+	if got, want := n.String(), "a(b{t},@4)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

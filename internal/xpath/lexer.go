@@ -1,0 +1,216 @@
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ErrSyntax is wrapped by all parse failures.
+var ErrSyntax = errors.New("xpath: syntax error")
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokString   // quoted string literal (value without quotes)
+	tokSlash    // /
+	tokDblSlash // //
+	tokStar     // *
+	tokDot      // .
+	tokLBracket // [
+	tokRBracket // ]
+	tokLParen   // (
+	tokRParen   // )
+	tokEq       // =
+	tokAnd      // && | and | ∧
+	tokOr       // || | or | ∨
+	tokNot      // ! | not | ¬
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokName:
+		return "name"
+	case tokString:
+		return "string"
+	case tokSlash:
+		return "'/'"
+	case tokDblSlash:
+		return "'//'"
+	case tokStar:
+		return "'*'"
+	case tokDot:
+		return "'.'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokAnd:
+		return "'&&'"
+	case tokOr:
+		return "'||'"
+	case tokNot:
+		return "'!'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input eagerly; queries are tiny (O(|q|)) so there
+// is nothing to stream.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.pos += w
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch r {
+	case '/':
+		if strings.HasPrefix(l.src[l.pos:], "//") {
+			l.pos += 2
+			return token{kind: tokDblSlash, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, pos: start}, nil
+	case '!':
+		l.pos++
+		return token{kind: tokNot, pos: start}, nil
+	case '¬':
+		l.pos += w
+		return token{kind: tokNot, pos: start}, nil
+	case '∧':
+		l.pos += w
+		return token{kind: tokAnd, pos: start}, nil
+	case '∨':
+		l.pos += w
+		return token{kind: tokOr, pos: start}, nil
+	case '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			return token{kind: tokAnd, pos: start}, nil
+		}
+		return token{}, fmt.Errorf("%w: stray '&' at offset %d (use \"&&\")", ErrSyntax, start)
+	case '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			return token{kind: tokOr, pos: start}, nil
+		}
+		return token{}, fmt.Errorf("%w: stray '|' at offset %d (use \"||\")", ErrSyntax, start)
+	case '"', '\'':
+		return l.lexString(r)
+	}
+	if isNameStart(r) {
+		return l.lexName()
+	}
+	return token{}, fmt.Errorf("%w: unexpected character %q at offset %d", ErrSyntax, r, start)
+}
+
+func (l *lexer) lexString(quote rune) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+		l.pos += w
+		if r == quote {
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteRune(r)
+	}
+	return token{}, fmt.Errorf("%w: unterminated string starting at offset %d", ErrSyntax, start)
+}
+
+func (l *lexer) lexName() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNamePart(r) {
+			break
+		}
+		l.pos += w
+	}
+	text := l.src[start:l.pos]
+	switch text {
+	case "and":
+		return token{kind: tokAnd, pos: start}, nil
+	case "or":
+		return token{kind: tokOr, pos: start}, nil
+	case "not":
+		return token{kind: tokNot, pos: start}, nil
+	}
+	return token{kind: tokName, text: text, pos: start}, nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,151 @@
+package xpath
+
+// Optimize performs peephole simplification on a compiled program — the
+// paper notes that tree-pattern minimization [21] is complementary to
+// distributed evaluation; this is the fragment of it that pays off at the
+// QList level. Rules (applied to fixpoint):
+//
+//   - ε[q]/ε      →  q's value        (Filter with KTrue test, no cont)
+//   - q ∧ ε, ε ∧ q → q                (KTrue identity for And)
+//   - q ∨ ε        → ε                (KTrue absorbs Or)
+//   - q ∧ q, q ∨ q → q                (idempotence via shared indices)
+//   - ¬¬q          → q
+//
+// Dead entries are then swept, preserving topological order; the root
+// keeps answering the same query (the equivalence is property-tested).
+// Smaller programs mean proportionally less bottomUp work at EVERY node
+// of EVERY fragment, so the win multiplies by |T|.
+func (p *Program) Optimize() *Program {
+	// Work on a copy: the in-place KFilter rewrite must not mutate the
+	// caller's program.
+	cp := &Program{Subs: append([]Subquery(nil), p.Subs...), Source: p.Source}
+	p = cp
+	n := len(p.Subs)
+	// redirect[i] = j means uses of entry i should use entry j instead.
+	redirect := make([]int32, n)
+	for i := range redirect {
+		redirect[i] = int32(i)
+	}
+	resolve := func(i int32) int32 {
+		for redirect[i] != i {
+			i = redirect[i]
+		}
+		return i
+	}
+	isTrue := func(i int32) bool { return i >= 0 && p.Subs[resolve(i)].Kind == KTrue }
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if redirect[i] != int32(i) {
+				continue
+			}
+			s := p.Subs[i]
+			a := s.A
+			if a >= 0 {
+				a = resolve(a)
+			}
+			b := s.B
+			if b >= 0 {
+				b = resolve(b)
+			}
+			switch s.Kind {
+			case KFilter:
+				switch {
+				case isTrue(a) && b < 0:
+					// ε[ε] ≡ ε
+					redirect[i] = a
+					changed = true
+				case isTrue(a) && b >= 0:
+					// ε[ε]/q ≡ q
+					redirect[i] = b
+					changed = true
+				case b >= 0 && isTrue(b):
+					// ε[q]/ε ≡ ε[q]; drop the continuation by rewriting in
+					// place (shape change, not a redirect).
+					if p.Subs[i].B != -1 {
+						p.Subs[i].B = -1
+						changed = true
+					}
+				}
+			case KAnd:
+				switch {
+				case isTrue(a):
+					redirect[i] = b
+					changed = true
+				case isTrue(b):
+					redirect[i] = a
+					changed = true
+				case a == b:
+					redirect[i] = a
+					changed = true
+				}
+			case KOr:
+				switch {
+				case isTrue(a) || isTrue(b):
+					// q ∨ ε ≡ ε: point at whichever side is ε.
+					if isTrue(a) {
+						redirect[i] = a
+					} else {
+						redirect[i] = b
+					}
+					changed = true
+				case a == b:
+					redirect[i] = a
+					changed = true
+				}
+			case KNot:
+				if p.Subs[a].Kind == KNot {
+					redirect[i] = resolve(p.Subs[a].A)
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Sweep: keep entries reachable from the (resolved) root, renumbering.
+	root := resolve(int32(p.Root()))
+	keep := make([]bool, n)
+	var mark func(i int32)
+	mark = func(i int32) {
+		i = resolve(i)
+		if keep[i] {
+			return
+		}
+		keep[i] = true
+		s := p.Subs[i]
+		if s.A >= 0 {
+			mark(s.A)
+		}
+		if s.B >= 0 {
+			mark(s.B)
+		}
+	}
+	mark(root)
+
+	newIdx := make([]int32, n)
+	out := &Program{Source: p.Source}
+	for i := 0; i < n; i++ {
+		if !keep[i] || redirect[i] != int32(i) {
+			newIdx[i] = -1
+			continue
+		}
+		s := p.Subs[i]
+		if s.A >= 0 {
+			s.A = newIdx[resolve(s.A)]
+		}
+		if s.B >= 0 {
+			s.B = newIdx[resolve(s.B)]
+		}
+		newIdx[i] = int32(len(out.Subs))
+		out.Subs = append(out.Subs, s)
+	}
+	// The answer must stay "the last entry": if the resolved root is not
+	// last (a redirect shrank the top), re-wrap it.
+	rootNew := newIdx[root]
+	if int(rootNew) != len(out.Subs)-1 {
+		out.Subs = append(out.Subs, Subquery{Kind: KFilter, A: rootNew, B: -1})
+	}
+	return out
+}

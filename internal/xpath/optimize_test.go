@@ -1,0 +1,155 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func TestOptimizeShrinksTrivialities(t *testing.T) {
+	cases := []struct {
+		src     string
+		maxSize int
+	}{
+		{`. && .`, 2},  // ε∧ε collapses
+		{`.[.]`, 2},    // ε[ε] collapses
+		{`a || .`, 2},  // absorbed by ε
+		{`!(!(a))`, 4}, // double negation
+		{`a && a`, 4},  // idempotent (shared by hash-consing already)
+		{`.//b`, 4},    // leading ε filter folds away
+	}
+	for _, c := range cases {
+		p := MustCompileString(c.src)
+		o := p.Optimize()
+		if err := o.Validate(); err != nil {
+			t.Errorf("%q: optimized program invalid: %v\n%s", c.src, err, o)
+			continue
+		}
+		if o.QListSize() > c.maxSize {
+			t.Errorf("Optimize(%q): %d entries, want ≤ %d\nbefore:\n%safter:\n%s",
+				c.src, o.QListSize(), c.maxSize, p, o)
+		}
+		if o.QListSize() > p.QListSize() {
+			t.Errorf("%q: optimization grew the program (%d → %d)", c.src, p.QListSize(), o.QListSize())
+		}
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := MustCompileString(`a[.] && .`)
+	before := append([]Subquery(nil), p.Subs...)
+	_ = p.Optimize()
+	if len(before) != len(p.Subs) {
+		t.Fatal("Optimize changed the input length")
+	}
+	for i := range before {
+		if before[i] != p.Subs[i] {
+			t.Fatalf("Optimize mutated input entry %d", i)
+		}
+	}
+}
+
+// TestPropOptimizePreservesSemantics: the optimized program answers
+// exactly like the original on random documents — checked through the
+// reference interpreter (raw semantics) to keep the oracle independent.
+func TestPropOptimizePreservesSemantics(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 1 + int(sizeRaw%50)})
+		e := RandomQuery(r, RandomSpec{AllowNot: true})
+		p := Compile(e)
+		o := p.Optimize()
+		if o.Validate() != nil {
+			t.Logf("invalid optimized program for %q", e.String())
+			return false
+		}
+		if o.QListSize() > p.QListSize()+1 { // +1: a re-wrap may add one entry
+			t.Logf("%q grew: %d → %d", e.String(), p.QListSize(), o.QListSize())
+			return false
+		}
+		// Semantics via interpProgram on both (defined below) and EvalRaw.
+		want := EvalRaw(e, tree)
+		if interpProgram(p, tree) != want {
+			t.Logf("compiled program deviates for %q (pre-existing bug?)", e.String())
+			return false
+		}
+		if interpProgram(o, tree) != want {
+			t.Logf("optimized program deviates for %q", e.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// interpProgram is a minimal bottom-up interpreter for compiled programs
+// over complete trees, local to the tests (the real evaluator lives in
+// internal/eval, which xpath cannot import).
+func interpProgram(p *Program, root *xmltree.Node) bool {
+	var rec func(n *xmltree.Node) (v, dv []bool, cv []bool)
+	rec = func(n *xmltree.Node) ([]bool, []bool, []bool) {
+		size := len(p.Subs)
+		cv := make([]bool, size)
+		dv := make([]bool, size)
+		for _, c := range n.Children {
+			if c.Virtual {
+				continue
+			}
+			childV, childDV, _ := rec(c)
+			for i := 0; i < size; i++ {
+				cv[i] = cv[i] || childV[i]
+				dv[i] = dv[i] || childDV[i]
+			}
+		}
+		v := make([]bool, size)
+		for i, sq := range p.Subs {
+			var b bool
+			switch sq.Kind {
+			case KTrue:
+				b = true
+			case KLabel:
+				b = n.Label == sq.Str
+			case KText:
+				b = n.Text == sq.Str
+			case KChild:
+				b = cv[sq.A]
+			case KFilter:
+				b = v[sq.A]
+				if sq.B >= 0 {
+					b = b && v[sq.B]
+				}
+			case KDesc:
+				b = dv[sq.A]
+			case KOr:
+				b = v[sq.A] || v[sq.B]
+			case KAnd:
+				b = v[sq.A] && v[sq.B]
+			case KNot:
+				b = !v[sq.A]
+			}
+			v[i] = b
+			dv[i] = b || dv[i]
+		}
+		return v, dv, cv
+	}
+	v, _, _ := rec(root)
+	return v[p.Root()]
+}
+
+func TestOptimizeOnBenchmarkQueries(t *testing.T) {
+	// The pinned benchmark queries are already minimal: optimization must
+	// not change their size (they define the |QList| axis of the figures).
+	for _, src := range []string{
+		`//stock[code/text() = "yhoo"]`,
+		`label() = site`,
+	} {
+		p := MustCompileString(src)
+		if o := p.Optimize(); o.QListSize() != p.QListSize() {
+			t.Errorf("Optimize(%q) changed size %d → %d", src, p.QListSize(), o.QListSize())
+		}
+	}
+}

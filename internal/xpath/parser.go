@@ -1,0 +1,336 @@
+package xpath
+
+import "fmt"
+
+// Parse parses an XBL query in the surface syntax described in the package
+// comment and returns its raw AST. The outer [ ... ] brackets of the paper's
+// notation are optional.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	bracketed := p.peek().kind == tokLBracket
+	if bracketed {
+		p.next()
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if bracketed {
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed workloads.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1] // EOF
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) error {
+	t := p.peek()
+	if t.kind != k {
+		return fmt.Errorf("%w: expected %s, found %s at offset %d in %q", ErrSyntax, k, t.kind, t.pos, p.src)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("%w: %s at offset %d in %q", ErrSyntax, fmt.Sprintf(format, args...), t.pos, p.src)
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = &Or{Q1: e, Q2: rhs}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = &And{Q1: e, Q2: rhs}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokNot {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Q: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		if t.text == "label" && p.peek2().kind == tokLParen {
+			return p.parseLabelCmp()
+		}
+		if t.text == "text" && p.peek2().kind == tokLParen {
+			// text() = "str" at the context node itself.
+			p.next()
+			if err := p.parseEmptyParens(); err != nil {
+				return nil, err
+			}
+			str, err := p.parseEqString()
+			if err != nil {
+				return nil, err
+			}
+			return &TextCmp{Path: nil, Str: str}, nil
+		}
+		return p.parsePathExpr()
+	case tokSlash, tokDblSlash, tokDot, tokStar:
+		return p.parsePathExpr()
+	default:
+		return nil, p.errorf("expected a query, found %s", t.kind)
+	}
+}
+
+func (p *parser) parseEmptyParens() error {
+	if err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	return p.expect(tokRParen)
+}
+
+func (p *parser) parseEqString() (string, error) {
+	if err := p.expect(tokEq); err != nil {
+		return "", err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return "", p.errorf("expected a quoted string, found %s", t.kind)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseLabelCmp() (Expr, error) {
+	p.next() // "label"
+	if err := p.parseEmptyParens(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEq); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokName, tokString:
+		p.next()
+		return &LabelCmp{Label: t.text}, nil
+	default:
+		return nil, p.errorf("expected a label name, found %s", t.kind)
+	}
+}
+
+// atTextBuiltin reports whether the upcoming tokens are `text ( )`.
+func (p *parser) atTextBuiltin() bool {
+	return p.peek().kind == tokName && p.peek().text == "text" && p.peek2().kind == tokLParen
+}
+
+func (p *parser) atTestStart() bool {
+	switch p.peek().kind {
+	case tokDot, tokStar:
+		return true
+	case tokName:
+		return !p.atTextBuiltin()
+	default:
+		return false
+	}
+}
+
+// parsePathExpr parses a path, including the p/text() = "str" and p = "str"
+// predicate forms, returning a *Path or a *TextCmp.
+func (p *parser) parsePathExpr() (Expr, error) {
+	path := &Path{}
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		path.Rooted = true
+	case tokDblSlash:
+		p.next()
+		st := Step{Kind: StepDescOrSelf}
+		var err error
+		if st.Quals, err = p.parseQuals(); err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, st)
+		// "//[q]/b": a slash may separate the qualified // from the next
+		// step (the inner separator loop handles the same shape mid-path).
+		if p.peek().kind == tokSlash {
+			p.next()
+			if !p.atTestStart() && !p.atTextBuiltin() {
+				return nil, p.errorf("expected a step after '/', found %s", p.peek().kind)
+			}
+		}
+	}
+steps:
+	for {
+		// A path component: the text() terminator, or a test step.
+		if p.atTextBuiltin() {
+			p.next() // "text"
+			if err := p.parseEmptyParens(); err != nil {
+				return nil, err
+			}
+			str, err := p.parseEqString()
+			if err != nil {
+				return nil, err
+			}
+			// ".../text() = str": drop a trivial self path so that
+			// "text() = s" and "./text() = s" agree.
+			if len(path.Steps) == 0 && !path.Rooted {
+				return &TextCmp{Path: nil, Str: str}, nil
+			}
+			return &TextCmp{Path: path, Str: str}, nil
+		}
+		if p.atTestStart() {
+			st := Step{}
+			t := p.next()
+			switch t.kind {
+			case tokDot:
+				st.Kind = StepSelf
+			case tokStar:
+				st.Kind = StepWildcard
+			case tokName:
+				st.Kind = StepLabel
+				st.Label = t.text
+			}
+			var err error
+			if st.Quals, err = p.parseQuals(); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		} else {
+			// No test here: legal only after a trailing "//" (the paper's
+			// abbreviation p1// for p1/ //) or as the bare path "/".
+			n := len(path.Steps)
+			if n > 0 && path.Steps[n-1].Kind == StepDescOrSelf {
+				break
+			}
+			if n == 0 && path.Rooted {
+				break // bare "/" selects the context node itself
+			}
+			return nil, p.errorf("expected a path step, found %s", p.peek().kind)
+		}
+		// Separators: any number of "//" steps (each may carry
+		// qualifiers), then either one "/" leading to the next component
+		// or the end of the path.
+		for {
+			switch p.peek().kind {
+			case tokSlash:
+				p.next()
+				if !p.atTestStart() && !p.atTextBuiltin() {
+					return nil, p.errorf("expected a step after '/', found %s", p.peek().kind)
+				}
+				continue steps
+			case tokDblSlash:
+				p.next()
+				st := Step{Kind: StepDescOrSelf}
+				var err error
+				if st.Quals, err = p.parseQuals(); err != nil {
+					return nil, err
+				}
+				path.Steps = append(path.Steps, st)
+				if p.atTestStart() || p.atTextBuiltin() {
+					continue steps
+				}
+			default:
+				break steps
+			}
+		}
+	}
+	if p.peek().kind == tokEq {
+		str, err := p.parseEqString()
+		if err != nil {
+			return nil, err
+		}
+		return &TextCmp{Path: path, Str: str}, nil
+	}
+	return path, nil
+}
+
+func (p *parser) parseQuals() ([]Expr, error) {
+	var quals []Expr
+	for p.peek().kind == tokLBracket {
+		p.next()
+		q, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		quals = append(quals, q)
+	}
+	return quals, nil
+}

@@ -1,0 +1,107 @@
+package xpath
+
+import "math/rand"
+
+// RandomSpec controls RandomQuery.
+type RandomSpec struct {
+	// Labels is the element vocabulary steps and label() tests draw from.
+	Labels []string
+	// Texts is the vocabulary of text() comparisons.
+	Texts []string
+	// MaxDepth bounds Boolean nesting; MaxSteps bounds path length.
+	MaxDepth, MaxSteps int
+	// AllowNot enables negation (off for workloads that want monotone
+	// queries).
+	AllowNot bool
+}
+
+func (s *RandomSpec) fill() {
+	if len(s.Labels) == 0 {
+		s.Labels = []string{"a", "b", "c", "d", "e"}
+	}
+	if len(s.Texts) == 0 {
+		s.Texts = []string{"x", "y", "z"}
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 3
+	}
+	if s.MaxSteps <= 0 {
+		s.MaxSteps = 4
+	}
+}
+
+// RandomQuery generates a random raw XBL expression, deterministic in r.
+// The distribution is tuned so that on small random documents the answer is
+// true roughly half the time, which keeps differential tests informative.
+func RandomQuery(r *rand.Rand, spec RandomSpec) Expr {
+	spec.fill()
+	return randExpr(r, spec, spec.MaxDepth)
+}
+
+func randExpr(r *rand.Rand, spec RandomSpec, depth int) Expr {
+	if depth <= 0 {
+		return randLeaf(r, spec, 0)
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &And{Q1: randExpr(r, spec, depth-1), Q2: randExpr(r, spec, depth-1)}
+	case 1:
+		return &Or{Q1: randExpr(r, spec, depth-1), Q2: randExpr(r, spec, depth-1)}
+	case 2:
+		if spec.AllowNot {
+			return &Not{Q: randExpr(r, spec, depth-1)}
+		}
+		return randLeaf(r, spec, depth-1)
+	default:
+		return randLeaf(r, spec, depth-1)
+	}
+}
+
+func randLeaf(r *rand.Rand, spec RandomSpec, qualDepth int) Expr {
+	switch r.Intn(8) {
+	case 0:
+		return &LabelCmp{Label: spec.Labels[r.Intn(len(spec.Labels))]}
+	case 1:
+		p := randPath(r, spec, qualDepth)
+		return &TextCmp{Path: p, Str: spec.Texts[r.Intn(len(spec.Texts))]}
+	case 2:
+		return &TextCmp{Path: nil, Str: spec.Texts[r.Intn(len(spec.Texts))]}
+	default:
+		return randPath(r, spec, qualDepth)
+	}
+}
+
+func randPath(r *rand.Rand, spec RandomSpec, qualDepth int) *Path {
+	n := 1 + r.Intn(spec.MaxSteps)
+	p := &Path{Rooted: r.Intn(8) == 0}
+	prevDesc := false
+	for len(p.Steps) < n {
+		var s Step
+		switch r.Intn(10) {
+		case 0:
+			s = Step{Kind: StepSelf}
+		case 1:
+			s = Step{Kind: StepWildcard}
+		case 2, 3:
+			if prevDesc {
+				// Avoid "////": put a test between consecutive //.
+				s = Step{Kind: StepLabel, Label: spec.Labels[r.Intn(len(spec.Labels))]}
+			} else {
+				s = Step{Kind: StepDescOrSelf}
+			}
+		default:
+			s = Step{Kind: StepLabel, Label: spec.Labels[r.Intn(len(spec.Labels))]}
+		}
+		if p.Rooted && len(p.Steps) == 0 && s.Kind == StepDescOrSelf {
+			// The parser cannot produce "///"; keep generated queries
+			// within the parseable surface syntax.
+			s = Step{Kind: StepLabel, Label: spec.Labels[r.Intn(len(spec.Labels))]}
+		}
+		if qualDepth > 0 && r.Intn(4) == 0 {
+			s.Quals = []Expr{randExpr(r, spec, qualDepth-1)}
+		}
+		prevDesc = s.Kind == StepDescOrSelf
+		p.Steps = append(p.Steps, s)
+	}
+	return p
+}

@@ -1,0 +1,146 @@
+package xpath
+
+import "repro/internal/xmltree"
+
+// EvalRaw evaluates a raw XBL expression at node v by direct, set-based
+// interpretation of the AST. It is deliberately naive (it materializes the
+// node sets paths reach) and serves as the reference oracle for the
+// differential property tests: the compiled Program evaluated by Procedure
+// bottomUp must agree with EvalRaw on every tree and query.
+//
+// EvalRaw must only be used on complete trees: virtual nodes have no
+// evaluable content, and the function ignores them entirely (they match no
+// test and have no children).
+func EvalRaw(e Expr, v *xmltree.Node) bool {
+	switch e := e.(type) {
+	case *Path:
+		return len(evalPath(e, v)) > 0
+	case *TextCmp:
+		if e.Path == nil {
+			return !v.Virtual && v.Text == e.Str
+		}
+		for _, u := range evalPath(e.Path, v) {
+			if u.Text == e.Str {
+				return true
+			}
+		}
+		return false
+	case *LabelCmp:
+		return !v.Virtual && v.Label == e.Label
+	case *Not:
+		return !EvalRaw(e.Q, v)
+	case *And:
+		return EvalRaw(e.Q1, v) && EvalRaw(e.Q2, v)
+	case *Or:
+		return EvalRaw(e.Q1, v) || EvalRaw(e.Q2, v)
+	default:
+		panic("xpath: unknown expression type in EvalRaw")
+	}
+}
+
+// nodeSet is an ordered set of nodes (document order is irrelevant for
+// Boolean results; the set property only prevents duplicate work).
+type nodeSet struct {
+	nodes []*xmltree.Node
+	seen  map[*xmltree.Node]bool
+}
+
+func newNodeSet() *nodeSet {
+	return &nodeSet{seen: make(map[*xmltree.Node]bool)}
+}
+
+func (s *nodeSet) add(n *xmltree.Node) {
+	if n.Virtual || s.seen[n] {
+		return
+	}
+	s.seen[n] = true
+	s.nodes = append(s.nodes, n)
+}
+
+// evalPath mirrors the normalization rules of Compile, so both definitions
+// of the semantics coincide by construction of the tests, not by sharing
+// code:
+//
+//   - a step moves to children, except that a label step directly after //
+//     filters the descendant-or-self set in place (Example 2.1), and a
+//     leading "/" makes the first step test the context node itself;
+//   - qualifiers filter the current set;
+//   - // expands to descendant-or-self.
+func evalPath(p *Path, v *xmltree.Node) []*xmltree.Node {
+	cur := newNodeSet()
+	cur.add(v)
+	steps := p.Steps
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		switch s.Kind {
+		case StepSelf:
+			cur = filterSet(cur, func(u *xmltree.Node) bool { return holdAll(s.Quals, u) })
+		case StepWildcard:
+			if i == 0 && p.Rooted {
+				cur = filterSet(cur, func(u *xmltree.Node) bool { return holdAll(s.Quals, u) })
+			} else {
+				cur = childrenOf(cur, func(u *xmltree.Node) bool { return holdAll(s.Quals, u) })
+			}
+		case StepLabel:
+			pred := func(u *xmltree.Node) bool { return u.Label == s.Label && holdAll(s.Quals, u) }
+			if i == 0 && p.Rooted {
+				cur = filterSet(cur, pred)
+			} else {
+				cur = childrenOf(cur, pred)
+			}
+		case StepDescOrSelf:
+			cur = descOrSelf(cur, func(u *xmltree.Node) bool { return holdAll(s.Quals, u) })
+			if i+1 < len(steps) && steps[i+1].Kind == StepLabel {
+				nxt := steps[i+1]
+				cur = filterSet(cur, func(u *xmltree.Node) bool {
+					return u.Label == nxt.Label && holdAll(nxt.Quals, u)
+				})
+				i++
+			}
+		}
+	}
+	return cur.nodes
+}
+
+func holdAll(quals []Expr, u *xmltree.Node) bool {
+	for _, q := range quals {
+		if !EvalRaw(q, u) {
+			return false
+		}
+	}
+	return true
+}
+
+func filterSet(s *nodeSet, pred func(*xmltree.Node) bool) *nodeSet {
+	out := newNodeSet()
+	for _, n := range s.nodes {
+		if pred(n) {
+			out.add(n)
+		}
+	}
+	return out
+}
+
+func childrenOf(s *nodeSet, pred func(*xmltree.Node) bool) *nodeSet {
+	out := newNodeSet()
+	for _, n := range s.nodes {
+		for _, c := range n.Children {
+			if !c.Virtual && pred(c) {
+				out.add(c)
+			}
+		}
+	}
+	return out
+}
+
+func descOrSelf(s *nodeSet, pred func(*xmltree.Node) bool) *nodeSet {
+	out := newNodeSet()
+	for _, n := range s.nodes {
+		n.Walk(func(u *xmltree.Node) {
+			if !u.Virtual && pred(u) {
+				out.add(u)
+			}
+		})
+	}
+	return out
+}

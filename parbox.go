@@ -1,0 +1,417 @@
+// Package parbox is a Go implementation of ParBoX — distributed evaluation
+// of Boolean XPath queries over fragmented XML documents by partial
+// evaluation — reproducing Buneman, Cong, Fan and Kementsietsidis, "Using
+// Partial Evaluation in Distributed Query Evaluation", VLDB 2006.
+//
+// The idea: a document tree is decomposed into fragments stored at
+// different sites; a Boolean XPath query is shipped whole to every site,
+// which partially evaluates it over its fragments in parallel, treating
+// the values at virtual nodes (pointers to remote sub-fragments) as
+// Boolean variables. Each site returns compact Boolean formulas — not
+// data — and the coordinator solves the resulting system of equations.
+// Every site is visited exactly once and total network traffic is
+// O(|q|·card(F)), independent of document size.
+//
+// # Quick start
+//
+//	doc, _ := parbox.ParseXMLString(`<a><b/><c>hi</c></a>`)
+//	forest := parbox.NewForest(doc)
+//	forest.Split(doc.Children[0]) // fragment the <b/> subtree
+//	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+//	q, _ := parbox.ParseQuery(`//b && //c[text() = "hi"]`)
+//	ok, _ := sys.Evaluate(context.Background(), q)
+//
+// Six algorithms are available (AlgoParBoX, AlgoNaiveCentralized,
+// AlgoNaiveDistributed, AlgoHybrid, AlgoFullDist, AlgoLazy); Evaluate uses
+// ParBoX, EvaluateWith selects explicitly and returns the full Report with
+// per-run traffic, visit and timing accounting. Materialize creates an
+// incrementally maintained Boolean XPath view (Section 5 of the paper).
+package parbox
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/views"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Node is one node of an XML document tree; see NewElement, ParseXML and
+// the mutation helpers on the type.
+type Node = xmltree.Node
+
+// FragmentID identifies a fragment of a distributed document.
+type FragmentID = xmltree.FragmentID
+
+// Forest is a fragmented document: fragments linked by virtual nodes.
+type Forest = frag.Forest
+
+// SiteID names a site of the cluster.
+type SiteID = frag.SiteID
+
+// Assignment maps fragments to sites (the paper's function h).
+type Assignment = frag.Assignment
+
+// SourceTree is S_T: where each fragment lives and how fragments nest —
+// the only structure the algorithms need.
+type SourceTree = frag.SourceTree
+
+// Report is the outcome and accounting of one distributed evaluation.
+type Report = core.Report
+
+// CostModel parameterizes the simulated LAN and CPU speeds.
+type CostModel = cluster.CostModel
+
+// MaintenanceCost is the accounting of one view-maintenance operation.
+type MaintenanceCost = views.MaintenanceCost
+
+// UpdateOp is a primitive content update (insert/delete/set-text) for
+// incremental view maintenance.
+type UpdateOp = views.UpdateOp
+
+// Update operation kinds.
+const (
+	OpInsert  = views.OpInsert
+	OpDelete  = views.OpDelete
+	OpSetText = views.OpSetText
+)
+
+// Algorithm names for EvaluateWith.
+const (
+	AlgoParBoX           = core.AlgoParBoX
+	AlgoNaiveCentralized = core.AlgoNaiveCentralized
+	AlgoNaiveDistributed = core.AlgoNaiveDistributed
+	AlgoHybrid           = core.AlgoHybrid
+	AlgoFullDist         = core.AlgoFullDist
+	AlgoLazy             = core.AlgoLazy
+)
+
+// Algorithms lists every implemented algorithm name.
+func Algorithms() []string { return core.Algorithms() }
+
+// NewElement builds an element node with the given label, text content and
+// children.
+func NewElement(label, text string, children ...*Node) *Node {
+	return xmltree.NewElement(label, text, children...)
+}
+
+// ParseXML reads an XML document.
+func ParseXML(r io.Reader) (*Node, error) { return xmltree.ParseXML(r) }
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Node, error) { return xmltree.ParseXMLString(s) }
+
+// WriteXML serializes a document tree as XML.
+func WriteXML(w io.Writer, n *Node) error { return xmltree.WriteXML(w, n) }
+
+// NewForest wraps a document as a single-fragment forest; use
+// Forest.Split to fragment it further.
+func NewForest(root *Node) *Forest { return frag.NewForest(root) }
+
+// Query is a parsed and compiled XBL Boolean XPath query.
+type Query struct {
+	expr xpath.Expr
+	prog *xpath.Program
+}
+
+// ParseQuery parses an XBL query, e.g.
+//
+//	//stock[code = "GOOG" && sell = "376"]
+//
+// Conjunction is "&&"/"and", disjunction "||"/"or", negation "!"/"not";
+// p = "str" abbreviates p/text() = "str"; label() = name tests the
+// context node's label. See the package documentation of the grammar.
+func ParseQuery(src string) (*Query, error) {
+	e, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := xpath.Compile(e)
+	p.Source = src
+	return &Query{expr: e, prog: p}, nil
+}
+
+// MustQuery is ParseQuery panicking on error, for fixed query constants.
+func MustQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the query's surface form.
+func (q *Query) String() string { return q.prog.Source }
+
+// QListSize returns |QList(q)|, the paper's query-size measure.
+func (q *Query) QListSize() int { return q.prog.QListSize() }
+
+// Optimized returns a semantically identical query whose QList has been
+// peephole-minimized (redundant ε-filters, identity conjunctions, double
+// negations removed). Smaller QLists mean proportionally less work at
+// every node of every fragment.
+func (q *Query) Optimized() *Query {
+	return &Query{expr: q.expr, prog: q.prog.Optimize()}
+}
+
+// EvaluateLocal evaluates the query at the root of a complete
+// (unfragmented) document — the paper's optimal centralized algorithm,
+// O(|T|·|q|).
+func EvaluateLocal(root *Node, q *Query) (bool, error) {
+	ans, _, err := eval.Evaluate(root, q.prog)
+	return ans, err
+}
+
+// Option configures Deploy.
+type Option func(*options)
+
+type options struct {
+	cost cluster.CostModel
+}
+
+// WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
+// steps per second, real-sleep mode).
+func WithCostModel(m CostModel) Option {
+	return func(o *options) { o.cost = m }
+}
+
+// System is a deployed fragmented document: an in-process cluster of
+// sites, each holding its assigned fragments and serving the ParBoX
+// protocol.
+type System struct {
+	cluster *cluster.Cluster
+	engine  *core.Engine
+
+	// forest/replicas are retained for Replan on replicated deployments.
+	forest   *Forest
+	replicas ReplicaMap
+}
+
+// Deploy places a forest's fragments onto an in-process cluster per the
+// assignment (every fragment must be assigned) and returns the system
+// ready for queries. The coordinator is the site holding the root
+// fragment.
+func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) {
+	o := options{cost: cluster.DefaultCostModel()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := cluster.New(o.cost)
+	eng, err := core.Deploy(c, forest, assign)
+	if err != nil {
+		return nil, err
+	}
+	for _, siteID := range eng.SourceTree().Sites() {
+		site, _ := c.Site(siteID)
+		views.RegisterHandlers(site, c)
+	}
+	return &System{cluster: c, engine: eng}, nil
+}
+
+// AddSite creates an additional (initially empty) site with the full
+// protocol registered, e.g. as the target of a View.Split re-assignment.
+func (s *System) AddSite(id SiteID) {
+	site := s.cluster.AddSite(id)
+	core.RegisterHandlers(site, s.cluster, s.cluster.Cost())
+	views.RegisterHandlers(site, s.cluster)
+}
+
+// Evaluate runs the query with the ParBoX algorithm and returns the
+// Boolean answer.
+func (s *System) Evaluate(ctx context.Context, q *Query) (bool, error) {
+	rep, err := s.engine.ParBoX(ctx, q.prog)
+	if err != nil {
+		return false, err
+	}
+	return rep.Answer, nil
+}
+
+// EvaluateWith runs the query with the named algorithm and returns the
+// full report.
+func (s *System) EvaluateWith(ctx context.Context, algo string, q *Query) (Report, error) {
+	return s.engine.Run(ctx, algo, q.prog)
+}
+
+// SelectionResult is the outcome of a distributed data-selection query.
+type SelectionResult = core.SelectReport
+
+// Select evaluates a data-selection path query (the Section 8 extension):
+// the result identifies every selected node by its fragment and
+// child-index path within that fragment. Pass 1 is ordinary ParBoX; pass 2
+// propagates the path automaton top-down, skipping fragments no match can
+// reach.
+func (s *System) Select(ctx context.Context, pathQuery string) (SelectionResult, error) {
+	sp, err := xpath.CompileSelectString(pathQuery)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	return s.engine.SelectParBoX(ctx, sp)
+}
+
+// BatchResult is the outcome of one batch evaluation round.
+type BatchResult = core.BatchReport
+
+// EvaluateBatch answers many Boolean queries with a single ParBoX round:
+// the queries compile into one shared QList (overlapping subexpressions
+// are evaluated once per node), each site is visited once for the whole
+// batch, and one equation solve yields every answer — the natural mode
+// for a dissemination system's subscription set.
+func (s *System) EvaluateBatch(ctx context.Context, queries []*Query) (BatchResult, error) {
+	exprs := make([]xpath.Expr, len(queries))
+	for i, q := range queries {
+		exprs[i] = q.expr
+	}
+	prog, roots := xpath.CompileBatch(exprs)
+	return s.engine.ParBoXBatch(ctx, prog, roots)
+}
+
+// CountResult is the outcome of a distributed COUNT aggregation.
+type CountResult = core.CountReport
+
+// Count counts the nodes a path query selects without shipping their
+// identities anywhere — the Section 8 aggregation remark realized:
+// traffic stays O(|q|·card(F)) no matter how many nodes match.
+func (s *System) Count(ctx context.Context, pathQuery string) (CountResult, error) {
+	sp, err := xpath.CompileSelectString(pathQuery)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return s.engine.CountParBoX(ctx, sp)
+}
+
+// SourceTree returns the deployed document's source tree.
+func (s *System) SourceTree() *SourceTree { return s.engine.SourceTree() }
+
+// Coordinator returns the coordinating site (the root fragment's site).
+func (s *System) Coordinator() SiteID { return s.engine.Coordinator() }
+
+// TotalBytes returns the cumulative remote traffic since deployment (or
+// the last ResetMetrics).
+func (s *System) TotalBytes() int64 { return s.cluster.Metrics().TotalBytes() }
+
+// ResetMetrics clears the cluster-wide accounting.
+func (s *System) ResetMetrics() { s.cluster.Metrics().Reset() }
+
+// MetricsTable renders the per-site accounting as a table.
+func (s *System) MetricsTable() string { return s.cluster.Metrics().String() }
+
+// View is a materialized, incrementally maintained Boolean XPath view.
+type View struct {
+	v *views.View
+}
+
+// Materialize computes and caches the query's answer as a view
+// (Section 5): subsequent Answer calls are free; Update/Split/Merge
+// maintain it with recomputation localized to the changed fragment.
+func (s *System) Materialize(ctx context.Context, q *Query) (*View, error) {
+	v, err := views.Materialize(ctx, s.cluster, s.engine.Coordinator(), s.engine.SourceTree(), q.prog)
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: v}, nil
+}
+
+// Answer returns the cached answer.
+func (v *View) Answer() bool { return v.v.Answer() }
+
+// Update applies content updates to one fragment and incrementally
+// maintains the answer; only that fragment's site is contacted.
+func (v *View) Update(ctx context.Context, id FragmentID, ops []UpdateOp) (MaintenanceCost, error) {
+	return v.v.Update(ctx, id, ops)
+}
+
+// Split moves the subtree at path (child indices from the fragment root)
+// into a new fragment assigned to target; the answer is unaffected.
+func (v *View) Split(ctx context.Context, id FragmentID, path []int, target SiteID) (FragmentID, MaintenanceCost, error) {
+	return v.v.Split(ctx, id, path, target)
+}
+
+// Merge absorbs sub-fragment child into fragment id.
+func (v *View) Merge(ctx context.Context, id, child FragmentID) (MaintenanceCost, error) {
+	return v.v.Merge(ctx, id, child)
+}
+
+// PathOf computes the child-index path addressing a node within its
+// fragment, for use with View.Update and View.Split.
+func PathOf(node *Node) []int { return views.PathOf(node) }
+
+// ReplicaMap lists, per fragment, every site holding a copy.
+type ReplicaMap = core.ReplicaMap
+
+// PlacementStrategy selects replicas before a query runs.
+type PlacementStrategy = core.PlacementStrategy
+
+// Replica placement strategies.
+const (
+	// PlaceFirst uses each fragment's first listed replica.
+	PlaceFirst = core.PlaceFirst
+	// PlaceMinSites minimizes the number of sites consulted.
+	PlaceMinSites = core.PlaceMinSites
+	// PlaceBalanced minimizes the largest per-site data share (the
+	// paper's parallel-computation bound).
+	PlaceBalanced = core.PlaceBalanced
+)
+
+// DeployReplicated stores every replica of every fragment at its sites
+// and returns a system whose queries run against the placement chosen by
+// the strategy. Because ParBoX never moves data, switching strategies is
+// free: call Replan.
+func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStrategy, opts ...Option) (*System, error) {
+	o := options{cost: cluster.DefaultCostModel()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := cluster.New(o.cost)
+	eng, err := core.DeployReplicated(c, forest, replicas, strategy)
+	if err != nil {
+		return nil, err
+	}
+	for _, siteID := range c.Sites() {
+		site, _ := c.Site(siteID)
+		views.RegisterHandlers(site, c)
+	}
+	sys := &System{cluster: c, engine: eng}
+	sys.forest = forest
+	sys.replicas = replicas
+	return sys, nil
+}
+
+// Replan switches a replicated system to a different placement strategy
+// without moving any data.
+func (s *System) Replan(strategy PlacementStrategy) error {
+	if s.replicas == nil {
+		return fmt.Errorf("parbox: Replan requires a system deployed with DeployReplicated")
+	}
+	eng, err := core.Replan(s.cluster, s.forest, s.replicas, strategy)
+	if err != nil {
+		return err
+	}
+	s.engine = eng
+	return nil
+}
+
+// DefaultCostModel returns the cost model mimicking the paper's testbed.
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// BuildSourceTree derives a source tree from a forest and an assignment,
+// for callers wiring their own transports (see cmd/parbox-site for the
+// TCP deployment).
+func BuildSourceTree(f *Forest, assign Assignment) (*SourceTree, error) {
+	return frag.BuildSourceTree(f, assign)
+}
+
+// ValidateQuery parses a query and reports the error, for CLI input
+// checking.
+func ValidateQuery(src string) error {
+	_, err := xpath.Parse(src)
+	if err != nil {
+		return fmt.Errorf("invalid query: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package parbox
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func deployPortfolio(t *testing.T) (*System, *Node) {
+	t.Helper()
+	forest, orig, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1", 2: "S2", 3: "S2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, orig
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	doc, err := ParseXMLString(`<a><b/><c>hi</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`//b && //c[text() = "hi"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sys.Evaluate(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("quickstart query should be true")
+	}
+}
+
+func TestEvaluateWithAllAlgorithms(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+	for _, src := range []string{
+		`//stock[code = "YHOO"]`,
+		`//stock[code = "MSFT"]`,
+		`//broker && //market`,
+	} {
+		q := MustQuery(src)
+		want, err := EvaluateLocal(orig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range Algorithms() {
+			rep, err := sys.EvaluateWith(ctx, algo, q)
+			if err != nil {
+				t.Errorf("%s(%q): %v", algo, src, err)
+				continue
+			}
+			if rep.Answer != want {
+				t.Errorf("%s(%q) = %v, want %v", algo, src, rep.Answer, want)
+			}
+		}
+	}
+}
+
+func TestSystemViewLifecycle(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	q := MustQuery(`//stock[code = "GOOG" && sell = "376"]`)
+	view, err := sys.Materialize(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Answer() {
+		t.Fatal("initially false")
+	}
+	// F3 is Bache's NASDAQ market: market(name, stock(code,buy,sell), ...)
+	// The GOOG sell node is child 1 (stock), child 2 (sell).
+	if _, err := view.Update(ctx, 3, []UpdateOp{{Op: OpSetText, Path: []int{1, 2}, Text: "376"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Answer() {
+		t.Error("view did not flip after the price update")
+	}
+}
+
+func TestMetricsSurface(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	sys.ResetMetrics()
+	if _, err := sys.Evaluate(context.Background(), MustQuery(`//stock`)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalBytes() == 0 {
+		t.Error("no traffic recorded")
+	}
+	if !strings.Contains(sys.MetricsTable(), "S2") {
+		t.Error("metrics table missing S2")
+	}
+	if sys.Coordinator() != "S0" {
+		t.Errorf("coordinator = %s, want S0", sys.Coordinator())
+	}
+	if sys.SourceTree().Count() != 4 {
+		t.Errorf("source tree count = %d", sys.SourceTree().Count())
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	if _, err := ParseQuery(`a &&`); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := ValidateQuery(`a &&`); err == nil {
+		t.Error("ValidateQuery accepted a bad query")
+	}
+	if err := ValidateQuery(`//a`); err != nil {
+		t.Errorf("ValidateQuery rejected a good query: %v", err)
+	}
+	if got := MustQuery(`//a && //b`).QListSize(); got < 5 {
+		t.Errorf("QListSize = %d", got)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	doc := NewElement("r", "")
+	forest := NewForest(doc)
+	if _, err := Deploy(forest, Assignment{}); err == nil {
+		t.Error("missing assignment must fail")
+	}
+}
+
+func TestEvaluateBatch(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+	srcs := []string{
+		`//stock[code = "YHOO"]`,
+		`//stock[code = "MSFT"]`,
+		`//market[name = "NYSE"]`,
+	}
+	queries := make([]*Query, len(srcs))
+	for i, s := range srcs {
+		queries[i] = MustQuery(s)
+	}
+	batch, err := sys.EvaluateBatch(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, err := EvaluateLocal(orig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Answers[i] != want {
+			t.Errorf("batch[%d] = %v, want %v", i, batch.Answers[i], want)
+		}
+	}
+	if batch.Visits["S1"] != 1 || batch.Visits["S2"] != 1 {
+		t.Errorf("batch visits = %v", batch.Visits)
+	}
+}
+
+func TestQueryOptimized(t *testing.T) {
+	q := MustQuery(`. && (a || .)`)
+	o := q.Optimized()
+	if o.QListSize() > q.QListSize() {
+		t.Errorf("Optimized grew: %d → %d", q.QListSize(), o.QListSize())
+	}
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+	for _, qq := range []*Query{MustQuery(`//stock[code = "YHOO"] && .`), MustQuery(`!(!( //market ))`)} {
+		want, err := EvaluateLocal(orig, qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.Evaluate(ctx, qq.Optimized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("optimized %q = %v, want %v", qq, got, want)
+		}
+	}
+}
