@@ -142,7 +142,7 @@ func BenchmarkTable4Guarantees(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, r := range rows {
-			if r.Algorithm == "parbox" {
+			if r.Algorithm == core.AlgoParBoX {
 				parboxVisits = float64(r.MaxVisitsPerSite)
 			}
 		}
@@ -273,6 +273,68 @@ func BenchmarkSelectEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSelectRepeated quantifies what the prepared-query API fixes:
+// the legacy Select entry point re-parses and re-compiles the path query
+// on every call, while Exec on a Prepared reuses the automaton cached at
+// first use — repeated calls perform zero recompilation. The spread shows
+// up directly in allocs/op.
+func BenchmarkSelectRepeated(b *testing.B) {
+	sys, _ := deployPortfolio(b)
+	ctx := context.Background()
+	const src = `//stock[code = "YHOO"]`
+
+	b.Run("legacy-recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Select(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		q := MustPrepare(src)
+		if _, err := sys.Exec(ctx, q, WithMode(ModeSelect)); err != nil {
+			b.Fatal(err) // warm the cache outside the timed loop
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Exec(ctx, q, WithMode(ModeSelect)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCountRepeated is the aggregation twin of BenchmarkSelectRepeated.
+func BenchmarkCountRepeated(b *testing.B) {
+	sys, _ := deployPortfolio(b)
+	ctx := context.Background()
+	const src = `//stock`
+
+	b.Run("legacy-recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Count(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		q := MustPrepare(src)
+		if _, err := sys.Exec(ctx, q, WithMode(ModeCount)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Exec(ctx, q, WithMode(ModeCount)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkSolve(b *testing.B) {

@@ -201,7 +201,7 @@ func cmdRun(args []string) error {
 	mb := fs.Float64("mb", 0, "generate a document of this size instead of reading -doc")
 	n := fs.Int("n", 4, "number of fragments")
 	nsites := fs.Int("sites", 3, "number of simulated sites")
-	algo := fs.String("algo", core.AlgoParBoX, "algorithm: "+strings.Join(core.Algorithms(), "|"))
+	algoName := fs.String("algo", core.AlgoParBoX.String(), "algorithm: "+strings.Join(core.AlgorithmNames(), "|"))
 	query := fs.String("q", "", "Boolean XPath query (required)")
 	seed := fs.Int64("seed", 1, "seed")
 	verbose := fs.Bool("v", false, "print per-site metrics")
@@ -210,8 +210,11 @@ func cmdRun(args []string) error {
 	if *query == "" {
 		return fmt.Errorf("-q is required")
 	}
+	algo, err := parseAlgoFlag(*algoName)
+	if err != nil {
+		return err
+	}
 	var doc *xmltree.Node
-	var err error
 	switch {
 	case *mb > 0:
 		doc = xmark.Generate(xmark.Spec{Seed: *seed, MB: *mb})
@@ -265,7 +268,7 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	rep, err := eng.Run(context.Background(), *algo, prog)
+	rep, err := eng.Run(context.Background(), algo, prog)
 	if err != nil {
 		return err
 	}
@@ -279,6 +282,17 @@ func cmdRun(args []string) error {
 		fmt.Println(c.Metrics().String())
 	}
 	return nil
+}
+
+// parseAlgoFlag resolves a -algo flag value; ParseAlgorithm's error
+// already names every valid algorithm, so the user sees the full set
+// instead of a bare rejection.
+func parseAlgoFlag(name string) (core.Algorithm, error) {
+	algo, err := core.ParseAlgorithm(name)
+	if err != nil {
+		return 0, fmt.Errorf("bad -algo: %w", err)
+	}
+	return algo, nil
 }
 
 func printReport(rep core.Report) {
@@ -319,12 +333,16 @@ func sortedSites(m map[frag.SiteID]int64) []frag.SiteID {
 func cmdRemote(args []string) error {
 	fs := flag.NewFlagSet("remote", flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "manifest file (required)")
-	algo := fs.String("algo", core.AlgoParBoX, "algorithm: "+strings.Join(core.Algorithms(), "|"))
+	algoName := fs.String("algo", core.AlgoParBoX.String(), "algorithm: "+strings.Join(core.AlgorithmNames(), "|"))
 	query := fs.String("q", "", "Boolean XPath query (required)")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline")
 	fs.Parse(args)
 	if *manifestPath == "" || *query == "" {
 		return fmt.Errorf("-manifest and -q are required")
+	}
+	algo, err := parseAlgoFlag(*algoName)
+	if err != nil {
+		return err
 	}
 	m, err := manifest.ParseFile(*manifestPath)
 	if err != nil {
@@ -379,7 +397,7 @@ func cmdRemote(args []string) error {
 	eng := core.NewEngine(tr, coordEntry.Site, st, cost)
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	rep, err := eng.Run(ctx, *algo, prog)
+	rep, err := eng.Run(ctx, algo, prog)
 	if err != nil {
 		return err
 	}

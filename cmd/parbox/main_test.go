@@ -44,13 +44,24 @@ func TestRunInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range core.Algorithms() {
-		if err := cmdRun([]string{"-doc", doc, "-n", "4", "-sites", "3", "-algo", algo, "-q", `//item[quantity]`}); err != nil {
+		if err := cmdRun([]string{"-doc", doc, "-n", "4", "-sites", "3", "-algo", algo.String(), "-q", `//item[quantity]`}); err != nil {
 			t.Errorf("run -algo %s: %v", algo, err)
 		}
 	}
 	// Generate on the fly with -mb.
 	if err := cmdRun([]string{"-mb", "0.2", "-q", `//person`}); err != nil {
 		t.Errorf("run -mb: %v", err)
+	}
+	// A bad -algo must be rejected with the full valid set in the error.
+	err := cmdRun([]string{"-doc", doc, "-algo", "bogus", "-q", `//person`})
+	if err == nil {
+		t.Error("run accepted -algo bogus")
+	} else {
+		for _, name := range core.AlgorithmNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("bad-algo error %q does not name %q", err, name)
+			}
+		}
 	}
 	if err := cmdRun([]string{"-doc", doc}); err == nil {
 		t.Error("run without -q accepted")

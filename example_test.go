@@ -7,37 +7,56 @@ import (
 	parbox "repro"
 )
 
-// The quick-start flow: fragment, deploy, evaluate.
-func ExampleDeploy() {
+// The quick-start flow: fragment, deploy, prepare once, execute.
+func ExampleSystem_Exec() {
 	doc, _ := parbox.ParseXMLString(`<a><b/><c>hi</c></a>`)
 	forest := parbox.NewForest(doc)
 	forest.Split(doc.Children[0]) // <b/> becomes fragment 1
 	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
 
-	q, _ := parbox.ParseQuery(`//b && //c[text() = "hi"]`)
-	ok, _ := sys.Evaluate(context.Background(), q)
-	fmt.Println(ok)
+	q, _ := parbox.Prepare(`//b && //c[text() = "hi"]`)
+	res, _ := sys.Exec(context.Background(), q)
+	fmt.Println(res.Answer)
 	// Output: true
+}
+
+// Functional options select the algorithm; the prepared query is compiled
+// once and shared by every call.
+func ExampleWithAlgorithm() {
+	doc, _ := parbox.ParseXMLString(`<a><b/><c>hi</c></a>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[0])
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+
+	q, _ := parbox.Prepare(`//b`)
+	for _, algo := range []parbox.Algorithm{parbox.AlgoParBoX, parbox.AlgoFullDist} {
+		res, _ := sys.Exec(context.Background(), q, parbox.WithAlgorithm(algo))
+		fmt.Printf("%s: %v\n", res.Algorithm, res.Answer)
+	}
+	// Output:
+	// parbox: true
+	// fulldist: true
 }
 
 // Queries compile to the paper's QList; its size is the |q| of all cost
 // bounds.
-func ExampleParseQuery() {
-	q, _ := parbox.ParseQuery(`//stock[code/text() = "YHOO"]`)
+func ExamplePrepare() {
+	q, _ := parbox.Prepare(`//stock[code/text() = "YHOO"]`)
 	fmt.Println(q.QListSize())
 	// Output: 10
 }
 
 // A materialized Boolean XPath view maintained incrementally: only the
 // updated fragment's site is contacted.
-func ExampleSystem_Materialize() {
+func ExampleModeMaterialize() {
 	doc, _ := parbox.ParseXMLString(`<portfolio><stock><code>GOOG</code><sell>373</sell></stock></portfolio>`)
 	forest := parbox.NewForest(doc)
 	forest.Split(doc.Children[0]) // the stock subtree → fragment 1
 	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "desktop", 1: "nasdaq"})
 
 	ctx := context.Background()
-	view, _ := sys.Materialize(ctx, parbox.MustQuery(`//stock[sell = "376"]`))
+	res, _ := sys.Exec(ctx, parbox.MustPrepare(`//stock[sell = "376"]`), parbox.WithMode(parbox.ModeMaterialize))
+	view := res.View
 	fmt.Println(view.Answer())
 
 	// The price ticks at the nasdaq site: stock/sell is child 1.
@@ -49,25 +68,43 @@ func ExampleSystem_Materialize() {
 }
 
 // Data selection (Section 8): locate matching nodes without moving data.
-func ExampleSystem_Select() {
+func ExampleModeSelect() {
 	doc, _ := parbox.ParseXMLString(`<lib><book><t>A</t></book><book><t>B</t></book></lib>`)
 	forest := parbox.NewForest(doc)
 	forest.Split(doc.Children[1])
 	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
 
-	res, _ := sys.Select(context.Background(), `//book[t = "B"]`)
-	fmt.Println(res.Count)
+	q, _ := parbox.Prepare(`//book[t = "B"]`)
+	res, _ := sys.Exec(context.Background(), q, parbox.WithMode(parbox.ModeSelect))
+	fmt.Println(res.Matched)
 	// Output: 1
 }
 
 // COUNT aggregation ships a single integer per fragment.
-func ExampleSystem_Count() {
+func ExampleModeCount() {
 	doc, _ := parbox.ParseXMLString(`<lib><book/><book/><book/></lib>`)
 	forest := parbox.NewForest(doc)
 	forest.Split(doc.Children[2])
 	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
 
-	res, _ := sys.Count(context.Background(), `//book`)
-	fmt.Println(res.Count)
+	q, _ := parbox.Prepare(`//book`)
+	res, _ := sys.Exec(context.Background(), q, parbox.WithMode(parbox.ModeCount))
+	fmt.Println(res.Matched)
 	// Output: 3
+}
+
+// A whole subscription set is answered in one ParBoX round: one shared
+// QList, one visit per site, one solve.
+func ExampleWithBatch() {
+	doc, _ := parbox.ParseXMLString(`<lib><book><t>A</t></book><book><t>B</t></book></lib>`)
+	forest := parbox.NewForest(doc)
+	forest.Split(doc.Children[1])
+	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
+
+	a, _ := parbox.Prepare(`//book[t = "A"]`)
+	b, _ := parbox.Prepare(`//book[t = "B"]`)
+	c, _ := parbox.Prepare(`//book[t = "C"]`)
+	res, _ := sys.Exec(context.Background(), a, parbox.WithBatch(b, c))
+	fmt.Println(res.Answers)
+	// Output: [true true false]
 }

@@ -38,21 +38,22 @@ func main() {
 
 	// Ad-hoc query, evaluated by partial evaluation — each site visited
 	// once, no stock data leaves its site.
-	q := parbox.MustQuery(`//stock[code = "YHOO"]`)
-	rep, err := sys.EvaluateWith(ctx, parbox.AlgoParBoX, q)
+	q := parbox.MustPrepare(`//stock[code = "YHOO"]`)
+	res, err := sys.Exec(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n[ad-hoc] holds YHOO? %v  (%d bytes moved, visits %v)\n",
-		rep.Answer, rep.Bytes, rep.Visits)
+		res.Answer, res.Bytes, res.Visits)
 
 	// The standing query of the introduction: notify when GOOG can be
-	// sold at 376.
-	watch := parbox.MustQuery(`//stock[code = "GOOG" && sell = "376"]`)
-	view, err := sys.Materialize(ctx, watch)
+	// sold at 376 — the materialize mode turns it into a maintained view.
+	watch := parbox.MustPrepare(`//stock[code = "GOOG" && sell = "376"]`)
+	wres, err := sys.Exec(ctx, watch, parbox.WithMode(parbox.ModeMaterialize))
 	if err != nil {
 		log.Fatal(err)
 	}
+	view := wres.View
 	fmt.Printf("\n[view] %s → %v\n", watch, view.Answer())
 
 	// NASDAQ ticks: Bache's GOOG sell price moves 373 → 376. Fragment F3

@@ -53,15 +53,15 @@ func main() {
 
 	// The whole subscription set is answered in ONE ParBoX round: the
 	// queries share a QList, each site is visited once for the batch.
-	queries := make([]*parbox.Query, len(subscriptions))
+	queries := make([]*parbox.Prepared, len(subscriptions))
 	for i, sub := range subscriptions {
-		q, err := parbox.ParseQuery(sub)
+		q, err := parbox.Prepare(sub)
 		if err != nil {
 			log.Fatalf("%s: %v", sub, err)
 		}
 		queries[i] = q
 	}
-	batch, err := sys.EvaluateBatch(ctx, queries)
+	batch, err := sys.Exec(ctx, queries[0], parbox.WithBatch(queries[1:]...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,13 +78,14 @@ func main() {
 	// For fired subscriptions a dissemination system needs the matching
 	// elements, not just a bit: the selection extension finds them without
 	// moving the document either.
-	sel, err := sys.Select(ctx, `//item[location = "Kenya"]/name`)
+	kenya := parbox.MustPrepare(`//item[location = "Kenya"]/name`)
+	sel, err := sys.Exec(ctx, kenya, parbox.WithMode(parbox.ModeSelect))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmatching Kenyan item names: %d nodes", sel.Count)
+	fmt.Printf("\nmatching Kenyan item names: %d nodes", sel.Matched)
 	shown := 0
-	for fragID, paths := range sel.Paths {
+	for fragID, paths := range sel.Selection.Paths {
 		fr, _ := forest.Fragment(fragID)
 		for _, p := range paths {
 			node := fr.Root

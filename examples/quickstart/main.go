@@ -47,23 +47,28 @@ func main() {
 	}
 
 	ctx := context.Background()
-	q := parbox.MustQuery(`//book[title = "Partial Evaluation" && price = "35"]`)
+
+	// The query is prepared once; every Exec below reuses the compiled
+	// program.
+	q := parbox.MustPrepare(`//book[title = "Partial Evaluation" && price = "35"]`)
 	fmt.Printf("query: %s  (|QList| = %d)\n\n", q, q.QListSize())
 
 	for _, algo := range parbox.Algorithms() {
-		rep, err := sys.EvaluateWith(ctx, algo, q)
+		res, err := sys.Exec(ctx, q, parbox.WithAlgorithm(algo))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-9s answer=%-5v traffic=%4d bytes  visits=%v\n",
-			rep.Algorithm, rep.Answer, rep.Bytes, rep.Visits)
+			res.Algorithm, res.Answer, res.Bytes, res.Visits)
 	}
 
-	// Data selection (the Section 8 extension): which nodes match?
-	sel, err := sys.Select(ctx, `//book[price = "50"]/title`)
+	// Data selection (the Section 8 extension): which nodes match? The
+	// same entry point, switched by mode.
+	sel := parbox.MustPrepare(`//book[price = "50"]/title`)
+	res, err := sys.Exec(ctx, sel, parbox.WithMode(parbox.ModeSelect))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nselection //book[price=50]/title: %d node(s), per fragment: %v\n",
-		sel.Count, sel.Paths)
+		res.Matched, res.Selection.Paths)
 }

@@ -45,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ctx := context.Background()
-	q := parbox.MustQuery(`//item[quantity = "1"] && //open_auction[bidder/increase = "9.00"]`)
+	q := parbox.MustPrepare(`//item[quantity = "1"] && //open_auction[bidder/increase = "9.00"]`)
 
 	fmt.Printf("query: %s\n\n%-11s %12s %10s %s\n", q, "placement", "model time", "traffic", "sites consulted")
 	for _, strategy := range []parbox.PlacementStrategy{
@@ -54,7 +54,7 @@ func main() {
 		if err := sys.Replan(strategy); err != nil {
 			log.Fatal(err)
 		}
-		rep, err := sys.EvaluateWith(ctx, parbox.AlgoParBoX, q)
+		res, err := sys.Exec(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func main() {
 			names = append(names, string(s))
 		}
 		fmt.Printf("%-11v %12v %9dB %d: %v\n",
-			strategy, rep.SimTime.Round(1000), rep.Bytes, len(names), names)
+			strategy, res.SimTime.Round(1000), res.Bytes, len(names), names)
 	}
 	fmt.Println("\nmin-sites consults the fewest machines; balanced splits the big")
 	fmt.Println("fragment's work away from the small ones for the shortest makespan.")

@@ -53,21 +53,21 @@ func main() {
 	fmt.Printf("version history: %d versions chained over %d archive servers\n\n", versions, versions)
 	fmt.Printf("%-28s %10s %12s %12s\n", "query target", "algorithm", "model time", "visits")
 	for _, target := range []int{0, versions / 2, versions - 1} {
-		q := parbox.MustQuery(fmt.Sprintf(`//beacon[text() = "version-%d"]`, target))
-		for _, algo := range []string{parbox.AlgoParBoX, parbox.AlgoLazy} {
-			rep, err := sys.EvaluateWith(ctx, algo, q)
+		q := parbox.MustPrepare(fmt.Sprintf(`//beacon[text() = "version-%d"]`, target))
+		for _, algo := range []parbox.Algorithm{parbox.AlgoParBoX, parbox.AlgoLazy} {
+			res, err := sys.Exec(ctx, q, parbox.WithAlgorithm(algo))
 			if err != nil {
 				log.Fatal(err)
 			}
-			if !rep.Answer {
+			if !res.Answer {
 				log.Fatalf("version %d not found", target)
 			}
 			visited := 0
-			for _, v := range rep.Visits {
+			for _, v := range res.Visits {
 				visited += int(v)
 			}
 			fmt.Printf("version-%-20d %10s %12v %12d\n",
-				target, rep.Algorithm, rep.SimTime.Round(1000), visited)
+				target, res.Algorithm, res.SimTime.Round(1000), visited)
 		}
 	}
 	fmt.Println("\nLazyParBoX touches only the archives above the target version;")

@@ -1,0 +1,291 @@
+package parbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/views"
+	"repro/internal/xpath"
+)
+
+// Mode selects what an Exec call computes from a prepared query.
+type Mode uint8
+
+const (
+	// ModeBoolean answers the query true/false — the paper's core
+	// problem. The default mode; every algorithm supports it.
+	ModeBoolean Mode = iota
+	// ModeSelect locates every node a path query selects (Section 8
+	// extension); results are fragment-local child-index paths, no data
+	// moves. ParBoX only.
+	ModeSelect
+	// ModeCount counts the nodes a path query selects without shipping
+	// their identities anywhere (Section 8 aggregation remark). ParBoX
+	// only.
+	ModeCount
+	// ModeMaterialize installs the query as an incrementally maintained
+	// Boolean view (Section 5) and returns it in Result.View. ParBoX
+	// only.
+	ModeMaterialize
+
+	numModes // sentinel; keep last
+)
+
+// Valid reports whether m names an implemented mode.
+func (m Mode) Valid() bool { return m < numModes }
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBoolean:
+		return "boolean"
+	case ModeSelect:
+		return "select"
+	case ModeCount:
+		return "count"
+	case ModeMaterialize:
+		return "materialize"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ExecOption configures one Exec call.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	algo       Algorithm
+	mode       Mode
+	timeout    time.Duration
+	timeoutSet bool
+	trace      io.Writer
+	batch      []*Prepared
+	batchSet   bool
+}
+
+// WithAlgorithm selects the evaluation algorithm (default AlgoParBoX).
+// Modes other than ModeBoolean run only under AlgoParBoX.
+func WithAlgorithm(a Algorithm) ExecOption {
+	return func(c *execConfig) { c.algo = a }
+}
+
+// WithMode selects what the call computes (default ModeBoolean).
+func WithMode(m Mode) ExecOption {
+	return func(c *execConfig) { c.mode = m }
+}
+
+// WithTimeout bounds the whole call: the context handed to the transport
+// carries the deadline, so in-flight site calls are cancelled when it
+// expires. A zero or negative duration is an already-expired deadline —
+// the call fails immediately, matching a caller passing its remaining
+// budget.
+func WithTimeout(d time.Duration) ExecOption {
+	return func(c *execConfig) { c.timeout = d; c.timeoutSet = true }
+}
+
+// WithTrace logs every remote message the coordinator exchanges during
+// this run to w, one line per call in completion order. Site-to-site hops
+// of the recursive algorithms (AlgoFullDist, AlgoNaiveDistributed) happen
+// behind the sites' own transport and are not logged.
+func WithTrace(w io.Writer) ExecOption {
+	return func(c *execConfig) { c.trace = w }
+}
+
+// WithBatch evaluates additional Boolean queries in the same ParBoX
+// round: all queries compile into one shared QList (overlapping
+// subexpressions are evaluated once per node), each site is visited once
+// for the whole batch, and one equation solve yields every answer —
+// Result.Answers holds them in order, the primary query first. The call
+// runs as a batch (Result.Batch, Result.Answers filled) even with zero
+// extra queries. ModeBoolean and AlgoParBoX only.
+//
+// The shared QList is compiled from the queries' parsed forms per call —
+// parsing is reused from each Prepared, but the combined program is not
+// cached across calls. Re-executing a large standing batch at high
+// frequency pays that compile each time; a cached batch artifact is
+// future work.
+func WithBatch(more ...*Prepared) ExecOption {
+	return func(c *execConfig) { c.batch = append(c.batch, more...); c.batchSet = true }
+}
+
+// Result is the unified outcome of one Exec call: the per-mode report
+// plus common accounting, so callers can meter any mode the same way.
+type Result struct {
+	// Mode and Algorithm echo what ran (AlgoHybrid reports the branch it
+	// took as-is, i.e. Algorithm stays AlgoHybrid).
+	Mode      Mode
+	Algorithm Algorithm
+
+	// Answer is the Boolean answer (ModeBoolean and ModeMaterialize; for
+	// batched runs, the primary query's answer).
+	Answer bool
+	// Answers holds every answer of a batched run, primary query first.
+	Answers []bool
+	// Matched is the number of selected nodes (ModeSelect, ModeCount).
+	Matched int64
+
+	// Common accounting, filled from the per-mode report.
+	Bytes      int64
+	Messages   int64
+	TotalSteps int64
+	Visits     map[SiteID]int64
+	SimTime    time.Duration
+	// Duration is the measured wall-clock time of the whole call.
+	Duration time.Duration
+
+	// Per-mode reports; exactly one is non-nil.
+	Boolean   *Report
+	Batch     *BatchResult
+	Selection *SelectionResult
+	Counting  *CountResult
+	View      *View
+}
+
+func (r *Result) account(sim time.Duration, bytes, messages, steps int64, visits map[SiteID]int64) {
+	r.SimTime = sim
+	r.Bytes = bytes
+	r.Messages = messages
+	r.TotalSteps = steps
+	// Copy: the per-mode report keeps its own map, so a caller mutating
+	// Result.Visits cannot corrupt the raw report (or vice versa).
+	if visits != nil {
+		r.Visits = make(map[SiteID]int64, len(visits))
+		for k, v := range visits {
+			r.Visits[k] = v
+		}
+	}
+}
+
+// Exec runs a prepared query against the deployed document. With no
+// options it is the paper's headline configuration: ModeBoolean under
+// AlgoParBoX. Exec is safe for concurrent use — any number of calls, of
+// any mix of modes and algorithms, may run against one System at once;
+// each run keeps its own accounting and the sites key any cached protocol
+// state by a unique run identifier.
+func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Result, error) {
+	if q == nil {
+		return nil, errors.New("parbox: Exec requires a prepared query (see Prepare)")
+	}
+	cfg := execConfig{algo: AlgoParBoX}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.algo.Valid() {
+		return nil, fmt.Errorf("parbox: invalid algorithm %v", cfg.algo)
+	}
+	if !cfg.mode.Valid() {
+		return nil, fmt.Errorf("parbox: invalid mode %v", cfg.mode)
+	}
+	// Only AlgoParBoX implements the non-Boolean modes and batching.
+	if cfg.algo != AlgoParBoX && (cfg.mode != ModeBoolean || cfg.batchSet) {
+		what := cfg.mode.String() + " mode"
+		if cfg.batchSet {
+			what = "batched execution"
+		}
+		return nil, fmt.Errorf("parbox: %s supports only %v, not %v", what, AlgoParBoX, cfg.algo)
+	}
+	if cfg.mode != ModeBoolean && cfg.batchSet {
+		return nil, fmt.Errorf("parbox: WithBatch applies only to %v mode", ModeBoolean)
+	}
+	if cfg.timeoutSet {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	eng := s.eng()
+	var tracer *cluster.Tracer
+	tr := cluster.Transport(s.cluster)
+	if cfg.trace != nil {
+		// Route this run's coordinator through a tracing transport. The
+		// engine is just a view over (transport, coordinator, source
+		// tree), so a per-run engine costs nothing and other concurrent
+		// Exec calls stay untraced.
+		tracer = cluster.NewTracer()
+		tr = &cluster.TracingTransport{Inner: s.cluster, Tracer: tracer}
+		eng = core.NewEngine(tr, eng.Coordinator(), eng.SourceTree(), s.cluster.Cost())
+		// Flush whatever was traced even when the run fails — a failing
+		// run is exactly when the message log matters.
+		defer func() { fmt.Fprint(cfg.trace, tracer.String()) }()
+	}
+
+	res := &Result{Mode: cfg.mode, Algorithm: cfg.algo}
+	start := time.Now()
+	switch cfg.mode {
+	case ModeBoolean:
+		if cfg.batchSet {
+			exprs := make([]xpath.Expr, 0, 1+len(cfg.batch))
+			exprs = append(exprs, q.expr)
+			for _, extra := range cfg.batch {
+				if extra == nil {
+					return nil, errors.New("parbox: WithBatch given a nil query")
+				}
+				exprs = append(exprs, extra.expr)
+			}
+			prog, roots := xpath.CompileBatch(exprs)
+			rep, err := eng.ParBoXBatch(ctx, prog, roots)
+			if err != nil {
+				return nil, err
+			}
+			res.Batch = &rep
+			// Copy, like Visits in account: the raw report keeps its own
+			// slice so callers can post-process Result.Answers freely.
+			res.Answers = append([]bool(nil), rep.Answers...)
+			res.Answer = rep.Answers[0]
+			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+		} else {
+			rep, err := eng.Run(ctx, cfg.algo, q.program())
+			if err != nil {
+				return nil, err
+			}
+			res.Boolean = &rep
+			res.Answer = rep.Answer
+			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+		}
+	case ModeSelect:
+		sp, err := q.selectProgram()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.SelectParBoX(ctx, sp)
+		if err != nil {
+			return nil, err
+		}
+		res.Selection = &rep
+		res.Matched = int64(rep.Count)
+		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+	case ModeCount:
+		sp, err := q.selectProgram()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.CountParBoX(ctx, sp)
+		if err != nil {
+			return nil, err
+		}
+		res.Counting = &rep
+		res.Matched = rep.Count
+		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+	case ModeMaterialize:
+		meter := core.NewMeteredTransport(tr)
+		v, err := views.Materialize(ctx, meter, eng.Coordinator(), eng.SourceTree(), q.program())
+		if err != nil {
+			return nil, err
+		}
+		// The view outlives this run: hand it the durable transport so
+		// maintenance traffic does not keep flowing through this run's
+		// metering/tracing wrappers.
+		v.SetTransport(s.cluster)
+		var rep Report
+		meter.Fill(&rep)
+		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+		res.View = &View{v: v}
+		res.Answer = v.Answer()
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

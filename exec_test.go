@@ -1,0 +1,136 @@
+package parbox
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentTracedFullDist pins a run-key regression: WithTrace (and
+// Replan) build fresh per-run engines, so the FullDist run sequence must
+// be process-wide — a per-engine counter makes concurrent traced runs
+// collide on the sites' keyed run state ("no state for run" errors, or
+// silently swapped triplets).
+func TestConcurrentTracedFullDist(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	q := MustPrepare(`//stock[code = "YHOO"]`)
+	want, err := EvaluateLocal(orig, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				res, err := sys.Exec(context.Background(), q,
+					WithAlgorithm(AlgoFullDist), WithTrace(io.Discard))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Answer != want {
+					t.Errorf("answer = %v, want %v", res.Answer, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentExec fires a mixed workload — Boolean queries under every
+// algorithm, selections, counts, batches — from many goroutines against
+// one System, as a dissemination service under concurrent traffic would.
+// Every answer must be correct and the per-run accounting must add up:
+// the sum of the runs' Bytes must equal the cluster-wide metered traffic,
+// proving no run's accounting bleeds into another's. Run with -race.
+func TestConcurrentExec(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+
+	boolSrcs := []string{
+		`//stock[code = "YHOO"]`,
+		`//stock[code = "MSFT"]`,
+		`//broker && //market`,
+		`//market[name = "NYSE"]`,
+	}
+	boolQs := make([]*Prepared, len(boolSrcs))
+	wants := make([]bool, len(boolSrcs))
+	for i, src := range boolSrcs {
+		boolQs[i] = MustPrepare(src)
+		w, err := EvaluateLocal(orig, boolQs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+	selQ := MustPrepare(`//stock`)
+	wantMatched, err := sys.Exec(ctx, selQ, WithMode(ModeCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.ResetMetrics()
+	var totalBytes atomic.Int64
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 6; iter++ {
+				// Boolean, rotating over queries × algorithms.
+				qi := (w + iter) % len(boolQs)
+				algo := Algorithms()[(w*7+iter)%len(Algorithms())]
+				res, err := sys.Exec(ctx, boolQs[qi], WithAlgorithm(algo))
+				if err != nil {
+					t.Errorf("worker %d: %v(%q): %v", w, algo, boolSrcs[qi], err)
+					return
+				}
+				if res.Answer != wants[qi] {
+					t.Errorf("worker %d: %v(%q) = %v, want %v", w, algo, boolSrcs[qi], res.Answer, wants[qi])
+				}
+				totalBytes.Add(res.Bytes)
+
+				// Selection and count share the one cached automaton.
+				mode := ModeSelect
+				if iter%2 == 1 {
+					mode = ModeCount
+				}
+				mres, err := sys.Exec(ctx, selQ, WithMode(mode))
+				if err != nil {
+					t.Errorf("worker %d: %v: %v", w, mode, err)
+					return
+				}
+				if mres.Matched != wantMatched.Matched {
+					t.Errorf("worker %d: %v matched %d, want %d", w, mode, mres.Matched, wantMatched.Matched)
+				}
+				totalBytes.Add(mres.Bytes)
+
+				// A small batch round.
+				bres, err := sys.Exec(ctx, boolQs[0], WithBatch(boolQs[1:]...))
+				if err != nil {
+					t.Errorf("worker %d: batch: %v", w, err)
+					return
+				}
+				for i, ans := range bres.Answers {
+					if ans != wants[i] {
+						t.Errorf("worker %d: batch[%d] = %v, want %v", w, i, ans, wants[i])
+					}
+				}
+				totalBytes.Add(bres.Bytes)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Per-run accounting is keyed to the run: summed over all concurrent
+	// runs it must reproduce the cluster's global traffic meter exactly.
+	if got := sys.TotalBytes(); got != totalBytes.Load() {
+		t.Errorf("metrics drift: cluster metered %d bytes, runs reported %d", got, totalBytes.Load())
+	}
+}

@@ -22,16 +22,16 @@ func TestCostModelOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.EvaluateWith(context.Background(), AlgoParBoX, MustQuery(`//a`))
+	res, err := sys.Exec(context.Background(), MustPrepare(`//a`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rep.Answer {
+	if !res.Answer {
 		t.Error("expected true")
 	}
 	// At 1 kB/s and 5 ms latency even the tiny exchange models ≥ 10 ms.
-	if rep.SimTime < 10*time.Millisecond {
-		t.Errorf("custom cost model ignored: SimTime = %v", rep.SimTime)
+	if res.SimTime < 10*time.Millisecond {
+		t.Errorf("custom cost model ignored: SimTime = %v", res.SimTime)
 	}
 	d := DefaultCostModel()
 	if d.StepsPerSecond <= 0 || d.BytesPerSecond <= 0 {
@@ -106,5 +106,68 @@ func TestSelectAndCountFacadeErrors(t *testing.T) {
 	}
 	if _, err := sys.Count(ctx, `bad[`); err == nil {
 		t.Error("bad query accepted by Count")
+	}
+}
+
+func TestExecTimeoutOption(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	// An already-expired timeout must cancel the run before any site call,
+	// including the zero/negative durations a budget-computing caller
+	// produces past its deadline.
+	for _, d := range []time.Duration{time.Nanosecond, 0, -time.Second} {
+		if _, err := sys.Exec(context.Background(), MustPrepare(`//stock`), WithTimeout(d)); err == nil {
+			t.Errorf("expired timeout %v did not fail the call", d)
+		}
+	}
+	// A generous timeout must not interfere.
+	res, err := sys.Exec(context.Background(), MustPrepare(`//stock`), WithTimeout(time.Minute))
+	if err != nil || !res.Answer {
+		t.Errorf("Exec with timeout = %+v, %v", res, err)
+	}
+}
+
+func TestExecTraceOption(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	var sb strings.Builder
+	res, err := sys.Exec(context.Background(), MustPrepare(`//stock`), WithTrace(&sb))
+	if err != nil || !res.Answer {
+		t.Fatalf("Exec with trace = %+v, %v", res, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "parbox.evalQual") || !strings.Contains(out, "S1") {
+		t.Errorf("trace missing expected calls:\n%s", out)
+	}
+	// The trace is per-call: an untraced Exec must not extend it.
+	if _, err := sys.Exec(context.Background(), MustPrepare(`//stock`)); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != out {
+		t.Error("untraced Exec appended to an earlier call's trace")
+	}
+}
+
+func TestExecTraceReleasesView(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	var sb strings.Builder
+	res, err := sys.Exec(ctx, MustPrepare(`//stock[sell = "376"]`),
+		WithMode(ModeMaterialize), WithTrace(&sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := sb.String()
+	if traced == "" {
+		t.Error("materialize run produced no trace")
+	}
+	// The view outlives the run on the durable transport: maintenance
+	// must not extend the finished run's trace.
+	if _, err := res.View.Update(ctx, 3, []UpdateOp{{Op: OpSetText, Path: []int{1, 2}, Text: "376"}}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != traced {
+		t.Error("view maintenance appended to the materialize run's trace")
+	}
+	if !res.View.Answer() {
+		t.Error("view did not maintain after the transport handoff")
 	}
 }

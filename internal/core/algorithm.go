@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algorithm identifies one of the implemented distributed evaluation
+// algorithms. The zero value is AlgoParBoX, the paper's headline
+// algorithm, so an unset algorithm option always means "the good one".
+type Algorithm uint8
+
+const (
+	// AlgoParBoX is Algorithm ParBoX (Section 3): partial evaluation,
+	// every site visited exactly once, O(|q|·card(F)) traffic.
+	AlgoParBoX Algorithm = iota
+	// AlgoNaiveCentralized ships every fragment to the coordinator and
+	// evaluates centrally (Section 3 baseline).
+	AlgoNaiveCentralized
+	// AlgoNaiveDistributed is the sequential distributed bottom-up
+	// traversal (Section 3 baseline).
+	AlgoNaiveDistributed
+	// AlgoHybrid is HybridParBoX (Section 4): ParBoX until the
+	// formula-vs-data tipping point, NaiveCentralized past it.
+	AlgoHybrid
+	// AlgoFullDist is FullDistParBoX (Section 4): distributed evalST, no
+	// coordinator bottleneck.
+	AlgoFullDist
+	// AlgoLazy is LazyParBoX (Section 4): level-by-level evaluation with
+	// early exit.
+	AlgoLazy
+
+	numAlgorithms // sentinel; keep last
+)
+
+// algorithmNames maps each Algorithm to its canonical surface name, as
+// printed by String, accepted by ParseAlgorithm, and used in CLI flags.
+var algorithmNames = [numAlgorithms]string{
+	AlgoParBoX:           "parbox",
+	AlgoNaiveCentralized: "central",
+	AlgoNaiveDistributed: "distrib",
+	AlgoHybrid:           "hybrid",
+	AlgoFullDist:         "fulldist",
+	AlgoLazy:             "lazy",
+}
+
+// String returns the algorithm's canonical name.
+func (a Algorithm) String() string {
+	if !a.Valid() {
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+	return algorithmNames[a]
+}
+
+// Valid reports whether a names an implemented algorithm.
+func (a Algorithm) Valid() bool { return a < numAlgorithms }
+
+// Algorithms lists every implemented algorithm.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, numAlgorithms)
+	for i := range out {
+		out[i] = Algorithm(i)
+	}
+	return out
+}
+
+// AlgorithmNames lists the canonical names of every implemented
+// algorithm, in the Algorithms order.
+func AlgorithmNames() []string {
+	return append([]string(nil), algorithmNames[:]...)
+}
+
+// ParseAlgorithm maps a canonical name (case-insensitive) back to its
+// Algorithm. The error of an unknown name includes the valid set.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for a, name := range algorithmNames {
+		if name == want {
+			return Algorithm(a), nil
+		}
+	}
+	// No "core:" prefix: the facade and CLI surface this text verbatim.
+	return 0, fmt.Errorf("unknown algorithm %q (valid: %s)", s, strings.Join(algorithmNames[:], ", "))
+}

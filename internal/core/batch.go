@@ -89,14 +89,10 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 		SolveWork: work,
 	}
 	rec.steps += work
-	rec.mu.Lock()
-	rep.Bytes = rec.bytes
-	rep.Messages = rec.messages
-	rep.TotalSteps = rec.steps
-	rep.Visits = make(map[frag.SiteID]int64, len(rec.visits))
-	for k, v := range rec.visits {
-		rep.Visits[k] = v
-	}
-	rec.mu.Unlock()
+	a := rec.snapshot()
+	rep.Bytes = a.bytes
+	rep.Messages = a.messages
+	rep.TotalSteps = a.steps
+	rep.Visits = a.visits
 	return rep, nil
 }

@@ -329,7 +329,7 @@ func TestErrorPaths(t *testing.T) {
 	ctx := context.Background()
 	prog := xpath.MustCompileString(fig2Queries[0])
 
-	if _, err := eng.Run(ctx, "nosuch", prog); err == nil {
+	if _, err := eng.Run(ctx, Algorithm(99), prog); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 

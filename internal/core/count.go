@@ -23,13 +23,15 @@ const KindCount = "parbox.count"
 
 // CountReport is the outcome of a distributed COUNT query.
 type CountReport struct {
-	Count      int64
-	PerSite    map[frag.SiteID]int64
+	Count   int64
+	PerSite map[frag.SiteID]int64
+	// Accounting, as in Report.
 	SimTime    time.Duration
 	Wall       time.Duration
 	Bytes      int64
 	Messages   int64
 	TotalSteps int64
+	Visits     map[frag.SiteID]int64
 }
 
 // CountParBoX counts the nodes a path query selects, without materializing
@@ -152,11 +154,11 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	}
 	rep.SimTime = sim
 	rep.Wall = time.Since(start)
-	rec.mu.Lock()
-	rep.Bytes = rec.bytes
-	rep.Messages = rec.messages
-	rep.TotalSteps = rec.steps
-	rec.mu.Unlock()
+	a := rec.snapshot()
+	rep.Bytes = a.bytes
+	rep.Messages = a.messages
+	rep.TotalSteps = a.steps
+	rep.Visits = a.visits
 	return rep, nil
 }
 

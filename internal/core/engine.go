@@ -14,25 +14,10 @@ import (
 	"repro/internal/xpath"
 )
 
-// Algorithm names, as reported in Report.Algorithm and accepted by Run.
-const (
-	AlgoParBoX           = "parbox"
-	AlgoNaiveCentralized = "central"
-	AlgoNaiveDistributed = "distrib"
-	AlgoHybrid           = "hybrid"
-	AlgoFullDist         = "fulldist"
-	AlgoLazy             = "lazy"
-)
-
-// Algorithms lists every implemented algorithm name.
-func Algorithms() []string {
-	return []string{AlgoParBoX, AlgoNaiveCentralized, AlgoNaiveDistributed, AlgoHybrid, AlgoFullDist, AlgoLazy}
-}
-
 // Report is the outcome of one distributed evaluation: the answer plus the
 // accounting the paper's experiments plot.
 type Report struct {
-	Algorithm string
+	Algorithm Algorithm
 	Answer    bool
 	// SimTime is the deterministic modeled elapsed (parallel) time: network
 	// transfers per the cost model plus per-site computation at
@@ -62,9 +47,14 @@ type Engine struct {
 	coord frag.SiteID
 	st    *frag.SourceTree
 	cost  cluster.CostModel
-
-	runSeq atomic.Int64
 }
+
+// runSeq issues process-wide unique run sequence numbers. It is shared by
+// every Engine: engines are cheap per-run views over (transport,
+// coordinator, source tree) that may be created concurrently against the
+// same sites, so a per-engine counter would collide on the sites' keyed
+// run state.
+var runSeq atomic.Int64
 
 // NewEngine builds an engine for the document described by st, coordinated
 // from site coord. The cost model must match the one the sites were
@@ -79,8 +69,11 @@ func (e *Engine) SourceTree() *frag.SourceTree { return e.st }
 // Coordinator returns the coordinating site.
 func (e *Engine) Coordinator() frag.SiteID { return e.coord }
 
-// Run dispatches to the named algorithm.
-func (e *Engine) Run(ctx context.Context, algo string, prog *xpath.Program) (Report, error) {
+// Run dispatches to the given algorithm. Run (and every per-algorithm
+// method it dispatches to) is safe for concurrent use: each run owns its
+// recorder, and the state FullDistParBoX caches at the sites is keyed by a
+// unique run key.
+func (e *Engine) Run(ctx context.Context, algo Algorithm, prog *xpath.Program) (Report, error) {
 	switch algo {
 	case AlgoParBoX:
 		return e.ParBoX(ctx, prog)
@@ -95,7 +88,7 @@ func (e *Engine) Run(ctx context.Context, algo string, prog *xpath.Program) (Rep
 	case AlgoLazy:
 		return e.Lazy(ctx, prog)
 	default:
-		return Report{}, fmt.Errorf("core: unknown algorithm %q", algo)
+		return Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
 	}
 }
 
@@ -121,16 +114,32 @@ func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost) {
 	}
 }
 
-func (r *recorder) fill(rep *Report) {
+// accounting is a consistent copy of a recorder's counters; every report
+// type fills its common fields from one snapshot so the copy rules live
+// in a single place.
+type accounting struct {
+	bytes    int64
+	messages int64
+	steps    int64
+	visits   map[frag.SiteID]int64
+}
+
+func (r *recorder) snapshot() accounting {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rep.Bytes = r.bytes
-	rep.Messages = r.messages
-	rep.TotalSteps = r.steps
-	rep.Visits = make(map[frag.SiteID]int64, len(r.visits))
+	visits := make(map[frag.SiteID]int64, len(r.visits))
 	for k, v := range r.visits {
-		rep.Visits[k] = v
+		visits[k] = v
 	}
+	return accounting{bytes: r.bytes, messages: r.messages, steps: r.steps, visits: visits}
+}
+
+func (r *recorder) fill(rep *Report) {
+	a := r.snapshot()
+	rep.Bytes = a.bytes
+	rep.Messages = a.messages
+	rep.TotalSteps = a.steps
+	rep.Visits = a.visits
 }
 
 // call is a thin wrapper recording accounting.
@@ -389,7 +398,7 @@ func (e *Engine) Hybrid(ctx context.Context, prog *xpath.Program) (Report, error
 func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, error) {
 	start := time.Now()
 	rec := newRecorder()
-	runKey := fmt.Sprintf("%s-%d", e.coord, e.runSeq.Add(1))
+	runKey := fmt.Sprintf("%s-%d", e.coord, runSeq.Add(1))
 	sites := e.st.Sites()
 
 	// Stage 2 (parallel): evalQual with caching.

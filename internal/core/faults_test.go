@@ -62,7 +62,7 @@ func TestAlgorithmsSurfaceSiteFailure(t *testing.T) {
 func TestAlgorithmsSurfaceCorruptResponses(t *testing.T) {
 	prog := xpath.MustCompileString(`//stock[code = "YHOO"]`)
 	ctx := context.Background()
-	for algo, kind := range map[string]string{
+	for algo, kind := range map[Algorithm]string{
 		AlgoParBoX:           KindEvalQual,
 		AlgoNaiveCentralized: KindFetchFragments,
 		AlgoNaiveDistributed: KindEvalFragDist,
@@ -114,11 +114,11 @@ func TestConcurrentQueries(t *testing.T) {
 	ctx := context.Background()
 	type job struct {
 		src  string
-		algo string
+		algo Algorithm
 	}
 	var jobs []job
 	for _, src := range fig2Queries {
-		for _, algo := range []string{AlgoParBoX, AlgoFullDist, AlgoLazy} {
+		for _, algo := range []Algorithm{AlgoParBoX, AlgoFullDist, AlgoLazy} {
 			jobs = append(jobs, job{src, algo})
 		}
 	}

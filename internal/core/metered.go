@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frag"
+)
+
+// MeteredTransport wraps a transport and accumulates the standard per-run
+// accounting (the recorder's rules: self-calls are free, remote calls
+// count request+response bytes, two messages and one visit) for callers
+// driving operations that do not report their own accounting, e.g. view
+// materialization. The modeled time is the sum of call costs, matching a
+// sequential request loop.
+type MeteredTransport struct {
+	inner cluster.Transport
+	rec   *recorder
+
+	mu  sync.Mutex
+	sim time.Duration
+}
+
+// NewMeteredTransport wraps inner with accounting.
+func NewMeteredTransport(inner cluster.Transport) *MeteredTransport {
+	return &MeteredTransport{inner: inner, rec: newRecorder()}
+}
+
+// Call forwards to the wrapped transport, recording successful calls.
+func (m *MeteredTransport) Call(ctx context.Context, from, to frag.SiteID, req cluster.Request) (cluster.Response, cluster.CallCost, error) {
+	resp, cost, err := m.inner.Call(ctx, from, to, req)
+	if err != nil {
+		return resp, cost, err
+	}
+	m.rec.record(from, to, cost)
+	m.mu.Lock()
+	m.sim += cost.Total()
+	m.mu.Unlock()
+	return resp, cost, nil
+}
+
+// Fill copies the observed accounting into a Report.
+func (m *MeteredTransport) Fill(rep *Report) {
+	m.rec.fill(rep)
+	m.mu.Lock()
+	rep.SimTime = m.sim
+	m.mu.Unlock()
+}

@@ -62,7 +62,7 @@ func TestReplicatedCorrectAcrossStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", strategy, err)
 		}
-		for _, algo := range []string{AlgoParBoX, AlgoFullDist, AlgoLazy} {
+		for _, algo := range []Algorithm{AlgoParBoX, AlgoFullDist, AlgoLazy} {
 			rep, err := eng2.Run(ctx, algo, prog)
 			if err != nil {
 				t.Errorf("%v/%s: %v", strategy, algo, err)

@@ -169,15 +169,11 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	}
 	rep.SimTime = sim
 	rep.Wall = time.Since(start)
-	rec.mu.Lock()
-	rep.Bytes = rec.bytes
-	rep.Messages = rec.messages
-	rep.TotalSteps = rec.steps
-	rep.Visits = make(map[frag.SiteID]int64, len(rec.visits))
-	for k, v := range rec.visits {
-		rep.Visits[k] = v
-	}
-	rec.mu.Unlock()
+	a := rec.snapshot()
+	rep.Bytes = a.bytes
+	rep.Messages = a.messages
+	rep.TotalSteps = a.steps
+	rep.Visits = a.visits
 	return rep, nil
 }
 

@@ -233,7 +233,7 @@ func fig2Exp(cfg Config, name, title string, target func(n int) int) (*Figure, e
 		}
 		prog := xpath.MustCompileString(xmark.BeaconQuery(target(n)))
 		row := Row{X: float64(n), Values: make(map[string]float64)}
-		for series, algo := range map[string]string{
+		for series, algo := range map[string]core.Algorithm{
 			"ParBox":   core.AlgoParBoX,
 			"FDParBox": core.AlgoFullDist,
 			"LZParBox": core.AlgoLazy,
@@ -344,7 +344,7 @@ func Fig13(cfg Config) (*Figure, error) {
 
 // Table4Row is one measured row of the paper's Fig. 4 summary table.
 type Table4Row struct {
-	Algorithm string
+	Algorithm core.Algorithm
 	// MaxVisitsPerSite is the highest per-site visit count observed; the
 	// paper's "Visits" column (1 for ParBoX/NaiveCentralized/Hybrid,
 	// card(F_Si) for the others).

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 )
 
 // testConfig keeps compute dominant over latency (as at the paper's scale)
@@ -193,27 +194,27 @@ func TestTable4Guarantees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	byAlgo := make(map[string]Table4Row)
+	byAlgo := make(map[core.Algorithm]Table4Row)
 	for _, r := range rows {
 		byAlgo[r.Algorithm] = r
 	}
 	// ParBoX: every site visited exactly once, even the one storing two
 	// fragments.
-	if r := byAlgo["parbox"]; r.MaxVisitsPerSite != 1 || r.VisitsAtSharedSite != 1 {
+	if r := byAlgo[core.AlgoParBoX]; r.MaxVisitsPerSite != 1 || r.VisitsAtSharedSite != 1 {
 		t.Errorf("parbox visits: %+v", r)
 	}
 	// NaiveDistributed and FullDist visit the shared site once per
 	// fragment stored there.
-	if r := byAlgo["distrib"]; r.VisitsAtSharedSite != 2 {
+	if r := byAlgo[core.AlgoNaiveDistributed]; r.VisitsAtSharedSite != 2 {
 		t.Errorf("distrib visits at shared site = %d, want 2", r.VisitsAtSharedSite)
 	}
-	if r := byAlgo["fulldist"]; r.VisitsAtSharedSite < 2 {
+	if r := byAlgo[core.AlgoFullDist]; r.VisitsAtSharedSite < 2 {
 		t.Errorf("fulldist visits at shared site = %d, want ≥ 2", r.VisitsAtSharedSite)
 	}
 	// Communication: centralized ships data, dwarfing ParBoX.
-	if byAlgo["central"].Bytes < 5*byAlgo["parbox"].Bytes {
+	if byAlgo[core.AlgoNaiveCentralized].Bytes < 5*byAlgo[core.AlgoParBoX].Bytes {
 		t.Errorf("central bytes %d vs parbox %d: data shipping should dominate",
-			byAlgo["central"].Bytes, byAlgo["parbox"].Bytes)
+			byAlgo[core.AlgoNaiveCentralized].Bytes, byAlgo[core.AlgoParBoX].Bytes)
 	}
 	if s := FormatTable4(rows); !strings.Contains(s, "parbox") {
 		t.Error("table rendering broken")

@@ -75,6 +75,15 @@ func Materialize(ctx context.Context, tr cluster.Transport, home frag.SiteID,
 	return v, nil
 }
 
+// SetTransport replaces the transport used by subsequent maintenance
+// calls. Callers that materialize through a per-run wrapper (tracing,
+// metering) use it to hand the long-lived view the durable transport.
+func (v *View) SetTransport(tr cluster.Transport) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.tr = tr
+}
+
 // Answer returns the cached answer — reading a materialized view costs
 // nothing.
 func (v *View) Answer() bool {

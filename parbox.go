@@ -18,20 +18,32 @@
 //	forest := parbox.NewForest(doc)
 //	forest.Split(doc.Children[0]) // fragment the <b/> subtree
 //	sys, _ := parbox.Deploy(forest, parbox.Assignment{0: "S0", 1: "S1"})
-//	q, _ := parbox.ParseQuery(`//b && //c[text() = "hi"]`)
-//	ok, _ := sys.Evaluate(context.Background(), q)
+//	q, _ := parbox.Prepare(`//b && //c[text() = "hi"]`)
+//	res, _ := sys.Exec(context.Background(), q)
+//	fmt.Println(res.Answer)
 //
-// Six algorithms are available (AlgoParBoX, AlgoNaiveCentralized,
-// AlgoNaiveDistributed, AlgoHybrid, AlgoFullDist, AlgoLazy); Evaluate uses
-// ParBoX, EvaluateWith selects explicitly and returns the full Report with
-// per-run traffic, visit and timing accounting. Materialize creates an
-// incrementally maintained Boolean XPath view (Section 5 of the paper).
+// Prepare compiles a query once; System.Exec is the single execution
+// entry point, configured with functional options:
+//
+//	sys.Exec(ctx, q, parbox.WithAlgorithm(parbox.AlgoFullDist)) // pick an algorithm
+//	sys.Exec(ctx, q, parbox.WithMode(parbox.ModeSelect))        // locate matching nodes
+//	sys.Exec(ctx, q, parbox.WithMode(parbox.ModeCount))         // count them, traffic-free
+//	sys.Exec(ctx, q, parbox.WithBatch(q2, q3))                  // many queries, one round
+//	sys.Exec(ctx, q, parbox.WithMode(parbox.ModeMaterialize))   // standing view (Result.View)
+//	sys.Exec(ctx, q, parbox.WithTimeout(time.Second), parbox.WithTrace(os.Stderr))
+//
+// Exec is safe for concurrent use: many calls, of any mix of modes and
+// algorithms, may run against one System at once. Six algorithms are
+// available (AlgoParBoX, AlgoNaiveCentralized, AlgoNaiveDistributed,
+// AlgoHybrid, AlgoFullDist, AlgoLazy); ParseAlgorithm maps their surface
+// names, Algorithms lists them.
 package parbox
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -62,7 +74,8 @@ type Assignment = frag.Assignment
 // the only structure the algorithms need.
 type SourceTree = frag.SourceTree
 
-// Report is the outcome and accounting of one distributed evaluation.
+// Report is the outcome and accounting of one distributed Boolean
+// evaluation.
 type Report = core.Report
 
 // CostModel parameterizes the simulated LAN and CPU speeds.
@@ -82,7 +95,11 @@ const (
 	OpSetText = views.OpSetText
 )
 
-// Algorithm names for EvaluateWith.
+// Algorithm identifies one of the implemented evaluation algorithms; pass
+// one to WithAlgorithm. The zero value is AlgoParBoX.
+type Algorithm = core.Algorithm
+
+// The implemented algorithms.
 const (
 	AlgoParBoX           = core.AlgoParBoX
 	AlgoNaiveCentralized = core.AlgoNaiveCentralized
@@ -92,8 +109,13 @@ const (
 	AlgoLazy             = core.AlgoLazy
 )
 
-// Algorithms lists every implemented algorithm name.
-func Algorithms() []string { return core.Algorithms() }
+// Algorithms lists every implemented algorithm.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ParseAlgorithm maps an algorithm's surface name ("parbox", "central",
+// "distrib", "hybrid", "fulldist", "lazy") to its Algorithm; the error of
+// an unknown name lists the valid set.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
 // NewElement builds an element node with the given label, text content and
 // children.
@@ -114,57 +136,11 @@ func WriteXML(w io.Writer, n *Node) error { return xmltree.WriteXML(w, n) }
 // Forest.Split to fragment it further.
 func NewForest(root *Node) *Forest { return frag.NewForest(root) }
 
-// Query is a parsed and compiled XBL Boolean XPath query.
-type Query struct {
-	expr xpath.Expr
-	prog *xpath.Program
-}
-
-// ParseQuery parses an XBL query, e.g.
-//
-//	//stock[code = "GOOG" && sell = "376"]
-//
-// Conjunction is "&&"/"and", disjunction "||"/"or", negation "!"/"not";
-// p = "str" abbreviates p/text() = "str"; label() = name tests the
-// context node's label. See the package documentation of the grammar.
-func ParseQuery(src string) (*Query, error) {
-	e, err := xpath.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	p := xpath.Compile(e)
-	p.Source = src
-	return &Query{expr: e, prog: p}, nil
-}
-
-// MustQuery is ParseQuery panicking on error, for fixed query constants.
-func MustQuery(src string) *Query {
-	q, err := ParseQuery(src)
-	if err != nil {
-		panic(err)
-	}
-	return q
-}
-
-// String returns the query's surface form.
-func (q *Query) String() string { return q.prog.Source }
-
-// QListSize returns |QList(q)|, the paper's query-size measure.
-func (q *Query) QListSize() int { return q.prog.QListSize() }
-
-// Optimized returns a semantically identical query whose QList has been
-// peephole-minimized (redundant ε-filters, identity conjunctions, double
-// negations removed). Smaller QLists mean proportionally less work at
-// every node of every fragment.
-func (q *Query) Optimized() *Query {
-	return &Query{expr: q.expr, prog: q.prog.Optimize()}
-}
-
 // EvaluateLocal evaluates the query at the root of a complete
 // (unfragmented) document — the paper's optimal centralized algorithm,
 // O(|T|·|q|).
-func EvaluateLocal(root *Node, q *Query) (bool, error) {
-	ans, _, err := eval.Evaluate(root, q.prog)
+func EvaluateLocal(root *Node, q *Prepared) (bool, error) {
+	ans, _, err := eval.Evaluate(root, q.program())
 	return ans, err
 }
 
@@ -183,14 +159,24 @@ func WithCostModel(m CostModel) Option {
 
 // System is a deployed fragmented document: an in-process cluster of
 // sites, each holding its assigned fragments and serving the ParBoX
-// protocol.
+// protocol. All methods are safe for concurrent use.
 type System struct {
 	cluster *cluster.Cluster
-	engine  *core.Engine
 
-	// forest/replicas are retained for Replan on replicated deployments.
+	// mu guards engine, which Replan swaps; forest/replicas are retained
+	// for Replan on replicated deployments and never change.
+	mu       sync.RWMutex
+	engine   *core.Engine
 	forest   *Forest
 	replicas ReplicaMap
+}
+
+// eng returns the current engine; Exec reads it once per call, so a
+// concurrent Replan affects only subsequent calls.
+func (s *System) eng() *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine
 }
 
 // Deploy places a forest's fragments onto an in-process cluster per the
@@ -224,18 +210,27 @@ func (s *System) AddSite(id SiteID) {
 
 // Evaluate runs the query with the ParBoX algorithm and returns the
 // Boolean answer.
-func (s *System) Evaluate(ctx context.Context, q *Query) (bool, error) {
-	rep, err := s.engine.ParBoX(ctx, q.prog)
+//
+// Deprecated: use Exec — Evaluate(ctx, q) is Exec(ctx, q) reading
+// Result.Answer.
+func (s *System) Evaluate(ctx context.Context, q *Prepared) (bool, error) {
+	res, err := s.Exec(ctx, q)
 	if err != nil {
 		return false, err
 	}
-	return rep.Answer, nil
+	return res.Answer, nil
 }
 
-// EvaluateWith runs the query with the named algorithm and returns the
+// EvaluateWith runs the query with the given algorithm and returns the
 // full report.
-func (s *System) EvaluateWith(ctx context.Context, algo string, q *Query) (Report, error) {
-	return s.engine.Run(ctx, algo, q.prog)
+//
+// Deprecated: use Exec with WithAlgorithm and read Result.Boolean.
+func (s *System) EvaluateWith(ctx context.Context, algo Algorithm, q *Prepared) (Report, error) {
+	res, err := s.Exec(ctx, q, WithAlgorithm(algo))
+	if err != nil {
+		return Report{}, err
+	}
+	return *res.Boolean, nil
 }
 
 // SelectionResult is the outcome of a distributed data-selection query.
@@ -243,53 +238,65 @@ type SelectionResult = core.SelectReport
 
 // Select evaluates a data-selection path query (the Section 8 extension):
 // the result identifies every selected node by its fragment and
-// child-index path within that fragment. Pass 1 is ordinary ParBoX; pass 2
-// propagates the path automaton top-down, skipping fragments no match can
-// reach.
+// child-index path within that fragment.
+//
+// Deprecated: use Prepare once and Exec with WithMode(ModeSelect) — this
+// wrapper re-prepares (and so recompiles) the query on every call.
 func (s *System) Select(ctx context.Context, pathQuery string) (SelectionResult, error) {
-	sp, err := xpath.CompileSelectString(pathQuery)
+	q, err := Prepare(pathQuery)
 	if err != nil {
 		return SelectionResult{}, err
 	}
-	return s.engine.SelectParBoX(ctx, sp)
+	res, err := s.Exec(ctx, q, WithMode(ModeSelect))
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	return *res.Selection, nil
 }
 
 // BatchResult is the outcome of one batch evaluation round.
 type BatchResult = core.BatchReport
 
-// EvaluateBatch answers many Boolean queries with a single ParBoX round:
-// the queries compile into one shared QList (overlapping subexpressions
-// are evaluated once per node), each site is visited once for the whole
-// batch, and one equation solve yields every answer — the natural mode
-// for a dissemination system's subscription set.
-func (s *System) EvaluateBatch(ctx context.Context, queries []*Query) (BatchResult, error) {
-	exprs := make([]xpath.Expr, len(queries))
-	for i, q := range queries {
-		exprs[i] = q.expr
+// EvaluateBatch answers many Boolean queries with a single ParBoX round.
+// An empty batch is answered for free: no round runs.
+//
+// Deprecated: use Exec with WithBatch and read Result.Answers.
+func (s *System) EvaluateBatch(ctx context.Context, queries []*Prepared) (BatchResult, error) {
+	if len(queries) == 0 {
+		return BatchResult{}, nil
 	}
-	prog, roots := xpath.CompileBatch(exprs)
-	return s.engine.ParBoXBatch(ctx, prog, roots)
+	res, err := s.Exec(ctx, queries[0], WithBatch(queries[1:]...))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return *res.Batch, nil
 }
 
 // CountResult is the outcome of a distributed COUNT aggregation.
 type CountResult = core.CountReport
 
 // Count counts the nodes a path query selects without shipping their
-// identities anywhere — the Section 8 aggregation remark realized:
-// traffic stays O(|q|·card(F)) no matter how many nodes match.
+// identities anywhere.
+//
+// Deprecated: use Prepare once and Exec with WithMode(ModeCount) — this
+// wrapper re-prepares (and so recompiles) the query on every call.
 func (s *System) Count(ctx context.Context, pathQuery string) (CountResult, error) {
-	sp, err := xpath.CompileSelectString(pathQuery)
+	q, err := Prepare(pathQuery)
 	if err != nil {
 		return CountResult{}, err
 	}
-	return s.engine.CountParBoX(ctx, sp)
+	res, err := s.Exec(ctx, q, WithMode(ModeCount))
+	if err != nil {
+		return CountResult{}, err
+	}
+	return *res.Counting, nil
 }
 
 // SourceTree returns the deployed document's source tree.
-func (s *System) SourceTree() *SourceTree { return s.engine.SourceTree() }
+func (s *System) SourceTree() *SourceTree { return s.eng().SourceTree() }
 
 // Coordinator returns the coordinating site (the root fragment's site).
-func (s *System) Coordinator() SiteID { return s.engine.Coordinator() }
+func (s *System) Coordinator() SiteID { return s.eng().Coordinator() }
 
 // TotalBytes returns the cumulative remote traffic since deployment (or
 // the last ResetMetrics).
@@ -309,12 +316,15 @@ type View struct {
 // Materialize computes and caches the query's answer as a view
 // (Section 5): subsequent Answer calls are free; Update/Split/Merge
 // maintain it with recomputation localized to the changed fragment.
-func (s *System) Materialize(ctx context.Context, q *Query) (*View, error) {
-	v, err := views.Materialize(ctx, s.cluster, s.engine.Coordinator(), s.engine.SourceTree(), q.prog)
+//
+// Deprecated: use Exec with WithMode(ModeMaterialize) and read
+// Result.View.
+func (s *System) Materialize(ctx context.Context, q *Prepared) (*View, error) {
+	res, err := s.Exec(ctx, q, WithMode(ModeMaterialize))
 	if err != nil {
 		return nil, err
 	}
-	return &View{v: v}, nil
+	return res.View, nil
 }
 
 // Answer returns the cached answer.
@@ -376,14 +386,12 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
 	}
-	sys := &System{cluster: c, engine: eng}
-	sys.forest = forest
-	sys.replicas = replicas
-	return sys, nil
+	return &System{cluster: c, engine: eng, forest: forest, replicas: replicas}, nil
 }
 
 // Replan switches a replicated system to a different placement strategy
-// without moving any data.
+// without moving any data. Exec calls already in flight finish against
+// the placement they started with.
 func (s *System) Replan(strategy PlacementStrategy) error {
 	if s.replicas == nil {
 		return fmt.Errorf("parbox: Replan requires a system deployed with DeployReplicated")
@@ -392,7 +400,9 @@ func (s *System) Replan(strategy PlacementStrategy) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.engine = eng
+	s.mu.Unlock()
 	return nil
 }
 

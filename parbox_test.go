@@ -8,7 +8,7 @@ import (
 	"repro/internal/fixtures"
 )
 
-func deployPortfolio(t *testing.T) (*System, *Node) {
+func deployPortfolio(t testing.TB) (*System, *Node) {
 	t.Helper()
 	forest, orig, err := fixtures.Fig2Forest()
 	if err != nil {
@@ -34,20 +34,26 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := ParseQuery(`//b && //c[text() = "hi"]`)
+	q, err := Prepare(`//b && //c[text() = "hi"]`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := sys.Evaluate(context.Background(), q)
+	res, err := sys.Exec(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
+	if !res.Answer {
 		t.Error("quickstart query should be true")
+	}
+	if res.Mode != ModeBoolean || res.Algorithm != AlgoParBoX {
+		t.Errorf("default Exec ran %v/%v", res.Mode, res.Algorithm)
+	}
+	if res.Boolean == nil || res.Boolean.Answer != res.Answer {
+		t.Error("Result.Boolean not filled")
 	}
 }
 
-func TestEvaluateWithAllAlgorithms(t *testing.T) {
+func TestExecAllAlgorithms(t *testing.T) {
 	sys, orig := deployPortfolio(t)
 	ctx := context.Background()
 	for _, src := range []string{
@@ -55,33 +61,135 @@ func TestEvaluateWithAllAlgorithms(t *testing.T) {
 		`//stock[code = "MSFT"]`,
 		`//broker && //market`,
 	} {
-		q := MustQuery(src)
+		q := MustPrepare(src)
 		want, err := EvaluateLocal(orig, q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, algo := range Algorithms() {
-			rep, err := sys.EvaluateWith(ctx, algo, q)
+			res, err := sys.Exec(ctx, q, WithAlgorithm(algo))
 			if err != nil {
 				t.Errorf("%s(%q): %v", algo, src, err)
 				continue
 			}
-			if rep.Answer != want {
-				t.Errorf("%s(%q) = %v, want %v", algo, src, rep.Answer, want)
+			if res.Answer != want {
+				t.Errorf("%s(%q) = %v, want %v", algo, src, res.Answer, want)
+			}
+			if res.Boolean == nil {
+				t.Errorf("%s(%q): no boolean report", algo, src)
 			}
 		}
 	}
 }
 
-func TestSystemViewLifecycle(t *testing.T) {
+func TestExecSelectAndCountModes(t *testing.T) {
 	sys, _ := deployPortfolio(t)
 	ctx := context.Background()
-	q := MustQuery(`//stock[code = "GOOG" && sell = "376"]`)
-	view, err := sys.Materialize(ctx, q)
+	q := MustPrepare(`//stock`)
+
+	sel, err := sys.Exec(ctx, q, WithMode(ModeSelect))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if view.Answer() {
+	if sel.Selection == nil || sel.Matched == 0 || int64(sel.Selection.Count) != sel.Matched {
+		t.Errorf("select result inconsistent: %+v", sel)
+	}
+
+	cnt, err := sys.Exec(ctx, q, WithMode(ModeCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Counting == nil || cnt.Matched != sel.Matched {
+		t.Errorf("count = %d, select found %d", cnt.Matched, sel.Matched)
+	}
+	if len(cnt.Visits) == 0 {
+		t.Error("count mode reported no visits")
+	}
+	// Counting ships integers, not paths; it can never cost more.
+	if cnt.Bytes > sel.Bytes {
+		t.Errorf("count moved %d bytes > select's %d", cnt.Bytes, sel.Bytes)
+	}
+
+	// A Boolean query must be rejected by the selection modes.
+	boolean := MustPrepare(`//a && //b`)
+	if _, err := sys.Exec(ctx, boolean, WithMode(ModeSelect)); err == nil {
+		t.Error("boolean query accepted in select mode")
+	}
+	// Selection modes run only under ParBoX.
+	if _, err := sys.Exec(ctx, q, WithMode(ModeCount), WithAlgorithm(AlgoLazy)); err == nil {
+		t.Error("count mode accepted a non-ParBoX algorithm")
+	}
+}
+
+func TestExecBatch(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+	srcs := []string{
+		`//stock[code = "YHOO"]`,
+		`//stock[code = "MSFT"]`,
+		`//market[name = "NYSE"]`,
+	}
+	queries := make([]*Prepared, len(srcs))
+	for i, s := range srcs {
+		queries[i] = MustPrepare(s)
+	}
+	res, err := sys.Exec(ctx, queries[0], WithBatch(queries[1:]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batch == nil || len(res.Answers) != len(queries) {
+		t.Fatalf("batch result inconsistent: %+v", res)
+	}
+	for i, q := range queries {
+		want, err := EvaluateLocal(orig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Answers[i] != want {
+			t.Errorf("batch[%d] = %v, want %v", i, res.Answers[i], want)
+		}
+	}
+	if res.Answer != res.Answers[0] {
+		t.Error("Result.Answer should echo the primary query")
+	}
+	if res.Visits["S1"] != 1 || res.Visits["S2"] != 1 {
+		t.Errorf("batch visits = %v", res.Visits)
+	}
+	// A batch of one is still a batch: Result.Batch and Answers filled.
+	solo, err := sys.Exec(ctx, queries[0], WithBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Batch == nil || len(solo.Answers) != 1 || solo.Answers[0] != res.Answers[0] {
+		t.Errorf("solo batch = %+v", solo)
+	}
+	// Batches are a ParBoX-round feature.
+	if _, err := sys.Exec(ctx, queries[0], WithBatch(queries[1]), WithAlgorithm(AlgoFullDist)); err == nil {
+		t.Error("batch accepted a non-ParBoX algorithm")
+	}
+	if _, err := sys.Exec(ctx, queries[0], WithBatch(queries[1]), WithMode(ModeCount)); err == nil {
+		t.Error("batch accepted a non-boolean mode")
+	}
+}
+
+func TestExecMaterializeMode(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	q := MustPrepare(`//stock[code = "GOOG" && sell = "376"]`)
+	res, err := sys.Exec(ctx, q, WithMode(ModeMaterialize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := res.View
+	if view == nil {
+		t.Fatal("no view returned")
+	}
+	// Materialization talks to every remote site; the unified accounting
+	// must reflect that like any other mode.
+	if res.Bytes == 0 || res.Visits["S1"] == 0 || res.Visits["S2"] == 0 {
+		t.Errorf("materialize accounting empty: bytes=%d visits=%v", res.Bytes, res.Visits)
+	}
+	if view.Answer() || res.Answer {
 		t.Fatal("initially false")
 	}
 	// F3 is Bache's NASDAQ market: market(name, stock(code,buy,sell), ...)
@@ -94,10 +202,72 @@ func TestSystemViewLifecycle(t *testing.T) {
 	}
 }
 
+func TestExecInputErrors(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	if _, err := sys.Exec(ctx, nil); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := sys.Exec(ctx, MustPrepare(`//a`), WithAlgorithm(Algorithm(99))); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+	if _, err := sys.Exec(ctx, MustPrepare(`//a`), WithMode(Mode(99))); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := sys.Exec(ctx, MustPrepare(`//a`), WithBatch(nil)); err == nil {
+		t.Error("nil batch entry accepted")
+	}
+}
+
+// TestLegacyWrappers pins the deprecated surface: each of the six legacy
+// entry points must keep working as a delegation to Exec.
+func TestLegacyWrappers(t *testing.T) {
+	sys, orig := deployPortfolio(t)
+	ctx := context.Background()
+	q := MustQuery(`//stock[code = "YHOO"]`)
+	want, err := EvaluateLocal(orig, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ans, err := sys.Evaluate(ctx, q)
+	if err != nil || ans != want {
+		t.Errorf("Evaluate = %v, %v; want %v", ans, err, want)
+	}
+	rep, err := sys.EvaluateWith(ctx, AlgoFullDist, q)
+	if err != nil || rep.Answer != want || rep.Algorithm != AlgoFullDist {
+		t.Errorf("EvaluateWith = %+v, %v", rep, err)
+	}
+	sel, err := sys.Select(ctx, `//stock`)
+	if err != nil || sel.Count == 0 {
+		t.Errorf("Select = %+v, %v", sel, err)
+	}
+	cnt, err := sys.Count(ctx, `//stock`)
+	if err != nil || cnt.Count != int64(sel.Count) {
+		t.Errorf("Count = %+v, %v", cnt, err)
+	}
+	batch, err := sys.EvaluateBatch(ctx, []*Query{q, MustQuery(`//market`)})
+	if err != nil || len(batch.Answers) != 2 || batch.Answers[0] != want {
+		t.Errorf("EvaluateBatch = %+v, %v", batch, err)
+	}
+	empty, err := sys.EvaluateBatch(ctx, nil)
+	if err != nil || len(empty.Answers) != 0 {
+		t.Errorf("empty batch = %+v, %v; want empty result", empty, err)
+	}
+	single, err := sys.EvaluateBatch(ctx, []*Query{q})
+	if err != nil || len(single.Answers) != 1 || single.Answers[0] != want {
+		t.Errorf("single-query batch = %+v, %v", single, err)
+	}
+	view, err := sys.Materialize(ctx, q)
+	if err != nil || view.Answer() != want {
+		t.Errorf("Materialize answer = %v, %v", view, err)
+	}
+}
+
 func TestMetricsSurface(t *testing.T) {
 	sys, _ := deployPortfolio(t)
 	sys.ResetMetrics()
-	if _, err := sys.Evaluate(context.Background(), MustQuery(`//stock`)); err != nil {
+	if _, err := sys.Exec(context.Background(), MustPrepare(`//stock`)); err != nil {
 		t.Fatal(err)
 	}
 	if sys.TotalBytes() == 0 {
@@ -114,8 +284,8 @@ func TestMetricsSurface(t *testing.T) {
 	}
 }
 
-func TestParseQueryErrors(t *testing.T) {
-	if _, err := ParseQuery(`a &&`); err == nil {
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Prepare(`a &&`); err == nil {
 		t.Error("bad query accepted")
 	}
 	if err := ValidateQuery(`a &&`); err == nil {
@@ -124,8 +294,23 @@ func TestParseQueryErrors(t *testing.T) {
 	if err := ValidateQuery(`//a`); err != nil {
 		t.Errorf("ValidateQuery rejected a good query: %v", err)
 	}
-	if got := MustQuery(`//a && //b`).QListSize(); got < 5 {
+	if got := MustPrepare(`//a && //b`).QListSize(); got < 5 {
 		t.Errorf("QListSize = %d", got)
+	}
+}
+
+func TestAlgorithmParsing(t *testing.T) {
+	if len(Algorithms()) != 6 {
+		t.Fatalf("Algorithms() = %v", Algorithms())
+	}
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nosuch"); err == nil || !strings.Contains(err.Error(), "fulldist") {
+		t.Errorf("unknown-algorithm error should list the valid set, got %v", err)
 	}
 }
 
@@ -137,55 +322,64 @@ func TestDeployErrors(t *testing.T) {
 	}
 }
 
-func TestEvaluateBatch(t *testing.T) {
-	sys, orig := deployPortfolio(t)
-	ctx := context.Background()
-	srcs := []string{
-		`//stock[code = "YHOO"]`,
-		`//stock[code = "MSFT"]`,
-		`//market[name = "NYSE"]`,
-	}
-	queries := make([]*Query, len(srcs))
-	for i, s := range srcs {
-		queries[i] = MustQuery(s)
-	}
-	batch, err := sys.EvaluateBatch(ctx, queries)
+// TestPreparedCachesCompiledForms pins the tentpole guarantee: repeated
+// executions of one Prepared query reuse the same compiled artifacts —
+// zero recompilation after the first use.
+func TestPreparedCachesCompiledForms(t *testing.T) {
+	q := MustPrepare(`//stock/code`)
+	sp1, err := q.selectProgram()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, q := range queries {
-		want, err := EvaluateLocal(orig, q)
-		if err != nil {
+	sp2, _ := q.selectProgram()
+	if sp1 != sp2 {
+		t.Error("selectProgram recompiled on second use")
+	}
+	if q.Optimized() != q.Optimized() {
+		t.Error("Optimized recomputed on second use")
+	}
+
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Exec(ctx, q, WithMode(ModeSelect)); err != nil {
 			t.Fatal(err)
 		}
-		if batch.Answers[i] != want {
-			t.Errorf("batch[%d] = %v, want %v", i, batch.Answers[i], want)
-		}
 	}
-	if batch.Visits["S1"] != 1 || batch.Visits["S2"] != 1 {
-		t.Errorf("batch visits = %v", batch.Visits)
+	sp3, _ := q.selectProgram()
+	if sp3 != sp1 {
+		t.Error("Exec recompiled the cached select automaton")
+	}
+	// Compiled forms are built on demand only: a query used exclusively
+	// for selection never builds the Boolean program.
+	selOnly := MustPrepare(`//stock`)
+	if _, err := sys.Exec(ctx, selOnly, WithMode(ModeSelect)); err != nil {
+		t.Fatal(err)
+	}
+	if selOnly.prog != nil {
+		t.Error("select-only use compiled the unused boolean program")
 	}
 }
 
 func TestQueryOptimized(t *testing.T) {
-	q := MustQuery(`. && (a || .)`)
+	q := MustPrepare(`. && (a || .)`)
 	o := q.Optimized()
 	if o.QListSize() > q.QListSize() {
 		t.Errorf("Optimized grew: %d → %d", q.QListSize(), o.QListSize())
 	}
 	sys, orig := deployPortfolio(t)
 	ctx := context.Background()
-	for _, qq := range []*Query{MustQuery(`//stock[code = "YHOO"] && .`), MustQuery(`!(!( //market ))`)} {
+	for _, qq := range []*Prepared{MustPrepare(`//stock[code = "YHOO"] && .`), MustPrepare(`!(!( //market ))`)} {
 		want, err := EvaluateLocal(orig, qq)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := sys.Evaluate(ctx, qq.Optimized())
+		res, err := sys.Exec(ctx, qq.Optimized())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
-			t.Errorf("optimized %q = %v, want %v", qq, got, want)
+		if res.Answer != want {
+			t.Errorf("optimized %q = %v, want %v", qq, res.Answer, want)
 		}
 	}
 }
