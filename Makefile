@@ -1,0 +1,25 @@
+# Developer entry points; CI runs the same commands.
+
+.PHONY: all build test vet bench bench-smoke
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# bench runs the reproducible perf harness and records the hot-path numbers
+# (ns/op, allocs/op, bytes shipped) in BENCH_parbox.json, so the perf
+# trajectory is tracked in-repo commit over commit.
+bench:
+	go run ./cmd/parbox bench -out BENCH_parbox.json
+
+# bench-smoke compiles and runs every benchmark once — it validates that
+# the benchmarks still build and execute, without measuring anything.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=1x ./...

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/frag"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// cmdBench is the reproducible perf harness: it runs the core-procedure
+// benchmarks in-process (via testing.Benchmark, so ns/op and allocs/op are
+// the same quantities `go test -bench` reports) and writes them to a JSON
+// file, so the perf trajectory of the hot path is tracked commit over
+// commit instead of living in someone's terminal scrollback.
+//
+//	parbox bench -out BENCH_parbox.json
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_parbox.json", "output JSON file")
+	nodes := fs.Int("nodes", 10000, "XMark fragment size (element nodes) for the BottomUp benchmarks")
+	query := fs.Int("query", 8, "XMark query size (|QList| key into xmark.Queries)")
+	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type benchResult struct {
+		Name        string             `json:"name"`
+		NsPerOp     float64            `json:"ns_per_op"`
+		AllocsPerOp int64              `json:"allocs_per_op"`
+		BytesPerOp  int64              `json:"bytes_per_op"`
+		Metrics     map[string]float64 `json:"metrics,omitempty"`
+	}
+	var results []benchResult
+	record := func(name string, r testing.BenchmarkResult, metrics map[string]float64) {
+		br := benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Metrics:     metrics,
+		}
+		results = append(results, br)
+		if !*quiet {
+			fmt.Printf("%-32s %14.0f ns/op %10d allocs/op %12d B/op\n",
+				name, br.NsPerOp, br.AllocsPerOp, br.BytesPerOp)
+		}
+	}
+
+	// --- BottomUp on an all-constant XMark fragment: the constant plane ---
+	doc := xmark.Generate(xmark.Spec{Seed: 7, MB: float64(*nodes) / float64(xmark.DefaultNodesPerMB)})
+	prog := xpath.MustCompileString(xmark.Queries[*query])
+	newRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.BottomUp(doc, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	legacyRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.LegacyBottomUp(doc, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(legacyRes.NsPerOp()) / float64(newRes.NsPerOp())
+	allocRatio := float64(legacyRes.AllocsPerOp()) / float64(max64(newRes.AllocsPerOp(), 1))
+	record("bottomup/bitset-arena", newRes, map[string]float64{
+		"fragment_nodes": float64(doc.Size()),
+		"qlist_size":     float64(prog.QListSize()),
+	})
+	record("bottomup/legacy", legacyRes, nil)
+	record("bottomup/spread", testing.BenchmarkResult{N: 1}, map[string]float64{
+		"speedup_x":         speedup,
+		"alloc_reduction_x": allocRatio,
+		"legacy_ns_per_op":  float64(legacyRes.NsPerOp()),
+		"arena_ns_per_op":   float64(newRes.NsPerOp()),
+		"legacy_allocs_op":  float64(legacyRes.AllocsPerOp()),
+		"arena_allocs_op":   float64(newRes.AllocsPerOp()),
+	})
+
+	// --- Solve over a 32-fragment chain: the memoized arena unification ---
+	chainRoot, chainSites, err := xmark.BuildDoc(xmark.TreeSpec{
+		Seed:       5,
+		Parents:    xmark.ChainParents(32),
+		MBs:        xmark.EvenMBs(4, 32),
+		NodesPerMB: 500,
+	})
+	if err != nil {
+		return err
+	}
+	chainForest, err := xmark.Fragment(chainRoot, chainSites)
+	if err != nil {
+		return err
+	}
+	assign := frag.AssignAll(chainForest, "S")
+	st, err := frag.BuildSourceTree(chainForest, assign)
+	if err != nil {
+		return err
+	}
+	solveProg := xpath.MustCompileString(xmark.Queries[23])
+	triplets, _, err := eval.EvaluateAll(chainForest, solveProg)
+	if err != nil {
+		return err
+	}
+	record("solve/chain32", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eval.Solve(st, triplets, solveProg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil)
+
+	// --- ParBoX end to end on 8 sites: allocs + shipped bytes -------------
+	e2eRoot, e2eSites, err := xmark.BuildDoc(xmark.TreeSpec{
+		Seed:       3,
+		Parents:    xmark.StarParents(8),
+		MBs:        xmark.EvenMBs(float64(8**nodes)/float64(xmark.DefaultNodesPerMB), 8),
+		NodesPerMB: xmark.DefaultNodesPerMB,
+	})
+	if err != nil {
+		return err
+	}
+	e2eForest, err := xmark.Fragment(e2eRoot, e2eSites)
+	if err != nil {
+		return err
+	}
+	e2eAssign := frag.Assignment{}
+	for i := 0; i < 8; i++ {
+		e2eAssign[xmltree.FragmentID(i)] = frag.SiteID(fmt.Sprintf("S%d", i))
+	}
+	c := cluster.New(cluster.DefaultCostModel())
+	eng, err := core.Deploy(c, e2eForest, e2eAssign)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var lastBytes, lastSteps int64
+	record("parbox/end-to-end-8sites", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := eng.ParBoX(ctx, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lastBytes, lastSteps = rep.Bytes, rep.TotalSteps
+		}
+	}), map[string]float64{
+		"bytes_shipped": float64(lastBytes),
+		"total_steps":   float64(lastSteps),
+	})
+
+	// --- Triplet wire codec -----------------------------------------------
+	fr0, _ := e2eForest.Fragment(0)
+	t0, _, err := eval.BottomUp(fr0.Root, solveProg)
+	if err != nil {
+		return err
+	}
+	enc := t0.Encode()
+	record("triplet/codec", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := t0.Encode()
+			if _, err := eval.DecodeTriplet(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), map[string]float64{"triplet_bytes": float64(len(enc))})
+
+	payload := struct {
+		Generated  string        `json:"generated"`
+		Go         string        `json:"go"`
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("wrote %s (bottomup speedup %.1fx, alloc reduction %.0fx)\n", *out, speedup, allocRatio)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

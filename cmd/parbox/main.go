@@ -41,6 +41,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "remote":
 		err = cmdRemote(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -63,6 +65,8 @@ func usage() {
   split   fragment a document + write a manifest  (-doc -n -sites -out -seed)
   run     evaluate on an in-process cluster       (-doc -n -sites -algo -q -seed)
   remote  coordinate over TCP parbox-site daemons (-manifest -algo -q)
+  bench   run the core-procedure benchmarks and
+          write BENCH_parbox.json                 (-out -nodes -query -quiet)
 
 run 'parbox <subcommand> -h' for details`)
 }

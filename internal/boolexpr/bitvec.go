@@ -1,0 +1,44 @@
+package boolexpr
+
+// BitVec is a packed bitset over the entries of a QList: bit i is the truth
+// value of subquery i at some node. It is the "constant plane"
+// representation of the per-node vectors (V, CV, DV) of Procedure bottomUp:
+// as long as no virtual-node variable is in scope, every entry is a known
+// boolean and the whole vector fits in ⌈n/64⌉ machine words, with the
+// formula connectives collapsing to single bitwise instructions.
+type BitVec []uint64
+
+// NewBitVec returns a zeroed bitset with capacity for n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Get reports bit i.
+func (b BitVec) Get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i to true.
+func (b BitVec) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Assign sets bit i to v.
+func (b BitVec) Assign(i int32, v bool) {
+	if v {
+		b[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Or folds other into b word-wise (b |= other). The two vectors must have
+// the same length. This is lines 4-5 of Procedure bottomUp — folding a
+// child's V into the parent's CV and its DV into the parent's DV — done in
+// n/64 instructions instead of n formula compositions.
+func (b BitVec) Or(other BitVec) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// Clear zeroes the vector for reuse.
+func (b BitVec) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -26,6 +26,14 @@ const (
 // node, to refuse absurd allocations from hostile input.
 const maxOperands = 1 << 24
 
+// maxDepth bounds the nesting depth a decoder will accept, so a hostile
+// buffer of repeated NOT opcodes (each just one byte) cannot overflow the
+// decoder's stack — the depth analogue of the maxOperands fan-out bound.
+// Genuine triplet formulas are shallow: constructor folding collapses
+// double negations and flattens nested AND/OR, so their depth is bounded by
+// the QList size, far below this limit.
+const maxDepth = 1 << 13
+
 // ErrBadFormula is wrapped by all decoding failures.
 var ErrBadFormula = errors.New("boolexpr: malformed formula encoding")
 
@@ -93,10 +101,16 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
+// UvarintLen returns the encoded length of v as a uvarint, for callers
+// presizing wire buffers that mix formula encodings with their own
+// framing.
+func UvarintLen(v uint64) int { return uvarintLen(v) }
+
 // Decoder decodes a stream of concatenated formula encodings.
 type Decoder struct {
-	buf []byte
-	pos int
+	buf   []byte
+	pos   int
+	depth int
 }
 
 // NewDecoder returns a decoder over buf.
@@ -129,6 +143,10 @@ func (d *Decoder) Decode() (*Formula, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d.depth++; d.depth > maxDepth {
+		return nil, fmt.Errorf("%w: nesting depth exceeds %d", ErrBadFormula, maxDepth)
+	}
+	defer func() { d.depth-- }()
 	switch op {
 	case wireFalse:
 		return falseF, nil
@@ -193,6 +211,16 @@ func DecodeOne(buf []byte) (*Formula, error) {
 	return f, nil
 }
 
+// EncodedSizeVector returns len(EncodeVector(fs)) without allocating, so
+// callers on the wire path can presize their buffers exactly.
+func EncodedSizeVector(fs []*Formula) int {
+	n := uvarintLen(uint64(len(fs)))
+	for _, f := range fs {
+		n += EncodedSize(f)
+	}
+	return n
+}
+
 // EncodeVector encodes a slice of formulas as a uvarint count followed by
 // the concatenated encodings.
 func EncodeVector(fs []*Formula) []byte { return AppendEncodedVector(nil, fs) }
@@ -222,4 +250,147 @@ func (d *Decoder) DecodeVector() ([]*Formula, error) {
 		}
 	}
 	return fs, nil
+}
+
+// --- codec over arena ids --------------------------------------------------
+//
+// The arena speaks the exact same wire format as the pointer Formula codec,
+// so a site evaluating with the arena and a coordinator decoding into a
+// pointer triplet (or vice versa) interoperate byte-for-byte. Decoding into
+// an arena hash-conses as it goes: structurally equal formulas arriving
+// from different sites intern to the same id.
+
+// AppendEncodedID appends the wire encoding of arena node x to dst.
+func (a *Arena) AppendEncodedID(dst []byte, x NodeID) []byte {
+	n := a.nodes[x]
+	switch n.op {
+	case OpFalse:
+		return append(dst, wireFalse)
+	case OpTrue:
+		return append(dst, wireTrue)
+	case OpVar:
+		v := a.vars[n.aux]
+		dst = append(dst, wireVar)
+		dst = binary.AppendUvarint(dst, uint64(uint32(v.Frag)))
+		dst = append(dst, byte(v.Vec))
+		return binary.AppendUvarint(dst, uint64(uint32(v.Q)))
+	case OpNot:
+		dst = append(dst, wireNot)
+		return a.AppendEncodedID(dst, NodeID(n.aux))
+	case OpAnd, OpOr:
+		op := wireAnd
+		if n.op == OpOr {
+			op = wireOr
+		}
+		dst = append(dst, op)
+		dst = binary.AppendUvarint(dst, uint64(n.nkid))
+		for _, k := range a.kids[n.aux : n.aux+n.nkid] {
+			dst = a.AppendEncodedID(dst, k)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("boolexpr: unknown Op %d", n.op))
+	}
+}
+
+// EncodedSizeID returns the wire size of arena node x without allocating.
+func (a *Arena) EncodedSizeID(x NodeID) int {
+	n := a.nodes[x]
+	switch n.op {
+	case OpFalse, OpTrue:
+		return 1
+	case OpVar:
+		v := a.vars[n.aux]
+		return 1 + uvarintLen(uint64(uint32(v.Frag))) + 1 + uvarintLen(uint64(uint32(v.Q)))
+	case OpNot:
+		return 1 + a.EncodedSizeID(NodeID(n.aux))
+	case OpAnd, OpOr:
+		s := 1 + uvarintLen(uint64(n.nkid))
+		for _, k := range a.kids[n.aux : n.aux+n.nkid] {
+			s += a.EncodedSizeID(k)
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("boolexpr: unknown Op %d", n.op))
+	}
+}
+
+// DecodeID decodes the next formula from the stream, interning it into a.
+func (d *Decoder) DecodeID(a *Arena) (NodeID, error) {
+	op, err := d.byte()
+	if err != nil {
+		return IDFalse, err
+	}
+	if d.depth++; d.depth > maxDepth {
+		return IDFalse, fmt.Errorf("%w: nesting depth exceeds %d", ErrBadFormula, maxDepth)
+	}
+	defer func() { d.depth-- }()
+	switch op {
+	case wireFalse:
+		return IDFalse, nil
+	case wireTrue:
+		return IDTrue, nil
+	case wireVar:
+		frag, err := d.uvarint()
+		if err != nil {
+			return IDFalse, err
+		}
+		vec, err := d.byte()
+		if err != nil {
+			return IDFalse, err
+		}
+		if vec > byte(VecDV) {
+			return IDFalse, fmt.Errorf("%w: bad vector kind %d", ErrBadFormula, vec)
+		}
+		q, err := d.uvarint()
+		if err != nil {
+			return IDFalse, err
+		}
+		return a.Var(Var{Frag: int32(uint32(frag)), Vec: VecKind(vec), Q: int32(uint32(q))}), nil
+	case wireNot:
+		k, err := d.DecodeID(a)
+		if err != nil {
+			return IDFalse, err
+		}
+		return a.Not(k), nil
+	case wireAnd, wireOr:
+		n, err := d.uvarint()
+		if err != nil {
+			return IDFalse, err
+		}
+		if n > maxOperands || n > uint64(d.Remaining()) {
+			return IDFalse, fmt.Errorf("%w: operand count %d exceeds remaining input", ErrBadFormula, n)
+		}
+		ks := make([]NodeID, n)
+		for i := range ks {
+			if ks[i], err = d.DecodeID(a); err != nil {
+				return IDFalse, err
+			}
+		}
+		if op == wireAnd {
+			return a.And(ks...), nil
+		}
+		return a.Or(ks...), nil
+	default:
+		return IDFalse, fmt.Errorf("%w: unknown opcode %d at offset %d", ErrBadFormula, op, d.pos-1)
+	}
+}
+
+// DecodeVectorID decodes a vector produced by EncodeVector, interning every
+// entry into a.
+func (d *Decoder) DecodeVectorID(a *Arena) ([]NodeID, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("%w: vector length %d exceeds buffer", ErrBadFormula, n)
+	}
+	ids := make([]NodeID, n)
+	for i := range ids {
+		if ids[i], err = d.DecodeID(a); err != nil {
+			return nil, fmt.Errorf("vector entry %d: %w", i, err)
+		}
+	}
+	return ids, nil
 }

@@ -68,6 +68,29 @@ func readBytes(r *bufio.Reader) ([]byte, error) {
 	return b, nil
 }
 
+// readBytesReuse is readBytes into a connection-scoped scratch buffer: the
+// buffer grows to the high-water mark of the connection's frames and is
+// reused for every subsequent frame, so a long-lived site connection stops
+// allocating per message. The returned slice aliases *scratch and is only
+// valid until the next call.
+func readBytesReuse(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	if uint64(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	b := (*scratch)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // Server exposes one site over TCP. Each accepted connection serves
 // requests sequentially; multiple connections serve concurrently.
 type Server struct {
@@ -140,12 +163,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Per-connection scratch buffers: request frames are consumed
+	// synchronously by dispatch (handlers copy what they keep — decoded
+	// programs, trees and formulas own their memory), so the same two
+	// buffers serve every request on the connection.
+	var kindBuf, payloadBuf []byte
 	for {
-		kind, err := readBytes(r)
+		kind, err := readBytesReuse(r, &kindBuf)
 		if err != nil {
 			return // EOF or broken frame: drop the connection
 		}
-		payload, err := readBytes(r)
+		payload, err := readBytesReuse(r, &payloadBuf)
 		if err != nil {
 			return
 		}

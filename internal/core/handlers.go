@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/eval"
@@ -47,16 +50,18 @@ func RegisterHandlers(site *cluster.Site, tr cluster.Transport, cost cluster.Cos
 }
 
 // handleEvalQual is Procedure evalQual (Fig. 3b): run bottomUp over each
-// requested locally stored fragment, in request order, and return the
-// triplets. With keep=true the triplets are cached for a later resolve.
+// requested locally stored fragment and return the triplets in request
+// order. With keep=true the triplets are cached for a later resolve.
+//
+// A site's fragments are independent (each bottomUp pass owns its arena),
+// so they are evaluated in parallel on a worker pool sized to the host —
+// the within-site analogue of the paper's across-site stage-2 parallelism.
 func handleEvalQual(keep bool) cluster.Handler {
 	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
 		q, err := decodeEvalQualReq(req.Payload)
 		if err != nil {
 			return cluster.Response{}, err
 		}
-		var steps int64
-		fts := make([]fragTriplet, 0, len(q.ids))
 		var state *runState
 		if keep {
 			if q.st == nil {
@@ -64,30 +69,100 @@ func handleEvalQual(keep bool) cluster.Handler {
 			}
 			state = &runState{prog: q.prog, st: q.st, triplets: make(map[xmltree.FragmentID]eval.Triplet)}
 		}
-		for _, id := range q.ids {
-			if err := ctx.Err(); err != nil {
-				return cluster.Response{}, err
-			}
-			fr, ok := site.Fragment(id)
-			if !ok {
-				return cluster.Response{}, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
-			}
-			t, s, err := eval.BottomUp(fr.Root, q.prog)
-			steps += s
-			if err != nil {
-				return cluster.Response{}, fmt.Errorf("core: fragment %d: %w", id, err)
-			}
-			fts = append(fts, fragTriplet{id: id, triplet: t})
-			if keep {
-				state.triplets[id] = t
-			}
+		fts, steps, err := evalFragments(ctx, site, q.prog, q.ids)
+		if err != nil {
+			return cluster.Response{}, err
 		}
 		if keep {
+			for _, ft := range fts {
+				state.triplets[ft.id] = ft.triplet
+			}
 			state.remaining = len(state.triplets)
 			site.Put(runStateKey(q.runKey), state)
 		}
 		return cluster.Response{Payload: encodeEvalQualResp(fts), Steps: steps}, nil
 	}
+}
+
+// evalFragments runs BottomUp over the given locally stored fragments,
+// fanning out over a bounded worker pool, and returns the triplets in
+// request order plus the summed step count.
+func evalFragments(ctx context.Context, site *cluster.Site, prog *xpath.Program, ids []xmltree.FragmentID) ([]fragTriplet, int64, error) {
+	fts := make([]fragTriplet, len(ids))
+	evalOne := func(i int, id xmltree.FragmentID) (int64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		fr, ok := site.Fragment(id)
+		if !ok {
+			return 0, fmt.Errorf("core: site %s does not store fragment %d", site.ID(), id)
+		}
+		t, s, err := eval.BottomUp(fr.Root, prog)
+		if err != nil {
+			return s, fmt.Errorf("core: fragment %d: %w", id, err)
+		}
+		fts[i] = fragTriplet{id: id, triplet: t}
+		return s, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		var steps int64
+		for i, id := range ids {
+			s, err := evalOne(i, id)
+			steps += s
+			if err != nil {
+				return nil, steps, err
+			}
+		}
+		return fts, steps, nil
+	}
+	// On the first failure the shared context is cancelled so sibling
+	// workers stop at their next fragment instead of finishing work whose
+	// result will be discarded. Errors are collected per index and the
+	// request-order-first one is reported, keeping the error deterministic
+	// across runs (the sequential path's behaviour).
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		steps atomic.Int64
+	)
+	errs := make([]error, len(ids))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				s, err := evalOne(i, ids[i])
+				steps.Add(s)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, steps.Load(), err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, steps.Load(), err
+		}
+	}
+	return fts, steps.Load(), nil
 }
 
 // handleResolve is the per-fragment unification step of Procedure

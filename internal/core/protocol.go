@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/boolexpr"
 	"repro/internal/eval"
 	"repro/internal/frag"
 	"repro/internal/xmltree"
@@ -181,10 +182,21 @@ type fragTriplet struct {
 }
 
 func encodeEvalQualResp(fts []fragTriplet) []byte {
-	dst := binary.AppendUvarint(nil, uint64(len(fts)))
-	for _, ft := range fts {
+	// Presize exactly (triplet sizes are known without encoding) so the
+	// whole response is one allocation and triplets append in place
+	// instead of each being encoded into a throwaway buffer first.
+	sizes := make([]int, len(fts))
+	size := boolexpr.UvarintLen(uint64(len(fts)))
+	for i, ft := range fts {
+		sizes[i] = ft.triplet.EncodedSize()
+		size += boolexpr.UvarintLen(uint64(uint32(ft.id))) + boolexpr.UvarintLen(uint64(sizes[i])) + sizes[i]
+	}
+	dst := make([]byte, 0, size)
+	dst = binary.AppendUvarint(dst, uint64(len(fts)))
+	for i, ft := range fts {
 		dst = binary.AppendUvarint(dst, uint64(uint32(ft.id)))
-		dst = appendBytes(dst, ft.triplet.Encode())
+		dst = binary.AppendUvarint(dst, uint64(sizes[i]))
+		dst = ft.triplet.AppendEncoded(dst)
 	}
 	return dst
 }

@@ -10,9 +10,23 @@
 //     with the computed triplets of its sub-fragments, solving the linear
 //     system of Boolean equations.
 //
+// The evaluator runs on two representations with an automatic switch (see
+// DESIGN.md, "Constant plane / variable plane"):
+//
+//   - The CONSTANT PLANE: while no virtual-node variable is in scope —
+//     which is every node of a virtual-free subtree, i.e. the entire
+//     fragment in the dominant all-constant case — the per-node vectors
+//     (V, CV, DV) are packed uint64 bitsets and the formula connectives
+//     are single bitwise instructions. No formula node is ever built.
+//   - The VARIABLE PLANE: the first virtual child switches the enclosing
+//     frames to int32 ids into a hash-consed formula arena
+//     (boolexpr.Arena), where structurally equal subformulas share one
+//     interned node, equality is an integer compare, and substitution
+//     memoizes per (node, generation).
+//
 // The package also provides the optimal centralized evaluator (the
-// paper's [10, 18] baseline): BottomUp over an unfragmented tree, whose
-// vectors contain no variables.
+// paper's [10, 18] baseline): BottomUp over an unfragmented tree, which
+// never leaves the constant plane.
 package eval
 
 import (
@@ -64,57 +78,143 @@ func (t Triplet) Size() int {
 	return n
 }
 
+// ArenaTriplet is a triplet whose entries are ids into a shared
+// boolexpr.Arena. Within one arena, hash-consing makes structural equality
+// id equality, so comparing two arena triplets is a few integer compares —
+// the O(1) Equal the view-maintenance layer leans on.
+type ArenaTriplet struct {
+	V, CV, DV []boolexpr.NodeID
+}
+
+// Equal reports entry-wise equality of two triplets of the SAME arena.
+func (t ArenaTriplet) Equal(u ArenaTriplet) bool {
+	eq := func(a, b []boolexpr.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(t.V, u.V) && eq(t.CV, u.CV) && eq(t.DV, u.DV)
+}
+
+// Export converts the triplet to the pointer representation, preserving
+// sharing across all three vectors.
+func (t ArenaTriplet) Export(a *boolexpr.Arena) Triplet {
+	memo := make(map[boolexpr.NodeID]*boolexpr.Formula)
+	conv := func(ids []boolexpr.NodeID) []*boolexpr.Formula {
+		fs := make([]*boolexpr.Formula, len(ids))
+		for i, id := range ids {
+			fs[i] = a.Export(id, memo)
+		}
+		return fs
+	}
+	return Triplet{V: conv(t.V), CV: conv(t.CV), DV: conv(t.DV)}
+}
+
+// ImportTriplet interns a pointer triplet into the arena.
+func ImportTriplet(a *boolexpr.Arena, t Triplet) ArenaTriplet {
+	memo := make(map[*boolexpr.Formula]boolexpr.NodeID)
+	conv := func(fs []*boolexpr.Formula) []boolexpr.NodeID {
+		ids := make([]boolexpr.NodeID, len(fs))
+		for i, f := range fs {
+			ids[i] = a.Import(f, memo)
+		}
+		return ids
+	}
+	return ArenaTriplet{V: conv(t.V), CV: conv(t.CV), DV: conv(t.DV)}
+}
+
 // BottomUp is Procedure bottomUp of the paper, run over the fragment rooted
 // at root for the compiled QList prog. It returns the fragment's triplet
 // and the number of computation steps performed (node × subquery units, the
 // paper's total-computation measure).
+func BottomUp(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
+	a := boolexpr.NewArena()
+	at, steps, err := BottomUpArena(a, root, prog)
+	if err != nil {
+		return Triplet{}, steps, err
+	}
+	return at.Export(a), steps, nil
+}
+
+// buFrame is one traversal frame. A frame starts on the constant plane
+// (cvb/dvb bitsets); the first virtual child — or a symbolic real child —
+// materializes it onto the variable plane (cv/dv arena-id vectors) and the
+// bitsets are recycled. cv being non-nil marks the plane.
+type buFrame struct {
+	node     *xmltree.Node
+	next     int
+	cvb, dvb boolexpr.BitVec
+	cv, dv   []boolexpr.NodeID
+}
+
+// BottomUpArena is BottomUp producing arena ids in a caller-provided arena,
+// for callers that keep working symbolically (Solve, the view layer) and
+// don't want the pointer export.
 //
 // The traversal is iterative so that arbitrarily deep fragments cannot
 // overflow the stack, and — like the paper's formulation — keeps only one
-// accumulator pair (CV, DV) per tree level, not per node.
+// accumulator pair (CV, DV) per tree level, not per node. Frames live in a
+// value-slice stack and popped frames' vectors are recycled through free
+// lists, so the whole traversal allocates O(depth) small objects instead of
+// O(|F_j|).
 //
 // Virtual nodes do not recurse: a virtual child standing for fragment k
 // contributes the variables x(k,V,i) to the parent's CV and x(k,DV,i) to
 // the parent's DV. (A parent never consumes a child's CV vector, so no CV
 // variables are ever created; see DESIGN.md.)
-func BottomUp(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
+func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (ArenaTriplet, int64, error) {
 	if root == nil {
-		return Triplet{}, 0, errors.New("eval: nil fragment root")
+		return ArenaTriplet{}, 0, errors.New("eval: nil fragment root")
 	}
 	if root.Virtual {
-		return Triplet{}, 0, errors.New("eval: fragment root is a virtual node")
+		return ArenaTriplet{}, 0, errors.New("eval: fragment root is a virtual node")
 	}
 	n := len(prog.Subs)
 	var steps int64
 
-	type frame struct {
-		node   *xmltree.Node
-		next   int // next child index to process
-		cv, dv []*boolexpr.Formula
+	var bitPool []boolexpr.BitVec
+	newBits := func() boolexpr.BitVec {
+		if k := len(bitPool); k > 0 {
+			b := bitPool[k-1]
+			bitPool = bitPool[:k-1]
+			b.Clear()
+			return b
+		}
+		return boolexpr.NewBitVec(n)
 	}
-	// Popped frames' vectors are recycled through a free list: the
-	// traversal allocates O(depth) vectors instead of O(|F_j|).
-	var pool [][]*boolexpr.Formula
-	newVec := func() []*boolexpr.Formula {
-		if len(pool) > 0 {
-			v := pool[len(pool)-1]
-			pool = pool[:len(pool)-1]
-			for i := range v {
-				v[i] = boolexpr.False()
-			}
+	var idPool [][]boolexpr.NodeID
+	newIDs := func() []boolexpr.NodeID {
+		if k := len(idPool); k > 0 {
+			v := idPool[k-1]
+			idPool = idPool[:k-1]
 			return v
 		}
-		v := make([]*boolexpr.Formula, n)
-		for i := range v {
-			v[i] = boolexpr.False()
-		}
-		return v
+		return make([]boolexpr.NodeID, n)
 	}
-	stack := []*frame{{node: root, cv: newVec(), dv: newVec()}}
-	var result Triplet
+	// materialize moves a frame from the constant to the variable plane:
+	// every decided bit becomes the corresponding constant id.
+	materialize := func(f *buFrame) {
+		f.cv, f.dv = newIDs(), newIDs()
+		for i := int32(0); i < int32(n); i++ {
+			f.cv[i] = a.Const(f.cvb.Get(i))
+			f.dv[i] = a.Const(f.dvb.Get(i))
+		}
+		bitPool = append(bitPool, f.cvb, f.dvb)
+		f.cvb, f.dvb = nil, nil
+	}
+
+	stack := make([]buFrame, 1, 32)
+	stack[0] = buFrame{node: root, cvb: newBits(), dvb: newBits()}
+	var result ArenaTriplet
 
 	for len(stack) > 0 {
-		f := stack[len(stack)-1]
+		f := &stack[len(stack)-1]
 		// Fold in virtual children directly; descend into real ones.
 		descended := false
 		for f.next < len(f.node.Children) {
@@ -122,100 +222,181 @@ func BottomUp(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
 			f.next++
 			if c.Virtual {
 				steps += int64(n)
+				if f.cv == nil {
+					materialize(f)
+				}
 				for i := 0; i < n; i++ {
-					vVar := boolexpr.NewVar(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecV, Q: int32(i)})
-					dVar := boolexpr.NewVar(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecDV, Q: int32(i)})
-					f.cv[i] = boolexpr.Or(f.cv[i], vVar)
-					f.dv[i] = boolexpr.Or(f.dv[i], dVar)
+					vVar := a.Var(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecV, Q: int32(i)})
+					dVar := a.Var(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecDV, Q: int32(i)})
+					f.cv[i] = a.Or2(f.cv[i], vVar)
+					f.dv[i] = a.Or2(f.dv[i], dVar)
 				}
 				continue
 			}
-			stack = append(stack, &frame{node: c, cv: newVec(), dv: newVec()})
+			stack = append(stack, buFrame{node: c, cvb: newBits(), dvb: newBits()})
 			descended = true
 			break
 		}
 		if descended {
 			continue
 		}
-		// All children folded: evaluate the nine cases at this node.
+		// All children folded: evaluate the nine cases at this node, on
+		// whichever plane the frame ended up on.
 		steps += int64(n)
-		v := newVec()
-		evalCasesInto(v, f.node, prog, f.cv, f.dv)
+		child := *f // frame fields survive the pop
 		stack = stack[:len(stack)-1]
-		if len(stack) == 0 {
-			result = Triplet{V: v, CV: f.cv, DV: f.dv}
-			break
+		if child.cv == nil {
+			vb := newBits()
+			evalCasesBits(vb, child.node, prog, child.cvb, child.dvb)
+			if len(stack) == 0 {
+				result = constArenaTriplet(a, n, vb, child.cvb, child.dvb)
+				break
+			}
+			p := &stack[len(stack)-1]
+			if p.cv == nil {
+				p.cvb.Or(vb)        // line 4 of bottomUp, n/64 words at a time
+				p.dvb.Or(child.dvb) // line 5
+			} else {
+				orBitsInto(a, p.cv, vb)
+				orBitsInto(a, p.dv, child.dvb)
+			}
+			bitPool = append(bitPool, vb, child.cvb, child.dvb)
+		} else {
+			v := newIDs()
+			evalCasesArena(a, v, child.node, prog, child.cv, child.dv)
+			if len(stack) == 0 {
+				result = ArenaTriplet{V: v, CV: child.cv, DV: child.dv}
+				break
+			}
+			p := &stack[len(stack)-1]
+			if p.cv == nil {
+				materialize(p)
+			}
+			for i := 0; i < n; i++ {
+				p.cv[i] = a.Or2(p.cv[i], v[i])        // line 4 of bottomUp
+				p.dv[i] = a.Or2(p.dv[i], child.dv[i]) // line 5
+			}
+			// The child's vectors only carried ids upward; the slices
+			// themselves are free for reuse.
+			idPool = append(idPool, v, child.cv, child.dv)
 		}
-		p := stack[len(stack)-1]
-		for i := 0; i < n; i++ {
-			p.cv[i] = boolexpr.Or(p.cv[i], v[i])    // line 4 of bottomUp
-			p.dv[i] = boolexpr.Or(p.dv[i], f.dv[i]) // line 5 of bottomUp
-		}
-		// The child's vectors only carried formula POINTERS upward; the
-		// slices themselves are free for reuse.
-		pool = append(pool, v, f.cv, f.dv)
 	}
 	return result, steps, nil
 }
 
-// evalCases computes the value vector V_v at node v (lines 6-17 of
-// Procedure bottomUp), updating dv to descendant-or-self as it goes
-// (line 17). The write to dv[i] must happen inside the loop: a later
-// subquery //q_i reads dv[i] and expects it to include V_v (the paper's
-// left-to-right processing order).
-func evalCases(node *xmltree.Node, prog *xpath.Program, cv, dv []*boolexpr.Formula) []*boolexpr.Formula {
-	v := make([]*boolexpr.Formula, len(prog.Subs))
-	evalCasesInto(v, node, prog, cv, dv)
-	return v
+// constArenaTriplet converts the root frame's bitsets into an all-constant
+// triplet — the result shape of every virtual-free fragment.
+func constArenaTriplet(a *boolexpr.Arena, n int, v, cv, dv boolexpr.BitVec) ArenaTriplet {
+	t := ArenaTriplet{
+		V:  make([]boolexpr.NodeID, n),
+		CV: make([]boolexpr.NodeID, n),
+		DV: make([]boolexpr.NodeID, n),
+	}
+	for i := int32(0); i < int32(n); i++ {
+		t.V[i] = a.Const(v.Get(i))
+		t.CV[i] = a.Const(cv.Get(i))
+		t.DV[i] = a.Const(dv.Get(i))
+	}
+	return t
 }
 
-// evalCasesInto is evalCases writing into a caller-provided vector (the
-// hot path reuses pooled vectors).
-func evalCasesInto(v []*boolexpr.Formula, node *xmltree.Node, prog *xpath.Program, cv, dv []*boolexpr.Formula) {
+// orBitsInto folds a constant-plane child vector into a variable-plane
+// parent vector: a set bit forces the entry to true, a clear bit is the OR
+// identity and leaves it unchanged.
+func orBitsInto(a *boolexpr.Arena, dst []boolexpr.NodeID, bits boolexpr.BitVec) {
+	for i := int32(0); i < int32(len(dst)); i++ {
+		if bits.Get(i) {
+			dst[i] = boolexpr.IDTrue
+		}
+	}
+}
+
+// evalCasesBits is the constant-plane body of lines 6-17 of Procedure
+// bottomUp: every connective is a bit test, every vector write a bit set.
+// v must arrive zeroed. The dv write must happen inside the loop: a later
+// subquery //q_i reads dv[i] and expects it to include V_v (the paper's
+// left-to-right processing order).
+func evalCasesBits(v boolexpr.BitVec, node *xmltree.Node, prog *xpath.Program, cv, dv boolexpr.BitVec) {
 	for i, sq := range prog.Subs {
-		var f *boolexpr.Formula
+		var b bool
 		switch sq.Kind {
 		case xpath.KTrue: // (c0) ε
-			f = boolexpr.True()
+			b = true
 		case xpath.KLabel: // (c1) label() = l
-			f = boolexpr.Const(node.Label == sq.Str)
+			b = node.Label == sq.Str
 		case xpath.KText: // (c2) text() = str
-			f = boolexpr.Const(node.Text == sq.Str)
+			b = node.Text == sq.Str
+		case xpath.KChild: // (c3) */q
+			b = cv.Get(sq.A)
+		case xpath.KFilter: // (c4) ε[q]/q'
+			b = v.Get(sq.A) && (sq.B < 0 || v.Get(sq.B))
+		case xpath.KDesc: // (c5) //q
+			b = dv.Get(sq.A)
+		case xpath.KOr: // (c6)
+			b = v.Get(sq.A) || v.Get(sq.B)
+		case xpath.KAnd: // (c7)
+			b = v.Get(sq.A) && v.Get(sq.B)
+		case xpath.KNot: // (c8)
+			b = !v.Get(sq.A)
+		default:
+			panic(fmt.Sprintf("eval: unknown subquery kind %v", sq.Kind))
+		}
+		if b {
+			v.Set(int32(i))
+			dv.Set(int32(i)) // line 17
+		}
+	}
+}
+
+// evalCasesArena is the variable-plane body of lines 6-17, over interned
+// arena ids.
+func evalCasesArena(a *boolexpr.Arena, v []boolexpr.NodeID, node *xmltree.Node, prog *xpath.Program, cv, dv []boolexpr.NodeID) {
+	for i, sq := range prog.Subs {
+		var f boolexpr.NodeID
+		switch sq.Kind {
+		case xpath.KTrue: // (c0) ε
+			f = boolexpr.IDTrue
+		case xpath.KLabel: // (c1) label() = l
+			f = a.Const(node.Label == sq.Str)
+		case xpath.KText: // (c2) text() = str
+			f = a.Const(node.Text == sq.Str)
 		case xpath.KChild: // (c3) */q
 			f = cv[sq.A]
 		case xpath.KFilter: // (c4) ε[q]/q'
 			f = v[sq.A]
 			if sq.B >= 0 {
-				f = boolexpr.CompFm(f, v[sq.B], boolexpr.AND)
+				f = a.And2(f, v[sq.B])
 			}
 		case xpath.KDesc: // (c5) //q
 			f = dv[sq.A]
 		case xpath.KOr: // (c6)
-			f = boolexpr.CompFm(v[sq.A], v[sq.B], boolexpr.OR)
+			f = a.Or2(v[sq.A], v[sq.B])
 		case xpath.KAnd: // (c7)
-			f = boolexpr.CompFm(v[sq.A], v[sq.B], boolexpr.AND)
+			f = a.And2(v[sq.A], v[sq.B])
 		case xpath.KNot: // (c8)
-			f = boolexpr.CompFm(v[sq.A], nil, boolexpr.NEG)
+			f = a.Not(v[sq.A])
 		default:
 			panic(fmt.Sprintf("eval: unknown subquery kind %v", sq.Kind))
 		}
 		v[i] = f
-		dv[i] = boolexpr.Or(f, dv[i]) // line 17
+		dv[i] = a.Or2(f, dv[i]) // line 17
 	}
 }
 
 // Evaluate is the optimal centralized algorithm: one traversal of a
 // complete (virtual-node-free) tree. It errors if the tree still contains
 // virtual nodes, because then the answer is a residual formula, not a
-// truth value.
+// truth value. Over a complete tree the evaluation never leaves the
+// constant plane: the whole run is bitwise arithmetic.
 func Evaluate(root *xmltree.Node, prog *xpath.Program) (bool, int64, error) {
-	t, steps, err := BottomUp(root, prog)
+	a := boolexpr.NewArena()
+	t, steps, err := BottomUpArena(a, root, prog)
 	if err != nil {
 		return false, steps, err
 	}
-	ans, ok := t.V[prog.Root()].ConstValue()
+	ans, ok := a.ConstValue(t.V[prog.Root()])
 	if !ok {
-		return false, steps, fmt.Errorf("eval: residual answer %v (tree has virtual nodes)", t.V[prog.Root()])
+		return false, steps, fmt.Errorf("eval: residual answer %v (tree has virtual nodes)", a.String(t.V[prog.Root()]))
 	}
 	return ans, steps, nil
 }

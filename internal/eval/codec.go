@@ -8,15 +8,27 @@ import (
 
 // Encode serializes the triplet as its three formula vectors, V then CV
 // then DV. The byte length is exactly what a participating site pays to
-// ship its partial answer to the coordinator.
+// ship its partial answer to the coordinator. The buffer is presized via
+// EncodedSize, so encoding performs exactly one allocation.
 func (t Triplet) Encode() []byte {
-	dst := boolexpr.AppendEncodedVector(nil, t.V)
+	return t.AppendEncoded(make([]byte, 0, t.EncodedSize()))
+}
+
+// AppendEncoded appends the wire encoding of the triplet to dst, for
+// callers batching several triplets into one pooled message buffer.
+func (t Triplet) AppendEncoded(dst []byte) []byte {
+	dst = boolexpr.AppendEncodedVector(dst, t.V)
 	dst = boolexpr.AppendEncodedVector(dst, t.CV)
 	return boolexpr.AppendEncodedVector(dst, t.DV)
 }
 
-// EncodedSize returns len(Encode()) cheaply enough for accounting.
-func (t Triplet) EncodedSize() int { return len(t.Encode()) }
+// EncodedSize returns len(Encode()) without building the buffer, cheaply
+// enough for accounting and presizing.
+func (t Triplet) EncodedSize() int {
+	return boolexpr.EncodedSizeVector(t.V) +
+		boolexpr.EncodedSizeVector(t.CV) +
+		boolexpr.EncodedSizeVector(t.DV)
+}
 
 // DecodeTriplet parses a triplet produced by Encode, requiring all three
 // vectors to have the same arity.
@@ -38,6 +50,33 @@ func DecodeTriplet(buf []byte) (Triplet, error) {
 	}
 	if len(t.CV) != len(t.V) || len(t.DV) != len(t.V) {
 		return Triplet{}, fmt.Errorf("eval: triplet vectors disagree on arity (%d/%d/%d)",
+			len(t.V), len(t.CV), len(t.DV))
+	}
+	return t, nil
+}
+
+// DecodeTripletArena parses the same wire format directly into an arena:
+// every formula is hash-consed on arrival, so triplets decoded from many
+// sites into one coordinator arena share their common subformulas and
+// compare by id. The view-maintenance layer decodes through this path.
+func DecodeTripletArena(a *boolexpr.Arena, buf []byte) (ArenaTriplet, error) {
+	d := boolexpr.NewDecoder(buf)
+	var t ArenaTriplet
+	var err error
+	if t.V, err = d.DecodeVectorID(a); err != nil {
+		return ArenaTriplet{}, fmt.Errorf("eval: triplet V: %w", err)
+	}
+	if t.CV, err = d.DecodeVectorID(a); err != nil {
+		return ArenaTriplet{}, fmt.Errorf("eval: triplet CV: %w", err)
+	}
+	if t.DV, err = d.DecodeVectorID(a); err != nil {
+		return ArenaTriplet{}, fmt.Errorf("eval: triplet DV: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return ArenaTriplet{}, fmt.Errorf("eval: triplet has %d trailing bytes", d.Remaining())
+	}
+	if len(t.CV) != len(t.V) || len(t.DV) != len(t.V) {
+		return ArenaTriplet{}, fmt.Errorf("eval: triplet vectors disagree on arity (%d/%d/%d)",
 			len(t.V), len(t.CV), len(t.DV))
 	}
 	return t, nil

@@ -20,8 +20,29 @@ var ErrUnresolved = errors.New("eval: unresolved variables in the equation syste
 // the last QList entry at the root fragment. All fragments of st must have
 // a triplet; the returned work is the number of formula nodes visited,
 // which realizes the paper's O(|q|·card(F)) bound for the third phase.
+//
+// Internally the triplets are interned into one arena (deduplicating
+// structurally equal formulas across fragments) and substitution is
+// memoized per (node, fragment-generation), so shared subformulas are
+// rewritten once instead of once per occurrence.
 func Solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (bool, int64, error) {
-	ans, work, resolved, err := solve(st, triplets, prog, true)
+	a := boolexpr.NewArena()
+	ats := importTriplets(a, triplets)
+	ans, work, resolved, err := solveArena(st, a, ats, prog, true)
+	if err != nil {
+		return false, work, err
+	}
+	if !resolved {
+		return false, work, ErrUnresolved
+	}
+	return ans, work, nil
+}
+
+// SolveArena is Solve over triplets already interned in a shared arena —
+// the entry point for callers that keep long-lived arena state (the view
+// layer) and skip the pointer round trip entirely.
+func SolveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.FragmentID]ArenaTriplet, prog *xpath.Program) (bool, int64, error) {
+	ans, work, resolved, err := solveArena(st, a, triplets, prog, true)
 	if err != nil {
 		return false, work, err
 	}
@@ -36,19 +57,38 @@ func Solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *x
 // reports whether the root answer already folded to a constant (in which
 // case deeper fragments need not be evaluated at all).
 func SolvePartial(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (ans bool, work int64, resolved bool, err error) {
-	return solve(st, triplets, prog, false)
+	a := boolexpr.NewArena()
+	return solveArena(st, a, importTriplets(a, triplets), prog, false)
 }
 
-func solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program, needAll bool) (bool, int64, bool, error) {
+func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet) map[xmltree.FragmentID]ArenaTriplet {
+	memo := make(map[*boolexpr.Formula]boolexpr.NodeID)
+	out := make(map[xmltree.FragmentID]ArenaTriplet, len(triplets))
+	conv := func(fs []*boolexpr.Formula) []boolexpr.NodeID {
+		ids := make([]boolexpr.NodeID, len(fs))
+		for i, f := range fs {
+			ids[i] = a.Import(f, memo)
+		}
+		return ids
+	}
+	for id, t := range triplets {
+		// CV is never consumed by evalST (a parent reads only V and DV of a
+		// sub-fragment), so it is not interned here.
+		out[id] = ArenaTriplet{V: conv(t.V), DV: conv(t.DV)}
+	}
+	return out
+}
+
+func solveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.FragmentID]ArenaTriplet, prog *xpath.Program, needAll bool) (bool, int64, bool, error) {
 	n := len(prog.Subs)
 	root := st.Root()
-	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(triplets))
-	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+	env := make(map[boolexpr.Var]boolexpr.NodeID, 2*n*len(triplets))
+	lookup := func(v boolexpr.Var) (boolexpr.NodeID, bool) {
 		f, ok := env[v]
 		return f, ok
 	}
 	var work int64
-	var rootV []*boolexpr.Formula
+	var rootV []boolexpr.NodeID
 
 	topo := st.TopoOrder()
 	for i := len(topo) - 1; i >= 0; i-- { // children before parents
@@ -63,21 +103,25 @@ func solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *x
 		if len(t.V) != n || len(t.DV) != n {
 			return false, work, false, fmt.Errorf("eval: fragment %d triplet has wrong arity", id)
 		}
-		var resolvedV []*boolexpr.Formula
+		// One memo generation per fragment: its 2n entries share one
+		// environment (their variables all predate this fragment), so a
+		// subformula shared across entries is substituted exactly once.
+		a.NewGen()
+		var resolvedV []boolexpr.NodeID
 		for _, vec := range []struct {
 			kind boolexpr.VecKind
-			fs   []*boolexpr.Formula
+			fs   []boolexpr.NodeID
 		}{
 			{boolexpr.VecV, t.V},
 			{boolexpr.VecDV, t.DV},
 		} {
 			for q, f := range vec.fs {
-				work += int64(f.Size())
-				g := f.Subst(lookup)
+				work += int64(a.Size(f))
+				g := a.Subst(f, lookup)
 				env[boolexpr.Var{Frag: int32(id), Vec: vec.kind, Q: int32(q)}] = g
 				if vec.kind == boolexpr.VecV {
 					if resolvedV == nil {
-						resolvedV = make([]*boolexpr.Formula, n)
+						resolvedV = make([]boolexpr.NodeID, n)
 					}
 					resolvedV[q] = g
 				}
@@ -91,7 +135,7 @@ func solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *x
 		return false, work, false, fmt.Errorf("eval: missing triplet for root fragment %d", root)
 	}
 	ansF := rootV[prog.Root()]
-	if v, ok := ansF.ConstValue(); ok {
+	if v, ok := a.ConstValue(ansF); ok {
 		return v, work, true, nil
 	}
 	return false, work, false, nil
@@ -125,30 +169,33 @@ func SolveMulti(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, pr
 // booleans.
 func SolveAll(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (map[xmltree.FragmentID]BoolVecs, int64, error) {
 	n := len(prog.Subs)
-	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(triplets))
-	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+	a := boolexpr.NewArena()
+	ats := importTriplets(a, triplets)
+	env := make(map[boolexpr.Var]boolexpr.NodeID, 2*n*len(ats))
+	lookup := func(v boolexpr.Var) (boolexpr.NodeID, bool) {
 		f, ok := env[v]
 		return f, ok
 	}
-	out := make(map[xmltree.FragmentID]BoolVecs, len(triplets))
+	out := make(map[xmltree.FragmentID]BoolVecs, len(ats))
 	var work int64
 	topo := st.TopoOrder()
 	for i := len(topo) - 1; i >= 0; i-- {
 		id := topo[i]
-		t, ok := triplets[id]
+		t, ok := ats[id]
 		if !ok {
 			return nil, work, fmt.Errorf("eval: missing triplet for fragment %d", id)
 		}
 		if len(t.V) != n || len(t.DV) != n {
 			return nil, work, fmt.Errorf("eval: fragment %d triplet has wrong arity", id)
 		}
+		a.NewGen()
 		bv := BoolVecs{V: make([]bool, n), DV: make([]bool, n)}
 		for q := 0; q < n; q++ {
-			work += int64(t.V[q].Size() + t.DV[q].Size())
-			rv := t.V[q].Subst(lookup)
-			rd := t.DV[q].Subst(lookup)
-			cv, okv := rv.ConstValue()
-			cd, okd := rd.ConstValue()
+			work += int64(a.Size(t.V[q]) + a.Size(t.DV[q]))
+			rv := a.Subst(t.V[q], lookup)
+			rd := a.Subst(t.DV[q], lookup)
+			cv, okv := a.ConstValue(rv)
+			cd, okd := a.ConstValue(rd)
 			if !okv || !okd {
 				return nil, work, fmt.Errorf("eval: fragment %d: %w", id, ErrUnresolved)
 			}
@@ -167,39 +214,44 @@ func SolveAll(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog
 // (FullDistParBoX): "no variables appear in the resulting triplet".
 func ResolveTriplet(id xmltree.FragmentID, own Triplet, subs map[xmltree.FragmentID]Triplet, prog *xpath.Program) (Triplet, int64, error) {
 	n := len(prog.Subs)
-	env := make(map[boolexpr.Var]*boolexpr.Formula, 2*n*len(subs))
+	a := boolexpr.NewArena()
+	memo := make(map[*boolexpr.Formula]boolexpr.NodeID)
+	env := make(map[boolexpr.Var]boolexpr.NodeID, 3*n*len(subs))
 	for sub, t := range subs {
 		if len(t.V) != n || len(t.DV) != n {
 			return Triplet{}, 0, fmt.Errorf("eval: sub-fragment %d triplet has wrong arity", sub)
 		}
 		for q := 0; q < n; q++ {
-			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecV, Q: int32(q)}] = t.V[q]
-			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecDV, Q: int32(q)}] = t.DV[q]
-			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecCV, Q: int32(q)}] = t.CV[q]
+			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecV, Q: int32(q)}] = a.Import(t.V[q], memo)
+			env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecDV, Q: int32(q)}] = a.Import(t.DV[q], memo)
+			if q < len(t.CV) {
+				env[boolexpr.Var{Frag: int32(sub), Vec: boolexpr.VecCV, Q: int32(q)}] = a.Import(t.CV[q], memo)
+			}
 		}
 	}
-	lookup := func(v boolexpr.Var) (*boolexpr.Formula, bool) {
+	lookup := func(v boolexpr.Var) (boolexpr.NodeID, bool) {
 		f, ok := env[v]
 		return f, ok
 	}
 	var work int64
-	out := Triplet{
-		V:  make([]*boolexpr.Formula, n),
-		CV: make([]*boolexpr.Formula, n),
-		DV: make([]*boolexpr.Formula, n),
+	a.NewGen()
+	out := ArenaTriplet{
+		V:  make([]boolexpr.NodeID, n),
+		CV: make([]boolexpr.NodeID, n),
+		DV: make([]boolexpr.NodeID, n),
 	}
 	for q := 0; q < n; q++ {
 		work += int64(own.V[q].Size() + own.CV[q].Size() + own.DV[q].Size())
-		out.V[q] = own.V[q].Subst(lookup)
-		out.CV[q] = own.CV[q].Subst(lookup)
-		out.DV[q] = own.DV[q].Subst(lookup)
+		out.V[q] = a.Subst(a.Import(own.V[q], memo), lookup)
+		out.CV[q] = a.Subst(a.Import(own.CV[q], memo), lookup)
+		out.DV[q] = a.Subst(a.Import(own.DV[q], memo), lookup)
 	}
 	for q := 0; q < n; q++ {
-		for _, f := range []*boolexpr.Formula{out.V[q], out.CV[q], out.DV[q]} {
-			if !f.IsConst() {
-				return Triplet{}, work, fmt.Errorf("eval: fragment %d: %w: %v", id, ErrUnresolved, f)
+		for _, f := range []boolexpr.NodeID{out.V[q], out.CV[q], out.DV[q]} {
+			if !a.IsConst(f) {
+				return Triplet{}, work, fmt.Errorf("eval: fragment %d: %w: %v", id, ErrUnresolved, a.String(f))
 			}
 		}
 	}
-	return out, work, nil
+	return out.Export(a), work, nil
 }

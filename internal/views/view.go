@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -30,6 +31,12 @@ type MaintenanceCost struct {
 // View is a materialized Boolean XPath view M(q, T): the source tree, the
 // cached answer, and — per Section 5 — the triplets of every fragment. The
 // view lives at a "home" site (the paper's site S storing the state).
+//
+// Triplets are stored as ids into one long-lived arena: formulas arriving
+// from the sites are hash-consed on decode, so the per-update "did the
+// triplet change at all?" comparison — the gate that lets incremental
+// maintenance terminate without re-solving — is a handful of integer
+// compares instead of a structural formula walk.
 type View struct {
 	tr   cluster.Transport
 	home frag.SiteID
@@ -37,9 +44,46 @@ type View struct {
 
 	mu       sync.Mutex
 	st       *frag.SourceTree
-	triplets map[xmltree.FragmentID]eval.Triplet
+	arena    *boolexpr.Arena
+	triplets map[xmltree.FragmentID]eval.ArenaTriplet
 	ans      bool
 	nextID   xmltree.FragmentID
+}
+
+// arenaCompactAt bounds arena growth across a long-lived view's updates:
+// once the arena holds this many nodes, the live triplets are re-interned
+// into a fresh arena and the garbage of superseded triplets is dropped.
+const arenaCompactAt = 1 << 16
+
+// maybeCompact re-interns the live triplets into a fresh arena once the
+// current one has accumulated too many dead nodes. It must run at most
+// once per maintenance operation, BEFORE any triplet of that operation is
+// decoded: compaction invalidates every id of the old arena, so decoded-
+// but-not-yet-stored triplets must never straddle it. Callers hold v.mu.
+func (v *View) maybeCompact() {
+	if v.arena.Len() < arenaCompactAt {
+		return
+	}
+	fresh := boolexpr.NewArena()
+	memo := make(map[boolexpr.NodeID]*boolexpr.Formula)
+	reintern := make(map[*boolexpr.Formula]boolexpr.NodeID)
+	conv := func(ids []boolexpr.NodeID) []boolexpr.NodeID {
+		out := make([]boolexpr.NodeID, len(ids))
+		for i, id := range ids {
+			out[i] = fresh.Import(v.arena.Export(id, memo), reintern)
+		}
+		return out
+	}
+	for id, t := range v.triplets {
+		v.triplets[id] = eval.ArenaTriplet{V: conv(t.V), CV: conv(t.CV), DV: conv(t.DV)}
+	}
+	v.arena = fresh
+}
+
+// decodeTriplet interns a wire triplet into the view arena. Callers hold
+// v.mu and have called maybeCompact at the top of the operation.
+func (v *View) decodeTriplet(buf []byte) (eval.ArenaTriplet, error) {
+	return eval.DecodeTripletArena(v.arena, buf)
 }
 
 // Materialize computes the view's initial state by running stage 2 of
@@ -51,7 +95,8 @@ func Materialize(ctx context.Context, tr cluster.Transport, home frag.SiteID,
 		home:     home,
 		prog:     prog,
 		st:       st.Clone(),
-		triplets: make(map[xmltree.FragmentID]eval.Triplet, st.Count()),
+		arena:    boolexpr.NewArena(),
+		triplets: make(map[xmltree.FragmentID]eval.ArenaTriplet, st.Count()),
 	}
 	for _, id := range st.Fragments() {
 		if id >= v.nextID {
@@ -64,10 +109,10 @@ func Materialize(ctx context.Context, tr cluster.Transport, home frag.SiteID,
 			return nil, fmt.Errorf("views: materialize at %s: %w", site, err)
 		}
 		for id, t := range ts {
-			v.triplets[id] = t
+			v.triplets[id] = eval.ImportTriplet(v.arena, t)
 		}
 	}
-	ans, _, err := eval.Solve(v.st, v.triplets, prog)
+	ans, _, err := eval.SolveArena(v.st, v.arena, v.triplets, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +155,7 @@ func (v *View) Update(ctx context.Context, id xmltree.FragmentID, ops []UpdateOp
 	start := time.Now()
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	v.maybeCompact()
 	var mc MaintenanceCost
 	entry, ok := v.st.Entry(id)
 	if !ok {
@@ -129,19 +175,20 @@ func (v *View) Update(ctx context.Context, id xmltree.FragmentID, ops []UpdateOp
 	if err != nil {
 		return mc, err
 	}
-	t, err := eval.DecodeTriplet(tb)
+	t, err := v.decodeTriplet(tb)
 	if err != nil {
 		return mc, err
 	}
 	entry.Size = size
 	// "The triplet is then compared with the one stored ... if they are
 	// identical, incremental evaluation terminates without changing ans."
+	// Both triplets live in the view arena, so this is an id compare.
 	if old, ok := v.triplets[id]; ok && old.Equal(t) {
 		mc.Elapsed = time.Since(start)
 		return mc, nil
 	}
 	v.triplets[id] = t
-	ans, work, err := eval.Solve(v.st, v.triplets, v.prog)
+	ans, work, err := eval.SolveArena(v.st, v.arena, v.triplets, v.prog)
 	if err != nil {
 		return mc, err
 	}
@@ -161,6 +208,7 @@ func (v *View) Split(ctx context.Context, id xmltree.FragmentID, path []int, tar
 	start := time.Now()
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	v.maybeCompact()
 	var mc MaintenanceCost
 	entry, ok := v.st.Entry(id)
 	if !ok {
@@ -188,11 +236,11 @@ func (v *View) Split(ctx context.Context, id xmltree.FragmentID, path []int, tar
 	if err != nil {
 		return 0, mc, err
 	}
-	own, err := eval.DecodeTriplet(ownB)
+	own, err := v.decodeTriplet(ownB)
 	if err != nil {
 		return 0, mc, err
 	}
-	nw, err := eval.DecodeTriplet(newB)
+	nw, err := v.decodeTriplet(newB)
 	if err != nil {
 		return 0, mc, err
 	}
@@ -213,6 +261,7 @@ func (v *View) Merge(ctx context.Context, id, child xmltree.FragmentID) (Mainten
 	start := time.Now()
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	v.maybeCompact()
 	var mc MaintenanceCost
 	entry, ok := v.st.Entry(id)
 	if !ok {
@@ -249,7 +298,7 @@ func (v *View) Merge(ctx context.Context, id, child xmltree.FragmentID) (Mainten
 	if err != nil {
 		return mc, err
 	}
-	t, err := eval.DecodeTriplet(tb)
+	t, err := v.decodeTriplet(tb)
 	if err != nil {
 		return mc, err
 	}
@@ -269,20 +318,22 @@ func (v *View) Merge(ctx context.Context, id, child xmltree.FragmentID) (Mainten
 func (v *View) Refresh(ctx context.Context) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	triplets := make(map[xmltree.FragmentID]eval.Triplet, v.st.Count())
+	arena := boolexpr.NewArena()
+	triplets := make(map[xmltree.FragmentID]eval.ArenaTriplet, v.st.Count())
 	for _, site := range v.st.Sites() {
 		ts, _, err := core.RequestTriplets(ctx, v.tr, v.home, site, v.prog, v.st.FragmentsAt(site))
 		if err != nil {
 			return err
 		}
 		for id, t := range ts {
-			triplets[id] = t
+			triplets[id] = eval.ImportTriplet(arena, t)
 		}
 	}
-	ans, _, err := eval.Solve(v.st, triplets, v.prog)
+	ans, _, err := eval.SolveArena(v.st, arena, triplets, v.prog)
 	if err != nil {
 		return err
 	}
+	v.arena = arena
 	v.triplets = triplets
 	v.ans = ans
 	return nil

@@ -46,8 +46,10 @@ func AppendEncoded(dst []byte, n *Node) []byte {
 	return dst
 }
 
-// Encode returns the binary encoding of the subtree at n.
-func Encode(n *Node) []byte { return AppendEncoded(nil, n) }
+// Encode returns the binary encoding of the subtree at n. The buffer is
+// presized to the exact EncodedSize, so encoding a fragment for shipping
+// performs one allocation instead of O(log size) growth copies.
+func Encode(n *Node) []byte { return AppendEncoded(make([]byte, 0, EncodedSize(n)), n) }
 
 // EncodedSize returns len(Encode(n)) without building the buffer. The
 // cluster layer uses it to charge transfer costs without double-allocating.
@@ -75,10 +77,32 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// treeDecoder tracks position while decoding.
+// treeDecoder tracks position while decoding. Nodes are carved out of
+// slabs instead of allocated one by one: the encoding spends at least four
+// bytes per element node (flag, two string lengths, child count), so
+// len(buf)/4 bounds the node count and the first slab usually serves the
+// whole tree — the decode-side analogue of Encode's EncodedSize presizing.
 type treeDecoder struct {
-	buf []byte
-	pos int
+	buf  []byte
+	pos  int
+	slab []Node
+}
+
+// decoderSlabMax caps slab size so a small message never provokes a large
+// allocation and a huge tree allocates incrementally.
+const decoderSlabMax = 4096
+
+func (d *treeDecoder) alloc() *Node {
+	if len(d.slab) == 0 {
+		est := len(d.buf)/4 + 1
+		if est > decoderSlabMax {
+			est = decoderSlabMax
+		}
+		d.slab = make([]Node, est)
+	}
+	n := &d.slab[0]
+	d.slab = d.slab[1:]
+	return n
 }
 
 func (d *treeDecoder) byte() (byte, error) {
@@ -117,7 +141,7 @@ func (d *treeDecoder) node() (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{}
+	n := d.alloc()
 	if flags&flagVirtual != 0 {
 		n.Virtual = true
 		id, err := d.uvarint()
