@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test vet bench bench-smoke bench-diff
 
 all: build vet test
 
@@ -23,3 +23,9 @@ bench:
 # the benchmarks still build and execute, without measuring anything.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-diff re-measures the harness and fails on a >25% regression in
+# ns/op or allocs/op against the committed baseline. Run it before
+# touching BENCH_parbox.json; `make bench` re-records the baseline.
+bench-diff:
+	go run ./cmd/parbox bench -out /tmp/BENCH_parbox.json -quiet -compare BENCH_parbox.json

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -407,16 +408,31 @@ func BenchmarkTripletCodec(b *testing.B) {
 		b.Fatal(err)
 	}
 	enc := t.Encode()
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		buf := t.Encode()
-		if _, err := eval.DecodeTriplet(buf); err != nil {
-			b.Fatal(err)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := t.Encode()
+			if _, err := eval.DecodeTriplet(buf); err != nil {
+				b.Fatal(err)
+			}
+			_ = buf
 		}
-		_ = buf
-	}
-	b.ReportMetric(float64(len(enc)), "triplet-bytes")
+		b.ReportMetric(float64(len(enc)), "triplet-bytes")
+	})
+	// The connection-shaped path: one slab serves the whole stream, so
+	// per-formula allocations amortize to one per chunk.
+	b.Run("slab", func(b *testing.B) {
+		slab := boolexpr.NewSlab()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := t.Encode()
+			if _, err := eval.DecodeTripletSlab(buf, slab); err != nil {
+				b.Fatal(err)
+			}
+			_ = buf
+		}
+		b.ReportMetric(float64(len(enc)), "triplet-bytes")
+	})
 }
 
 func BenchmarkQueryCompile(b *testing.B) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	data := `{
+  "benchmarks": [
+    {"name": "solve/chain32", "ns_per_op": 1000, "allocs_per_op": 100},
+    {"name": "triplet/codec", "ns_per_op": 500, "allocs_per_op": 10},
+    {"name": "retired/bench", "ns_per_op": 50, "allocs_per_op": 5}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := writeBaseline(t)
+	within := map[string]benchPoint{
+		"solve/chain32": {NsPerOp: 1200, AllocsPerOp: 110}, // +20%, +10%: inside 25%
+		"triplet/codec": {NsPerOp: 400, AllocsPerOp: 8},    // improvements
+		"brand/new":     {NsPerOp: 1e9, AllocsPerOp: 1e6},  // not in baseline: ignored
+	}
+	if err := compareBaseline(base, "both", 0.25, within); err != nil {
+		t.Errorf("within-tolerance run failed: %v", err)
+	}
+	// retired/bench missing from fresh results must not fail either (CI
+	// may run a subset).
+	if err := compareBaseline(base, "both", 0.25, map[string]benchPoint{}); err != nil {
+		t.Errorf("empty fresh set failed: %v", err)
+	}
+
+	nsRegressed := map[string]benchPoint{"solve/chain32": {NsPerOp: 1300, AllocsPerOp: 100}}
+	if err := compareBaseline(base, "ns", 0.25, nsRegressed); err == nil {
+		t.Error("30% ns regression passed the 25% gate")
+	}
+	if err := compareBaseline(base, "allocs", 0.25, nsRegressed); err != nil {
+		t.Errorf("allocs-only gate flagged an ns regression: %v", err)
+	}
+
+	allocRegressed := map[string]benchPoint{"solve/chain32": {NsPerOp: 1000, AllocsPerOp: 140}}
+	if err := compareBaseline(base, "allocs", 0.25, allocRegressed); err == nil {
+		t.Error("40% alloc regression passed the 25% gate")
+	}
+	// The +2 absolute slack keeps near-zero counts from tripping on noise.
+	smallJitter := map[string]benchPoint{"triplet/codec": {NsPerOp: 500, AllocsPerOp: 12}}
+	if err := compareBaseline(base, "allocs", 0.0, smallJitter); err != nil {
+		t.Errorf("+2 allocs on a tiny count tripped the gate: %v", err)
+	}
+
+	if err := compareBaseline(base, "nonsense", 0.25, within); err == nil {
+		t.Error("invalid metric selector accepted")
+	}
+	if err := compareBaseline(filepath.Join(t.TempDir(), "missing.json"), "both", 0.25, within); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

@@ -1,9 +1,13 @@
 // Pubsub: content-based filtering over a distributed XMark auction
 // document — the xml data dissemination workload the paper cites as the
-// home turf of Boolean XPath (publish-subscribe systems). A batch of
-// subscriptions is evaluated with one ParBoX round each, and matching
-// subscriptions then run as selection queries to locate the matching
-// nodes.
+// home turf of Boolean XPath (publish-subscribe systems).
+//
+// The system is deployed as a coalescing server: every subscriber issues a
+// plain Exec call, and the scheduler transparently groups the concurrent
+// calls into shared ParBoX rounds (one fused QList, one visit per site,
+// one equation solve for the whole group). The versioned triplet cache
+// makes re-notification rounds over an unchanged document answer from the
+// sites' memoized partial results — zero bottomUp work anywhere.
 //
 //	go run ./examples/pubsub
 package main
@@ -12,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	parbox "repro"
 	"repro/internal/xmark"
@@ -32,9 +38,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Coalesced serving with the defaults (250µs window, 64-lane budget)
+	// plus the versioned per-fragment triplet cache.
 	sys, err := parbox.Deploy(forest, parbox.Assignment{
 		0: "hub", 1: "mirror-eu", 2: "mirror-asia",
-	})
+	}, parbox.WithCoalescedServing(0, 0), parbox.WithTripletCache())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +56,6 @@ func main() {
 		`//person[address/city = "Edinburgh"]`,
 		`//item[payment = "Bitcoin"]`, // never matches in 2006
 	}
-
-	fmt.Printf("document: %d nodes over 3 sites\n\n", sys.SourceTree().TotalSize())
-
-	// The whole subscription set is answered in ONE ParBoX round: the
-	// queries share a QList, each site is visited once for the batch.
 	queries := make([]*parbox.Prepared, len(subscriptions))
 	for i, sub := range subscriptions {
 		q, err := parbox.Prepare(sub)
@@ -61,19 +64,54 @@ func main() {
 		}
 		queries[i] = q
 	}
-	batch, err := sys.Exec(ctx, queries[0], parbox.WithBatch(queries[1:]...))
-	if err != nil {
-		log.Fatal(err)
+
+	fmt.Printf("document: %d nodes over 3 sites\n\n", sys.SourceTree().TotalSize())
+
+	// Each subscriber fires its own Exec, as independent connections
+	// would; the scheduler fuses the burst into shared rounds. serve
+	// returns each subscriber's answer plus the round shape.
+	serve := func() ([]*parbox.Result, time.Duration) {
+		results := make([]*parbox.Result, len(queries))
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q *parbox.Prepared) {
+				defer wg.Done()
+				res, err := sys.Exec(ctx, q)
+				if err != nil {
+					log.Fatalf("%s: %v", subscriptions[i], err)
+				}
+				results[i] = res
+			}(i, q)
+		}
+		wg.Wait()
+		return results, time.Since(start)
 	}
+
+	cold, coldTook := serve()
 	for i, sub := range subscriptions {
 		status := "  -  "
-		if batch.Answers[i] {
+		if cold[i].Answer {
 			status = "FIRE "
 		}
 		fmt.Printf("%s %s\n", status, sub)
 	}
-	fmt.Printf("\nbatch of %d subscriptions: %d bytes, %d messages, visits %v\n",
-		len(subscriptions), batch.Bytes, batch.Messages, batch.Visits)
+	stats := sys.SchedulerStats()
+	fmt.Printf("\ncold serve of %d subscriptions: %v, %d shared round(s) (fused QList %d lanes), %d bytes total\n",
+		len(subscriptions), coldTook.Round(time.Microsecond),
+		stats.Rounds, cold[0].Sched.RoundLanes, sys.TotalBytes())
+
+	// Re-notification over the unchanged document: the sites answer from
+	// their versioned triplet caches — all hits, zero bottomUp steps.
+	warm, warmTook := serve()
+	var hits, misses int64
+	for _, res := range warm {
+		hits += res.CacheHits
+		misses += res.CacheMisses
+	}
+	fmt.Printf("warm re-serve: %v, triplet cache %d hit / %d miss\n\n",
+		warmTook.Round(time.Microsecond), hits, misses)
 
 	// For fired subscriptions a dissemination system needs the matching
 	// elements, not just a bit: the selection extension finds them without
@@ -83,7 +121,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmatching Kenyan item names: %d nodes", sel.Matched)
+	fmt.Printf("matching Kenyan item names: %d nodes", sel.Matched)
 	shown := 0
 	for fragID, paths := range sel.Selection.Paths {
 		fr, _ := forest.Fragment(fragID)

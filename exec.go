@@ -66,6 +66,8 @@ type execConfig struct {
 	trace      io.Writer
 	batch      []*Prepared
 	batchSet   bool
+	coalesce   bool
+	noCoalesce bool
 }
 
 // WithAlgorithm selects the evaluation algorithm (default AlgoParBoX).
@@ -113,6 +115,27 @@ func WithBatch(more ...*Prepared) ExecOption {
 	return func(c *execConfig) { c.batch = append(c.batch, more...); c.batchSet = true }
 }
 
+// WithCoalescing routes this Boolean ParBoX call through the system's
+// coalescing scheduler: concurrent calls are transparently grouped into
+// shared ParBoX rounds (one fused QList, one visit per site, one solve for
+// the whole group) and each caller receives its own answer and a fair
+// share of the round's accounting; Result.Sched reports the round. It
+// applies only to ModeBoolean under AlgoParBoX without WithBatch or
+// WithTrace — combining it with any of those is an error. An Optimized()
+// query always runs its own round (the scheduler fuses from the parsed
+// form, which would discard the minimized program). Systems deployed with
+// WithCoalescedServing coalesce by default; use WithNoCoalesce to opt a
+// call out.
+func WithCoalescing() ExecOption {
+	return func(c *execConfig) { c.coalesce = true }
+}
+
+// WithNoCoalesce forces this call to run its own ParBoX round even on a
+// system deployed with WithCoalescedServing.
+func WithNoCoalesce() ExecOption {
+	return func(c *execConfig) { c.noCoalesce = true }
+}
+
 // Result is the unified outcome of one Exec call: the per-mode report
 // plus common accounting, so callers can meter any mode the same way.
 type Result struct {
@@ -129,16 +152,32 @@ type Result struct {
 	// Matched is the number of selected nodes (ModeSelect, ModeCount).
 	Matched int64
 
-	// Common accounting, filled from the per-mode report.
+	// Common accounting, filled from the per-mode report. For a coalesced
+	// call, Bytes/Messages/TotalSteps/Visits (and the cache counters) are
+	// the caller's fair share of the shared round — shares across the
+	// round's callers sum exactly to the round totals; the full round
+	// lives in Sched.Round. SimTime is not split: it is the round's
+	// modeled makespan, which every caller of the round experienced in
+	// full.
 	Bytes      int64
 	Messages   int64
 	TotalSteps int64
 	Visits     map[SiteID]int64
 	SimTime    time.Duration
+	// CacheHits/CacheMisses count fragments answered from the sites'
+	// versioned triplet caches versus fragments that ran bottomUp (always
+	// zero unless the system was deployed with WithTripletCache).
+	CacheHits, CacheMisses int64
 	// Duration is the measured wall-clock time of the whole call.
 	Duration time.Duration
 
-	// Per-mode reports; exactly one is non-nil.
+	// Sched reports the shared round for calls served by the coalescing
+	// scheduler (WithCoalescing or a WithCoalescedServing system); nil for
+	// calls that ran their own round.
+	Sched *SchedInfo
+
+	// Per-mode reports; at most one is non-nil (all nil for a coalesced
+	// call, whose round report is Sched.Round).
 	Boolean   *Report
 	Batch     *BatchResult
 	Selection *SelectionResult
@@ -192,10 +231,34 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 	if cfg.mode != ModeBoolean && cfg.batchSet {
 		return nil, fmt.Errorf("parbox: WithBatch applies only to %v mode", ModeBoolean)
 	}
+	if cfg.coalesce && cfg.noCoalesce {
+		return nil, errors.New("parbox: WithCoalescing and WithNoCoalesce are mutually exclusive")
+	}
+	if cfg.coalesce {
+		switch {
+		case cfg.mode != ModeBoolean || cfg.algo != AlgoParBoX:
+			return nil, fmt.Errorf("parbox: WithCoalescing supports only %v mode under %v, not %v/%v",
+				ModeBoolean, AlgoParBoX, cfg.mode, cfg.algo)
+		case cfg.batchSet:
+			return nil, errors.New("parbox: WithCoalescing cannot combine with WithBatch (the scheduler already batches)")
+		case cfg.trace != nil:
+			return nil, errors.New("parbox: WithCoalescing cannot combine with WithTrace (a shared round has no per-caller transport)")
+		}
+	}
 	if cfg.timeoutSet {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+	// Route through the coalescing scheduler when asked to (explicitly, or
+	// by the system default set at deployment) and the call shape allows
+	// it. A traced call always runs solo: per-run transport wrappers
+	// cannot demultiplex a shared round. A precompiled query (Optimized)
+	// also runs solo — the scheduler fuses from the parsed form, which
+	// would silently discard the minimized program.
+	if (cfg.coalesce || (s.coalesceDefault && !cfg.noCoalesce)) && !q.precompiled &&
+		cfg.mode == ModeBoolean && cfg.algo == AlgoParBoX && !cfg.batchSet && cfg.trace == nil {
+		return s.sched.exec(ctx, q)
 	}
 	eng := s.eng()
 	var tracer *cluster.Tracer
@@ -237,6 +300,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.Answers = append([]bool(nil), rep.Answers...)
 			res.Answer = rep.Answers[0]
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
 		} else {
 			rep, err := eng.Run(ctx, cfg.algo, q.program())
 			if err != nil {
@@ -245,6 +309,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.Boolean = &rep
 			res.Answer = rep.Answer
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
 		}
 	case ModeSelect:
 		sp, err := q.selectProgram()

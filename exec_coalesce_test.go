@@ -1,0 +1,313 @@
+package parbox
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// deployRandom builds a random fragmented document and deploys it twice
+// over the same trees (queries are read-only): once plain, once with
+// coalesced serving and the triplet cache — the pair the differential
+// tests compare.
+func deployRandom(t *testing.T, r *rand.Rand) (seq, co *System) {
+	t.Helper()
+	tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 150, MaxChildren: 5})
+	forest := frag.NewForest(tree)
+	if err := forest.SplitRandom(r, 6); err != nil {
+		t.Fatal(err)
+	}
+	sites := []SiteID{"S0", "S1", "S2", "S3"}
+	assign := make(Assignment)
+	for _, id := range forest.IDs() {
+		assign[id] = sites[r.Intn(len(sites))]
+	}
+	assign[forest.RootID()] = "S0"
+	var err error
+	seq, err = Deploy(forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err = Deploy(forest, assign, WithCoalescedServing(2*time.Millisecond, 64), WithTripletCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, co
+}
+
+// TestCoalescedMatchesSequential is the differential property test of the
+// serving layer: a set of overlapping random Boolean queries fired
+// concurrently through the coalescing scheduler (with the triplet cache
+// on) must produce exactly the answers of one-at-a-time uncoalesced cold
+// Exec — and the demultiplexed per-caller accounting must satisfy the sum
+// invariants: within every shared round the callers' shares sum to the
+// round's totals, and across rounds the totals reproduce the cluster's
+// global traffic meter. Run with -race: the scheduler, the cache and the
+// demux are all concurrent machinery.
+func TestCoalescedMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			seqSys, coSys := deployRandom(t, r)
+			ctx := context.Background()
+
+			// A subscription-shaped workload: few distinct queries, many
+			// subscribers — heavy overlap is where coalescing pays.
+			distinct := make([]*Prepared, 10)
+			for i := range distinct {
+				e := xpath.RandomQuery(r, xpath.RandomSpec{AllowNot: true})
+				distinct[i] = &Prepared{src: e.String(), expr: e}
+			}
+			queries := make([]*Prepared, 36)
+			for i := range queries {
+				queries[i] = distinct[r.Intn(len(distinct))]
+			}
+
+			// Sequential oracle: cold, uncoalesced, one round per query.
+			want := make([]bool, len(queries))
+			for i, q := range queries {
+				res, err := seqSys.Exec(ctx, q, WithNoCoalesce())
+				if err != nil {
+					t.Fatalf("sequential %q: %v", q, err)
+				}
+				if res.Sched != nil {
+					t.Fatalf("uncoalesced call got Sched info")
+				}
+				want[i] = res.Answer
+			}
+
+			// Two concurrent passes: the first cold, the second against
+			// warm site caches (hits must not change any answer).
+			for pass := 0; pass < 2; pass++ {
+				coSys.ResetMetrics()
+				results := make([]*Result, len(queries))
+				var wg sync.WaitGroup
+				for i, q := range queries {
+					wg.Add(1)
+					go func(i int, q *Prepared) {
+						defer wg.Done()
+						res, err := coSys.Exec(ctx, q) // system default: coalesced
+						if err != nil {
+							t.Errorf("coalesced %q: %v", q, err)
+							return
+						}
+						results[i] = res
+					}(i, q)
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+
+				rounds := make(map[*BatchResult][]*Result)
+				for i, res := range results {
+					if res.Answer != want[i] {
+						t.Errorf("pass %d: query %d (%q) = %v, want %v", pass, i, queries[i], res.Answer, want[i])
+					}
+					if res.Sched == nil || res.Sched.Round == nil {
+						t.Fatalf("pass %d: coalesced call missing Sched info", pass)
+					}
+					rounds[res.Sched.Round] = append(rounds[res.Sched.Round], res)
+				}
+
+				// Per-round sum invariants: fair shares reassemble the round.
+				var roundBytes int64
+				for rep, members := range rounds {
+					if len(members) != len(rep.Answers) {
+						t.Errorf("round served %d callers but answered %d queries", len(members), len(rep.Answers))
+					}
+					var bytes, msgs, steps, hits, misses int64
+					visits := make(map[SiteID]int64)
+					for _, m := range members {
+						bytes += m.Bytes
+						msgs += m.Messages
+						steps += m.TotalSteps
+						hits += m.CacheHits
+						misses += m.CacheMisses
+						for s, v := range m.Visits {
+							visits[s] += v
+						}
+					}
+					if bytes != rep.Bytes || msgs != rep.Messages || steps != rep.TotalSteps {
+						t.Errorf("round shares don't sum: bytes %d/%d msgs %d/%d steps %d/%d",
+							bytes, rep.Bytes, msgs, rep.Messages, steps, rep.TotalSteps)
+					}
+					if hits != rep.CacheHits || misses != rep.CacheMisses {
+						t.Errorf("cache shares don't sum: hits %d/%d misses %d/%d",
+							hits, rep.CacheHits, misses, rep.CacheMisses)
+					}
+					for s, v := range rep.Visits {
+						if visits[s] != v {
+							t.Errorf("visit shares for %s don't sum: %d, want %d", s, visits[s], v)
+						}
+					}
+					roundBytes += rep.Bytes
+				}
+				// Across rounds: the rounds' traffic is the cluster's traffic.
+				if got := coSys.TotalBytes(); got != roundBytes {
+					t.Errorf("pass %d: cluster metered %d bytes, rounds reported %d", pass, got, roundBytes)
+				}
+			}
+
+			stats := coSys.SchedulerStats()
+			if stats.Queries != int64(2*len(queries)) {
+				t.Errorf("scheduler served %d queries, want %d", stats.Queries, 2*len(queries))
+			}
+			if stats.Rounds == 0 || stats.Rounds > stats.Queries {
+				t.Errorf("implausible round count %d for %d queries", stats.Rounds, stats.Queries)
+			}
+		})
+	}
+}
+
+// TestWarmCacheZeroBottomUp pins the triplet cache's core promise: on a
+// repeat of an identical query over unchanged fragments every site answers
+// from cache — all hits, no misses, and the round's total computation is
+// exactly the coordinator's solve work (zero bottomUp steps anywhere).
+func TestWarmCacheZeroBottomUp(t *testing.T) {
+	forest, orig, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = orig
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1", 2: "S2", 3: "S2"}, WithTripletCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := MustPrepare(`//stock[code = "YHOO"]`)
+	frags := int64(sys.SourceTree().Count())
+
+	cold, err := sys.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 || cold.CacheMisses != frags {
+		t.Errorf("cold run: %d hits / %d misses, want 0 / %d", cold.CacheHits, cold.CacheMisses, frags)
+	}
+
+	warm, err := sys.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Answer != cold.Answer {
+		t.Errorf("warm answer %v != cold %v", warm.Answer, cold.Answer)
+	}
+	if warm.CacheHits != frags || warm.CacheMisses != 0 {
+		t.Errorf("warm run: %d hits / %d misses, want %d / 0", warm.CacheHits, warm.CacheMisses, frags)
+	}
+	if warm.TotalSteps != warm.Boolean.SolveWork {
+		t.Errorf("warm run spent %d steps beyond solve work %d — bottomUp ran despite warm cache",
+			warm.TotalSteps, warm.Boolean.SolveWork)
+	}
+	// Same program through a fresh Prepared: the fingerprint is content-
+	// derived, so the cache must hit across Prepared identities too.
+	warm2, err := sys.Exec(ctx, MustPrepare(`//stock[code = "YHOO"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2.CacheHits != frags {
+		t.Errorf("re-prepared query missed the cache: %d hits, want %d", warm2.CacheHits, frags)
+	}
+}
+
+// TestMaintenanceInvalidatesOnlyTouchedFragment: a views-maintenance
+// update must invalidate exactly the updated fragment's cache entries —
+// the next run recomputes that one fragment (observing the new content in
+// its answer) and still hits on every other.
+func TestMaintenanceInvalidatesOnlyTouchedFragment(t *testing.T) {
+	forest, _, err := fixtures.Fig2Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1", 2: "S2", 3: "S2"}, WithTripletCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := MustPrepare(`//stock[code = "GOOG" && sell = "376"]`)
+	frags := int64(sys.SourceTree().Count())
+
+	if res, err := sys.Exec(ctx, q); err != nil {
+		t.Fatal(err)
+	} else if res.Answer {
+		t.Fatal("query should start false")
+	}
+	// Warm every site.
+	if res, err := sys.Exec(ctx, q); err != nil {
+		t.Fatal(err)
+	} else if res.CacheHits != frags {
+		t.Fatalf("warmup: %d hits, want %d", res.CacheHits, frags)
+	}
+
+	// Drive the update through the view layer (the maintenance path that
+	// owns in-place mutation): set GOOG's sell price in fragment 3.
+	vres, err := sys.Exec(ctx, q, WithMode(ModeMaterialize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vres.View.Update(ctx, 3, []UpdateOp{{Op: OpSetText, Path: []int{1, 2}, Text: "376"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := sys.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Answer {
+		t.Error("query still false after the update — stale cached triplet served")
+	}
+	if after.CacheMisses != 1 || after.CacheHits != frags-1 {
+		t.Errorf("after update: %d hits / %d misses, want %d / 1 (only fragment 3 invalidated)",
+			after.CacheHits, after.CacheMisses, frags-1)
+	}
+}
+
+// TestCoalesceOptionValidation pins the option-combination errors.
+func TestCoalesceOptionValidation(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	q := MustPrepare(`//stock`)
+	if _, err := sys.Exec(ctx, q, WithCoalescing(), WithNoCoalesce()); err == nil {
+		t.Error("WithCoalescing+WithNoCoalesce accepted")
+	}
+	if _, err := sys.Exec(ctx, q, WithCoalescing(), WithMode(ModeCount)); err == nil {
+		t.Error("WithCoalescing+ModeCount accepted")
+	}
+	if _, err := sys.Exec(ctx, q, WithCoalescing(), WithAlgorithm(AlgoLazy)); err == nil {
+		t.Error("WithCoalescing+AlgoLazy accepted")
+	}
+	if _, err := sys.Exec(ctx, q, WithCoalescing(), WithBatch(MustPrepare(`//market`))); err == nil {
+		t.Error("WithCoalescing+WithBatch accepted")
+	}
+	// A single explicit coalesced call on an otherwise idle system must
+	// still work (solo round through the scheduler, flushed on idle).
+	res, err := sys.Exec(ctx, q, WithCoalescing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched == nil || res.Sched.RoundQueries != 1 || res.Sched.Coalesced {
+		t.Errorf("solo coalesced call misreported: %+v", res.Sched)
+	}
+	// An Optimized() query carries a precompiled program the scheduler
+	// cannot fuse (it compiles from the parsed form): it must run its own
+	// round — and actually use the optimized program, not lose it.
+	opt, err := sys.Exec(ctx, q.Optimized(), WithCoalescing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Sched != nil {
+		t.Error("optimized query was coalesced, discarding its minimized program")
+	}
+	if opt.Answer != res.Answer {
+		t.Errorf("optimized answer %v != plain %v", opt.Answer, res.Answer)
+	}
+}

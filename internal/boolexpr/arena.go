@@ -47,6 +47,10 @@ type Arena struct {
 	gen     uint32
 
 	scratch []NodeID // reusable operand buffer for combine
+	// substKids is the stack-disciplined rewrite buffer of subst: each
+	// AND/OR frame stages its rewritten operands here instead of
+	// allocating a fresh slice per node.
+	substKids []NodeID
 }
 
 // NewArena returns an arena holding only the two constants.
@@ -61,6 +65,31 @@ func NewArena() *Arena {
 
 // Len returns the number of distinct nodes interned so far.
 func (a *Arena) Len() int { return len(a.nodes) }
+
+// Reserve pre-grows the arena's node, operand and memo storage for about n
+// additional nodes. Bulk importers with a size estimate in hand (Solve
+// interning a whole round's triplets) call it once up front instead of
+// paying repeated append regrowth and per-Subst memo re-allocation.
+func (a *Arena) Reserve(n int) {
+	if need := len(a.nodes) + n; cap(a.nodes) < need {
+		grown := make([]arenaNode, len(a.nodes), need)
+		copy(grown, a.nodes)
+		a.nodes = grown
+	}
+	if need := len(a.kids) + n; cap(a.kids) < need {
+		grown := make([]NodeID, len(a.kids), need)
+		copy(grown, a.kids)
+		a.kids = grown
+	}
+	if need := len(a.nodes) + n; len(a.memo) < need {
+		memo := make([]NodeID, need)
+		copy(memo, a.memo)
+		a.memo = memo
+		gen := make([]uint32, need)
+		copy(gen, a.memoGen)
+		a.memoGen = gen
+	}
+}
 
 // Const returns the id of the constant b.
 func (a *Arena) Const(b bool) NodeID {
@@ -390,15 +419,19 @@ func (a *Arena) subst(x NodeID, lookup func(Var) (NodeID, bool)) NodeID {
 			out = a.Not(k)
 		}
 	case OpAnd, OpOr:
-		kids := a.kids[n.aux : n.aux+n.nkid]
 		changed := false
-		ks := make([]NodeID, len(kids))
-		for i, k := range kids {
-			ks[i] = a.subst(k, lookup)
-			if ks[i] != k {
+		base := len(a.substKids)
+		for i := int32(0); i < n.nkid; i++ {
+			// Re-read the operand through a.kids each iteration: nested
+			// subst calls may grow (and so reallocate) the kids slice.
+			k := a.kids[n.aux+i]
+			nk := a.subst(k, lookup)
+			if nk != k {
 				changed = true
 			}
+			a.substKids = append(a.substKids, nk)
 		}
+		ks := a.substKids[base:]
 		switch {
 		case !changed:
 			out = x
@@ -407,6 +440,7 @@ func (a *Arena) subst(x NodeID, lookup func(Var) (NodeID, bool)) NodeID {
 		default:
 			out = a.combine(OpOr, ks)
 		}
+		a.substKids = a.substKids[:base]
 	default:
 		panic(fmt.Sprintf("boolexpr: unknown Op %d", n.op))
 	}

@@ -1,5 +1,7 @@
 package boolexpr
 
+import "fmt"
+
 // BitVec is a packed bitset over the entries of a QList: bit i is the truth
 // value of subquery i at some node. It is the "constant plane"
 // representation of the per-node vectors (V, CV, DV) of Procedure bottomUp:
@@ -27,10 +29,16 @@ func (b BitVec) Assign(i int32, v bool) {
 }
 
 // Or folds other into b word-wise (b |= other). The two vectors must have
-// the same length. This is lines 4-5 of Procedure bottomUp — folding a
-// child's V into the parent's CV and its DV into the parent's DV — done in
-// n/64 instructions instead of n formula compositions.
+// the same length: mismatched lengths mean the caller is mixing vectors of
+// different QLists, which would silently drop (or misattribute) subquery
+// bits, so Or panics rather than truncate. This is lines 4-5 of Procedure
+// bottomUp — folding a child's V into the parent's CV and its DV into the
+// parent's DV — done in n/64 instructions instead of n formula
+// compositions.
 func (b BitVec) Or(other BitVec) {
+	if len(other) != len(b) {
+		panic(fmt.Sprintf("boolexpr: BitVec.Or length mismatch (%d words vs %d)", len(b), len(other)))
+	}
 	for i, w := range other {
 		b[i] |= w
 	}

@@ -1,0 +1,50 @@
+package boolexpr
+
+import "testing"
+
+func TestBitVecOps(t *testing.T) {
+	b := NewBitVec(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int32{0, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	b.Assign(64, false)
+	if b.Get(64) {
+		t.Error("bit 64 still set after Assign(false)")
+	}
+	o := NewBitVec(130)
+	o.Set(64)
+	b.Or(o)
+	if !b.Get(64) || !b.Get(0) {
+		t.Error("Or lost bits")
+	}
+	b.Clear()
+	for _, i := range []int32{0, 64, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d survived Clear", i)
+		}
+	}
+}
+
+// TestBitVecOrMismatchPanics pins the length guard: mixing vectors of
+// different QLists must fail loudly in both directions (a longer operand
+// used to panic with an index error, a shorter one silently dropped bits).
+func TestBitVecOrMismatchPanics(t *testing.T) {
+	for name, pair := range map[string][2]BitVec{
+		"operand shorter": {NewBitVec(130), NewBitVec(64)},
+		"operand longer":  {NewBitVec(64), NewBitVec(130)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Or did not panic", name)
+				}
+			}()
+			pair[0].Or(pair[1])
+		}()
+	}
+}

@@ -111,10 +111,33 @@ type Decoder struct {
 	buf   []byte
 	pos   int
 	depth int
+
+	// Slab-backed decoding (NewDecoderSlab): nodes come from slab, operand
+	// lists are staged in scratch (stack-disciplined across the recursion)
+	// and seen is the reusable variable-dedup set of the n-ary folding.
+	slab    *Slab
+	scratch []*Formula
+	seen    map[Var]bool
 }
 
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// NewDecoderSlab returns a decoder over buf that allocates decoded formulas
+// from slab, for callers decoding many formulas on a long-lived connection
+// or run (see Slab). Decoded formulas are semantically identical to the
+// plain decoder's — same folding, flattening and dedup.
+func NewDecoderSlab(buf []byte, slab *Slab) *Decoder {
+	return &Decoder{buf: buf, slab: slab, seen: make(map[Var]bool, 8)}
+}
+
+// Reset rebinds the decoder to a new buffer, keeping the slab and scratch
+// state, so one decoder serves a whole stream of messages.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.pos = 0
+	d.depth = 0
+}
 
 // Remaining reports how many bytes have not been consumed yet.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
@@ -168,11 +191,18 @@ func (d *Decoder) Decode() (*Formula, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewVar(Var{Frag: int32(uint32(frag)), Vec: VecKind(vec), Q: int32(uint32(q))}), nil
+		v := Var{Frag: int32(uint32(frag)), Vec: VecKind(vec), Q: int32(uint32(q))}
+		if d.slab != nil {
+			return d.slab.newVar(v), nil
+		}
+		return NewVar(v), nil
 	case wireNot:
 		k, err := d.Decode()
 		if err != nil {
 			return nil, err
+		}
+		if d.slab != nil {
+			return d.slab.not(k), nil
 		}
 		return Not(k), nil
 	case wireAnd, wireOr:
@@ -183,13 +213,33 @@ func (d *Decoder) Decode() (*Formula, error) {
 		if n > maxOperands || n > uint64(d.Remaining()) {
 			return nil, fmt.Errorf("%w: operand count %d exceeds remaining input", ErrBadFormula, n)
 		}
+		fop := OpAnd
+		if op == wireOr {
+			fop = OpOr
+		}
+		if d.slab != nil {
+			// Stage operands on the shared scratch stack; the recursion
+			// below may push and pop its own frames above base.
+			base := len(d.scratch)
+			for i := uint64(0); i < n; i++ {
+				k, err := d.Decode()
+				if err != nil {
+					d.scratch = d.scratch[:base]
+					return nil, err
+				}
+				d.scratch = append(d.scratch, k)
+			}
+			f, trimmed := d.slab.nary(fop, d.scratch[base:], d.scratch, d.seen)
+			d.scratch = trimmed[:base]
+			return f, nil
+		}
 		ks := make([]*Formula, n)
 		for i := range ks {
 			if ks[i], err = d.Decode(); err != nil {
 				return nil, err
 			}
 		}
-		if op == wireAnd {
+		if fop == OpAnd {
 			return And(ks...), nil
 		}
 		return Or(ks...), nil

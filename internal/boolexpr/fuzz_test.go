@@ -1,0 +1,89 @@
+package boolexpr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds are wire encodings of representative formulas (the shapes the
+// codec tests exercise) plus malformed fragments, seeding the native fuzz
+// targets below.
+func fuzzSeeds() [][]byte {
+	v := func(frag int32, vec VecKind, q int32) *Formula {
+		return NewVar(Var{Frag: frag, Vec: vec, Q: q})
+	}
+	formulas := []*Formula{
+		False(),
+		True(),
+		v(0, VecV, 0),
+		Not(v(3, VecDV, 2)),
+		And(v(1, VecV, 0), v(2, VecV, 0)),
+		Or(v(1, VecV, 0), Not(And(v(2, VecDV, 1), v(3, VecV, 7)))),
+		And(v(1, VecV, 0), Or(v(2, VecCV, 1), v(2, VecCV, 2)), Not(v(4, VecV, 3))),
+	}
+	seeds := make([][]byte, 0, len(formulas)+4)
+	for _, f := range formulas {
+		seeds = append(seeds, Encode(f))
+	}
+	seeds = append(seeds,
+		[]byte{},                          // empty
+		[]byte{wireNot},                   // truncated NOT
+		[]byte{wireAnd, 0xff, 0xff},       // absurd operand count
+		bytes.Repeat([]byte{wireNot}, 64), // NOT chain
+	)
+	return seeds
+}
+
+// FuzzDecodeFormula drives the pointer decoder, the slab decoder and the
+// arena decoder with the same input: none may panic, all three must agree
+// on accept/reject, and accepted inputs must survive a re-encode/re-decode
+// round trip structurally intact.
+func FuzzDecodeFormula(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plain, errPlain := DecodeOne(data)
+
+		slab := NewSlab()
+		d := NewDecoderSlab(data, slab)
+		slabbed, errSlab := d.Decode()
+		if errSlab == nil && d.Remaining() != 0 {
+			errSlab = ErrBadFormula
+		}
+
+		arena := NewArena()
+		da := NewDecoder(data)
+		id, errArena := da.DecodeID(arena)
+		if errArena == nil && da.Remaining() != 0 {
+			errArena = ErrBadFormula
+		}
+
+		if (errPlain == nil) != (errSlab == nil) || (errPlain == nil) != (errArena == nil) {
+			t.Fatalf("decoders disagree: plain=%v slab=%v arena=%v", errPlain, errSlab, errArena)
+		}
+		if errPlain != nil {
+			return
+		}
+		// Slab-decoded formulas must be structurally identical to the plain
+		// decoder's (the slab constructors mirror the folding ones).
+		if !plain.Equal(slabbed) {
+			t.Fatalf("slab decode differs: %v vs %v", plain, slabbed)
+		}
+		// The arena speaks the same algebra: exporting must reproduce the
+		// pointer formula.
+		if exported := arena.Export(id, nil); !plain.Equal(exported) {
+			t.Fatalf("arena decode differs: %v vs %v", plain, exported)
+		}
+		// Round trip: decoded formulas are constructor-normalized, so their
+		// encoding must decode to an equal formula (encoding itself need not
+		// be byte-identical to hostile input, which may be unnormalized).
+		again, err := DecodeOne(Encode(plain))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !plain.Equal(again) {
+			t.Fatalf("round trip changed the formula: %v vs %v", plain, again)
+		}
+	})
+}

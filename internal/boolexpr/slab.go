@@ -1,0 +1,128 @@
+package boolexpr
+
+// Slab is a chunked allocator for decoded formulas: Formula nodes and
+// operand slices are carved out of large backing arrays instead of being
+// allocated one by one. A long-lived decoder — the coordinator draining one
+// site's evalQual response, a connection decoding a stream of triplets —
+// attaches one Slab and its per-formula allocation cost amortizes to one
+// heap allocation per chunk (the wire analogue of the tcp server's
+// per-connection scratch buffers).
+//
+// Formulas built from a Slab are ordinary immutable *Formula values and
+// stay valid for as long as the Slab (or any formula referencing the same
+// chunk) is reachable; there is no free or reset. A Slab is not safe for
+// concurrent use.
+type Slab struct {
+	nodes []Formula
+	kids  []*Formula
+}
+
+// slabChunk is the number of Formula nodes (and operand pointers) carved
+// per backing array. Triplet formulas are tens of nodes; one chunk serves
+// many triplets.
+const slabChunk = 1024
+
+// NewSlab returns an empty slab; chunks are allocated on demand.
+func NewSlab() *Slab { return &Slab{} }
+
+// node stores f in the slab and returns its address. Appending never
+// reallocates the current chunk (a full chunk is replaced, not grown), so
+// previously returned pointers stay valid.
+func (s *Slab) node(f Formula) *Formula {
+	if len(s.nodes) == cap(s.nodes) {
+		s.nodes = make([]Formula, 0, slabChunk)
+	}
+	s.nodes = append(s.nodes, f)
+	return &s.nodes[len(s.nodes)-1]
+}
+
+// operands returns a full-capacity slice of n operand slots carved from the
+// slab.
+func (s *Slab) operands(n int) []*Formula {
+	if cap(s.kids)-len(s.kids) < n {
+		size := slabChunk
+		if n > size {
+			size = n
+		}
+		s.kids = make([]*Formula, 0, size)
+	}
+	s.kids = s.kids[:len(s.kids)+n]
+	return s.kids[len(s.kids)-n : len(s.kids) : len(s.kids)]
+}
+
+// --- slab-aware constructors ----------------------------------------------
+//
+// These mirror NewVar/Not/combine exactly (same folding, flattening and
+// variable dedup — the codec fuzz target cross-checks the parity) but
+// allocate any new node from the slab. Folding paths that return an
+// existing formula allocate nothing.
+
+func (s *Slab) newVar(v Var) *Formula { return s.node(Formula{op: OpVar, v: v}) }
+
+func (s *Slab) not(f *Formula) *Formula {
+	switch f.op {
+	case OpTrue:
+		return falseF
+	case OpFalse:
+		return trueF
+	case OpNot:
+		return f.kids[0]
+	default:
+		kids := s.operands(1)
+		kids[0] = f
+		return s.node(Formula{op: OpNot, kids: kids})
+	}
+}
+
+// nary is combine over slab storage. scratch is caller-owned working space
+// for the flattened operand list (the decoder reuses one across calls);
+// seen is the caller-owned variable-dedup set, cleared here before use.
+func (s *Slab) nary(op Op, fs []*Formula, scratch []*Formula, seen map[Var]bool) (*Formula, []*Formula) {
+	absorb, identity := falseF, trueF
+	if op == OpOr {
+		absorb, identity = trueF, falseF
+	}
+	clear(seen)
+	base := len(scratch)
+	var add func(f *Formula) bool // reports whether the absorbing constant was hit
+	add = func(f *Formula) bool {
+		switch {
+		case f == absorb:
+			return true
+		case f == identity:
+			return false
+		case f.op == op:
+			for _, k := range f.kids {
+				if add(k) {
+					return true
+				}
+			}
+			return false
+		case f.op == OpVar:
+			if seen[f.v] {
+				return false
+			}
+			seen[f.v] = true
+			scratch = append(scratch, f)
+			return false
+		default:
+			scratch = append(scratch, f)
+			return false
+		}
+	}
+	for _, f := range fs {
+		if add(f) {
+			return absorb, scratch[:base]
+		}
+	}
+	out := scratch[base:]
+	switch len(out) {
+	case 0:
+		return identity, scratch[:base]
+	case 1:
+		return out[0], scratch[:base]
+	}
+	kids := s.operands(len(out))
+	copy(kids, out)
+	return s.node(Formula{op: op, kids: kids}), scratch[:base]
+}

@@ -42,10 +42,15 @@ type Request struct {
 // Response carries the reply payload plus accounting metadata: Steps is the
 // number of node×subquery computation units the handler performed (the
 // paper's total-computation measure; in a real deployment each site would
-// report its own CPU time the same way).
+// report its own CPU time the same way). CacheHits/CacheMisses count, for
+// handlers that consult the site's versioned triplet cache, how many
+// requested fragments answered from cache versus required a bottomUp pass;
+// both travel the wire so the coordinator's accounting matches over TCP.
 type Response struct {
-	Payload []byte
-	Steps   int64
+	Payload     []byte
+	Steps       int64
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Handler processes one request at a site.
@@ -139,7 +144,12 @@ type Site struct {
 	mu        sync.RWMutex
 	handlers  map[string]Handler
 	fragments map[xmltree.FragmentID]*frag.Fragment
-	state     map[string]any
+	// versions holds each stored fragment's monotonic version: bumped on
+	// every add, removal and in-place mutation (view maintenance calls
+	// BumpFragment). Entries survive removal so a re-added fragment keeps
+	// counting up — version-keyed caches must never see a number reused.
+	versions map[xmltree.FragmentID]uint64
+	state    map[string]any
 }
 
 // NewSite creates a detached site (used directly by the TCP server; the
@@ -149,6 +159,7 @@ func NewSite(id frag.SiteID) *Site {
 		id:        id,
 		handlers:  make(map[string]Handler),
 		fragments: make(map[xmltree.FragmentID]*frag.Fragment),
+		versions:  make(map[xmltree.FragmentID]uint64),
 		state:     make(map[string]any),
 	}
 }
@@ -164,18 +175,41 @@ func (s *Site) Handle(kind string, h Handler) {
 	s.handlers[kind] = h
 }
 
-// AddFragment stores a fragment at the site.
+// AddFragment stores a fragment at the site and bumps its version.
 func (s *Site) AddFragment(f *frag.Fragment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fragments[f.ID] = f
+	s.versions[f.ID]++
 }
 
-// RemoveFragment deletes a fragment from the site's storage.
+// RemoveFragment deletes a fragment from the site's storage. Its version
+// counter is bumped, not deleted, so cached triplets of the departed
+// fragment can never be mistaken for a later incarnation's.
 func (s *Site) RemoveFragment(id xmltree.FragmentID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.fragments, id)
+	s.versions[id]++
+}
+
+// BumpFragment advances a fragment's version after an in-place mutation of
+// its tree (view maintenance: content updates, split, merge) and returns
+// the new version. Every cached triplet of the fragment is thereby
+// invalidated — cache keys embed the version.
+func (s *Site) BumpFragment(id xmltree.FragmentID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[id]++
+	return s.versions[id]
+}
+
+// FragmentVersion returns the fragment's current version (0 if the site
+// has never stored it).
+func (s *Site) FragmentVersion(id xmltree.FragmentID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions[id]
 }
 
 // Fragment returns a stored fragment.
@@ -211,6 +245,20 @@ func (s *Site) Get(key string) (any, bool) {
 	defer s.mu.RUnlock()
 	v, ok := s.state[key]
 	return v, ok
+}
+
+// GetOrPut returns the state stored under key, creating it with mk (under
+// the site lock, so exactly once) when absent. Handlers use it for
+// lazily created per-site singletons like the triplet cache.
+func (s *Site) GetOrPut(key string, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.state[key]; ok {
+		return v
+	}
+	v := mk()
+	s.state[key] = v
+	return v
 }
 
 // Delete removes algorithm state.

@@ -26,6 +26,11 @@ type SiteMetrics struct {
 	Wall time.Duration
 	// Errors counts failed handler dispatches.
 	Errors int64
+	// TripletCacheHits/Misses count, over the site's evalQual handling,
+	// fragments answered from the versioned triplet cache versus fragments
+	// that required a bottomUp pass (local calls included — a cache hit is
+	// a hit regardless of who asked).
+	TripletCacheHits, TripletCacheMisses int64
 }
 
 // Metrics is the cluster-wide accounting; safe for concurrent use.
@@ -57,6 +62,8 @@ func (m *Metrics) record(from, to frag.SiteID, req Request, resp Response, cost 
 	callee := m.site(to)
 	callee.Steps += resp.Steps
 	callee.Wall += cost.Wall
+	callee.TripletCacheHits += resp.CacheHits
+	callee.TripletCacheMisses += resp.CacheMisses
 	if !remote {
 		return
 	}
@@ -139,6 +146,28 @@ func (m *Metrics) TotalSteps() int64 {
 	return n
 }
 
+// TotalTripletCacheHits sums triplet-cache hits over all sites.
+func (m *Metrics) TotalTripletCacheHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sites {
+		n += s.TripletCacheHits
+	}
+	return n
+}
+
+// TotalTripletCacheMisses sums triplet-cache misses over all sites.
+func (m *Metrics) TotalTripletCacheMisses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sites {
+		n += s.TripletCacheMisses
+	}
+	return n
+}
+
 // String renders a per-site table, for the experiment harness.
 func (m *Metrics) String() string {
 	snap := m.Snapshot()
@@ -154,7 +183,8 @@ func (m *Metrics) String() string {
 		fmt.Fprintf(&b, "%-8s %8d %10d %12d %12d %12d\n",
 			id, s.Visits, s.MessagesIn, s.BytesIn, s.BytesOut, s.Steps)
 	}
-	fmt.Fprintf(&b, "total messages %d, total bytes %d, total steps %d\n",
-		m.TotalMessages(), m.TotalBytes(), m.TotalSteps())
+	fmt.Fprintf(&b, "total messages %d, total bytes %d, total steps %d, triplet cache %d hit / %d miss\n",
+		m.TotalMessages(), m.TotalBytes(), m.TotalSteps(),
+		m.TotalTripletCacheHits(), m.TotalTripletCacheMisses())
 	return b.String()
 }

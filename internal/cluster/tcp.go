@@ -18,6 +18,7 @@ import (
 //
 //	request:  uvarint kind length, kind bytes, uvarint payload length, payload
 //	response: one status byte (0 ok, 1 error), uvarint steps,
+//	          uvarint cache hits, uvarint cache misses,
 //	          uvarint body length, body (payload or error text)
 //
 // Frames are written through a bufio.Writer and flushed per message; one
@@ -179,25 +180,31 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		resp, herr := s.site.dispatch(context.Background(), Request{Kind: string(kind), Payload: payload})
 		if herr != nil {
-			if writeResponse(w, tcpStatusErr, 0, []byte(herr.Error())) != nil {
+			if writeResponse(w, tcpStatusErr, Response{Payload: []byte(herr.Error())}) != nil {
 				return
 			}
 			continue
 		}
-		if writeResponse(w, tcpStatusOK, resp.Steps, resp.Payload) != nil {
+		if writeResponse(w, tcpStatusOK, resp) != nil {
 			return
 		}
 	}
 }
 
-func writeResponse(w *bufio.Writer, status byte, steps int64, body []byte) error {
+func writeResponse(w *bufio.Writer, status byte, resp Response) error {
 	if err := w.WriteByte(status); err != nil {
 		return err
 	}
-	if err := writeUvarint(w, uint64(steps)); err != nil {
+	if err := writeUvarint(w, uint64(resp.Steps)); err != nil {
 		return err
 	}
-	if err := writeBytes(w, body); err != nil {
+	if err := writeUvarint(w, uint64(resp.CacheHits)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(resp.CacheMisses)); err != nil {
+		return err
+	}
+	if err := writeBytes(w, resp.Payload); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -398,6 +405,14 @@ func (c *tcpConn) roundTrip(ctx context.Context, req Request) (Response, error) 
 	if err != nil {
 		return Response{}, err
 	}
+	hits, err := readUvarint(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	misses, err := readUvarint(c.r)
+	if err != nil {
+		return Response{}, err
+	}
 	body, err := readBytes(c.r)
 	if err != nil {
 		return Response{}, err
@@ -405,5 +420,5 @@ func (c *tcpConn) roundTrip(ctx context.Context, req Request) (Response, error) 
 	if status == tcpStatusErr {
 		return Response{}, fmt.Errorf("%w: %s", ErrRemote, body)
 	}
-	return Response{Payload: body, Steps: int64(steps)}, nil
+	return Response{Payload: body, Steps: int64(steps), CacheHits: int64(hits), CacheMisses: int64(misses)}, nil
 }

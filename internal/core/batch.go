@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/frag"
@@ -24,6 +25,9 @@ type BatchReport struct {
 	TotalSteps int64
 	SolveWork  int64
 	Visits     map[frag.SiteID]int64
+	// CacheHits/CacheMisses count fragments served from the sites'
+	// versioned triplet caches versus evaluated, when caching is enabled.
+	CacheHits, CacheMisses int64
 }
 
 // ParBoXBatch answers a whole batch of Boolean queries with a single
@@ -42,18 +46,19 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 		sim time.Duration
 		err error
 	}
+	fp := e.fingerprint(prog)
 	results := make(chan siteResult, len(sites))
 	for _, site := range sites {
 		go func(site frag.SiteID) {
 			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
 				Kind:    KindEvalQual,
-				Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: e.st.FragmentsAt(site)}),
+				Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: e.st.FragmentsAt(site), fp: fp}),
 			})
 			if err != nil {
 				results <- siteResult{err: err}
 				return
 			}
-			fts, err := decodeEvalQualResp(resp.Payload)
+			fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
 			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
 		}(site)
 	}
@@ -93,6 +98,8 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 	rep.Bytes = a.bytes
 	rep.Messages = a.messages
 	rep.TotalSteps = a.steps
+	rep.CacheHits = a.cacheHits
+	rep.CacheMisses = a.cacheMisses
 	rep.Visits = a.visits
 	return rep, nil
 }

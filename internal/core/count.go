@@ -58,7 +58,7 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 				results <- siteResult{err: err}
 				return
 			}
-			fts, err := decodeEvalQualResp(resp.Payload)
+			fts, err := decodeEvalQualResp(resp.Payload, nil)
 			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
 		}(site)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/frag"
@@ -37,6 +38,10 @@ type Report struct {
 	Visits map[frag.SiteID]int64
 	// SolveWork is the formula work of the coordinator's evalST phase.
 	SolveWork int64
+	// CacheHits/CacheMisses count fragments answered from the sites'
+	// versioned triplet caches versus fragments that ran bottomUp, summed
+	// over the run (both zero when the cache is disabled).
+	CacheHits, CacheMisses int64
 }
 
 // Engine evaluates queries over one fragmented document hosted on a
@@ -47,6 +52,26 @@ type Engine struct {
 	coord frag.SiteID
 	st    *frag.SourceTree
 	cost  cluster.CostModel
+	// cache, when set, makes the Boolean serving paths (ParBoX,
+	// ParBoXBatch) send the program fingerprint with every evalQual
+	// request, enabling the sites' versioned triplet caches. Set it before
+	// the engine starts serving (EnableTripletCache); it is read without
+	// synchronization.
+	cache bool
+}
+
+// EnableTripletCache turns the sites' versioned per-fragment triplet cache
+// on or off for this engine's ParBoX/ParBoXBatch runs. Call it during
+// setup, before the engine serves concurrent queries.
+func (e *Engine) EnableTripletCache(on bool) { e.cache = on }
+
+// fingerprint returns the cache key to send with evalQual requests: the
+// program's fingerprint when caching is enabled, else 0 (cache bypassed).
+func (e *Engine) fingerprint(prog *xpath.Program) uint64 {
+	if !e.cache {
+		return 0
+	}
+	return prog.Fingerprint()
 }
 
 // runSeq issues process-wide unique run sequence numbers. It is shared by
@@ -94,19 +119,23 @@ func (e *Engine) Run(ctx context.Context, algo Algorithm, prog *xpath.Program) (
 
 // recorder accumulates per-run accounting from call costs.
 type recorder struct {
-	mu       sync.Mutex
-	bytes    int64
-	messages int64
-	steps    int64
-	visits   map[frag.SiteID]int64
+	mu          sync.Mutex
+	bytes       int64
+	messages    int64
+	steps       int64
+	cacheHits   int64
+	cacheMisses int64
+	visits      map[frag.SiteID]int64
 }
 
 func newRecorder() *recorder { return &recorder{visits: make(map[frag.SiteID]int64)} }
 
-func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost) {
+func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost, resp cluster.Response) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.steps += cost.Steps
+	r.cacheHits += resp.CacheHits
+	r.cacheMisses += resp.CacheMisses
 	if from != to {
 		r.bytes += int64(cost.ReqBytes + cost.RespBytes)
 		r.messages += 2
@@ -118,10 +147,12 @@ func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost) {
 // type fills its common fields from one snapshot so the copy rules live
 // in a single place.
 type accounting struct {
-	bytes    int64
-	messages int64
-	steps    int64
-	visits   map[frag.SiteID]int64
+	bytes       int64
+	messages    int64
+	steps       int64
+	cacheHits   int64
+	cacheMisses int64
+	visits      map[frag.SiteID]int64
 }
 
 func (r *recorder) snapshot() accounting {
@@ -131,7 +162,10 @@ func (r *recorder) snapshot() accounting {
 	for k, v := range r.visits {
 		visits[k] = v
 	}
-	return accounting{bytes: r.bytes, messages: r.messages, steps: r.steps, visits: visits}
+	return accounting{
+		bytes: r.bytes, messages: r.messages, steps: r.steps,
+		cacheHits: r.cacheHits, cacheMisses: r.cacheMisses, visits: visits,
+	}
 }
 
 func (r *recorder) fill(rep *Report) {
@@ -139,6 +173,8 @@ func (r *recorder) fill(rep *Report) {
 	rep.Bytes = a.bytes
 	rep.Messages = a.messages
 	rep.TotalSteps = a.steps
+	rep.CacheHits = a.cacheHits
+	rep.CacheMisses = a.cacheMisses
 	rep.Visits = a.visits
 }
 
@@ -148,7 +184,7 @@ func (e *Engine) call(ctx context.Context, rec *recorder, to frag.SiteID, req cl
 	if err != nil {
 		return resp, cost, err
 	}
-	rec.record(e.coord, to, cost)
+	rec.record(e.coord, to, cost, resp)
 	return resp, cost, nil
 }
 
@@ -169,6 +205,7 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 		sim time.Duration
 		err error
 	}
+	fp := e.fingerprint(prog)
 	results := make(chan siteResult, len(sites))
 	for _, site := range sites {
 		go func(site frag.SiteID) {
@@ -177,6 +214,7 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 				Payload: encodeEvalQualReq(evalQualReq{
 					prog: prog,
 					ids:  e.st.FragmentsAt(site),
+					fp:   fp,
 				}),
 			}
 			resp, cost, err := e.call(ctx, rec, site, req)
@@ -184,7 +222,9 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 				results <- siteResult{err: err}
 				return
 			}
-			fts, err := decodeEvalQualResp(resp.Payload)
+			// One slab per site response: every triplet of the response
+			// decodes into chunked storage instead of node-by-node allocs.
+			fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
 			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
 		}(site)
 	}
@@ -531,7 +571,7 @@ func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) 
 					results <- siteResult{err: err}
 					return
 				}
-				fts, err := decodeEvalQualResp(resp.Payload)
+				fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
 				results <- siteResult{fts: fts, sim: cost.Total(), err: err}
 			}(site, ids)
 		}

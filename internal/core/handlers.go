@@ -56,6 +56,14 @@ func RegisterHandlers(site *cluster.Site, tr cluster.Transport, cost cluster.Cos
 // A site's fragments are independent (each bottomUp pass owns its arena),
 // so they are evaluated in parallel on a worker pool sized to the host —
 // the within-site analogue of the paper's across-site stage-2 parallelism.
+//
+// When the request carries a program fingerprint (q.fp != 0; the serving
+// paths send it, see Engine.EnableTripletCache), the site's versioned
+// triplet cache is consulted first: fragments unchanged since the same
+// program last visited answer from their memoized encoding with zero
+// bottomUp steps, and only the remaining fragments are evaluated. The
+// response reports hits and misses so coordinator- and cluster-level
+// accounting can see the cache working.
 func handleEvalQual(keep bool) cluster.Handler {
 	return func(ctx context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
 		q, err := decodeEvalQualReq(req.Payload)
@@ -68,6 +76,9 @@ func handleEvalQual(keep bool) cluster.Handler {
 				return cluster.Response{}, fmt.Errorf("%w: evalQualKeep without source tree", ErrBadMessage)
 			}
 			state = &runState{prog: q.prog, st: q.st, triplets: make(map[xmltree.FragmentID]eval.Triplet)}
+		}
+		if q.fp != 0 && !keep {
+			return evalQualCached(ctx, site, q)
 		}
 		fts, steps, err := evalFragments(ctx, site, q.prog, q.ids)
 		if err != nil {
@@ -82,6 +93,48 @@ func handleEvalQual(keep bool) cluster.Handler {
 		}
 		return cluster.Response{Payload: encodeEvalQualResp(fts), Steps: steps}, nil
 	}
+}
+
+// evalQualCached is handleEvalQual's fast path through the site's
+// versioned triplet cache: split the requested fragments into hits
+// (answered by memoized encodings) and misses (evaluated on the worker
+// pool, then memoized at the version observed before evaluation — a
+// concurrent maintenance bump makes such an entry mismatch on its next
+// lookup and recompute, so staleness is self-healing).
+func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (cluster.Response, error) {
+	cache := siteTripletCache(site)
+	fts := make([]fragTriplet, len(q.ids))
+	vers := make([]uint64, len(q.ids))
+	var missIdx []int
+	var missIDs []xmltree.FragmentID
+	for i, id := range q.ids {
+		vers[i] = site.FragmentVersion(id)
+		if enc, ok := cache.lookup(id, vers[i], q.fp); ok {
+			fts[i] = fragTriplet{id: id, enc: enc}
+		} else {
+			missIdx = append(missIdx, i)
+			missIDs = append(missIDs, id)
+		}
+	}
+	var steps int64
+	if len(missIDs) > 0 {
+		mfts, s, err := evalFragments(ctx, site, q.prog, missIDs)
+		if err != nil {
+			return cluster.Response{}, err
+		}
+		steps = s
+		for j, i := range missIdx {
+			enc := mfts[j].triplet.Encode()
+			fts[i] = fragTriplet{id: q.ids[i], enc: enc}
+			cache.store(q.ids[i], vers[i], q.fp, enc)
+		}
+	}
+	return cluster.Response{
+		Payload:     encodeEvalQualResp(fts),
+		Steps:       steps,
+		CacheHits:   int64(len(q.ids) - len(missIDs)),
+		CacheMisses: int64(len(missIDs)),
+	}, nil
 }
 
 // evalFragments runs BottomUp over the given locally stored fragments,

@@ -34,7 +34,7 @@ func (m *MeteredTransport) Call(ctx context.Context, from, to frag.SiteID, req c
 	if err != nil {
 		return resp, cost, err
 	}
-	m.rec.record(from, to, cost)
+	m.rec.record(from, to, cost, resp)
 	m.mu.Lock()
 	m.sim += cost.Total()
 	m.mu.Unlock()

@@ -124,13 +124,15 @@ func (r *reader) fragIDs() ([]xmltree.FragmentID, error) {
 
 // --- evalQual ------------------------------------------------------------
 
-// evalQualReq: program, fragment IDs, and (for the Keep variant) the run
-// key and encoded source tree.
+// evalQualReq: program, fragment IDs, (for the Keep variant) the run key
+// and encoded source tree, and the program fingerprint (0 when the caller
+// does not want the site's versioned triplet cache consulted).
 type evalQualReq struct {
 	prog   *xpath.Program
 	ids    []xmltree.FragmentID
 	runKey string
 	st     *frag.SourceTree // only for KindEvalQualKeep
+	fp     uint64           // nonzero enables the site triplet cache
 }
 
 func encodeEvalQualReq(q evalQualReq) []byte {
@@ -142,7 +144,7 @@ func encodeEvalQualReq(q evalQualReq) []byte {
 	} else {
 		dst = appendBytes(dst, nil)
 	}
-	return dst
+	return binary.AppendUvarint(dst, q.fp)
 }
 
 func decodeEvalQualReq(buf []byte) (evalQualReq, error) {
@@ -172,13 +174,27 @@ func decodeEvalQualReq(buf []byte) (evalQualReq, error) {
 			return q, err
 		}
 	}
+	if q.fp, err = r.uvarint(); err != nil {
+		return q, err
+	}
 	return q, r.done()
 }
 
-// evalQualResp: per fragment, its ID and encoded triplet.
+// evalQualResp: per fragment, its ID and encoded triplet. A fragTriplet
+// carries either a live triplet or its pre-computed encoding (enc != nil;
+// the cache hit path hands back memoized bytes without re-encoding).
 type fragTriplet struct {
 	id      xmltree.FragmentID
 	triplet eval.Triplet
+	enc     []byte
+}
+
+// encodedSize returns the entry's wire size without encoding.
+func (ft *fragTriplet) encodedSize() int {
+	if ft.enc != nil {
+		return len(ft.enc)
+	}
+	return ft.triplet.EncodedSize()
 }
 
 func encodeEvalQualResp(fts []fragTriplet) []byte {
@@ -187,21 +203,28 @@ func encodeEvalQualResp(fts []fragTriplet) []byte {
 	// instead of each being encoded into a throwaway buffer first.
 	sizes := make([]int, len(fts))
 	size := boolexpr.UvarintLen(uint64(len(fts)))
-	for i, ft := range fts {
-		sizes[i] = ft.triplet.EncodedSize()
-		size += boolexpr.UvarintLen(uint64(uint32(ft.id))) + boolexpr.UvarintLen(uint64(sizes[i])) + sizes[i]
+	for i := range fts {
+		sizes[i] = fts[i].encodedSize()
+		size += boolexpr.UvarintLen(uint64(uint32(fts[i].id))) + boolexpr.UvarintLen(uint64(sizes[i])) + sizes[i]
 	}
 	dst := make([]byte, 0, size)
 	dst = binary.AppendUvarint(dst, uint64(len(fts)))
-	for i, ft := range fts {
-		dst = binary.AppendUvarint(dst, uint64(uint32(ft.id)))
+	for i := range fts {
+		dst = binary.AppendUvarint(dst, uint64(uint32(fts[i].id)))
 		dst = binary.AppendUvarint(dst, uint64(sizes[i]))
-		dst = ft.triplet.AppendEncoded(dst)
+		if fts[i].enc != nil {
+			dst = append(dst, fts[i].enc...)
+		} else {
+			dst = fts[i].triplet.AppendEncoded(dst)
+		}
 	}
 	return dst
 }
 
-func decodeEvalQualResp(buf []byte) ([]fragTriplet, error) {
+// decodeEvalQualResp parses an evalQual response. A non-nil slab receives
+// the decoded formulas (the coordinator drains a whole site's triplets —
+// often a whole run's — through one slab; see boolexpr.Slab).
+func decodeEvalQualResp(buf []byte, slab *boolexpr.Slab) ([]fragTriplet, error) {
 	r := &reader{buf: buf}
 	n, err := r.uvarint()
 	if err != nil {
@@ -220,7 +243,12 @@ func decodeEvalQualResp(buf []byte) ([]fragTriplet, error) {
 		if err != nil {
 			return nil, err
 		}
-		t, err := eval.DecodeTriplet(tb)
+		var t eval.Triplet
+		if slab != nil {
+			t, err = eval.DecodeTripletSlab(tb, slab)
+		} else {
+			t, err = eval.DecodeTriplet(tb)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -24,7 +24,7 @@ func RequestTriplets(ctx context.Context, tr cluster.Transport, from, to frag.Si
 	if err != nil {
 		return nil, cost, err
 	}
-	fts, err := decodeEvalQualResp(resp.Payload)
+	fts, err := decodeEvalQualResp(resp.Payload, nil)
 	if err != nil {
 		return nil, cost, err
 	}

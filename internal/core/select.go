@@ -67,7 +67,7 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 				results <- siteResult{err: err}
 				return
 			}
-			fts, err := decodeEvalQualResp(resp.Payload)
+			fts, err := decodeEvalQualResp(resp.Payload, nil)
 			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
 		}(site)
 	}

@@ -33,7 +33,18 @@ func (t Triplet) EncodedSize() int {
 // DecodeTriplet parses a triplet produced by Encode, requiring all three
 // vectors to have the same arity.
 func DecodeTriplet(buf []byte) (Triplet, error) {
-	d := boolexpr.NewDecoder(buf)
+	return decodeTriplet(boolexpr.NewDecoder(buf))
+}
+
+// DecodeTripletSlab is DecodeTriplet allocating the decoded formulas from
+// slab — the per-connection (or per-run) scratch-slab decode path: a
+// coordinator draining many triplets through one slab pays one heap
+// allocation per slab chunk instead of one per formula node.
+func DecodeTripletSlab(buf []byte, slab *boolexpr.Slab) (Triplet, error) {
+	return decodeTriplet(boolexpr.NewDecoderSlab(buf, slab))
+}
+
+func decodeTriplet(d *boolexpr.Decoder) (Triplet, error) {
 	var t Triplet
 	var err error
 	if t.V, err = d.DecodeVector(); err != nil {

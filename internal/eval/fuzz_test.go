@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/boolexpr"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// FuzzDecodeTriplet drives the triplet wire decoder (the path every
+// evalQual response crosses) with arbitrary bytes: no panics, slab and
+// fresh decoding agree, and accepted triplets survive an encode/decode
+// round trip.
+func FuzzDecodeTriplet(f *testing.F) {
+	// Seed with genuine triplets: an all-constant fragment and one with
+	// virtual nodes (variables on the wire).
+	doc := xmltree.NewElement("a", "",
+		xmltree.NewElement("b", "x"),
+		xmltree.NewElement("c", "",
+			xmltree.NewElement("b", "y")))
+	prog := xpath.MustCompileString(`//b[text() = "x"] && //c`)
+	if t, _, err := BottomUp(doc, prog); err == nil {
+		f.Add(t.Encode())
+	}
+	virt := xmltree.NewElement("a", "",
+		xmltree.NewElement("b", ""),
+		xmltree.NewVirtual(1),
+		xmltree.NewVirtual(2))
+	if t, _, err := BottomUp(virt, prog); err == nil {
+		f.Add(t.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1, 0, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, errFresh := DecodeTriplet(data)
+		slabbed, errSlab := DecodeTripletSlab(data, boolexpr.NewSlab())
+		if (errFresh == nil) != (errSlab == nil) {
+			t.Fatalf("decoders disagree: fresh=%v slab=%v", errFresh, errSlab)
+		}
+		if errFresh != nil {
+			return
+		}
+		if !fresh.Equal(slabbed) {
+			t.Fatal("slab-decoded triplet differs from fresh decode")
+		}
+		again, err := DecodeTriplet(fresh.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !fresh.Equal(again) {
+			t.Fatal("round trip changed the triplet")
+		}
+	})
+}

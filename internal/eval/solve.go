@@ -62,14 +62,29 @@ func SolvePartial(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, 
 }
 
 func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet) map[xmltree.FragmentID]ArenaTriplet {
-	memo := make(map[*boolexpr.Formula]boolexpr.NodeID)
+	// One sizing pass so everything downstream is allocated exactly once:
+	// the arena's node/kid/memo storage (Reserve), the import memo, and a
+	// single id slab that every per-fragment vector is carved from.
+	var entries, nodes int
+	for _, t := range triplets {
+		entries += len(t.V) + len(t.DV)
+		for _, f := range t.V {
+			nodes += f.Size()
+		}
+		for _, f := range t.DV {
+			nodes += f.Size()
+		}
+	}
+	a.Reserve(nodes)
+	memo := make(map[*boolexpr.Formula]boolexpr.NodeID, nodes)
+	slab := make([]boolexpr.NodeID, 0, entries)
 	out := make(map[xmltree.FragmentID]ArenaTriplet, len(triplets))
 	conv := func(fs []*boolexpr.Formula) []boolexpr.NodeID {
-		ids := make([]boolexpr.NodeID, len(fs))
-		for i, f := range fs {
-			ids[i] = a.Import(f, memo)
+		base := len(slab)
+		for _, f := range fs {
+			slab = append(slab, a.Import(f, memo))
 		}
-		return ids
+		return slab[base:len(slab):len(slab)]
 	}
 	for id, t := range triplets {
 		// CV is never consumed by evalST (a parent reads only V and DV of a
@@ -106,8 +121,13 @@ func solveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.Fra
 		// One memo generation per fragment: its 2n entries share one
 		// environment (their variables all predate this fragment), so a
 		// subformula shared across entries is substituted exactly once.
+		// Resolved V entries are only materialized for the root fragment —
+		// every other fragment's values are consumed through env alone.
 		a.NewGen()
 		var resolvedV []boolexpr.NodeID
+		if id == root {
+			resolvedV = make([]boolexpr.NodeID, n)
+		}
 		for _, vec := range []struct {
 			kind boolexpr.VecKind
 			fs   []boolexpr.NodeID
@@ -119,10 +139,7 @@ func solveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.Fra
 				work += int64(a.Size(f))
 				g := a.Subst(f, lookup)
 				env[boolexpr.Var{Frag: int32(id), Vec: vec.kind, Q: int32(q)}] = g
-				if vec.kind == boolexpr.VecV {
-					if resolvedV == nil {
-						resolvedV = make([]boolexpr.NodeID, n)
-					}
+				if vec.kind == boolexpr.VecV && resolvedV != nil {
 					resolvedV[q] = g
 				}
 			}

@@ -51,12 +51,25 @@ type Forest struct {
 	frags  map[xmltree.FragmentID]*Fragment
 	rootID xmltree.FragmentID
 	nextID xmltree.FragmentID
+	// versions tracks a monotonic per-fragment version, bumped whenever a
+	// fragment's tree changes shape through Split/Merge. Deployed sites
+	// keep their own counters for serving-time maintenance; the forest's
+	// counters cover pre-deployment refragmentation, so any cache keyed on
+	// (fragment, version) can treat "version changed" as "content may have
+	// changed" across both stages.
+	versions map[xmltree.FragmentID]uint64
 }
 
 // NewForest wraps a whole tree as a single root fragment with ID 0.
 func NewForest(root *xmltree.Node) *Forest {
-	f := &Forest{frags: make(map[xmltree.FragmentID]*Fragment), rootID: 0, nextID: 1}
+	f := &Forest{
+		frags:    make(map[xmltree.FragmentID]*Fragment),
+		rootID:   0,
+		nextID:   1,
+		versions: make(map[xmltree.FragmentID]uint64),
+	}
 	f.frags[0] = &Fragment{ID: 0, Parent: NoParent, Root: root}
+	f.versions[0] = 1
 	return f
 }
 
@@ -64,12 +77,17 @@ func NewForest(root *xmltree.Node) *Forest {
 // (NaiveCentralized reassembles the document from shipped fragments this
 // way). The result is validated.
 func FromFragments(frs []*Fragment, rootID xmltree.FragmentID) (*Forest, error) {
-	f := &Forest{frags: make(map[xmltree.FragmentID]*Fragment, len(frs)), rootID: rootID}
+	f := &Forest{
+		frags:    make(map[xmltree.FragmentID]*Fragment, len(frs)),
+		rootID:   rootID,
+		versions: make(map[xmltree.FragmentID]uint64, len(frs)),
+	}
 	for _, fr := range frs {
 		if _, dup := f.frags[fr.ID]; dup {
 			return nil, fmt.Errorf("frag: duplicate fragment %d", fr.ID)
 		}
 		f.frags[fr.ID] = fr
+		f.versions[fr.ID] = 1
 		if fr.ID >= f.nextID {
 			f.nextID = fr.ID + 1
 		}
@@ -151,6 +169,10 @@ func (f *Forest) Split(v *xmltree.Node) (xmltree.FragmentID, error) {
 		return 0, errors.New("frag: node is not a child of its parent (corrupt tree)")
 	}
 	f.frags[id] = &Fragment{ID: id, Parent: owner.ID, Root: v}
+	// Both trees changed shape: the owner lost a subtree, the new fragment
+	// came into being.
+	f.versions[owner.ID]++
+	f.versions[id]++
 	// Sub-fragments referenced from the moved subtree now hang off the new
 	// fragment.
 	for _, sub := range f.frags[id].SubFragments() {
@@ -158,6 +180,10 @@ func (f *Forest) Split(v *xmltree.Node) (xmltree.FragmentID, error) {
 	}
 	return id, nil
 }
+
+// Version returns the fragment's monotonic version (0 if it never existed
+// in this forest). It advances on every Split/Merge touching the fragment.
+func (f *Forest) Version(id xmltree.FragmentID) uint64 { return f.versions[id] }
 
 // Merge is mergeFragments(v) of Section 5: the virtual node v is replaced
 // by the subtree of the fragment it refers to, which disappears as a
@@ -183,6 +209,10 @@ func (f *Forest) Merge(v *xmltree.Node) error {
 		return errors.New("frag: virtual node is not a child of its parent (corrupt tree)")
 	}
 	delete(f.frags, child.ID)
+	// The owner absorbed a subtree; the child is gone but its counter stays
+	// monotonic in case the id is ever reused.
+	f.versions[owner.ID]++
+	f.versions[child.ID]++
 	// Grandchildren become children of the merged-into fragment.
 	for _, sub := range child.SubFragments() {
 		f.frags[sub].Parent = owner.ID

@@ -50,6 +50,9 @@ func handleApplyUpdate(_ context.Context, site *cluster.Site, req cluster.Reques
 			return cluster.Response{}, fmt.Errorf("views: op %d: %w", i, err)
 		}
 	}
+	// The fragment's tree changed: advance its version so every memoized
+	// triplet of this fragment (the serving layer's cache) is invalidated.
+	site.BumpFragment(id)
 	t, steps, err := eval.BottomUp(fr.Root, prog)
 	if err != nil {
 		return cluster.Response{}, err
@@ -90,6 +93,10 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 		if !node.Parent.ReplaceChild(node, xmltree.NewVirtual(newID)) {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
+		// The split mutated the owning fragment in place (subtree replaced
+		// by a virtual node); the new fragment gets its version from
+		// AddFragment at whichever site adopts it.
+		site.BumpFragment(id)
 		newFrag := &frag.Fragment{ID: newID, Parent: id, Root: node}
 
 		var newTripletBytes []byte
@@ -210,6 +217,9 @@ func handleMerge(tr cluster.Transport) cluster.Handler {
 		if !vnode.Parent.ReplaceChild(vnode, childRoot) {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
+		// The merged-into fragment absorbed a subtree (the child's removal
+		// already bumped its version via RemoveFragment).
+		site.BumpFragment(id)
 		t, steps, err := eval.BottomUp(fr.Root, prog)
 		if err != nil {
 			return cluster.Response{}, err

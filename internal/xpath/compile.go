@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind enumerates the nine normal-form subquery shapes of Procedure
@@ -74,6 +75,47 @@ type Program struct {
 	Subs []Subquery
 	// Source is the surface text the program was compiled from, when known.
 	Source string
+
+	// fp caches Fingerprint (0 = not yet computed). Do not mutate Subs
+	// after the first Fingerprint call.
+	fp atomic.Uint64
+}
+
+// Fingerprint returns a stable 64-bit fingerprint of the program: FNV-1a
+// over the QList structure (kinds, operand wiring, payload strings; Source
+// is excluded — two spellings compiling to the same QList share a
+// fingerprint). Sites key their per-fragment triplet caches by it, so it
+// must be identical across processes for the same program — it hashes the
+// canonical content, not any in-memory representation. The value is never
+// 0; it is computed once and cached.
+func (p *Program) Fingerprint() uint64 {
+	if fp := p.fp.Load(); fp != 0 {
+		return fp
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(len(p.Subs)))
+	for _, s := range p.Subs {
+		mix(uint64(s.Kind))
+		mix(uint64(uint32(s.A)))
+		mix(uint64(uint32(s.B)))
+		mix(uint64(len(s.Str)))
+		for i := 0; i < len(s.Str); i++ {
+			h ^= uint64(s.Str[i])
+			h *= 1099511628211
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	p.fp.Store(h)
+	return h
 }
 
 // Root returns the index of the outermost subquery.
@@ -141,18 +183,53 @@ func CompileWithOptions(e Expr, opts CompileOptions) *Program {
 // One bottomUp pass over a fragment answers every query in the batch —
 // one visit per site for N subscriptions.
 func CompileBatch(exprs []Expr) (*Program, []int32) {
-	b := &compiler{intern: make(map[Subquery]int32)}
-	roots := make([]int32, len(exprs))
-	for i, e := range exprs {
-		idx := b.expr(e)
-		// Each query keeps its own ε[q] wrapper (interned: identical
-		// queries share even the wrapper).
-		roots[i] = b.add(Subquery{Kind: KFilter, A: idx, B: -1})
+	b := NewBatchBuilder()
+	for _, e := range exprs {
+		b.Add(e)
 	}
-	if len(b.prog.Subs) == 0 {
-		b.add(Subquery{Kind: KTrue, A: -1, B: -1})
+	return b.Program()
+}
+
+// BatchBuilder builds a shared batch program incrementally — CompileBatch
+// one query at a time. The coalescing scheduler uses it to know the fused
+// QList size (the lane count) after every admission, so a window can flush
+// the moment its lane budget is reached instead of estimating from the sum
+// of the individual programs (which ignores cross-query sharing and
+// over-counts heavily for overlapping subscription sets).
+type BatchBuilder struct {
+	c     compiler
+	roots []int32
+}
+
+// NewBatchBuilder returns an empty builder.
+func NewBatchBuilder() *BatchBuilder {
+	return &BatchBuilder{c: compiler{intern: make(map[Subquery]int32)}}
+}
+
+// Add compiles e into the shared program and returns the index of its
+// answer entry. Each query keeps its own ε[q] wrapper (interned:
+// identical queries share even the wrapper).
+func (b *BatchBuilder) Add(e Expr) int32 {
+	idx := b.c.expr(e)
+	root := b.c.add(Subquery{Kind: KFilter, A: idx, B: -1})
+	b.roots = append(b.roots, root)
+	return root
+}
+
+// Queries returns how many queries have been added.
+func (b *BatchBuilder) Queries() int { return len(b.roots) }
+
+// Lanes returns the current fused QList size — what every node of every
+// fragment will pay per bottomUp visit for the whole batch.
+func (b *BatchBuilder) Lanes() int { return len(b.c.prog.Subs) }
+
+// Program finalizes and returns the shared program plus each query's answer
+// entry, in Add order. The builder must not be used afterwards.
+func (b *BatchBuilder) Program() (*Program, []int32) {
+	if len(b.c.prog.Subs) == 0 {
+		b.c.add(Subquery{Kind: KTrue, A: -1, B: -1})
 	}
-	return &b.prog, roots
+	return &b.c.prog, b.roots
 }
 
 // MustCompileString parses and compiles, panicking on parse errors; it is

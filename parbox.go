@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -148,7 +149,11 @@ func EvaluateLocal(root *Node, q *Prepared) (bool, error) {
 type Option func(*options)
 
 type options struct {
-	cost cluster.CostModel
+	cost           cluster.CostModel
+	coalesce       bool
+	coalesceWindow time.Duration
+	coalesceLanes  int
+	tripletCache   bool
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -157,11 +162,50 @@ func WithCostModel(m CostModel) Option {
 	return func(o *options) { o.cost = m }
 }
 
+// WithCoalescedServing makes Boolean ParBoX Exec calls coalesce by
+// default: concurrent calls are transparently grouped into shared rounds
+// by the scheduler (see WithCoalescing; WithNoCoalesce opts a call out).
+// window is how long an open admission window waits for more callers,
+// lanes is the fused-QList budget that flushes a window early; zero or
+// negative values pick the defaults (DefaultCoalesceWindow,
+// DefaultCoalesceLanes).
+func WithCoalescedServing(window time.Duration, lanes int) Option {
+	return func(o *options) {
+		o.coalesce = true
+		o.coalesceWindow = window
+		o.coalesceLanes = lanes
+	}
+}
+
+// WithTripletCache enables the versioned per-fragment triplet cache at the
+// sites: each site memoizes the encoded triplet of a fragment per
+// (fragment version, program fingerprint), so a fragment unchanged since a
+// program's last visit answers with zero bottomUp steps and the
+// coordinator only re-solves the equation system. View maintenance
+// (Update/Split/Merge) bumps the touched fragment's version, invalidating
+// exactly that fragment's entries. Hit/miss counts appear in
+// Result.CacheHits/CacheMisses and the cluster metrics.
+//
+// The cache changes per-call step accounting on repeated queries (cached
+// fragments report zero computation), which is precisely its point — so it
+// is opt-in, keeping the paper-reproduction experiment numbers untouched.
+func WithTripletCache() Option {
+	return func(o *options) { o.tripletCache = true }
+}
+
 // System is a deployed fragmented document: an in-process cluster of
 // sites, each holding its assigned fragments and serving the ParBoX
 // protocol. All methods are safe for concurrent use.
 type System struct {
 	cluster *cluster.Cluster
+
+	// sched is the coalescing scheduler; coalesceDefault routes plain
+	// Boolean Exec calls through it without WithCoalescing. cacheEnabled
+	// records the WithTripletCache deployment choice so Replan can
+	// re-apply it to the swapped-in engine.
+	sched           *scheduler
+	coalesceDefault bool
+	cacheEnabled    bool
 
 	// mu guards engine, which Replan swaps; forest/replicas are retained
 	// for Replan on replicated deployments and never change.
@@ -170,6 +214,10 @@ type System struct {
 	forest   *Forest
 	replicas ReplicaMap
 }
+
+// SchedulerStats returns the coalescing scheduler's cumulative counters
+// (rounds run, queries served, flush reasons) since deployment.
+func (s *System) SchedulerStats() SchedulerStats { return s.sched.stats() }
 
 // eng returns the current engine; Exec reads it once per call, so a
 // concurrent Replan affects only subsequent calls.
@@ -197,7 +245,10 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
 	}
-	return &System{cluster: c, engine: eng}, nil
+	eng.EnableTripletCache(o.tripletCache)
+	s := &System{cluster: c, engine: eng, coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache}
+	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
+	return s, nil
 }
 
 // AddSite creates an additional (initially empty) site with the full
@@ -386,7 +437,13 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
 	}
-	return &System{cluster: c, engine: eng, forest: forest, replicas: replicas}, nil
+	eng.EnableTripletCache(o.tripletCache)
+	s := &System{
+		cluster: c, engine: eng, forest: forest, replicas: replicas,
+		coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache,
+	}
+	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
+	return s, nil
 }
 
 // Replan switches a replicated system to a different placement strategy
@@ -400,6 +457,7 @@ func (s *System) Replan(strategy PlacementStrategy) error {
 	if err != nil {
 		return err
 	}
+	eng.EnableTripletCache(s.cacheEnabled)
 	s.mu.Lock()
 	s.engine = eng
 	s.mu.Unlock()

@@ -19,6 +19,12 @@ type Prepared struct {
 	src  string
 	expr xpath.Expr
 
+	// precompiled marks artifacts whose program is not Compile(expr) —
+	// today only Optimized() forms. The coalescing scheduler fuses from
+	// expr, which would silently discard such a program, so Exec runs
+	// precompiled queries in their own round instead of coalescing them.
+	precompiled bool
+
 	progOnce sync.Once
 	prog     *xpath.Program
 
@@ -86,7 +92,7 @@ func (q *Prepared) program() *xpath.Program {
 func (q *Prepared) Optimized() *Prepared {
 	q.optOnce.Do(func() {
 		// prog is pre-filled; program()'s nil check keeps it.
-		q.opt = &Prepared{src: q.src, expr: q.expr, prog: q.program().Optimize()}
+		q.opt = &Prepared{src: q.src, expr: q.expr, prog: q.program().Optimize(), precompiled: true}
 	})
 	return q.opt
 }
