@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff
+.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke
 
 all: build vet test
 
@@ -29,3 +29,10 @@ bench-smoke:
 # touching BENCH_parbox.json; `make bench` re-records the baseline.
 bench-diff:
 	go run ./cmd/parbox bench -out /tmp/BENCH_parbox.json -quiet -compare BENCH_parbox.json
+
+# recovery-smoke is CI's crash-recovery gate: SIGKILL a durable site
+# daemon mid-run and restart it from its data dir, plus the in-process
+# crash differential, all under the race detector.
+recovery-smoke:
+	go test -race -run 'TestDaemonCrashRecovery' ./cmd/parbox-site
+	go test -race -run 'TestCrashRecoveryDifferential|TestVersionMonotonicityAndStaleCacheRejection|TestTopologyChangeRecovery' .

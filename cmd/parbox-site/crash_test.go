@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/views"
+	"repro/internal/xpath"
+)
+
+var servingAddr = regexp.MustCompile(`serving \d+ fragments on ([0-9.]+:\d+)`)
+
+// startDaemon launches the built parbox-site binary and waits for its
+// "serving" banner, returning the process and the address it bound.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := servingAddr.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("daemon exited before serving")
+		}
+		return cmd, addr
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon did not report its address in time")
+	}
+	panic("unreachable")
+}
+
+// TestDaemonCrashRecovery is the recovery smoke CI runs: a durable site
+// daemon receives view-maintenance updates over TCP, is SIGKILLed without
+// any chance to checkpoint, and is restarted from its data dir alone. The
+// recovered deployment must answer ParBoX queries exactly like an
+// in-memory reference that applied the same updates and never died.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon process")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "parbox-site")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building parbox-site: %v\n%s", err, out)
+	}
+
+	dir := writeDeployment(t)
+	manifestPath := filepath.Join(dir, "manifest.txt")
+	dataDir := filepath.Join(tmp, "s1-data")
+	args := []string{"-name", "S1", "-manifest", manifestPath,
+		"-listen", "127.0.0.1:0", "-data-dir", dataDir}
+
+	m, err := manifest.ParseFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cost := cluster.DefaultCostModel()
+	prog := xpath.MustCompileString(`//a[text() = "x"] && //b`)
+
+	// newCoordinator wires a local S0 (fragments from the manifest)
+	// against the daemon at addr and returns the transport plus engine.
+	newCoordinator := func(addr string) (*cluster.TCPTransport, *core.Engine, *frag.SourceTree) {
+		t.Helper()
+		tr := cluster.NewTCPTransport(map[frag.SiteID]string{"S1": addr})
+		s0 := cluster.NewSite("S0")
+		frags, sizes, err := m.LoadFragments("S0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fr := range frags {
+			s0.AddFragment(fr)
+		}
+		core.RegisterHandlers(s0, tr, cost)
+		views.RegisterHandlers(s0, tr)
+		tr.Local(s0)
+		st, err := m.SourceTree(sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, core.NewEngine(tr, "S0", st, cost), st
+	}
+
+	// Phase 1: run, update, SIGKILL mid-run.
+	cmd, addr := startDaemon(t, bin, args...)
+	tr1, _, st1 := newCoordinator(addr)
+	view, err := views.Materialize(ctx, tr1, "S0", st1, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []views.UpdateOp
+	for i := 0; i < 5; i++ {
+		op := views.UpdateOp{Op: views.OpSetText, Path: []int{0}, Text: fmt.Sprintf("u%d", i)}
+		// Every acknowledged update is already in the daemon's WAL: the
+		// handler journals before replying, so the kill below can lose
+		// nothing that the view layer observed.
+		if _, err := view.Update(ctx, 1, []views.UpdateOp{op}); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	tr1.Close()
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no checkpoint, no flush
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Phase 2: restart from the data dir and compare against an in-memory
+	// reference that applied the same ops and never crashed.
+	cmd2, addr2 := startDaemon(t, bin, args...)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	tr2, eng, _ := newCoordinator(addr2)
+	defer tr2.Close()
+
+	refCluster := cluster.New(cost)
+	refForest, refAssign, err := loadReferenceForest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := core.Deploy(refCluster, refForest, refAssign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFrag, _ := refForest.Fragment(1)
+	for _, op := range ops {
+		if err := op.Apply(refFrag.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, src := range []string{
+		`//a[text() = "x"] && //b`,
+		`//b[text() = "u4"]`,
+		`//b[text() = "y"]`,
+		`//section && //catalog`,
+	} {
+		q := xpath.MustCompileString(src)
+		got, err := eng.ParBoX(ctx, q)
+		if err != nil {
+			t.Fatalf("recovered daemon %q: %v", src, err)
+		}
+		want, err := refEng.ParBoX(ctx, q)
+		if err != nil {
+			t.Fatalf("reference %q: %v", src, err)
+		}
+		if got.Answer != want.Answer {
+			t.Errorf("%q: recovered=%v reference=%v", src, got.Answer, want.Answer)
+		}
+	}
+}
+
+// loadReferenceForest assembles the manifest's full fragment set into a
+// forest + assignment for the in-memory reference deployment.
+func loadReferenceForest(m *manifest.Manifest) (*frag.Forest, frag.Assignment, error) {
+	var frs []*frag.Fragment
+	assign := frag.Assignment{}
+	for siteID := range m.Sites {
+		frags, _, err := m.LoadFragments(siteID)
+		if err != nil {
+			return nil, nil, err
+		}
+		for id, fr := range frags {
+			frs = append(frs, fr)
+			assign[id] = siteID
+		}
+	}
+	forest, err := frag.FromFragments(frs, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return forest, assign, nil
+}

@@ -6,6 +6,16 @@
 //	parbox-site -name S1 -manifest work/manifest.txt
 //
 // The listen address defaults to the manifest's entry for the site.
+//
+// With -data-dir the site is durable: every fragment mutation is written
+// to a segmented, CRC-checked WAL and periodically checkpointed into
+// snapshots. On a restart the daemon recovers from the data dir instead of
+// the manifest's XML files — fragment versions are restored exactly, so
+// coordinators using the versioned triplet cache keep their warm entries —
+// and fragments are loaded lazily (bounded by -max-resident, 0 =
+// unbounded). SIGTERM/SIGINT trigger a graceful flush-and-checkpoint
+// shutdown: the listener closes first, then the store writes a final
+// snapshot, so the next start recovers without replaying any WAL.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/manifest"
+	"repro/internal/store"
 	"repro/internal/views"
 )
 
@@ -26,46 +37,82 @@ func main() {
 	name := flag.String("name", "", "site name (required, must appear in the manifest)")
 	manifestPath := flag.String("manifest", "", "manifest file (required)")
 	listen := flag.String("listen", "", "listen address (default: the manifest's address for this site)")
+	dataDir := flag.String("data-dir", "", "durable store directory: WAL + snapshots; recovers from it on restart")
+	maxResident := flag.Int("max-resident", 0, "bound on in-memory fragments with -data-dir (0 = unbounded)")
+	syncWrites := flag.Bool("sync-writes", false, "fsync every WAL append (survive machine crashes, not just process crashes)")
 	flag.Parse()
 
-	if err := run(*name, *manifestPath, *listen); err != nil {
+	if err := run(*name, *manifestPath, *listen, *dataDir, *maxResident, *syncWrites); err != nil {
 		fmt.Fprintf(os.Stderr, "parbox-site: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, manifestPath, listen string) error {
-	srv, tr, err := setup(name, manifestPath, listen)
+func run(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool) error {
+	d, err := setup(name, manifestPath, listen, dataDir, maxResident, syncWrites)
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
-	defer srv.Close()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("parbox-site %s: shutting down\n", name)
-	return nil
+	return d.Close()
 }
 
-// setup loads the site's fragments, registers the full protocol and
-// starts serving; split out of run so tests can drive it.
-func setup(name, manifestPath, listen string) (*cluster.Server, *cluster.TCPTransport, error) {
+// daemon bundles one running site's server, transport and (optional)
+// durable store, so shutdown happens in the one safe order.
+type daemon struct {
+	srv  *cluster.Server
+	tr   *cluster.TCPTransport
+	st   *store.Store
+	site *cluster.Site
+}
+
+// Close shuts the daemon down gracefully: stop accepting work, then
+// checkpoint and close the store (a flush-and-checkpoint, never an exit
+// mid-write), then drop the peer connections. Safe to call once.
+func (d *daemon) Close() error {
+	var first error
+	if d.srv != nil {
+		if err := d.srv.Close(); err != nil {
+			first = err
+		}
+	}
+	if d.st != nil {
+		if err := d.site.StoreErr(); err != nil && first == nil {
+			first = err
+		}
+		if err := d.st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if d.tr != nil {
+		if err := d.tr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// setup loads or recovers the site's fragments, registers the full
+// protocol and starts serving; split out of run so tests can drive it.
+func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool) (*daemon, error) {
 	if name == "" || manifestPath == "" {
-		return nil, nil, fmt.Errorf("-name and -manifest are required")
+		return nil, fmt.Errorf("-name and -manifest are required")
 	}
 	m, err := manifest.ParseFile(manifestPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	siteID := frag.SiteID(name)
 	addr, ok := m.Sites[siteID]
 	if !ok {
-		return nil, nil, fmt.Errorf("site %s not in manifest", name)
+		return nil, fmt.Errorf("site %s not in manifest", name)
 	}
 	if listen == "" {
 		if addr == manifest.LocalAddr {
-			return nil, nil, fmt.Errorf("site %s is declared local; give -listen explicitly", name)
+			return nil, fmt.Errorf("site %s is declared local; give -listen explicitly", name)
 		}
 		listen = addr
 	}
@@ -78,17 +125,77 @@ func setup(name, manifestPath, listen string) (*cluster.Server, *cluster.TCPTran
 		}
 	}
 	tr := cluster.NewTCPTransport(peers)
+	fail := func(err error) (*daemon, error) {
+		tr.Close()
+		return nil, err
+	}
 
 	site := cluster.NewSite(siteID)
-	frags, _, err := m.LoadFragments(siteID)
-	if err != nil {
-		tr.Close()
-		return nil, nil, err
+	var st *store.Store
+	if dataDir != "" {
+		// OpenSeedable wipes a first start that crashed mid-seeding (state
+		// but no completing checkpoint): the manifest is still
+		// authoritative, and only the store's own files are touched — the
+		// operator's directory may hold unrelated content.
+		if st, err = store.OpenSeedable(dataDir, store.Options{SyncWrites: syncWrites}); err != nil {
+			return fail(err)
+		}
 	}
-	total := 0
-	for _, fr := range frags {
-		site.AddFragment(fr)
-		total += fr.Size()
+	var origin string
+	var count, total int
+	if st != nil && !st.Empty() {
+		// Restart: the durable store is authoritative; the manifest's XML
+		// files describe the original deployment, not the maintained state.
+		// Versions are restored exactly and fragments load lazily, so a
+		// site with a big forest is serving again without decoding a tree.
+		for id, v := range st.Versions() {
+			site.RestoreVersion(id, v)
+		}
+		site.AttachStore(st, maxResident)
+		ts, err := st.Triplets()
+		if err != nil {
+			st.Discard()
+			return fail(err)
+		}
+		restorer := core.NewTripletRestorer()
+		for _, te := range ts {
+			restorer.Restore(site, te.Frag, te.Version, te.FP, te.Enc)
+		}
+		stats := st.Stats()
+		count = stats.LiveFragments
+		origin = fmt.Sprintf("recovered from %s (snapshot %d, %d cached triplets)",
+			dataDir, stats.SnapshotSeq, len(ts))
+	} else {
+		frags, _, err := m.LoadFragments(siteID)
+		if err != nil {
+			if st != nil {
+				st.Discard()
+			}
+			return fail(err)
+		}
+		for _, fr := range frags {
+			site.AddFragment(fr)
+			total += fr.Size()
+		}
+		count = len(frags)
+		origin = fmt.Sprintf("loaded %d nodes from the manifest", total)
+		if st != nil {
+			// Seed the fresh store, then journal everything from here on.
+			// The checkpoint marks seeding complete: a crash before it
+			// leaves a store the next start wipes and reseeds instead of
+			// serving a fragment subset.
+			for _, fr := range frags {
+				if err := st.PutFragment(fr, site.FragmentVersion(fr.ID)); err != nil {
+					st.Discard()
+					return fail(err)
+				}
+			}
+			if err := st.Checkpoint(); err != nil {
+				st.Discard()
+				return fail(err)
+			}
+			site.AttachStore(st, maxResident)
+		}
 	}
 	cost := cluster.DefaultCostModel()
 	core.RegisterHandlers(site, tr, cost)
@@ -96,10 +203,12 @@ func setup(name, manifestPath, listen string) (*cluster.Server, *cluster.TCPTran
 
 	srv, err := cluster.Serve(site, listen)
 	if err != nil {
-		tr.Close()
-		return nil, nil, err
+		if st != nil {
+			st.Discard()
+		}
+		return fail(err)
 	}
-	fmt.Printf("parbox-site %s: serving %d fragments (%d nodes) on %s\n",
-		name, len(frags), total, srv.Addr())
-	return srv, tr, nil
+	fmt.Printf("parbox-site %s: serving %d fragments on %s (%s)\n",
+		name, count, srv.Addr(), origin)
+	return &daemon{srv: srv, tr: tr, st: st, site: site}, nil
 }

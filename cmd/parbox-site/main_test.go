@@ -37,12 +37,12 @@ func TestSiteDaemonServesQueries(t *testing.T) {
 	manifestPath := filepath.Join(dir, "manifest.txt")
 
 	// Start the S1 daemon on an ephemeral port.
-	srv, tr, err := setup("S1", manifestPath, "127.0.0.1:0")
+	d, err := setup("S1", manifestPath, "127.0.0.1:0", "", 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer tr.Close()
-	defer srv.Close()
+	defer d.Close()
+	srv := d.srv
 
 	// Coordinator side: local S0 plus the daemon's real address.
 	m, err := manifest.ParseFile(manifestPath)
@@ -93,10 +93,9 @@ func TestSetupErrors(t *testing.T) {
 		{"S1", manifestPath, "256.0.0.1:99999"},    // bad listen address
 	}
 	for _, c := range cases {
-		srv, tr, err := setup(c.name, c.mpath, c.listen)
+		d, err := setup(c.name, c.mpath, c.listen, "", 0, false)
 		if err == nil {
-			srv.Close()
-			tr.Close()
+			d.Close()
 			t.Errorf("setup(%q,%q,%q) succeeded, want error", c.name, c.mpath, c.listen)
 		}
 	}

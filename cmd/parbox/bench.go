@@ -302,6 +302,101 @@ func cmdBench(args []string) error {
 		"bottomup_steps":       float64(warmBottomUpSteps),
 	})
 
+	// --- Durability: cold start vs snapshot recovery vs warm restart ------
+	// Three restart shapes of the durable fragment store on the same
+	// 8-site forest. cold-start pays Deploy + WAL seeding + the first
+	// (uncached) query; recover pays Restore from a checkpointed store
+	// (snapshot replay, no WAL) + the first query recomputed bottom-up;
+	// warm-restart restores with the journaled triplet cache, so the
+	// first post-restart query answers with zero bottomUp steps.
+	durRoot, err := os.MkdirTemp("", "parbox-bench-durable-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(durRoot)
+	record("durable/cold-start", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp(durRoot, "cold-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			sys, err := parbox.Deploy(e2eForest, e2eAssign,
+				parbox.WithDurability(dir), parbox.WithTripletCache())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Exec(ctx, warmQ); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			sys.Close()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	}), map[string]float64{"fragments": 8})
+
+	prepareDir := func(name string, opts ...parbox.Option) (string, error) {
+		dir := durRoot + "/" + name
+		sys, err := parbox.Deploy(e2eForest, e2eAssign,
+			append([]parbox.Option{parbox.WithDurability(dir)}, opts...)...)
+		if err != nil {
+			return "", err
+		}
+		if _, err := sys.Exec(ctx, warmQ); err != nil {
+			return "", err
+		}
+		return dir, sys.Close() // checkpoint: recovery replays the snapshot only
+	}
+	recDir, err := prepareDir("recover")
+	if err != nil {
+		return err
+	}
+	record("durable/recover", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := parbox.Restore(recDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Exec(ctx, warmQ); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			sys.Close()
+			b.StartTimer()
+		}
+	}), map[string]float64{"fragments": 8})
+
+	warmDir, err := prepareDir("warm", parbox.WithTripletCache())
+	if err != nil {
+		return err
+	}
+	var restartHits, restartBottomUp int64
+	record("durable/warm-restart", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := parbox.Restore(warmDir, parbox.WithTripletCache())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sys.Exec(ctx, warmQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			restartHits = res.CacheHits
+			restartBottomUp = res.TotalSteps - res.Boolean.SolveWork
+			b.StopTimer()
+			sys.Close()
+			b.StartTimer()
+		}
+	}), map[string]float64{
+		"first_query_cache_hits": float64(restartHits),
+		"bottomup_steps":         float64(restartBottomUp),
+	})
+
 	payload := struct {
 		Generated  string        `json:"generated"`
 		Go         string        `json:"go"`

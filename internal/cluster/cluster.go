@@ -135,6 +135,24 @@ type Transport interface {
 	Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error)
 }
 
+// FragmentStore is the durable backing a site may be attached to
+// (implemented by internal/store): every fragment add, removal and
+// in-place mutation is logged through it, cached triplet encodings are
+// persisted for warm restarts, and non-resident fragments are loaded back
+// on demand. Implementations must be safe for concurrent use.
+type FragmentStore interface {
+	// PutFragment records the fragment's full content at the version.
+	PutFragment(f *frag.Fragment, version uint64) error
+	// DeleteFragment records a removal; the version counter must survive.
+	DeleteFragment(id xmltree.FragmentID, version uint64) error
+	// PutTriplet records a triplet-cache entry (fragment version, program
+	// fingerprint, encoded triplet) for warm-cache restarts.
+	PutTriplet(id xmltree.FragmentID, version, fp uint64, enc []byte) error
+	// LoadFragment returns the latest persisted content of a live
+	// fragment; ok is false for unknown or removed fragments.
+	LoadFragment(id xmltree.FragmentID) (*frag.Fragment, uint64, bool, error)
+}
+
 // Site is one machine of the cluster: fragment storage, registered
 // handlers, and a small keyed store for algorithm state (cached source
 // trees, materialized view triplets, ...).
@@ -150,6 +168,17 @@ type Site struct {
 	// counting up — version-keyed caches must never see a number reused.
 	versions map[xmltree.FragmentID]uint64
 	state    map[string]any
+
+	// store, when attached, journals every fragment mutation and backs the
+	// bounded resident table: fragments holds at most maxResident entries
+	// (0 = unbounded), evicting by least-recent use (lastUse, stamped from
+	// clock); Fragment reloads evicted entries from the store on demand.
+	// storeErr is the first persistence failure, surfaced via StoreErr.
+	store       FragmentStore
+	maxResident int
+	clock       uint64
+	lastUse     map[xmltree.FragmentID]uint64
+	storeErr    error
 }
 
 // NewSite creates a detached site (used directly by the TCP server; the
@@ -175,12 +204,19 @@ func (s *Site) Handle(kind string, h Handler) {
 	s.handlers[kind] = h
 }
 
-// AddFragment stores a fragment at the site and bumps its version.
+// AddFragment stores a fragment at the site and bumps its version. With a
+// store attached, the content is journaled and the resident table may
+// evict a colder fragment to stay within its bound.
 func (s *Site) AddFragment(f *frag.Fragment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fragments[f.ID] = f
 	s.versions[f.ID]++
+	if s.store != nil {
+		s.touchLocked(f.ID)
+		s.noteStoreErr(s.store.PutFragment(f, s.versions[f.ID]))
+		s.evictLocked(f.ID)
+	}
 }
 
 // RemoveFragment deletes a fragment from the site's storage. Its version
@@ -191,17 +227,33 @@ func (s *Site) RemoveFragment(id xmltree.FragmentID) {
 	defer s.mu.Unlock()
 	delete(s.fragments, id)
 	s.versions[id]++
+	if s.store != nil {
+		delete(s.lastUse, id)
+		s.noteStoreErr(s.store.DeleteFragment(id, s.versions[id]))
+	}
 }
 
 // BumpFragment advances a fragment's version after an in-place mutation of
 // its tree (view maintenance: content updates, split, merge) and returns
 // the new version. Every cached triplet of the fragment is thereby
-// invalidated — cache keys embed the version.
-func (s *Site) BumpFragment(id xmltree.FragmentID) uint64 {
+// invalidated — cache keys embed the version. The caller passes the
+// mutated fragment itself: it is re-installed in the resident table (the
+// mutated tree is authoritative even if the table evicted the fragment
+// while the handler held it) and, with a store attached, re-journaled at
+// the new version — so an acknowledged mutation can never be lost to a
+// concurrent eviction.
+func (s *Site) BumpFragment(f *frag.Fragment) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.versions[id]++
-	return s.versions[id]
+	s.versions[f.ID]++
+	v := s.versions[f.ID]
+	s.fragments[f.ID] = f
+	if s.store != nil {
+		s.touchLocked(f.ID)
+		s.noteStoreErr(s.store.PutFragment(f, v))
+		s.evictLocked(f.ID)
+	}
+	return v
 }
 
 // FragmentVersion returns the fragment's current version (0 if the site
@@ -212,15 +264,161 @@ func (s *Site) FragmentVersion(id xmltree.FragmentID) uint64 {
 	return s.versions[id]
 }
 
-// Fragment returns a stored fragment.
+// Fragment returns a stored fragment. With a store attached, a fragment
+// evicted from the resident table is transparently reloaded from disk (at
+// its exact persisted version — loads never bump). Resident hits stay on
+// the read lock unless a residency bound is set (only then is there LRU
+// state to stamp), so the evaluation pool's fan-out does not serialize.
+// A disk failure during a reload is reported as a miss — handlers answer
+// "does not store fragment" — with the underlying cause recorded in
+// StoreErr, which Checkpoint/Close surface.
 func (s *Site) Fragment(id xmltree.FragmentID) (*frag.Fragment, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	f, ok := s.fragments[id]
-	return f, ok
+	st, bounded := s.store, s.maxResident > 0
+	s.mu.RUnlock()
+	if ok && !bounded {
+		return f, true
+	}
+	if st == nil {
+		return f, ok
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.fragments[id]; ok {
+		s.touchLocked(id)
+		return f, true
+	}
+	f, _, ok, err := st.LoadFragment(id)
+	if err != nil {
+		s.noteStoreErr(err)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	s.fragments[id] = f
+	s.touchLocked(id)
+	s.evictLocked(id)
+	return f, true
 }
 
-// FragmentIDs returns the stored fragments' IDs in ascending order.
+// AttachStore journals the site's fragment lifecycle through fs and bounds
+// the resident-fragment table to maxResident entries (0 = unbounded),
+// lazily reloading evicted fragments on access. The bound must exceed the
+// number of fragments mutated concurrently; already-resident fragments
+// are evicted down to the bound immediately. Attach during setup, before
+// the site serves requests.
+func (s *Site) AttachStore(fs FragmentStore, maxResident int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = fs
+	s.maxResident = maxResident
+	s.lastUse = make(map[xmltree.FragmentID]uint64, len(s.fragments))
+	for id := range s.fragments {
+		s.touchLocked(id)
+	}
+	s.evictLocked(noEvictKeep)
+}
+
+// noEvictKeep is an id no fragment can have (frag.NoParent is -1), used
+// when eviction protects nothing.
+const noEvictKeep = xmltree.FragmentID(-2)
+
+// touchLocked stamps the fragment as most recently used.
+func (s *Site) touchLocked(id xmltree.FragmentID) {
+	if s.lastUse == nil {
+		s.lastUse = make(map[xmltree.FragmentID]uint64)
+	}
+	s.clock++
+	s.lastUse[id] = s.clock
+}
+
+// evictLocked drops least-recently-used fragments (never keep) until the
+// resident table fits its bound. Evicted content is always reloadable:
+// every mutation journals the full fragment before eviction can see it —
+// which is exactly why eviction stops once a journal write has failed:
+// with the store sticky-failed, disk may lag the resident trees, and
+// evicting would let a later load resurrect pre-mutation content at a
+// bumped version. A site with a broken store serves from memory only.
+func (s *Site) evictLocked(keep xmltree.FragmentID) {
+	if s.maxResident <= 0 || s.storeErr != nil {
+		return
+	}
+	for len(s.fragments) > s.maxResident {
+		var victim xmltree.FragmentID
+		best := ^uint64(0)
+		found := false
+		for id := range s.fragments {
+			if id == keep {
+				continue
+			}
+			if u := s.lastUse[id]; u < best {
+				best, victim, found = u, id, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(s.fragments, victim)
+		delete(s.lastUse, victim)
+	}
+}
+
+// RestoreVersion installs a recovered fragment-version counter exactly,
+// without journaling — the recovery path's counterpart to the bump in
+// AddFragment. Version-keyed caches rely on these counters never moving
+// backwards, so restore them before the site serves.
+func (s *Site) RestoreVersion(id xmltree.FragmentID, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[id] = version
+}
+
+// ResidentFragments returns how many fragments are currently in memory
+// (at most the AttachStore bound when a store is attached).
+func (s *Site) ResidentFragments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.fragments)
+}
+
+// PersistTriplet journals a triplet-cache entry when a store is attached;
+// otherwise it is a no-op. The serving layer calls it alongside every
+// cache fill so a restart can warm-start the cache.
+func (s *Site) PersistTriplet(id xmltree.FragmentID, version, fp uint64, enc []byte) {
+	s.mu.RLock()
+	fs := s.store
+	s.mu.RUnlock()
+	if fs == nil {
+		return
+	}
+	if err := fs.PutTriplet(id, version, fp, enc); err != nil {
+		s.mu.Lock()
+		s.noteStoreErr(err)
+		s.mu.Unlock()
+	}
+}
+
+// StoreErr returns the first persistence failure the site observed, if
+// any. A site with a failing store keeps serving from memory; operators
+// check this (and the store's own sticky error) at checkpoint time.
+func (s *Site) StoreErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.storeErr
+}
+
+// noteStoreErr records the first persistence failure. Callers hold mu.
+func (s *Site) noteStoreErr(err error) {
+	if err != nil && s.storeErr == nil {
+		s.storeErr = err
+	}
+}
+
+// FragmentIDs returns the stored fragments' IDs in ascending order. With
+// a bounded store attached this lists only the resident fragments; the
+// store itself knows the full live set.
 func (s *Site) FragmentIDs() []xmltree.FragmentID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

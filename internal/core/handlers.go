@@ -127,6 +127,9 @@ func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (clu
 			enc := mfts[j].triplet.Encode()
 			fts[i] = fragTriplet{id: q.ids[i], enc: enc}
 			cache.store(q.ids[i], vers[i], q.fp, enc)
+			// Journal the fill so a restarted site warm-starts its cache
+			// (no-op without an attached durable store).
+			site.PersistTriplet(q.ids[i], vers[i], q.fp, enc)
 		}
 	}
 	return cluster.Response{

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 
+	"repro/internal/boolexpr"
 	"repro/internal/cluster"
+	"repro/internal/eval"
 	"repro/internal/xmltree"
 )
 
@@ -101,4 +103,35 @@ func (c *tripletCache) stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// TripletRestorer installs recovered triplet-cache entries at restarted
+// sites, sharing one decode slab across the whole restore loop (the
+// decoded formulas are validation-only and discarded; the slab's chunks
+// amortize to one allocation per batch). Not safe for concurrent use —
+// restores run during single-threaded site setup.
+type TripletRestorer struct {
+	slab *boolexpr.Slab
+}
+
+// NewTripletRestorer creates a restorer for one recovery pass.
+func NewTripletRestorer() *TripletRestorer {
+	return &TripletRestorer{slab: boolexpr.NewSlab()}
+}
+
+// Restore installs one recovered entry, provided it is still alive: the
+// fragment's restored version must equal the version the entry was
+// computed at, and the encoding must decode — a dead or undecodable entry
+// is rejected (and reported false) rather than ever served. Restore
+// entries after the site's fragment versions (cluster.Site.RestoreVersion)
+// and before it serves queries.
+func (r *TripletRestorer) Restore(site *cluster.Site, id xmltree.FragmentID, version, fp uint64, enc []byte) bool {
+	if fp == 0 || version == 0 || site.FragmentVersion(id) != version {
+		return false
+	}
+	if _, err := eval.DecodeTripletSlab(enc, r.slab); err != nil {
+		return false
+	}
+	siteTripletCache(site).store(id, version, fp, enc)
+	return true
 }

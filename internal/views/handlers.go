@@ -47,12 +47,20 @@ func handleApplyUpdate(_ context.Context, site *cluster.Site, req cluster.Reques
 	}
 	for i, op := range ops {
 		if err := op.Apply(fr.Root); err != nil {
+			// Ops apply in place, so earlier ops of the batch have already
+			// mutated the tree. Bump before failing: the half-applied state
+			// is what the site now serves, and it must not be served
+			// against pre-batch cached triplets (or, durably, resurrect as
+			// the pre-batch tree after a restart).
+			if i > 0 {
+				site.BumpFragment(fr)
+			}
 			return cluster.Response{}, fmt.Errorf("views: op %d: %w", i, err)
 		}
 	}
 	// The fragment's tree changed: advance its version so every memoized
 	// triplet of this fragment (the serving layer's cache) is invalidated.
-	site.BumpFragment(id)
+	site.BumpFragment(fr)
 	t, steps, err := eval.BottomUp(fr.Root, prog)
 	if err != nil {
 		return cluster.Response{}, err
@@ -90,13 +98,14 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 		if node.Virtual {
 			return cluster.Response{}, fmt.Errorf("%w: cannot split at a virtual node", ErrBadUpdate)
 		}
-		if !node.Parent.ReplaceChild(node, xmltree.NewVirtual(newID)) {
-			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
-		}
-		// The split mutated the owning fragment in place (subtree replaced
-		// by a virtual node); the new fragment gets its version from
-		// AddFragment at whichever site adopts it.
-		site.BumpFragment(id)
+		// The new fragment is installed (and journaled) BEFORE the owning
+		// fragment's subtree is replaced by the virtual node: a crash
+		// between the two appends then leaves at worst a duplicate — the
+		// subtree both inline in the stored parent and as an unreferenced
+		// new fragment, which recovery drops — never a stored parent whose
+		// virtual node references content no site holds. Encoding the
+		// subtree does not look at parent pointers, so journaling it while
+		// still attached writes exactly the post-split content.
 		newFrag := &frag.Fragment{ID: newID, Parent: id, Root: node}
 
 		var newTripletBytes []byte
@@ -126,6 +135,13 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 				return cluster.Response{}, err
 			}
 		}
+
+		if !node.Parent.ReplaceChild(node, xmltree.NewVirtual(newID)) {
+			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
+		}
+		// The split mutated the owning fragment in place (subtree replaced
+		// by a virtual node).
+		site.BumpFragment(fr)
 
 		own, s, err := eval.BottomUp(fr.Root, prog)
 		if err != nil {
@@ -193,15 +209,22 @@ func handleMerge(tr cluster.Transport) cluster.Handler {
 		if vnode == nil {
 			return cluster.Response{}, fmt.Errorf("views: fragment %d has no virtual node for %d", id, childID)
 		}
-		// Obtain the child subtree.
+		// Obtain the child subtree. A locally stored child is read but not
+		// yet removed: the merged-into fragment's new content must be
+		// journaled (BumpFragment below) BEFORE the child's deletion, so a
+		// crash between the two appends leaves at worst a duplicate — the
+		// absorbed subtree plus a no-longer-referenced child fragment,
+		// which recovery drops — never a deleted child that the stored
+		// parent still references.
 		var childRoot *xmltree.Node
+		removeLocal := false
 		if childSite == "" || frag.SiteID(childSite) == site.ID() {
 			cfr, ok := site.Fragment(childID)
 			if !ok {
 				return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), childID)
 			}
-			site.RemoveFragment(childID)
 			childRoot = cfr.Root
+			removeLocal = true
 		} else {
 			resp, _, err := tr.Call(ctx, site.ID(), frag.SiteID(childSite), cluster.Request{
 				Kind:    KindYield,
@@ -217,9 +240,11 @@ func handleMerge(tr cluster.Transport) cluster.Handler {
 		if !vnode.Parent.ReplaceChild(vnode, childRoot) {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
-		// The merged-into fragment absorbed a subtree (the child's removal
-		// already bumped its version via RemoveFragment).
-		site.BumpFragment(id)
+		// The merged-into fragment absorbed a subtree.
+		site.BumpFragment(fr)
+		if removeLocal {
+			site.RemoveFragment(childID)
+		}
 		t, steps, err := eval.BottomUp(fr.Root, prog)
 		if err != nil {
 			return cluster.Response{}, err

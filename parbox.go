@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/frag"
+	"repro/internal/store"
 	"repro/internal/views"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -154,6 +155,12 @@ type options struct {
 	coalesceWindow time.Duration
 	coalesceLanes  int
 	tripletCache   bool
+	// dataDir, when set, roots one durable fragment store per site
+	// (WithDurability); residentLimit bounds each site's in-memory
+	// fragment table and syncWrites fsyncs every WAL append.
+	dataDir       string
+	residentLimit int
+	syncWrites    bool
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -207,6 +214,11 @@ type System struct {
 	coalesceDefault bool
 	cacheEnabled    bool
 
+	// stores holds the per-site durable fragment stores of a
+	// WithDurability deployment (nil otherwise); Close/Checkpoint drain
+	// them.
+	stores map[SiteID]*store.Store
+
 	// mu guards engine, which Replan swaps; forest/replicas are retained
 	// for Replan on replicated deployments and never change.
 	mu       sync.RWMutex
@@ -236,6 +248,9 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.residentLimit > 0 && o.dataDir == "" {
+		return nil, fmt.Errorf("parbox: WithResidentFragments requires WithDurability (evicted fragments must have a store to reload from)")
+	}
 	c := cluster.New(o.cost)
 	eng, err := core.Deploy(c, forest, assign)
 	if err != nil {
@@ -248,6 +263,11 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	eng.EnableTripletCache(o.tripletCache)
 	s := &System{cluster: c, engine: eng, coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
+	if o.dataDir != "" {
+		if err := s.attachStores(o); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -427,6 +447,9 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	o := options{cost: cluster.DefaultCostModel()}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.dataDir != "" {
+		return nil, fmt.Errorf("parbox: WithDurability is not supported for replicated deployments")
 	}
 	c := cluster.New(o.cost)
 	eng, err := core.DeployReplicated(c, forest, replicas, strategy)
