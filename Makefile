@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke
+.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak
 
 all: build vet test
 
@@ -36,3 +36,12 @@ bench-diff:
 recovery-smoke:
 	go test -race -run 'TestDaemonCrashRecovery' ./cmd/parbox-site
 	go test -race -run 'TestCrashRecoveryDifferential|TestVersionMonotonicityAndStaleCacheRejection|TestTopologyChangeRecovery' .
+
+# transport-soak is CI's wire-protocol gate: the v2-TCP differential
+# (answers and byte/message/cache counters of all six algorithms pinned
+# to the in-memory transport), the 64-concurrent-queries × 8-site
+# multiplexing soak, and the scheduler fair-share invariants — all under
+# the race detector — plus the v2 frame-decoder unit tests.
+transport-soak:
+	go test -race -run 'TestTransport|TestSchedulerFairShare' ./internal/integration
+	go test -race -run 'TestV2|TestV1|TestRequireV2|TestHandshake|TestServerGracefulClose|TestConnFailure' ./internal/cluster

@@ -14,8 +14,15 @@
 // coordinators using the versioned triplet cache keep their warm entries —
 // and fragments are loaded lazily (bounded by -max-resident, 0 =
 // unbounded). SIGTERM/SIGINT trigger a graceful flush-and-checkpoint
-// shutdown: the listener closes first, then the store writes a final
-// snapshot, so the next start recovers without replaying any WAL.
+// shutdown: the listener closes first and in-flight requests drain —
+// their responses are written before the connections close — then the
+// store writes a final snapshot, so the next start recovers without
+// replaying any WAL.
+//
+// The daemon speaks the multiplexed wire protocol v2 exclusively: any
+// number of coordinator requests are in flight per connection, and a
+// legacy v1 peer is rejected with a readable error (see
+// internal/cluster/wirev2.go for the frame layout and handshake).
 package main
 
 import (
@@ -131,6 +138,10 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 	}
 
 	site := cluster.NewSite(siteID)
+	// Recursive-algorithm hops addressed to this very site (a fragment
+	// whose sub-fragment lives here too) dispatch in-process instead of
+	// dialing our own listener.
+	tr.Local(site)
 	var st *store.Store
 	if dataDir != "" {
 		// OpenSeedable wipes a first start that crashed mid-seeding (state
@@ -201,7 +212,11 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 	core.RegisterHandlers(site, tr, cost)
 	views.RegisterHandlers(site, tr)
 
-	srv, err := cluster.Serve(site, listen)
+	// The daemon serves wire protocol v2 only: a version-skewed v1
+	// coordinator is answered with a clean "requires wire protocol v2"
+	// error instead of interleaved-frame corruption. Close drains
+	// in-flight v2 requests before the connections go away.
+	srv, err := cluster.ServeWith(site, listen, cluster.ServeConfig{RequireV2: true})
 	if err != nil {
 		if st != nil {
 			st.Discard()

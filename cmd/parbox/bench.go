@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -302,6 +303,156 @@ func cmdBench(args []string) error {
 		"bottomup_steps":       float64(warmBottomUpSteps),
 	})
 
+	// --- Transport: 64 concurrent queries against 8 real TCP sites --------
+	// The wire-protocol refactor's target metric: v1 holds each peer
+	// connection exclusively for one request/response round trip, so 64
+	// concurrent Boolean queries serialize behind the per-site
+	// connection; v2 multiplexes unlimited requests per connection and
+	// the sites serve them concurrently. The p50 per-query latency of
+	// the burst is what a subscriber of a loaded dissemination server
+	// experiences.
+	//
+	// The benchmark host is one machine standing in for nine: if the
+	// sites' evaluation burned this host's cores, the coordinator and
+	// all eight "remote" CPUs would contend and the transport behaviour
+	// under test would be swamped (worst on single-core CI runners). So
+	// — the same philosophy as CostModel.RealDelays for the in-process
+	// cluster — each site charges its evalQual a fixed modeled service
+	// time by sleeping, emulating a dedicated remote CPU, and the forest
+	// is small enough that real decode/solve work stays marginal.
+	const fanoutServiceTime = 2 * time.Millisecond
+	fanoutProgs := make([]*xpath.Program, len(subSrcs))
+	for i, src := range subSrcs {
+		fanoutProgs[i] = xpath.MustCompileString(src)
+	}
+	fanoutRoot, fanoutSiteRoots, err := xmark.BuildDoc(xmark.TreeSpec{
+		Seed:       17,
+		Parents:    xmark.StarParents(8),
+		MBs:        xmark.EvenMBs(0.8, 8),
+		NodesPerMB: 2500,
+	})
+	if err != nil {
+		return err
+	}
+	fanoutForest, err := xmark.Fragment(fanoutRoot, fanoutSiteRoots)
+	if err != nil {
+		return err
+	}
+	fanoutSt, err := frag.BuildSourceTree(fanoutForest, e2eAssign)
+	if err != nil {
+		return err
+	}
+	runFanout := func(forceV1 bool) (testing.BenchmarkResult, float64, float64, error) {
+		addrs := make(map[frag.SiteID]string, 8)
+		var servers []*cluster.Server
+		var trs []*cluster.TCPTransport
+		defer func() {
+			for _, tr := range trs {
+				tr.Close()
+			}
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}()
+		for i := 0; i < 8; i++ {
+			id := frag.SiteID(fmt.Sprintf("S%d", i))
+			site := cluster.NewSite(id)
+			for _, fid := range fanoutSt.FragmentsAt(id) {
+				fr, ok := fanoutForest.Fragment(fid)
+				if !ok {
+					return testing.BenchmarkResult{}, 0, 0, fmt.Errorf("missing fragment %d", fid)
+				}
+				site.AddFragment(fr)
+			}
+			siteTr := cluster.NewTCPTransport(nil)
+			siteTr.Local(site)
+			trs = append(trs, siteTr)
+			core.RegisterHandlers(site, siteTr, cluster.DefaultCostModel())
+			if inner, ok := site.HandlerFor(core.KindEvalQual); ok {
+				site.Handle(core.KindEvalQual, func(ctx context.Context, s *cluster.Site, req cluster.Request) (cluster.Response, error) {
+					time.Sleep(fanoutServiceTime) // the emulated remote CPU
+					return inner(ctx, s, req)
+				})
+			}
+			srv, err := cluster.Serve(site, "127.0.0.1:0")
+			if err != nil {
+				return testing.BenchmarkResult{}, 0, 0, err
+			}
+			servers = append(servers, srv)
+			addrs[id] = srv.Addr()
+		}
+		coordTr := cluster.NewTCPTransport(addrs)
+		coordTr.ForceV1 = forceV1
+		trs = append(trs, coordTr)
+		// A pure coordinator ("C" hosts nothing): every round visits all
+		// 8 sites over real sockets.
+		eng := core.NewEngine(coordTr, "C", fanoutSt, cluster.DefaultCostModel())
+		burst := func() ([]time.Duration, error) {
+			lat := make([]time.Duration, subscribers)
+			errs := make([]error, subscribers)
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < subscribers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					<-start
+					t0 := time.Now()
+					_, err := eng.ParBoX(ctx, fanoutProgs[i%len(fanoutProgs)])
+					lat[i] = time.Since(t0)
+					errs[i] = err
+				}(i)
+			}
+			close(start)
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			return lat, nil
+		}
+		if _, err := burst(); err != nil { // warmup: dial + handshake + caches
+			return testing.BenchmarkResult{}, 0, 0, err
+		}
+		var all []time.Duration
+		var total time.Duration
+		for r := 0; r < 3; r++ {
+			lat, err := burst()
+			if err != nil {
+				return testing.BenchmarkResult{}, 0, 0, err
+			}
+			for _, d := range lat {
+				total += d
+			}
+			all = append(all, lat...)
+		}
+		sortDurations(all)
+		p50 := float64(all[len(all)/2])
+		p95 := float64(all[len(all)*95/100])
+		return testing.BenchmarkResult{N: len(all), T: total}, p50, p95, nil
+	}
+	v1Res, v1p50, v1p95, err := runFanout(true)
+	if err != nil {
+		return err
+	}
+	v2Res, v2p50, v2p95, err := runFanout(false)
+	if err != nil {
+		return err
+	}
+	fanoutSpeedup := v1p50 / v2p50
+	record("serve/fanout-8sites-v1", v1Res, map[string]float64{
+		"queries_per_burst": subscribers,
+		"p50_ns":            v1p50,
+		"p95_ns":            v1p95,
+	})
+	record("serve/fanout-8sites-v2", v2Res, map[string]float64{
+		"queries_per_burst": subscribers,
+		"p50_ns":            v2p50,
+		"p95_ns":            v2p95,
+		"p50_speedup_x":     fanoutSpeedup,
+	})
+
 	// --- Durability: cold start vs snapshot recovery vs warm restart ------
 	// Three restart shapes of the durable fragment store on the same
 	// 8-site forest. cold-start pays Deploy + WAL seeding + the first
@@ -415,8 +566,8 @@ func cmdBench(args []string) error {
 		return err
 	}
 	if !*quiet {
-		fmt.Printf("wrote %s (bottomup speedup %.1fx, alloc reduction %.0fx, serve coalescing %.1fx)\n",
-			*out, speedup, allocRatio, serveSpeedup)
+		fmt.Printf("wrote %s (bottomup speedup %.1fx, alloc reduction %.0fx, serve coalescing %.1fx, v2 fanout p50 %.1fx)\n",
+			*out, speedup, allocRatio, serveSpeedup, fanoutSpeedup)
 	}
 	if *compare != "" {
 		m := make(map[string]benchPoint, len(results))
@@ -440,7 +591,14 @@ type benchPoint struct {
 // and load. Gating on them would fail unrelated PRs on busy runners; the
 // numbers are still recorded for eyeballing.
 var gateExempt = map[string]bool{
-	"serve/coalesced-64q": true,
+	"serve/coalesced-64q":    true,
+	"serve/fanout-8sites-v1": true, // latency of a real-socket burst:
+	"serve/fanout-8sites-v2": true, // machine- and scheduler-dependent
+}
+
+// sortDurations sorts in place, ascending (for percentile extraction).
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 }
 
 // compareBaseline diffs the freshly measured benchmarks against a recorded

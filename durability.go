@@ -401,10 +401,11 @@ func Restore(dir string, opts ...Option) (*System, error) {
 		stores[sr.id] = sr.st
 	}
 	eng.EnableTripletCache(o.tripletCache)
+	eng.SetMaxInflight(o.maxInflight)
 	s := &System{
 		cluster: c, engine: eng, forest: forest,
 		coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache,
-		stores: stores,
+		maxInflight: o.maxInflight, stores: stores,
 	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
 	return s, nil

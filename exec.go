@@ -337,7 +337,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 	case ModeMaterialize:
 		meter := core.NewMeteredTransport(tr)
-		v, err := views.Materialize(ctx, meter, eng.Coordinator(), eng.SourceTree(), q.program())
+		v, err := views.MaterializeBounded(ctx, meter, eng.Coordinator(), eng.SourceTree(), q.program(), s.maxInflight)
 		if err != nil {
 			return nil, err
 		}

@@ -135,6 +135,49 @@ type Transport interface {
 	Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error)
 }
 
+// Reply is the outcome of one asynchronous call.
+type Reply struct {
+	Resp Response
+	Cost CallCost
+	Err  error
+}
+
+// AsyncTransport is implemented by transports that can keep many calls
+// in flight at once. Go issues a call without blocking on its round
+// trip; the reply is delivered exactly once on the returned channel
+// (buffered, so the transport never blocks on a slow receiver). A
+// context that expires resolves only its own call — shared connection
+// state is never torn down by one caller's cancellation.
+type AsyncTransport interface {
+	Transport
+	Go(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply
+}
+
+// Go issues a call asynchronously on any Transport: natively when tr
+// implements AsyncTransport (the TCP transport pipelines it onto the
+// peer's multiplexed connection), otherwise by running the synchronous
+// Call in a goroutine. Wrapper transports (fault injection, tracing,
+// metering) fall to the goroutine path and so keep observing every
+// call.
+func Go(ctx context.Context, tr Transport, from, to frag.SiteID, req Request) <-chan Reply {
+	if at, ok := tr.(AsyncTransport); ok {
+		return at.Go(ctx, from, to, req)
+	}
+	return goViaCall(ctx, tr, from, to, req)
+}
+
+// goViaCall adapts a synchronous Call to the async contract: the shared
+// fallback of the package-level Go and of transports whose async path
+// is simply "Call in a goroutine" (the in-memory cluster).
+func goViaCall(ctx context.Context, tr Transport, from, to frag.SiteID, req Request) <-chan Reply {
+	ch := make(chan Reply, 1)
+	go func() {
+		resp, cost, err := tr.Call(ctx, from, to, req)
+		ch <- Reply{Resp: resp, Cost: cost, Err: err}
+	}()
+	return ch
+}
+
 // FragmentStore is the durable backing a site may be attached to
 // (implemented by internal/store): every fragment add, removal and
 // in-place mutation is logged through it, cached triplet encodings are
@@ -202,6 +245,16 @@ func (s *Site) Handle(kind string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[kind] = h
+}
+
+// HandlerFor returns the registered handler for a kind, if any —
+// middleware (metering, modeled-delay emulation in benchmarks) wraps an
+// existing handler by reading it here and re-registering with Handle.
+func (s *Site) HandlerFor(kind string) (Handler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[kind]
+	return h, ok
 }
 
 // AddFragment stores a fragment at the site and bumps its version. With a
@@ -577,6 +630,14 @@ func (c *Cluster) Call(ctx context.Context, from, to frag.SiteID, req Request) (
 	}
 	c.metrics.record(from, to, req, resp, cost, remote)
 	return resp, cost, nil
+}
+
+// Go implements AsyncTransport for the in-process cluster: the handler
+// runs in its own goroutine, exactly as the engine's fan-outs always
+// ran it, so the deterministic CostModel accounting (and RealDelays
+// sleeping) of Call is preserved call for call.
+func (c *Cluster) Go(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply {
+	return goViaCall(ctx, c, from, to, req)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {

@@ -8,13 +8,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/frag"
 )
 
-// The TCP wire format, shared by server and client:
+// The legacy (v1) TCP wire format, shared by server and client:
 //
 //	request:  uvarint kind length, kind bytes, uvarint payload length, payload
 //	response: one status byte (0 ok, 1 error), uvarint steps,
@@ -22,7 +23,10 @@ import (
 //	          uvarint body length, body (payload or error text)
 //
 // Frames are written through a bufio.Writer and flushed per message; one
-// request is in flight per connection at a time.
+// request is in flight per connection at a time. The transport speaks
+// the multiplexed v2 protocol by default (see wirev2.go); v1 remains as
+// the compatibility path (TCPTransport.ForceV1) and the server sniffs
+// the first byte of every connection to serve both.
 
 const (
 	tcpStatusOK  byte = 0
@@ -92,11 +96,31 @@ func readBytesReuse(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	return b, nil
 }
 
-// Server exposes one site over TCP. Each accepted connection serves
-// requests sequentially; multiple connections serve concurrently.
+// ServeConfig tunes a Server beyond the defaults.
+type ServeConfig struct {
+	// RequireV2 rejects legacy v1 peers with a clean v1-framed error
+	// response ("wire protocol v2 required") instead of serving them.
+	// The site daemon sets it so a version-skewed coordinator gets a
+	// readable error, not interleaved-frame corruption.
+	RequireV2 bool
+	// DrainTimeout bounds how long Close waits for in-flight requests to
+	// finish and their responses to flush before force-closing
+	// connections. Zero means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+// DefaultDrainTimeout is how long Server.Close waits for in-flight
+// requests to drain before force-closing connections.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Server exposes one site over TCP. v2 connections serve any number of
+// requests concurrently (per-request handler goroutines, responses
+// multiplexed by request ID); v1 connections serve sequentially.
+// Multiple connections always serve concurrently.
 type Server struct {
 	site *Site
 	ln   net.Listener
+	cfg  ServeConfig
 
 	mu     sync.Mutex
 	closed bool
@@ -105,14 +129,22 @@ type Server struct {
 }
 
 // Serve starts serving the site on addr ("host:port"; ":0" picks a free
-// port). It returns immediately; use Addr for the bound address and Close
-// to stop.
+// port) with the default configuration. It returns immediately; use Addr
+// for the bound address and Close to stop.
 func Serve(site *Site, addr string) (*Server, error) {
+	return ServeWith(site, addr, ServeConfig{})
+}
+
+// ServeWith is Serve with an explicit configuration.
+func ServeWith(site *Site, addr string, cfg ServeConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	s := &Server{site: site, ln: ln, conns: make(map[net.Conn]bool)}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	s := &Server{site: site, ln: ln, cfg: cfg, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -121,16 +153,41 @@ func Serve(site *Site, addr string) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes all connections and waits for handlers.
+// Close stops accepting and shuts down gracefully: every connection
+// stops reading new requests, in-flight requests run to completion and
+// their responses are flushed, then the connections close. Connections
+// still busy past the drain timeout are force-closed; a handler that
+// remains wedged in dispatch past a second drain timeout (handlers run
+// uncancelled and a force-closed socket cannot interrupt computation)
+// is abandoned — Close returns rather than hang the shutdown path.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		// Kick readers out of their blocking read; writes (in-flight
+		// responses) are unaffected.
+		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainTimeout):
+		}
+	}
 	return err
 }
 
@@ -154,15 +211,63 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn sniffs the connection's protocol version off its first byte
+// (a v2 handshake opens with v2Magic ≥ 0x80; a v1 request opens with a
+// short kind length < 0x80) and dispatches to the matching loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
+	defer s.forget(conn)
 	r := bufio.NewReader(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if first[0] == v2Magic {
+		s.serveV2(conn, r)
+		return
+	}
+	if s.cfg.RequireV2 {
+		s.rejectV1(conn, r)
+		return
+	}
+	s.serveV1(conn, r)
+}
+
+// rejectV1 answers a legacy peer's every request with a v1-framed error
+// — the one clean thing a v2-only server can say in v1. The connection
+// is kept (v1 clients pool a connection that answered, even with an
+// error) and each request on it gets the same readable message, so a
+// retrying peer sees "requires wire protocol v2" consistently instead
+// of alternating with EOFs from a closed socket.
+func (s *Server) rejectV1(conn net.Conn, r *bufio.Reader) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	msg := fmt.Sprintf("site %s requires wire protocol v2 (this peer speaks v1)", s.site.ID())
+	var scratch []byte
+	for {
+		if _, err := readBytesReuse(r, &scratch); err != nil { // kind
+			return
+		}
+		if _, err := readBytesReuse(r, &scratch); err != nil { // payload
+			return
+		}
+		if writeResponse(w, tcpStatusErr, Response{Payload: []byte(msg)}) != nil {
+			return
+		}
+	}
+}
+
+// serveV1 is the legacy sequential loop: one request in flight per
+// connection.
+func (s *Server) serveV1(conn net.Conn, r *bufio.Reader) {
+	defer conn.Close()
 	w := bufio.NewWriter(conn)
 	// Per-connection scratch buffers: request frames are consumed
 	// synchronously by dispatch (handlers copy what they keep — decoded
@@ -172,7 +277,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		kind, err := readBytesReuse(r, &kindBuf)
 		if err != nil {
-			return // EOF or broken frame: drop the connection
+			return // EOF, broken frame, or drain kick: drop the connection
 		}
 		payload, err := readBytesReuse(r, &payloadBuf)
 		if err != nil {
@@ -189,6 +294,89 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveV2 answers the handshake and then demultiplexes: the reader loop
+// decodes request frames and hands each to its own handler goroutine
+// (bounded per connection); a single writer goroutine serializes the
+// response frames in completion order. Close's read-deadline kick stops
+// the reader; in-flight handlers then finish, their responses flush,
+// and only then does the connection close — the graceful drain.
+func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		conn.Close()
+		return
+	}
+	w := bufio.NewWriter(conn)
+	if hdr[1] != v2Version {
+		conn.Write([]byte{v2Magic, v2Reject})
+		conn.Close()
+		return
+	}
+	if _, err := conn.Write([]byte{v2Magic, v2Version}); err != nil {
+		conn.Close()
+		return
+	}
+
+	respCh := make(chan []byte, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for buf := range respCh {
+			if broken {
+				continue // drain so handlers never block on a dead writer
+			}
+			if _, err := w.Write(buf); err != nil {
+				broken = true
+				conn.Close() // unblocks the reader; drain continues
+				continue
+			}
+			if len(respCh) == 0 {
+				if err := w.Flush(); err != nil {
+					broken = true
+					conn.Close()
+				}
+			}
+		}
+	}()
+
+	// Per-connection handler concurrency: enough to keep every core busy
+	// plus headroom for handlers blocked on waits rather than CPU (peer
+	// calls of the recursive algorithms, store I/O) — hence the floor of
+	// 64, matching the scheduler's lane budget, even on small hosts.
+	// Acquired by the reader, so a flooding peer sees TCP backpressure.
+	inflight := 4 * runtime.GOMAXPROCS(0)
+	if inflight < 64 {
+		inflight = 64
+	}
+	sem := make(chan struct{}, inflight)
+	var handlers sync.WaitGroup
+	for {
+		id, kind, payload, err := readV2Request(r)
+		if err != nil {
+			break // EOF, torn frame, or drain kick
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(id uint64, kind string, payload []byte) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp, herr := s.site.dispatch(context.Background(), Request{Kind: kind, Payload: payload})
+			var buf []byte
+			if herr != nil {
+				buf = appendV2Response(nil, id, tcpStatusErr, Response{Payload: []byte(herr.Error())})
+			} else {
+				buf = appendV2Response(nil, id, tcpStatusOK, resp)
+			}
+			respCh <- buf
+		}(id, kind, payload)
+	}
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
+	conn.Close()
 }
 
 func writeResponse(w *bufio.Writer, status byte, resp Response) error {
@@ -213,18 +401,30 @@ func writeResponse(w *bufio.Writer, status byte, resp Response) error {
 // ErrRemote wraps handler errors reported by a remote site.
 var ErrRemote = errors.New("cluster: remote error")
 
-// TCPTransport implements Transport over real sockets. Site names map to
-// addresses; the coordinator's own site may be registered with Local so
-// that from==to calls bypass the network (free local work, as in the
+// TCPTransport implements Transport over real sockets, speaking the
+// multiplexed v2 wire protocol by default: one connection per peer
+// carries any number of concurrent requests (single writer goroutine,
+// demux reader), so concurrent rounds to the same site pipeline instead
+// of queueing on a per-connection lock. Site names map to addresses;
+// the coordinator's own site may be registered with Local so that
+// from==to calls bypass the network (free local work, as in the
 // in-process cluster).
 type TCPTransport struct {
 	mu     sync.Mutex
 	addrs  map[frag.SiteID]string
-	conns  map[frag.SiteID]*tcpConn
+	conns  map[frag.SiteID]*tcpConn // v1 pool (ForceV1 only)
+	muxes  map[frag.SiteID]*muxConn // v2 pool
 	locals map[frag.SiteID]*Site
 
-	// DialTimeout bounds connection establishment (default 5s).
+	// DialTimeout bounds connection establishment, including the v2
+	// handshake (default 5s).
 	DialTimeout time.Duration
+
+	// ForceV1 pins the transport to the legacy wire protocol: one
+	// request in flight per connection, the connection held exclusively
+	// across the round trip. It exists for the differential tests and
+	// the serialized baseline of the fan-out benchmark; leave it false.
+	ForceV1 bool
 
 	metrics *Metrics
 	cost    CostModel
@@ -246,6 +446,7 @@ func NewTCPTransport(addrs map[frag.SiteID]string) *TCPTransport {
 	return &TCPTransport{
 		addrs:       cp,
 		conns:       make(map[frag.SiteID]*tcpConn),
+		muxes:       make(map[frag.SiteID]*muxConn),
 		locals:      make(map[frag.SiteID]*Site),
 		DialTimeout: 5 * time.Second,
 		metrics:     NewMetrics(),
@@ -284,10 +485,9 @@ func (t *TCPTransport) Site(id frag.SiteID) (*Site, bool) {
 // Metrics returns the transport's accounting.
 func (t *TCPTransport) Metrics() *Metrics { return t.metrics }
 
-// Close closes all pooled connections.
+// Close closes all pooled connections; pending v2 calls fail.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	var first error
 	for id, c := range t.conns {
 		if err := c.conn.Close(); err != nil && first == nil {
@@ -295,15 +495,22 @@ func (t *TCPTransport) Close() error {
 		}
 		delete(t.conns, id)
 	}
+	muxes := make([]*muxConn, 0, len(t.muxes))
+	for id, c := range t.muxes {
+		muxes = append(muxes, c)
+		delete(t.muxes, id)
+	}
+	t.mu.Unlock()
+	// Outside the lock: close() fails pending calls, whose completions
+	// may call back into the transport (onBroken, metrics).
+	for _, c := range muxes {
+		c.close()
+	}
 	return first
 }
 
-func (t *TCPTransport) connFor(to frag.SiteID) (*tcpConn, error) {
+func (t *TCPTransport) dial(to frag.SiteID) (net.Conn, error) {
 	t.mu.Lock()
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
 	addr, ok := t.addrs[to]
 	t.mu.Unlock()
 	if !ok {
@@ -312,6 +519,58 @@ func (t *TCPTransport) connFor(to frag.SiteID) (*tcpConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s (%s): %w", to, addr, err)
+	}
+	return conn, nil
+}
+
+// muxFor returns the pooled v2 connection to a site, dialing and
+// handshaking a fresh one on first use.
+func (t *TCPTransport) muxFor(to frag.SiteID) (*muxConn, error) {
+	t.mu.Lock()
+	if c, ok := t.muxes[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(to)
+	if err != nil {
+		return nil, err
+	}
+	r, err := clientHandshake(conn, t.DialTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: %s: %w", to, err)
+	}
+	c := newMuxConn(conn, r, func(broken *muxConn) { t.dropMux(to, broken) })
+	t.mu.Lock()
+	if prev, ok := t.muxes[to]; ok {
+		t.mu.Unlock()
+		c.close()
+		return prev, nil
+	}
+	t.muxes[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCPTransport) dropMux(to frag.SiteID, c *muxConn) {
+	t.mu.Lock()
+	if t.muxes[to] == c {
+		delete(t.muxes, to)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) connFor(to frag.SiteID) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(to)
+	if err != nil {
+		return nil, err
 	}
 	c := &tcpConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 	t.mu.Lock()
@@ -334,13 +593,17 @@ func (t *TCPTransport) drop(to frag.SiteID, c *tcpConn) {
 	c.conn.Close()
 }
 
-// Call implements Transport. A deadline on ctx is applied to the socket.
+// Call implements Transport synchronously. Over v2 it is a thin wrapper
+// around Go — the call shares the peer connection with every other
+// in-flight request. Under ForceV1 it takes the legacy exclusive-
+// connection path.
 func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Request) (Response, CallCost, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, CallCost{}, err
 	}
 	t.mu.Lock()
 	local, isLocal := t.locals[to]
+	forceV1 := t.ForceV1
 	t.mu.Unlock()
 	var cost CallCost
 	cost.ReqBytes = len(req.Payload)
@@ -357,6 +620,10 @@ func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Reque
 		t.metrics.record(from, to, req, resp, cost, false)
 		return resp, cost, nil
 	}
+	if !forceV1 {
+		r := <-t.goRemote(ctx, from, to, req)
+		return r.Resp, r.Cost, r.Err
+	}
 	c, err := t.connFor(to)
 	if err != nil {
 		return Response{}, cost, err
@@ -365,7 +632,12 @@ func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Reque
 	resp, err := c.roundTrip(ctx, req)
 	cost.Wall = time.Since(start)
 	if err != nil {
-		t.drop(to, c)
+		if !errors.Is(err, ErrRemote) {
+			// Transport-level failure — including a context deadline or
+			// cancellation that fired mid-frame: the connection may hold
+			// a half-read response, so it must never be reused.
+			t.drop(to, c)
+		}
 		t.metrics.recordError(to)
 		return Response{}, cost, err
 	}
@@ -376,18 +648,97 @@ func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Reque
 	return resp, cost, nil
 }
 
+// Go implements AsyncTransport: the request is pipelined onto the
+// peer's multiplexed connection and the reply delivered on the returned
+// channel. Calls to local sites (and every call under ForceV1) run Call
+// in a goroutine instead. The first call to a peer may block briefly to
+// dial and handshake its connection.
+func (t *TCPTransport) Go(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply {
+	t.mu.Lock()
+	_, isLocal := t.locals[to]
+	forceV1 := t.ForceV1
+	t.mu.Unlock()
+	if (isLocal && from == to) || forceV1 {
+		ch := make(chan Reply, 1)
+		go func() {
+			resp, cost, err := t.Call(ctx, from, to, req)
+			ch <- Reply{Resp: resp, Cost: cost, Err: err}
+		}()
+		return ch
+	}
+	if err := ctx.Err(); err != nil {
+		ch := make(chan Reply, 1)
+		ch <- Reply{Cost: CallCost{ReqBytes: len(req.Payload)}, Err: err}
+		return ch
+	}
+	return t.goRemote(ctx, from, to, req)
+}
+
+// goRemote issues one v2 call: register, enqueue, and complete with
+// accounting from whichever of response / context expiry / connection
+// failure happens first.
+func (t *TCPTransport) goRemote(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply {
+	ch := make(chan Reply, 1)
+	cost := CallCost{ReqBytes: len(req.Payload)}
+	c, err := t.muxFor(to)
+	if err != nil {
+		ch <- Reply{Cost: cost, Err: err}
+		return ch
+	}
+	start := time.Now()
+	c.send(ctx, req.Kind, req.Payload, func(resp Response, err error) {
+		cost.Wall = time.Since(start)
+		if err != nil {
+			t.metrics.recordError(to)
+			ch <- Reply{Cost: cost, Err: err}
+			return
+		}
+		cost.RespBytes = len(resp.Payload)
+		cost.Steps = resp.Steps
+		cost.Net = cost.Wall // real network: measured, not modeled
+		t.metrics.record(from, to, req, resp, cost, true)
+		ch <- Reply{Resp: resp, Cost: cost}
+	})
+	return ch
+}
+
+// roundTrip is the v1 exclusive-connection exchange. The caller's
+// context interrupts a blocked read or write via the socket deadline —
+// both an expiring deadline and a plain cancellation — and the
+// resulting error surfaces as the context's; the caller must then drop
+// the connection, which may hold a half-read frame.
 func (c *tcpConn) roundTrip(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := c.conn.SetDeadline(dl); err != nil {
-			return Response{}, err
-		}
-	} else {
-		if err := c.conn.SetDeadline(time.Time{}); err != nil {
-			return Response{}, err
-		}
+	// The context may have expired while this caller queued on the
+	// connection mutex; fail now rather than run an unbounded exchange.
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
 	}
+	// Clear any stale deadline BEFORE registering the watcher: in the
+	// other order, a context firing in between would have its
+	// deadline-kick overwritten and the exchange would run unbounded.
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		return Response{}, err
+	}
+	// Interrupt the socket the moment the context fires. time.Unix(1, 0)
+	// is an already-expired deadline: pending and future I/O fails
+	// immediately.
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+	resp, err := c.exchange(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(err, ErrRemote) {
+			return Response{}, ctxErr
+		}
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+func (c *tcpConn) exchange(req Request) (Response, error) {
 	if err := writeBytes(c.w, []byte(req.Kind)); err != nil {
 		return Response{}, err
 	}

@@ -1,0 +1,366 @@
+package cluster
+
+// Wire protocol v2: the multiplexed, pipelined framing the TCP transport
+// speaks by default. Where v1 holds a connection exclusively for one
+// request/response round trip (head-of-line blocking every concurrent
+// caller to the same site), v2 tags every frame with a varint request ID
+// so unlimited requests are in flight per connection and responses
+// return in whatever order the site finishes them.
+//
+// Handshake (once per connection, client first):
+//
+//	client → server: [v2Magic, version]
+//	server → client: [v2Magic, version]  (accept)
+//	                 [v2Magic, 0]        (reject: unsupported version)
+//
+// v2Magic (0xB2) is unambiguous against v1 traffic: a v1 request begins
+// with the uvarint length of its kind string, and kinds are short ASCII
+// names, so a v1 first byte is always < 0x80. A server therefore sniffs
+// the first byte to serve both protocols on one port (or to reject v1
+// peers cleanly when configured to, see ServeConfig.RequireV2).
+//
+// Frames after the handshake:
+//
+//	request:  uvarint id, uvarint kind length, kind,
+//	          uvarint payload length, payload
+//	response: uvarint id, one status byte (0 ok, 1 error), uvarint steps,
+//	          uvarint cache hits, uvarint cache misses,
+//	          uvarint body length, body (payload or error text)
+//
+// Cancellation is per request: a caller whose context expires gets its
+// error immediately and its request ID is abandoned — the connection is
+// never torn down and the late response, when it eventually arrives, is
+// discarded by the demultiplexer. Only a connection-level I/O error
+// fails the connection, and then every pending call fails with it.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	// v2Magic opens every v2 handshake byte pair. Deliberately ≥ 0x80 so
+	// it can never be mistaken for a v1 kind-length byte.
+	v2Magic byte = 0xB2
+	// v2Version is the protocol version this build speaks.
+	v2Version byte = 2
+	// v2Reject is the version byte of a rejection reply.
+	v2Reject byte = 0
+	// maxKind bounds accepted request kind strings; real kinds are short
+	// dotted names ("parbox.evalQual").
+	maxKind = 1 << 10
+)
+
+// ErrProtocolVersion marks handshake failures: the peer does not speak
+// wire protocol v2 (or speaks a version this build does not).
+var ErrProtocolVersion = errors.New("cluster: wire protocol version mismatch")
+
+// --- frame codecs ----------------------------------------------------------
+
+// appendV2Request appends one encoded v2 request frame.
+func appendV2Request(dst []byte, id uint64, kind string, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(kind)))
+	dst = append(dst, kind...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// readV2Request reads one request frame. kind and payload are freshly
+// allocated: v2 handlers run concurrently with the reader, so frames
+// cannot share a connection-scoped scratch buffer the way v1 does.
+func readV2Request(r *bufio.Reader) (id uint64, kind string, payload []byte, err error) {
+	if id, err = binary.ReadUvarint(r); err != nil {
+		return 0, "", nil, err
+	}
+	kn, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if kn > maxKind {
+		return 0, "", nil, fmt.Errorf("%w (kind %d bytes)", errFrameTooBig, kn)
+	}
+	kb := make([]byte, kn)
+	if _, err = io.ReadFull(r, kb); err != nil {
+		return 0, "", nil, err
+	}
+	pn, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if pn > maxFrame {
+		return 0, "", nil, errFrameTooBig
+	}
+	payload = make([]byte, pn)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, err
+	}
+	return id, string(kb), payload, nil
+}
+
+// appendV2Response appends one encoded v2 response frame.
+func appendV2Response(dst []byte, id uint64, status byte, resp Response) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = append(dst, status)
+	dst = binary.AppendUvarint(dst, uint64(resp.Steps))
+	dst = binary.AppendUvarint(dst, uint64(resp.CacheHits))
+	dst = binary.AppendUvarint(dst, uint64(resp.CacheMisses))
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Payload)))
+	return append(dst, resp.Payload...)
+}
+
+// readV2Response reads one response frame. The body is freshly
+// allocated: responses demultiplex to concurrent callers that own their
+// payloads.
+func readV2Response(r *bufio.Reader) (id uint64, status byte, resp Response, err error) {
+	if id, err = binary.ReadUvarint(r); err != nil {
+		return 0, 0, Response{}, err
+	}
+	if status, err = r.ReadByte(); err != nil {
+		return 0, 0, Response{}, err
+	}
+	steps, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, Response{}, err
+	}
+	hits, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, Response{}, err
+	}
+	misses, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, Response{}, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, Response{}, err
+	}
+	if n > maxFrame {
+		return 0, 0, Response{}, errFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, Response{}, err
+	}
+	resp = Response{Payload: body, Steps: int64(steps), CacheHits: int64(hits), CacheMisses: int64(misses)}
+	return id, status, resp, nil
+}
+
+// --- client: multiplexed connection ---------------------------------------
+
+// muxConn is one multiplexed v2 connection. A single writer goroutine
+// owns the socket's write side (requests from any number of callers
+// funnel through wr), a demux reader goroutine owns the read side and
+// matches responses to pending calls by request ID. A per-call context
+// that expires resolves only that call; the connection survives. A
+// connection-level I/O error fails every pending call, closes the
+// socket and reports the conn broken to its owner.
+type muxConn struct {
+	conn net.Conn
+
+	wr     chan []byte   // encoded request frames for the writer goroutine
+	broken chan struct{} // closed once the conn has failed
+
+	// onBroken, set by the owning transport, removes the conn from its
+	// pool; called exactly once, before pending calls are failed.
+	onBroken func(*muxConn)
+
+	mu      sync.Mutex
+	pending map[uint64]*muxPending
+	nextID  uint64
+	err     error // sticky connection failure
+}
+
+// muxPending is one in-flight call: its completion callback (invoked
+// exactly once, from whichever of response arrival / context expiry /
+// connection failure happens first) and the stop handle of its context
+// watcher.
+type muxPending struct {
+	complete func(Response, error)
+	stop     func() bool
+}
+
+// newMuxConn wraps an already-handshaken connection and starts its
+// writer and reader goroutines.
+func newMuxConn(conn net.Conn, r *bufio.Reader, onBroken func(*muxConn)) *muxConn {
+	c := &muxConn{
+		conn:     conn,
+		wr:       make(chan []byte, 16),
+		broken:   make(chan struct{}),
+		onBroken: onBroken,
+		pending:  make(map[uint64]*muxPending),
+	}
+	go c.writeLoop()
+	go c.readLoop(r)
+	return c
+}
+
+func (c *muxConn) writeLoop() {
+	w := bufio.NewWriter(c.conn)
+	for {
+		select {
+		case buf := <-c.wr:
+			if _, err := w.Write(buf); err != nil {
+				c.fail(err)
+				return
+			}
+			// Flush only once the queue is momentarily empty: a burst of
+			// pipelined requests coalesces into few syscalls.
+			if len(c.wr) == 0 {
+				if err := w.Flush(); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		case <-c.broken:
+			return
+		}
+	}
+}
+
+func (c *muxConn) readLoop(r *bufio.Reader) {
+	for {
+		id, status, resp, err := readV2Response(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if status == tcpStatusErr {
+			c.finish(id, Response{}, fmt.Errorf("%w: %s", ErrRemote, resp.Payload))
+			continue
+		}
+		c.finish(id, resp, nil)
+	}
+}
+
+// send registers a new call and enqueues its frame. complete is invoked
+// exactly once with the outcome; ctx expiry resolves only this call.
+func (c *muxConn) send(ctx context.Context, kind string, payload []byte, complete func(Response, error)) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		complete(Response{}, err)
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	p := &muxPending{complete: complete}
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	// Watch the caller's context. finish() reads p.stop under c.mu, so
+	// publish it there; if the call already resolved (response or conn
+	// failure raced in), stop the watcher ourselves.
+	stop := context.AfterFunc(ctx, func() {
+		c.finish(id, Response{}, context.Cause(ctx))
+	})
+	c.mu.Lock()
+	if cur, ok := c.pending[id]; ok && cur == p {
+		p.stop = stop
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+		stop()
+	}
+
+	frame := appendV2Request(make([]byte, 0, 16+len(kind)+len(payload)), id, kind, payload)
+	select {
+	case c.wr <- frame:
+	case <-c.broken:
+		// The writer is gone; fail() already resolved (or will resolve)
+		// every pending call, including this one.
+	case <-ctx.Done():
+		// The peer socket has stalled long enough to fill the write
+		// queue and this caller's context fired while waiting to
+		// enqueue. Resolve this call now — finish() dedupes against the
+		// AfterFunc watcher — so a per-request deadline bounds the call
+		// even when the frame never made it onto the wire.
+		c.finish(id, Response{}, context.Cause(ctx))
+	}
+}
+
+// finish resolves call id exactly once; late or unknown ids (abandoned
+// by context expiry) are dropped silently.
+func (c *muxConn) finish(id uint64, resp Response, err error) {
+	c.mu.Lock()
+	p, ok := c.pending[id]
+	var stop func() bool
+	if ok {
+		delete(c.pending, id)
+		stop = p.stop
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	if stop != nil {
+		stop()
+	}
+	p.complete(resp, err)
+}
+
+// fail marks the connection broken: every pending call resolves with
+// err, the socket closes, and the owner drops the conn from its pool.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = fmt.Errorf("cluster: connection failed: %w", err)
+	failErr := c.err
+	pend := c.pending
+	c.pending = make(map[uint64]*muxPending)
+	close(c.broken)
+	c.mu.Unlock()
+	c.conn.Close()
+	if c.onBroken != nil {
+		c.onBroken(c)
+	}
+	for _, p := range pend {
+		if p.stop != nil {
+			p.stop()
+		}
+		p.complete(Response{}, failErr)
+	}
+}
+
+// close tears the connection down (transport Close): pending calls fail.
+func (c *muxConn) close() {
+	c.fail(errors.New("transport closed"))
+}
+
+// clientHandshake performs the v2 handshake on a fresh connection,
+// bounded by timeout. The returned reader may hold buffered bytes and
+// must be the one the reader loop consumes.
+func clientHandshake(conn net.Conn, timeout time.Duration) (*bufio.Reader, error) {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := conn.Write([]byte{v2Magic, v2Version}); err != nil {
+		return nil, fmt.Errorf("%w: sending handshake: %v", ErrProtocolVersion, err)
+	}
+	r := bufio.NewReader(conn)
+	var reply [2]byte
+	if _, err := io.ReadFull(r, reply[:]); err != nil {
+		return nil, fmt.Errorf("%w: peer closed during handshake (v1 peer?): %v", ErrProtocolVersion, err)
+	}
+	if reply[0] != v2Magic || reply[1] != v2Version {
+		return nil, fmt.Errorf("%w: peer answered [%#x %#x], want [%#x %#x]",
+			ErrProtocolVersion, reply[0], reply[1], v2Magic, v2Version)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

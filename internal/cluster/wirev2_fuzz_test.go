@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+)
+
+// FuzzV2RequestFrame hammers the server-side request decoder with
+// arbitrary bytes: it must never panic, and any frame it accepts must
+// round-trip through the encoder byte for byte.
+func FuzzV2RequestFrame(f *testing.F) {
+	f.Add(appendV2Request(nil, 1, "parbox.evalQual", []byte("payload")))
+	f.Add(appendV2Request(nil, 0, "", nil))
+	f.Add(appendV2Request(appendV2Request(nil, 7, "a", []byte("x")), 8, "b", []byte("y")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge uvarint id
+	f.Add([]byte{1, 5, 'h', 'i'})                                             // kind truncated
+	f.Add(appendV2Request(nil, 2, "k", []byte("p"))[:3])                      // torn frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			id, kind, payload, err := readV2Request(r)
+			if err != nil {
+				return // torn, truncated or oversized: rejected without panic
+			}
+			reenc := appendV2Request(nil, id, kind, payload)
+			id2, kind2, payload2, err := readV2Request(bufio.NewReader(bytes.NewReader(reenc)))
+			if err != nil {
+				t.Fatalf("re-decoding an accepted frame failed: %v", err)
+			}
+			if id2 != id || kind2 != kind || !bytes.Equal(payload2, payload) {
+				t.Fatalf("request frame round trip changed (%d %q %d bytes) -> (%d %q %d bytes)",
+					id, kind, len(payload), id2, kind2, len(payload2))
+			}
+		}
+	})
+}
+
+// FuzzV2ResponseDemux feeds an arbitrary byte stream to a live demux
+// reader with pending calls registered. The invariants: no panic, no
+// double completion, and — because a stream that ends fails the
+// connection — every pending call completes exactly once, whether its
+// response arrived, arrived torn, or never arrived. Frames addressed to
+// unknown request IDs must be discarded harmlessly.
+func FuzzV2ResponseDemux(f *testing.F) {
+	// Interleaved, out-of-order completions of ids 1..3.
+	s := appendV2Response(nil, 2, tcpStatusOK, Response{Payload: []byte("two"), Steps: 7})
+	s = appendV2Response(s, 3, tcpStatusErr, Response{Payload: []byte("boom")})
+	s = appendV2Response(s, 1, tcpStatusOK, Response{CacheHits: 1, CacheMisses: 2})
+	f.Add(s, uint8(3))
+	// A response for an id nobody is waiting on (abandoned by ctx expiry).
+	f.Add(appendV2Response(nil, 99, tcpStatusOK, Response{Payload: []byte("late")}), uint8(2))
+	// Torn mid-frame.
+	f.Add(s[:len(s)/2], uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x00}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, npending uint8) {
+		n := int(npending%8) + 1
+		client, server := net.Pipe()
+		defer client.Close()
+		defer server.Close()
+		c := &muxConn{
+			conn:    client,
+			wr:      make(chan []byte, 1),
+			broken:  make(chan struct{}),
+			pending: make(map[uint64]*muxPending),
+		}
+		var mu sync.Mutex
+		completions := make(map[uint64]int, n)
+		for id := uint64(1); id <= uint64(n); id++ {
+			id := id
+			c.pending[id] = &muxPending{complete: func(Response, error) {
+				mu.Lock()
+				completions[id]++
+				mu.Unlock()
+			}}
+		}
+		// The reader loop runs to stream end, then fails the conn, which
+		// must resolve every still-pending call.
+		c.readLoop(bufio.NewReader(bytes.NewReader(data)))
+		mu.Lock()
+		defer mu.Unlock()
+		for id := uint64(1); id <= uint64(n); id++ {
+			if completions[id] != 1 {
+				t.Fatalf("pending id %d completed %d times, want exactly 1", id, completions[id])
+			}
+		}
+		for id, k := range completions {
+			if id > uint64(n) {
+				t.Fatalf("unregistered id %d completed %d times", id, k)
+			}
+		}
+	})
+}
+
+// FuzzV2ResponseFrame: decode/encode/decode parity for response frames.
+func FuzzV2ResponseFrame(f *testing.F) {
+	f.Add(appendV2Response(nil, 5, tcpStatusOK, Response{Payload: []byte("ok"), Steps: 3, CacheHits: 1, CacheMisses: 2}))
+	f.Add(appendV2Response(nil, 1, tcpStatusErr, Response{Payload: []byte("error text")}))
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			id, status, resp, err := readV2Response(r)
+			if err != nil {
+				return
+			}
+			reenc := appendV2Response(nil, id, status, resp)
+			id2, status2, resp2, err := readV2Response(bufio.NewReader(bytes.NewReader(reenc)))
+			if err != nil {
+				t.Fatalf("re-decoding an accepted response failed: %v", err)
+			}
+			if id2 != id || status2 != status || resp2.Steps != resp.Steps ||
+				resp2.CacheHits != resp.CacheHits || resp2.CacheMisses != resp.CacheMisses ||
+				!bytes.Equal(resp2.Payload, resp.Payload) {
+				t.Fatalf("response frame round trip changed: id %d->%d status %d->%d", id, id2, status, status2)
+			}
+		}
+	})
+}

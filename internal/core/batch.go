@@ -41,47 +41,29 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 	rec := newRecorder()
 	sites := e.st.Sites()
 
-	type siteResult struct {
-		fts []fragTriplet
-		sim time.Duration
-		err error
-	}
 	fp := e.fingerprint(prog)
-	results := make(chan siteResult, len(sites))
-	for _, site := range sites {
-		go func(site frag.SiteID) {
-			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+	jobs := make([]scatterJob[[]fragTriplet], len(sites))
+	for i, site := range sites {
+		jobs[i] = scatterJob[[]fragTriplet]{
+			to: site,
+			req: cluster.Request{
 				Kind:    KindEvalQual,
 				Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: e.st.FragmentsAt(site), fp: fp}),
-			})
-			if err != nil {
-				results <- siteResult{err: err}
-				return
-			}
-			fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
-		}(site)
+			},
+			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+				return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
+			},
+		}
+	}
+	perSite, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
+		return BatchReport{}, err
 	}
 	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
-	var simStage2 time.Duration
-	var firstErr error
-	for range sites {
-		res := <-results
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		if res.sim > simStage2 {
-			simStage2 = res.sim
-		}
-		for _, ft := range res.fts {
+	for _, fts := range perSite {
+		for _, ft := range fts {
 			triplets[ft.id] = ft.triplet
 		}
-	}
-	if firstErr != nil {
-		return BatchReport{}, firstErr
 	}
 	answers, work, err := eval.SolveMulti(e.st, triplets, prog, roots)
 	if err != nil {

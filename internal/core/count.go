@@ -42,46 +42,28 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	rec := newRecorder()
 
 	sites := e.st.Sites()
-	type siteResult struct {
-		fts []fragTriplet
-		sim time.Duration
-		err error
-	}
-	results := make(chan siteResult, len(sites))
-	for _, site := range sites {
-		go func(site frag.SiteID) {
-			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+	jobs := make([]scatterJob[[]fragTriplet], len(sites))
+	for i, site := range sites {
+		jobs[i] = scatterJob[[]fragTriplet]{
+			to: site,
+			req: cluster.Request{
 				Kind:    KindEvalQual,
 				Payload: encodeEvalQualReq(evalQualReq{prog: sp.Bool, ids: e.st.FragmentsAt(site)}),
-			})
-			if err != nil {
-				results <- siteResult{err: err}
-				return
-			}
-			fts, err := decodeEvalQualResp(resp.Payload, nil)
-			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
-		}(site)
+			},
+			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+				return decodeEvalQualResp(resp.Payload, nil)
+			},
+		}
+	}
+	perSite, sim, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
+		return CountReport{}, err
 	}
 	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
-	var sim time.Duration
-	var firstErr error
-	for range sites {
-		res := <-results
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		if res.sim > sim {
-			sim = res.sim
-		}
-		for _, ft := range res.fts {
+	for _, fts := range perSite {
+		for _, ft := range fts {
 			triplets[ft.id] = ft.triplet
 		}
-	}
-	if firstErr != nil {
-		return CountReport{}, firstErr
 	}
 	vecs, solveWork, err := eval.SolveAll(e.st, triplets, sp.Bool)
 	if err != nil {
@@ -93,61 +75,50 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	rep := CountReport{PerSite: make(map[frag.SiteID]int64)}
 	spBytes := encodeSelectProgram(sp)
 	pending := map[xmltree.FragmentID]eval.Arrival{e.st.Root(): eval.StartArrival()}
+	type countResult struct {
+		count   int64
+		forward map[xmltree.FragmentID]eval.Arrival
+	}
 	for len(pending) > 0 {
-		type countResult struct {
-			site    frag.SiteID
-			count   int64
-			forward map[xmltree.FragmentID]eval.Arrival
-			sim     time.Duration
-			err     error
-		}
-		results := make(chan countResult, len(pending))
-		for id, arr := range pending {
+		ids := sortedFragmentIDs(pending)
+		levelSites := make([]frag.SiteID, len(ids))
+		jobs := make([]scatterJob[countResult], len(ids))
+		for i, id := range ids {
 			entry, ok := e.st.Entry(id)
 			if !ok {
 				return CountReport{}, fmt.Errorf("core: fragment %d not in source tree", id)
 			}
+			levelSites[i] = entry.Site
 			childVecs := make(map[xmltree.FragmentID]eval.BoolVecs, len(entry.Children))
 			for _, c := range entry.Children {
 				childVecs[c] = vecs[c]
 			}
-			go func(id xmltree.FragmentID, site frag.SiteID, arr eval.Arrival, childVecs map[xmltree.FragmentID]eval.BoolVecs) {
-				resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+			jobs[i] = scatterJob[countResult]{
+				to: entry.Site,
+				req: cluster.Request{
 					Kind:    KindCount,
-					Payload: encodeSelectReq(spBytes, id, arr, childVecs),
-				})
-				if err != nil {
-					results <- countResult{site: site, err: err}
-					return
-				}
-				count, fwd, err := decodeCountResp(resp.Payload)
-				results <- countResult{site: site, count: count, forward: fwd, sim: cost.Total(), err: err}
-			}(id, entry.Site, arr, childVecs)
+					Payload: encodeSelectReq(spBytes, id, pending[id], childVecs),
+				},
+				dec: func(resp cluster.Response, _ cluster.CallCost) (countResult, error) {
+					count, fwd, err := decodeCountResp(resp.Payload)
+					return countResult{count: count, forward: fwd}, err
+				},
+			}
+		}
+		level, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		if err != nil {
+			return CountReport{}, err
 		}
 		next := make(map[xmltree.FragmentID]eval.Arrival)
-		var simLevel time.Duration
-		for range pending {
-			res := <-results
-			if res.err != nil {
-				if firstErr == nil {
-					firstErr = res.err
-				}
-				continue
-			}
-			if res.sim > simLevel {
-				simLevel = res.sim
-			}
+		for i, res := range level {
 			rep.Count += res.count
-			rep.PerSite[res.site] += res.count
+			rep.PerSite[levelSites[i]] += res.count
 			for c, arr := range res.forward {
 				prev := next[c]
 				prev.States |= arr.States
 				prev.Sticky |= arr.Sticky
 				next[c] = prev
 			}
-		}
-		if firstErr != nil {
-			return CountReport{}, firstErr
 		}
 		sim += simLevel
 		pending = next

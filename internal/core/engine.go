@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +61,20 @@ type Engine struct {
 	// the engine starts serving (EnableTripletCache); it is read without
 	// synchronization.
 	cache bool
+	// maxInflight bounds how many site calls any single run of this
+	// engine keeps in flight at once through the scatter/gather layer
+	// (0 = unbounded). Set during setup (SetMaxInflight); read without
+	// synchronization.
+	maxInflight int
+}
+
+// SetMaxInflight bounds the number of concurrent site calls per run
+// (0 = unbounded). Call it during setup, before the engine serves.
+func (e *Engine) SetMaxInflight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.maxInflight = n
 }
 
 // EnableTripletCache turns the sites' versioned per-fragment triplet cache
@@ -80,6 +97,20 @@ func (e *Engine) fingerprint(prog *xpath.Program) uint64 {
 // same sites, so a per-engine counter would collide on the sites' keyed
 // run state.
 var runSeq atomic.Int64
+
+// runNonce distinguishes coordinator *processes*: two coordinators with
+// the same site name — concurrent `parbox remote` invocations against
+// shared site daemons — would otherwise both start their sequence at 1
+// and collide on the sites' keyed run state (one run's self-destructing
+// state tearing down the other's). Fixed width keeps the run key's wire
+// length, and with it byte accounting, stable across processes and runs.
+var runNonce = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}()
 
 // NewEngine builds an engine for the document described by st, coordinated
 // from site coord. The cost model must match the one the sites were
@@ -199,55 +230,36 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 	// Stage 1: identify the participating sites from the source tree.
 	sites := e.st.Sites()
 
-	// Stage 2: evalQual on every site, in parallel.
-	type siteResult struct {
-		fts []fragTriplet
-		sim time.Duration
-		err error
-	}
+	// Stage 2: evalQual on every site, through the scatter/gather layer.
 	fp := e.fingerprint(prog)
-	results := make(chan siteResult, len(sites))
-	for _, site := range sites {
-		go func(site frag.SiteID) {
-			req := cluster.Request{
+	jobs := make([]scatterJob[[]fragTriplet], len(sites))
+	for i, site := range sites {
+		jobs[i] = scatterJob[[]fragTriplet]{
+			to: site,
+			req: cluster.Request{
 				Kind: KindEvalQual,
 				Payload: encodeEvalQualReq(evalQualReq{
 					prog: prog,
 					ids:  e.st.FragmentsAt(site),
 					fp:   fp,
 				}),
-			}
-			resp, cost, err := e.call(ctx, rec, site, req)
-			if err != nil {
-				results <- siteResult{err: err}
-				return
-			}
+			},
 			// One slab per site response: every triplet of the response
 			// decodes into chunked storage instead of node-by-node allocs.
-			fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
-		}(site)
+			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+				return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
+			},
+		}
+	}
+	perSite, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
+		return Report{}, err
 	}
 	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
-	var simStage2 time.Duration
-	var firstErr error
-	for range sites {
-		res := <-results
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		if res.sim > simStage2 {
-			simStage2 = res.sim
-		}
-		for _, ft := range res.fts {
+	for _, fts := range perSite {
+		for _, ft := range fts {
 			triplets[ft.id] = ft.triplet
 		}
-	}
-	if firstErr != nil {
-		return Report{}, firstErr
 	}
 
 	// Stage 3: solve the equation system at the coordinator.
@@ -276,14 +288,13 @@ func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Rep
 	rec := newRecorder()
 	sites := e.st.Sites()
 
-	type siteResult struct {
-		frs []*frag.Fragment
-		net time.Duration
-		err error
-	}
-	results := make(chan siteResult, len(sites))
-	calls := 0
 	var local []*frag.Fragment
+	var jobs []scatterJob[[]*frag.Fragment]
+	// The coordinator's link is the bottleneck resource: its transfer
+	// times add up rather than overlap, so the modeled time is the SUM of
+	// the fetches' network costs, accumulated here (decoders run
+	// concurrently) instead of taking scatter's parallel makespan.
+	var netNanos atomic.Int64
 	for _, site := range sites {
 		ids := e.st.FragmentsAt(site)
 		if site == e.coord {
@@ -297,37 +308,27 @@ func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Rep
 			}
 			continue
 		}
-		calls++
-		go func(site frag.SiteID, ids []xmltree.FragmentID) {
-			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+		jobs = append(jobs, scatterJob[[]*frag.Fragment]{
+			to: site,
+			req: cluster.Request{
 				Kind:    KindFetchFragments,
 				Payload: encodeFetchReq(ids),
-			})
-			if err != nil {
-				results <- siteResult{err: err}
-				return
-			}
-			frs, err := decodeFetchResp(resp.Payload)
-			results <- siteResult{frs: frs, net: cost.Net, err: err}
-		}(site, ids)
+			},
+			dec: func(resp cluster.Response, cost cluster.CallCost) ([]*frag.Fragment, error) {
+				netNanos.Add(int64(cost.Net))
+				return decodeFetchResp(resp.Payload)
+			},
+		})
+	}
+	fetched, _, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
+		return Report{}, err
 	}
 	frs := local
-	var simTransfer time.Duration
-	var firstErr error
-	for i := 0; i < calls; i++ {
-		res := <-results
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		simTransfer += res.net // the coordinator's link serializes transfers
-		frs = append(frs, res.frs...)
+	for _, part := range fetched {
+		frs = append(frs, part...)
 	}
-	if firstErr != nil {
-		return Report{}, firstErr
-	}
+	simTransfer := time.Duration(netNanos.Load())
 
 	forest, err := frag.FromFragments(frs, e.st.Root())
 	if err != nil {
@@ -438,18 +439,18 @@ func (e *Engine) Hybrid(ctx context.Context, prog *xpath.Program) (Report, error
 func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, error) {
 	start := time.Now()
 	rec := newRecorder()
-	runKey := fmt.Sprintf("%s-%d", e.coord, runSeq.Add(1))
+	// Zero-padded so the key's wire length is independent of how many
+	// runs preceded this one — byte accounting stays differentially
+	// comparable across transports and runs.
+	runKey := fmt.Sprintf("%s-%016x-%010d", e.coord, runNonce, runSeq.Add(1))
 	sites := e.st.Sites()
 
 	// Stage 2 (parallel): evalQual with caching.
-	type siteResult struct {
-		sim time.Duration
-		err error
-	}
-	results := make(chan siteResult, len(sites))
-	for _, site := range sites {
-		go func(site frag.SiteID) {
-			_, cost, err := e.call(ctx, rec, site, cluster.Request{
+	jobs := make([]scatterJob[struct{}], len(sites))
+	for i, site := range sites {
+		jobs[i] = scatterJob[struct{}]{
+			to: site,
+			req: cluster.Request{
 				Kind: KindEvalQualKeep,
 				Payload: encodeEvalQualReq(evalQualReq{
 					prog:   prog,
@@ -457,24 +458,14 @@ func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, err
 					runKey: runKey,
 					st:     e.st,
 				}),
-			})
-			results <- siteResult{sim: cost.Total(), err: err}
-		}(site)
-	}
-	var simStage2 time.Duration
-	var firstErr error
-	for range sites {
-		res := <-results
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
-		}
-		if res.sim > simStage2 {
-			simStage2 = res.sim
+			},
+			dec: func(cluster.Response, cluster.CallCost) (struct{}, error) { return struct{}{}, nil },
 		}
 	}
-	if firstErr != nil {
+	_, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
 		e.cleanup(ctx, rec, runKey)
-		return Report{}, firstErr
+		return Report{}, err
 	}
 
 	// Stage 3: resolve the root fragment; unification cascades down/up the
@@ -517,10 +508,18 @@ func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, err
 	return rep, nil
 }
 
+// cleanup drops a failed run's cached state at every site, fanned out
+// asynchronously and best effort: failures must not mask the result,
+// and one site's failure must not stop the others' cleanup (so no
+// cancel-on-first-error scatter here).
 func (e *Engine) cleanup(ctx context.Context, rec *recorder, runKey string) {
-	for _, site := range e.st.Sites() {
-		// Best effort; cleanup failures must not mask the result.
-		_, _, _ = e.tr.Call(ctx, e.coord, site, cluster.Request{Kind: KindCleanup, Payload: []byte(runKey)})
+	sites := e.st.Sites()
+	replies := make([]<-chan cluster.Reply, len(sites))
+	for i, site := range sites {
+		replies[i] = cluster.Go(ctx, e.tr, e.coord, site, cluster.Request{Kind: KindCleanup, Payload: []byte(runKey)})
+	}
+	for _, ch := range replies {
+		<-ch
 	}
 }
 
@@ -549,51 +548,39 @@ func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) 
 	}
 	for _, level := range steps {
 		// Group this level's fragments by site; each site evaluates its
-		// fragments of this level only.
+		// fragments of this level only. Sites sort for a deterministic
+		// scatter order.
 		yieldSites := make(map[frag.SiteID][]xmltree.FragmentID)
 		for _, id := range level {
 			entry, _ := e.st.Entry(id)
 			yieldSites[entry.Site] = append(yieldSites[entry.Site], id)
 		}
-		type siteResult struct {
-			fts []fragTriplet
-			sim time.Duration
-			err error
+		levelSites := make([]frag.SiteID, 0, len(yieldSites))
+		for site := range yieldSites {
+			levelSites = append(levelSites, site)
 		}
-		results := make(chan siteResult, len(yieldSites))
-		for site, ids := range yieldSites {
-			go func(site frag.SiteID, ids []xmltree.FragmentID) {
-				resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+		sort.Slice(levelSites, func(i, j int) bool { return levelSites[i] < levelSites[j] })
+		jobs := make([]scatterJob[[]fragTriplet], len(levelSites))
+		for i, site := range levelSites {
+			jobs[i] = scatterJob[[]fragTriplet]{
+				to: site,
+				req: cluster.Request{
 					Kind:    KindEvalQual,
-					Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: ids}),
-				})
-				if err != nil {
-					results <- siteResult{err: err}
-					return
-				}
-				fts, err := decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-				results <- siteResult{fts: fts, sim: cost.Total(), err: err}
-			}(site, ids)
+					Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: yieldSites[site]}),
+				},
+				dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+					return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
+				},
+			}
 		}
-		var simLevel time.Duration
-		var firstErr error
-		for range yieldSites {
-			res := <-results
-			if res.err != nil {
-				if firstErr == nil {
-					firstErr = res.err
-				}
-				continue
-			}
-			if res.sim > simLevel {
-				simLevel = res.sim
-			}
-			for _, ft := range res.fts {
+		perSite, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, fts := range perSite {
+			for _, ft := range fts {
 				triplets[ft.id] = ft.triplet
 			}
-		}
-		if firstErr != nil {
-			return Report{}, firstErr
 		}
 		simTotal += simLevel
 

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// sortedFragmentIDs returns a map's fragment-ID keys in ascending
+// order — the deterministic scatter order of per-fragment rounds.
+func sortedFragmentIDs[V any](m map[xmltree.FragmentID]V) []xmltree.FragmentID {
+	ids := make([]xmltree.FragmentID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// scatterJob is one call of a scatter round: the target site, the
+// request, and how to decode the response. dec runs concurrently with
+// the other jobs' decodes (on the goroutine that received the reply),
+// so it must touch only job-local state or synchronize explicitly; the
+// call cost is passed in for callers that aggregate their own cost
+// notion (NaiveCentralized sums transfer times over its serialized
+// coordinator link).
+type scatterJob[T any] struct {
+	to  frag.SiteID
+	req cluster.Request
+	dec func(resp cluster.Response, cost cluster.CallCost) (T, error)
+}
+
+// scatter is the engine's single fan-out/fan-in primitive, replacing
+// the per-algorithm goroutine loops:
+//
+//   - jobs are issued through the transport's async path
+//     (cluster.Go), so over the v2 TCP transport every call to one
+//     site pipelines onto a single multiplexed connection;
+//   - at most limit calls are in flight at once (limit ≤ 0 means
+//     unbounded — every job launches immediately);
+//   - the first failure cancels the round's remaining calls
+//     (cancel-on-first-error), and the reported error is deterministic:
+//     the lowest-job-index failure that is not a cancellation echo;
+//   - results merge in job order — out[i] is job i's decoded value —
+//     so callers that fold them are deterministic regardless of
+//     completion order;
+//   - accounting goes to rec (nil to skip) exactly as Engine.call
+//     records it, and the returned duration is the round's modeled
+//     makespan: the max of the successful calls' cost.Total().
+func scatter[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID, limit int, rec *recorder, jobs []scatterJob[T]) ([]T, time.Duration, error) {
+	n := len(jobs)
+	out := make([]T, n)
+	if n == 0 {
+		return out, 0, nil
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type arrival struct {
+		idx  int
+		cost cluster.CallCost
+		err  error
+	}
+	arrivals := make(chan arrival, n)
+	sem := make(chan struct{}, limit)
+	for i := range jobs {
+		go func(i int, j scatterJob[T]) {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				arrivals <- arrival{idx: i, err: ctx.Err()}
+				return
+			}
+			r := <-cluster.Go(ctx, tr, from, j.to, j.req)
+			<-sem
+			if r.Err != nil {
+				arrivals <- arrival{idx: i, err: r.Err}
+				return
+			}
+			if rec != nil {
+				rec.record(from, j.to, r.Cost, r.Resp)
+			}
+			v, err := j.dec(r.Resp, r.Cost)
+			if err != nil {
+				arrivals <- arrival{idx: i, cost: r.Cost, err: err}
+				return
+			}
+			out[i] = v
+			arrivals <- arrival{idx: i, cost: r.Cost}
+		}(i, jobs[i])
+	}
+	var sim time.Duration
+	errs := make([]error, n)
+	failed := false
+	for range jobs {
+		a := <-arrivals
+		if a.err != nil {
+			errs[a.idx] = a.err
+			failed = true
+			cancel() // stop the round's remaining work
+			continue
+		}
+		if a.cost.Total() > sim {
+			sim = a.cost.Total()
+		}
+	}
+	if failed {
+		// The genuine failure, not a sibling's cancellation echo; if
+		// everything is a cancellation (the parent context expired), the
+		// lowest index still wins.
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				return nil, sim, err
+			}
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, sim, err
+			}
+		}
+	}
+	return out, sim, nil
+}

@@ -49,48 +49,31 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	start := time.Now()
 	rec := newRecorder()
 
-	// Pass 1: collect triplets from every site, in parallel.
+	// Pass 1: collect triplets from every site, through the
+	// scatter/gather layer.
 	sites := e.st.Sites()
-	type siteResult struct {
-		fts []fragTriplet
-		sim time.Duration
-		err error
-	}
-	results := make(chan siteResult, len(sites))
-	for _, site := range sites {
-		go func(site frag.SiteID) {
-			resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+	jobs := make([]scatterJob[[]fragTriplet], len(sites))
+	for i, site := range sites {
+		jobs[i] = scatterJob[[]fragTriplet]{
+			to: site,
+			req: cluster.Request{
 				Kind:    KindEvalQual,
 				Payload: encodeEvalQualReq(evalQualReq{prog: sp.Bool, ids: e.st.FragmentsAt(site)}),
-			})
-			if err != nil {
-				results <- siteResult{err: err}
-				return
-			}
-			fts, err := decodeEvalQualResp(resp.Payload, nil)
-			results <- siteResult{fts: fts, sim: cost.Total(), err: err}
-		}(site)
+			},
+			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+				return decodeEvalQualResp(resp.Payload, nil)
+			},
+		}
+	}
+	perSite, simPass1, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	if err != nil {
+		return SelectReport{}, err
 	}
 	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
-	var simPass1 time.Duration
-	var firstErr error
-	for range sites {
-		res := <-results
-		if res.err != nil {
-			if firstErr == nil {
-				firstErr = res.err
-			}
-			continue
-		}
-		if res.sim > simPass1 {
-			simPass1 = res.sim
-		}
-		for _, ft := range res.fts {
+	for _, fts := range perSite {
+		for _, ft := range fts {
 			triplets[ft.id] = ft.triplet
 		}
-	}
-	if firstErr != nil {
-		return SelectReport{}, firstErr
 	}
 	vecs, solveWork, err := eval.SolveAll(e.st, triplets, sp.Bool)
 	if err != nil {
@@ -105,16 +88,14 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	rep := SelectReport{Paths: make(map[xmltree.FragmentID][][]int)}
 	pending := map[xmltree.FragmentID]eval.Arrival{e.st.Root(): eval.StartArrival()}
 	spBytes := encodeSelectProgram(sp)
+	type selResult struct {
+		paths   [][]int
+		forward map[xmltree.FragmentID]eval.Arrival
+	}
 	for len(pending) > 0 {
-		type selResult struct {
-			id      xmltree.FragmentID
-			paths   [][]int
-			forward map[xmltree.FragmentID]eval.Arrival
-			sim     time.Duration
-			err     error
-		}
-		results := make(chan selResult, len(pending))
-		for id, arr := range pending {
+		ids := sortedFragmentIDs(pending)
+		jobs := make([]scatterJob[selResult], len(ids))
+		for i, id := range ids {
 			entry, ok := e.st.Entry(id)
 			if !ok {
 				return SelectReport{}, fmt.Errorf("core: fragment %d not in source tree", id)
@@ -124,34 +105,26 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 			for _, c := range entry.Children {
 				childVecs[c] = vecs[c]
 			}
-			go func(id xmltree.FragmentID, site frag.SiteID, arr eval.Arrival, childVecs map[xmltree.FragmentID]eval.BoolVecs) {
-				resp, cost, err := e.call(ctx, rec, site, cluster.Request{
+			jobs[i] = scatterJob[selResult]{
+				to: entry.Site,
+				req: cluster.Request{
 					Kind:    KindSelect,
-					Payload: encodeSelectReq(spBytes, id, arr, childVecs),
-				})
-				if err != nil {
-					results <- selResult{id: id, err: err}
-					return
-				}
-				paths, fwd, err := decodeSelectResp(resp.Payload)
-				results <- selResult{id: id, paths: paths, forward: fwd, sim: cost.Total(), err: err}
-			}(id, entry.Site, arr, childVecs)
+					Payload: encodeSelectReq(spBytes, id, pending[id], childVecs),
+				},
+				dec: func(resp cluster.Response, _ cluster.CallCost) (selResult, error) {
+					paths, fwd, err := decodeSelectResp(resp.Payload)
+					return selResult{paths: paths, forward: fwd}, err
+				},
+			}
+		}
+		level, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		if err != nil {
+			return SelectReport{}, err
 		}
 		next := make(map[xmltree.FragmentID]eval.Arrival)
-		var simLevel time.Duration
-		for range pending {
-			res := <-results
-			if res.err != nil {
-				if firstErr == nil {
-					firstErr = res.err
-				}
-				continue
-			}
-			if res.sim > simLevel {
-				simLevel = res.sim
-			}
+		for i, res := range level {
 			if len(res.paths) > 0 {
-				rep.Paths[res.id] = res.paths
+				rep.Paths[ids[i]] = res.paths
 				rep.Count += len(res.paths)
 			}
 			for c, arr := range res.forward {
@@ -160,9 +133,6 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 				prev.Sticky |= arr.Sticky
 				next[c] = prev
 			}
-		}
-		if firstErr != nil {
-			return SelectReport{}, firstErr
 		}
 		sim += simLevel
 		pending = next

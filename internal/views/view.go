@@ -41,6 +41,9 @@ type View struct {
 	tr   cluster.Transport
 	home frag.SiteID
 	prog *xpath.Program
+	// maxInflight bounds the site calls a Materialize/Refresh fan-out
+	// keeps in flight (0 = unbounded), mirroring the engine's bound.
+	maxInflight int
 
 	mu       sync.Mutex
 	st       *frag.SourceTree
@@ -90,25 +93,36 @@ func (v *View) decodeTriplet(buf []byte) (eval.ArenaTriplet, error) {
 // ParBoX over all sites and solving the equation system at the home site.
 func Materialize(ctx context.Context, tr cluster.Transport, home frag.SiteID,
 	st *frag.SourceTree, prog *xpath.Program) (*View, error) {
+	return MaterializeBounded(ctx, tr, home, st, prog, 0)
+}
+
+// MaterializeBounded is Materialize with the fan-out's in-flight site
+// calls capped at maxInflight (0 = unbounded); the bound sticks to the
+// view and applies to later Refresh calls too.
+func MaterializeBounded(ctx context.Context, tr cluster.Transport, home frag.SiteID,
+	st *frag.SourceTree, prog *xpath.Program, maxInflight int) (*View, error) {
 	v := &View{
-		tr:       tr,
-		home:     home,
-		prog:     prog,
-		st:       st.Clone(),
-		arena:    boolexpr.NewArena(),
-		triplets: make(map[xmltree.FragmentID]eval.ArenaTriplet, st.Count()),
+		tr:          tr,
+		home:        home,
+		prog:        prog,
+		maxInflight: maxInflight,
+		st:          st.Clone(),
+		arena:       boolexpr.NewArena(),
+		triplets:    make(map[xmltree.FragmentID]eval.ArenaTriplet, st.Count()),
 	}
 	for _, id := range st.Fragments() {
 		if id >= v.nextID {
 			v.nextID = id + 1
 		}
 	}
-	for _, site := range st.Sites() {
-		ts, _, err := core.RequestTriplets(ctx, tr, home, site, prog, st.FragmentsAt(site))
-		if err != nil {
-			return nil, fmt.Errorf("views: materialize at %s: %w", site, err)
-		}
-		for id, t := range ts {
+	// One scatter/gather round over all sites (the same fan-out layer the
+	// query engine uses), then intern the triplets into the view arena.
+	ts, err := core.GatherTriplets(ctx, tr, home, st, prog, maxInflight)
+	if err != nil {
+		return nil, fmt.Errorf("views: materialize: %w", err)
+	}
+	for _, id := range st.Fragments() {
+		if t, ok := ts[id]; ok {
 			v.triplets[id] = eval.ImportTriplet(v.arena, t)
 		}
 	}
@@ -320,12 +334,12 @@ func (v *View) Refresh(ctx context.Context) error {
 	defer v.mu.Unlock()
 	arena := boolexpr.NewArena()
 	triplets := make(map[xmltree.FragmentID]eval.ArenaTriplet, v.st.Count())
-	for _, site := range v.st.Sites() {
-		ts, _, err := core.RequestTriplets(ctx, v.tr, v.home, site, v.prog, v.st.FragmentsAt(site))
-		if err != nil {
-			return err
-		}
-		for id, t := range ts {
+	ts, err := core.GatherTriplets(ctx, v.tr, v.home, v.st, v.prog, v.maxInflight)
+	if err != nil {
+		return err
+	}
+	for _, id := range v.st.Fragments() {
+		if t, ok := ts[id]; ok {
 			triplets[id] = eval.ImportTriplet(arena, t)
 		}
 	}

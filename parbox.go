@@ -161,6 +161,7 @@ type options struct {
 	dataDir       string
 	residentLimit int
 	syncWrites    bool
+	maxInflight   int
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -182,6 +183,16 @@ func WithCoalescedServing(window time.Duration, lanes int) Option {
 		o.coalesceWindow = window
 		o.coalesceLanes = lanes
 	}
+}
+
+// WithMaxInflight bounds how many site calls any single query run keeps
+// in flight at once through the engine's scatter/gather layer (0, the
+// default, is unbounded — every site of a round is contacted at once).
+// Deployments with very wide fan-outs set it to cap per-run memory and
+// socket pressure; the bound applies per run, so concurrent Exec calls
+// each get their own window.
+func WithMaxInflight(n int) Option {
+	return func(o *options) { o.maxInflight = n }
 }
 
 // WithTripletCache enables the versioned per-fragment triplet cache at the
@@ -208,11 +219,13 @@ type System struct {
 
 	// sched is the coalescing scheduler; coalesceDefault routes plain
 	// Boolean Exec calls through it without WithCoalescing. cacheEnabled
-	// records the WithTripletCache deployment choice so Replan can
-	// re-apply it to the swapped-in engine.
+	// and maxInflight record the WithTripletCache / WithMaxInflight
+	// deployment choices so Replan can re-apply them to the swapped-in
+	// engine.
 	sched           *scheduler
 	coalesceDefault bool
 	cacheEnabled    bool
+	maxInflight     int
 
 	// stores holds the per-site durable fragment stores of a
 	// WithDurability deployment (nil otherwise); Close/Checkpoint drain
@@ -261,7 +274,11 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 		views.RegisterHandlers(site, c)
 	}
 	eng.EnableTripletCache(o.tripletCache)
-	s := &System{cluster: c, engine: eng, coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache}
+	eng.SetMaxInflight(o.maxInflight)
+	s := &System{
+		cluster: c, engine: eng, coalesceDefault: o.coalesce,
+		cacheEnabled: o.tripletCache, maxInflight: o.maxInflight,
+	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
 	if o.dataDir != "" {
 		if err := s.attachStores(o); err != nil {
@@ -461,9 +478,11 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 		views.RegisterHandlers(site, c)
 	}
 	eng.EnableTripletCache(o.tripletCache)
+	eng.SetMaxInflight(o.maxInflight)
 	s := &System{
 		cluster: c, engine: eng, forest: forest, replicas: replicas,
 		coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache,
+		maxInflight: o.maxInflight,
 	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
 	return s, nil
@@ -481,6 +500,7 @@ func (s *System) Replan(strategy PlacementStrategy) error {
 		return err
 	}
 	eng.EnableTripletCache(s.cacheEnabled)
+	eng.SetMaxInflight(s.maxInflight)
 	s.mu.Lock()
 	s.engine = eng
 	s.mu.Unlock()
