@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak
+.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak failover-smoke
 
 all: build vet test
 
@@ -45,3 +45,12 @@ recovery-smoke:
 transport-soak:
 	go test -race -run 'TestTransport|TestSchedulerFairShare' ./internal/integration
 	go test -race -run 'TestV2|TestV1|TestRequireV2|TestHandshake|TestServerGracefulClose|TestConnFailure' ./internal/cluster
+
+# failover-smoke is CI's replica-failover gate: SIGKILL a real site
+# daemon with a workload in flight over a 2x-replicated deployment — the
+# coordinator must finish every query with the unfaulted reference
+# answers — plus the in-process differential that kills and revives
+# sites under all six algorithms, all under the race detector.
+failover-smoke:
+	go test -race -run 'TestDaemonFailover' ./cmd/parbox-site
+	go test -race -run 'TestFailover|TestRebalanceMovesHotFragment' .

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/serve"
+	"repro/internal/xpath"
+)
+
+// writeReplicatedDeployment lays out a 2x-replicated ring over four
+// daemons: fragment i lives on S_i and S_(i+1) (wrapping), the root stays
+// with the local coordinator S0. The manifest format assigns one site per
+// fragment, so each daemon gets its own manifest listing exactly the
+// replicas it hosts; the shared "reference" manifest assigns primaries
+// only and feeds the coordinator's forest and the in-memory reference.
+func writeReplicatedDeployment(t *testing.T) (dir string, daemonManifests map[string]string) {
+	t.Helper()
+	dir = t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("f0.xml", `<catalog><parbox.fragment id="1"/><parbox.fragment id="2"/><parbox.fragment id="3"/><parbox.fragment id="4"/></catalog>`)
+	write("f1.xml", `<section><name>alpha</name><quantity>2</quantity></section>`)
+	write("f2.xml", `<section><name>beta</name><keyword>k</keyword></section>`)
+	write("f3.xml", `<section><emph>e</emph><listitem>x</listitem></section>`)
+	write("f4.xml", `<section><name>delta</name><quantity>9</quantity></section>`)
+
+	sites := `
+site S0 local
+site S1 127.0.0.1:0
+site S2 127.0.0.1:0
+site S3 127.0.0.1:0
+site S4 127.0.0.1:0
+`
+	write("manifest.txt", sites+`
+frag 0 -1 S0 f0.xml
+frag 1 0 S1 f1.xml
+frag 2 0 S2 f2.xml
+frag 3 0 S3 f3.xml
+frag 4 0 S4 f4.xml
+`)
+	// Daemon S_i hosts fragment i plus its ring predecessor's.
+	daemonManifests = map[string]string{}
+	host := map[string][2]string{
+		"S1": {"frag 1 0 S1 f1.xml", "frag 4 0 S1 f4.xml"},
+		"S2": {"frag 2 0 S2 f2.xml", "frag 1 0 S2 f1.xml"},
+		"S3": {"frag 3 0 S3 f3.xml", "frag 2 0 S3 f2.xml"},
+		"S4": {"frag 4 0 S4 f4.xml", "frag 3 0 S4 f3.xml"},
+	}
+	for name, lines := range host {
+		fname := "manifest-" + name + ".txt"
+		write(fname, sites+"\nfrag 0 -1 S0 f0.xml\n"+lines[0]+"\n"+lines[1]+"\n")
+		daemonManifests[name] = filepath.Join(dir, fname)
+	}
+	return dir, daemonManifests
+}
+
+// TestDaemonFailover is the failover smoke CI runs: four real site
+// daemons serve a 2x-replicated forest, one is SIGKILLed with a workload
+// in flight, and every query — in flight and subsequent — must still
+// return the unfaulted reference answer, with the tier's failover
+// counters showing the recovery happened (rather than the kill landing
+// in dead air).
+func TestDaemonFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemon processes")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "parbox-site")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building parbox-site: %v\n%s", err, out)
+	}
+
+	dir, daemonManifests := writeReplicatedDeployment(t)
+	refManifest := filepath.Join(dir, "manifest.txt")
+	m, err := manifest.ParseFile(refManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemons := map[frag.SiteID]*exec.Cmd{}
+	addrs := map[frag.SiteID]string{}
+	for _, name := range []string{"S1", "S2", "S3", "S4"} {
+		cmd, addr := startDaemon(t, bin, "-name", name,
+			"-manifest", daemonManifests[name], "-listen", "127.0.0.1:0")
+		daemons[frag.SiteID(name)] = cmd
+		addrs[frag.SiteID(name)] = addr
+	}
+	defer func() {
+		for _, cmd := range daemons {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Coordinator: local S0 with the root fragment, replica-aware tier
+	// over the daemons' real addresses.
+	cost := cluster.DefaultCostModel()
+	tr := cluster.NewTCPTransport(addrs)
+	defer tr.Close()
+	s0 := cluster.NewSite("S0")
+	frags, _, err := m.LoadFragments("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frags {
+		s0.AddFragment(fr)
+	}
+	core.RegisterHandlers(s0, tr, cost)
+	serve.RegisterHandlers(s0)
+	tr.Local(s0)
+
+	forest, assign, err := loadReferenceForest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := frag.BuildSourceTree(forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := core.ReplicaMap{
+		0: {"S0"},
+		1: {"S1", "S2"},
+		2: {"S2", "S3"},
+		3: {"S3", "S4"},
+		4: {"S4", "S1"},
+	}
+	tier := serve.NewTier(tr, "S0", forest, replicas, serve.Options{ProbeInterval: -1, DownAfter: 2})
+	eng := core.NewEngine(tr, "S0", st, cost)
+	eng.SetTier(tier)
+
+	// The unfaulted in-memory reference.
+	refEng, err := core.Deploy(cluster.New(cost), forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`//name && //quantity`,
+		`//keyword || //absent`,
+		`//listitem[text() = "x"]`,
+		`//name[text() = "beta"] && //emph`,
+		`//absent`,
+	}
+	ctx := context.Background()
+	want := make([]bool, len(queries))
+	progs := make([]*xpath.Program, len(queries))
+	for i, src := range queries {
+		progs[i] = xpath.MustCompileString(src)
+		rep, err := refEng.ParBoX(ctx, progs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep.Answer
+	}
+
+	// Healthy pass: every query answers through the daemons.
+	for i, prog := range progs {
+		rep, err := eng.Run(ctx, core.AlgoParBoX, prog)
+		if err != nil {
+			t.Fatalf("healthy %q: %v", queries[i], err)
+		}
+		if rep.Answer != want[i] {
+			t.Fatalf("healthy %q = %v, want %v", queries[i], rep.Answer, want[i])
+		}
+	}
+
+	// Workload: 4 workers x 8 queries each; SIGKILL S2 once a few have
+	// completed, so the kill lands with queries in flight and more still
+	// to start. Fragments 1 and 2 (S2's replicas) survive on S1 and S3 —
+	// every query must keep answering correctly.
+	const workers, perWorker = 4, 8
+	victim := frag.SiteID("S2")
+	var done, failovers atomic.Int64
+	errCh := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < perWorker; q++ {
+				i := (w + q) % len(progs)
+				algo := core.AlgoParBoX
+				if q%2 == 1 {
+					algo = core.AlgoNaiveCentralized
+				}
+				rep, err := eng.Run(ctx, algo, progs[i])
+				if err != nil {
+					errCh <- err
+				} else if rep.Answer != want[i] {
+					t.Errorf("%s %q = %v, want %v", algo, queries[i], rep.Answer, want[i])
+				}
+				failovers.Add(rep.Failovers)
+				done.Add(1)
+			}
+		}(w)
+	}
+	for done.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := daemons[victim].Process.Kill(); err != nil { // SIGKILL: no drain
+		t.Fatal(err)
+	}
+	daemons[victim].Wait()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("query failed despite a live replica: %v", err)
+	}
+	if failovers.Load() == 0 {
+		t.Error("no failovers recorded: the kill landed in dead air")
+	}
+
+	// The tier's active probes must classify the corpse: two sweeps
+	// (DownAfter: 2) take S2 from suspect to down.
+	tier.ProbeNow(ctx)
+	tier.ProbeNow(ctx)
+	if got := tier.Health()[victim].State; got != serve.Down {
+		t.Errorf("victim health = %v, want down", got)
+	}
+
+	// And the degraded system keeps serving correct answers.
+	for i, prog := range progs {
+		rep, err := eng.Run(ctx, core.AlgoParBoX, prog)
+		if err != nil {
+			t.Fatalf("degraded %q: %v", queries[i], err)
+		}
+		if rep.Answer != want[i] {
+			t.Errorf("degraded %q = %v, want %v", queries[i], rep.Answer, want[i])
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/manifest"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/views"
 )
@@ -211,6 +212,9 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 	cost := cluster.DefaultCostModel()
 	core.RegisterHandlers(site, tr, cost)
 	views.RegisterHandlers(site, tr)
+	// Serving-tier protocol: health probes plus the fragment clone/install
+	// pair the live rebalancer migrates replicas with.
+	serve.RegisterHandlers(site)
 
 	// The daemon serves wire protocol v2 only: a version-skewed v1
 	// coordinator is answered with a clean "requires wire protocol v2"

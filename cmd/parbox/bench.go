@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/frag"
+	"repro/internal/serve"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -548,6 +550,228 @@ func cmdBench(args []string) error {
 		"bottomup_steps":         float64(restartBottomUp),
 	})
 
+	// --- Serving tier: 64-query burst with one of 8 TCP sites killed ------
+	// The failover SLO in wall-clock terms: the fanout forest replicated
+	// 2x in a ring (fragment i on S_i and S_(i+1)), served by the
+	// replica-aware tier over real sockets. A quarter of the burst is
+	// allowed to finish, then one site's server is closed under the
+	// remaining queries. Every query must still answer; the p99 carries
+	// the failed-call + reassign detour and the failover/reassign counts
+	// make the tier's recovery work visible in the JSON.
+	failoverReplicas := core.ReplicaMap{}
+	for i := 0; i < 8; i++ {
+		failoverReplicas[xmltree.FragmentID(i)] = []frag.SiteID{
+			frag.SiteID(fmt.Sprintf("S%d", i)),
+			frag.SiteID(fmt.Sprintf("S%d", (i+1)%8)),
+		}
+	}
+	runFailover := func() (testing.BenchmarkResult, map[string]float64, error) {
+		fail := func(err error) (testing.BenchmarkResult, map[string]float64, error) {
+			return testing.BenchmarkResult{}, nil, err
+		}
+		addrs := make(map[frag.SiteID]string, 8)
+		servers := make(map[frag.SiteID]*cluster.Server, 8)
+		var trs []*cluster.TCPTransport
+		defer func() {
+			for _, tr := range trs {
+				tr.Close()
+			}
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}()
+		for i := 0; i < 8; i++ {
+			id := frag.SiteID(fmt.Sprintf("S%d", i))
+			site := cluster.NewSite(id)
+			for fid, sites := range failoverReplicas {
+				for _, s := range sites {
+					if s != id {
+						continue
+					}
+					fr, ok := fanoutForest.Fragment(fid)
+					if !ok {
+						return fail(fmt.Errorf("missing fragment %d", fid))
+					}
+					site.AddFragment(fr)
+				}
+			}
+			siteTr := cluster.NewTCPTransport(nil)
+			siteTr.Local(site)
+			trs = append(trs, siteTr)
+			core.RegisterHandlers(site, siteTr, cluster.DefaultCostModel())
+			serve.RegisterHandlers(site)
+			if inner, ok := site.HandlerFor(core.KindEvalQual); ok {
+				site.Handle(core.KindEvalQual, func(ctx context.Context, s *cluster.Site, req cluster.Request) (cluster.Response, error) {
+					time.Sleep(fanoutServiceTime) // the emulated remote CPU
+					return inner(ctx, s, req)
+				})
+			}
+			// A real site crash does not drain: the millisecond timeout
+			// force-closes connections with requests still in flight, so
+			// killing the victim actually fails the calls it was serving.
+			srv, err := cluster.ServeWith(site, "127.0.0.1:0",
+				cluster.ServeConfig{DrainTimeout: time.Millisecond})
+			if err != nil {
+				return fail(err)
+			}
+			servers[id] = srv
+			addrs[id] = srv.Addr()
+		}
+		coordTr := cluster.NewTCPTransport(addrs)
+		trs = append(trs, coordTr)
+		tier := serve.NewTier(coordTr, "C", fanoutForest, failoverReplicas,
+			serve.Options{ProbeInterval: -1})
+		eng := core.NewEngine(coordTr, "C", fanoutSt, cluster.DefaultCostModel())
+		eng.SetTier(tier)
+		// 16 workers, 4 sequential queries each: unlike the fanout bench's
+		// single wave, queries keep STARTING throughout the burst, so a
+		// mid-burst kill is guaranteed to land in front of rounds that have
+		// not yet called the victim.
+		const failoverWorkers = 16
+		perWorker := subscribers / failoverWorkers
+		burst := func(victim frag.SiteID) ([]time.Duration, int64, error) {
+			lat := make([]time.Duration, subscribers)
+			errs := make([]error, subscribers)
+			fo := make([]int64, subscribers)
+			var done atomic.Int64
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < failoverWorkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					<-start
+					for q := 0; q < perWorker; q++ {
+						i := w*perWorker + q
+						t0 := time.Now()
+						rep, err := eng.Run(ctx, core.AlgoParBoX, fanoutProgs[i%len(fanoutProgs)])
+						lat[i] = time.Since(t0)
+						errs[i] = err
+						fo[i] = rep.Failovers
+						done.Add(1)
+					}
+				}(w)
+			}
+			close(start)
+			if victim != "" {
+				// Let a quarter of the burst complete against the healthy
+				// ring, then kill one site under the rest.
+				for done.Load() < subscribers/4 {
+					time.Sleep(200 * time.Microsecond)
+				}
+				servers[victim].Close()
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			var failovers int64
+			for _, n := range fo {
+				failovers += n
+			}
+			return lat, failovers, nil
+		}
+		if _, _, err := burst(""); err != nil { // warmup: dial + handshake + caches
+			return fail(err)
+		}
+		lat, failovers, err := burst("S3")
+		if err != nil {
+			return fail(err)
+		}
+		var total time.Duration
+		for _, d := range lat {
+			total += d
+		}
+		sortDurations(lat)
+		stats := tier.Stats()
+		return testing.BenchmarkResult{N: len(lat), T: total}, map[string]float64{
+			"queries_per_burst": subscribers,
+			"p50_ns":            float64(lat[len(lat)/2]),
+			"p99_ns":            float64(lat[len(lat)*99/100]),
+			"failovers":         float64(failovers),
+			"reassigns":         float64(stats.Reassigns),
+		}, nil
+	}
+	failRes, failMetrics, err := runFailover()
+	if err != nil {
+		return err
+	}
+	record("serve/failover-8sites", failRes, failMetrics)
+
+	// --- Serving tier: live rebalancing of a skewed replica layout --------
+	// Everything except the root starts replicated on just B and C while
+	// the coordinator A sits idle (local calls are free, so the cluster's
+	// remote-visit counters make it a guaranteed cold site). Rebalance
+	// passes, fed traffic between them, migrate the hottest exclusive
+	// fragments onto A until a pass declines. Since a fragment served at
+	// the coordinator ships zero bytes, the wire bytes of a 32-query
+	// burst before vs after measure how much serving the rebalancer moved
+	// off the network.
+	rbReplicas := parbox.ReplicaMap{0: {"A"}}
+	for i := 1; i < 8; i++ {
+		rbReplicas[xmltree.FragmentID(i)] = []parbox.SiteID{"B", "C"}
+	}
+	rbSys, err := parbox.DeployReplicated(e2eForest, rbReplicas, parbox.PlaceFirst,
+		parbox.WithFailover(), parbox.WithRebalancing(0))
+	if err != nil {
+		return err
+	}
+	rbBurst := func() (int64, error) {
+		var bytes int64
+		for i := 0; i < 32; i++ {
+			res, err := rbSys.Exec(ctx, subs[i%len(subs)])
+			if err != nil {
+				return 0, err
+			}
+			bytes += res.Bytes
+		}
+		return bytes, nil
+	}
+	bytesBefore, err := rbBurst()
+	if err != nil {
+		return err
+	}
+	rbStart := time.Now()
+	passes := 0
+	for passes < 8 {
+		passes++
+		moved, err := rbSys.Rebalance(ctx)
+		if err != nil {
+			return err
+		}
+		if moved == 0 {
+			break
+		}
+		// Fresh traffic so the next pass judges the post-migration routing
+		// rather than an empty window.
+		if _, err := rbBurst(); err != nil {
+			return err
+		}
+	}
+	rbElapsed := time.Since(rbStart)
+	bytesAfter, err := rbBurst()
+	if err != nil {
+		return err
+	}
+	onCoord := 0
+	for _, sites := range rbSys.Replicas() {
+		for _, s := range sites {
+			if s == "A" {
+				onCoord++
+				break
+			}
+		}
+	}
+	record("serve/rebalance", testing.BenchmarkResult{N: passes, T: rbElapsed}, map[string]float64{
+		"migrations":         float64(rbSys.ServeStats().Migrations),
+		"passes":             float64(passes),
+		"frags_on_coord":     float64(onCoord),
+		"burst_bytes_before": float64(bytesBefore),
+		"burst_bytes_after":  float64(bytesAfter),
+	})
+
 	payload := struct {
 		Generated  string        `json:"generated"`
 		Go         string        `json:"go"`
@@ -594,6 +818,8 @@ var gateExempt = map[string]bool{
 	"serve/coalesced-64q":    true,
 	"serve/fanout-8sites-v1": true, // latency of a real-socket burst:
 	"serve/fanout-8sites-v2": true, // machine- and scheduler-dependent
+	"serve/failover-8sites":  true, // when the kill lands varies per run
+	"serve/rebalance":        true, // convergence passes depend on routing noise
 }
 
 // sortDurations sorts in place, ascending (for percentile extraction).

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/frag"
 	"repro/internal/manifest"
+	"repro/internal/serve"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -402,5 +404,60 @@ func cmdRemote(args []string) error {
 		return err
 	}
 	printReport(rep)
+	return nil
+}
+
+// cmdHealth probes every remote site of a manifest over TCP and prints a
+// status line per site: the serving tier's health check as an operator
+// command. A site answering the probe is up; a dial/handshake/timeout
+// failure prints the error. Exits nonzero if any site is unreachable.
+func cmdHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "manifest file (required)")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-site probe deadline")
+	fs.Parse(args)
+	if *manifestPath == "" {
+		return fmt.Errorf("-manifest is required")
+	}
+	m, err := manifest.ParseFile(*manifestPath)
+	if err != nil {
+		return err
+	}
+	addrs := make(map[frag.SiteID]string)
+	var sites []frag.SiteID
+	for s, addr := range m.Sites {
+		if addr != manifest.LocalAddr {
+			addrs[s] = addr
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("manifest declares no remote sites")
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	tr := cluster.NewTCPTransport(addrs)
+	defer tr.Close()
+
+	down := 0
+	for _, s := range sites {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		start := time.Now()
+		resp, _, err := tr.Call(ctx, "health", s, cluster.Request{Kind: serve.KindProbe})
+		rtt := time.Since(start)
+		cancel()
+		if err != nil {
+			down++
+			fmt.Printf("%-8s down  %-21s %v\n", s, addrs[s], err)
+			continue
+		}
+		status := "up"
+		if string(resp.Payload) != string(s) {
+			status = "confused" // a daemon serving under another name
+		}
+		fmt.Printf("%-8s %-5s %-21s rtt %s\n", s, status, addrs[s], rtt.Round(10*time.Microsecond))
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d sites down", down, len(sites))
+	}
 	return nil
 }

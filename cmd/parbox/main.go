@@ -41,6 +41,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "remote":
 		err = cmdRemote(os.Args[2:])
+	case "health":
+		err = cmdHealth(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
@@ -58,13 +60,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: parbox <gen|eval|split|run|remote> [flags]
+	fmt.Fprintln(os.Stderr, `usage: parbox <gen|eval|split|run|remote|health> [flags]
 
   gen     generate an XMark-style document        (-mb -seed -beacon -out)
   eval    centralized Boolean XPath evaluation    (-doc -q)
   split   fragment a document + write a manifest  (-doc -n -sites -out -seed)
   run     evaluate on an in-process cluster       (-doc -n -sites -algo -q -seed)
   remote  coordinate over TCP parbox-site daemons (-manifest -algo -q)
+  health  probe a manifest's sites over TCP and
+          print per-site up/down + RTT            (-manifest -timeout)
   bench   run the core-procedure benchmarks and
           write BENCH_parbox.json                 (-out -nodes -query -quiet)
 

@@ -15,6 +15,12 @@ import (
 	"repro/internal/xmltree"
 )
 
+// restoreWarnf reports a non-fatal inconsistency Restore repaired; tests
+// override it to assert on (or silence) the warning.
+var restoreWarnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // WithDurability gives every site of the deployment a durable fragment
 // store rooted at dir (one subdirectory per site): a segmented, CRC-checked
 // write-ahead log of fragment mutations — view-maintenance updates,
@@ -209,12 +215,16 @@ func (s *System) Checkpoint() error {
 	return first
 }
 
-// Close shuts the system's durable stores down gracefully: each store
-// checkpoints and closes, so a subsequent Restore starts from snapshots
-// alone. A system that is dropped without Close recovers through WAL
-// replay instead — that is the crash path, and it is equally correct.
-// No-op without WithDurability.
+// Close shuts the system down gracefully: the serving tier's background
+// goroutines stop, and each durable store checkpoints and closes, so a
+// subsequent Restore starts from snapshots alone. A system that is
+// dropped without Close recovers through WAL replay instead — that is
+// the crash path, and it is equally correct. No-op without
+// WithDurability or WithFailover.
 func (s *System) Close() error {
+	if s.tier != nil {
+		s.tier.Stop()
+	}
 	var first error
 	for _, id := range s.sortedStoreSites() {
 		if site, ok := s.cluster.Site(id); ok && first == nil {
@@ -305,10 +315,13 @@ func Restore(dir string, opts ...Option) (*System, error) {
 		}
 	}
 
-	// Recompute the parent relation from the virtual-node structure: a
-	// serving-time split moves virtual nodes between owners without
-	// touching the referenced sub-fragments, so their persisted Parent
-	// fields can be stale. The trees themselves are authoritative.
+	// Verify the persisted parent relation against the virtual-node
+	// structure. Splits journal parent updates (the split site re-journals
+	// its moved sub-fragments, the view sends KindSetParent to remote
+	// ones), so the persisted Parent fields are normally exact and are
+	// trusted as-is; a mismatch means a crash landed between a split's
+	// journal appends, and is repaired from the trees — which remain
+	// authoritative — with a warning.
 	//
 	// A non-root fragment no virtual node references is a merge-crash
 	// duplicate: the merged-into fragment journaled its absorbed content
@@ -336,7 +349,9 @@ func Restore(dir string, opts ...Option) (*System, error) {
 		frs = kept
 		if !dropped {
 			for _, fr := range frs {
-				if p, ok := parents[fr.ID]; ok {
+				if p, ok := parents[fr.ID]; ok && fr.Parent != p {
+					restoreWarnf("parbox: restore: fragment %d persists parent %d but the trees nest it under %d; repairing (crash between a split's journal appends?)",
+						fr.ID, fr.Parent, p)
 					fr.Parent = p
 				}
 			}

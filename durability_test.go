@@ -597,3 +597,94 @@ func TestTopologyChangeRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestRestoreTrustsSplitMovedParents pins the serving-time-split /
+// durable-parent contract: when a split carves out a subtree containing
+// other fragments' virtual nodes, the moved sub-fragments are
+// re-journaled under their new parent at split time — locally by the
+// owning site, remotely through views.setParent — so a crash-Restore
+// finds every persisted Parent exact and performs no structural repair
+// (the repair path warns; this test requires silence).
+func TestRestoreTrustsSplitMovedParents(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	doc := NewElement("catalog", "",
+		NewElement("wrap", "",
+			NewElement("seca", "", NewElement("a", "x")),
+			NewElement("secb", "", NewElement("b", "y")),
+			NewElement("k", "v")),
+		NewElement("tail", "t"))
+	forest := NewForest(doc)
+	secA, err := forest.Split(doc.FindAll("seca")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	secB, err := forest.Split(doc.FindAll("secb")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// secA shares the split owner's site (local re-journal path); secB
+	// lives elsewhere (remote views.setParent path).
+	dur, err := Deploy(forest, Assignment{0: "S0", secA: "S0", secB: "S1"}, WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dur.Materialize(ctx, MustPrepare(`//a`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split fragment 0 at <wrap>: the carved subtree carries both virtual
+	// nodes, so secA and secB now nest under the new fragment.
+	wrapID, _, err := v.Split(ctx, 0, []int{0}, "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view's (cloned) source tree re-parents immediately; the
+	// system's own tree is rebuilt from the persisted parents on Restore.
+	for _, id := range []FragmentID{secA, secB} {
+		e, ok := v.v.SourceTree().Entry(id)
+		if !ok || e.Parent != wrapID {
+			t.Fatalf("view source tree: fragment %d parent = %+v, want %d", id, e, wrapID)
+		}
+	}
+	dur = nil // crash: recovery replays the WAL, snapshots never taken
+
+	warns := 0
+	oldWarn := restoreWarnf
+	restoreWarnf = func(format string, args ...any) { warns++ }
+	defer func() { restoreWarnf = oldWarn }()
+
+	rest, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rest.Close()
+	if warns != 0 {
+		t.Fatalf("restore repaired %d persisted parents; split should have journaled them exactly", warns)
+	}
+	for _, id := range []FragmentID{secA, secB} {
+		e, ok := rest.SourceTree().Entry(id)
+		if !ok || e.Parent != wrapID {
+			t.Fatalf("restored source tree: fragment %d parent = %+v, want %d", id, e, wrapID)
+		}
+	}
+	whole, err := rest.forest.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{`//a[text() = "x"]`, `//b && //k`, `//tail`} {
+		q := MustPrepare(src)
+		want, err := EvaluateLocal(whole, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rest.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if res.Answer != want {
+			t.Errorf("%q = %v, centralized reference says %v", src, res.Answer, want)
+		}
+	}
+}

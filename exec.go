@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/views"
 	"repro/internal/xpath"
 )
@@ -168,6 +169,12 @@ type Result struct {
 	// versioned triplet caches versus fragments that ran bottomUp (always
 	// zero unless the system was deployed with WithTripletCache).
 	CacheHits, CacheMisses int64
+	// Failovers counts recoveries this call needed: failed site calls
+	// re-placed onto surviving replicas plus full round retries (always
+	// zero unless the system was deployed with WithFailover). A non-zero
+	// value means the answer was computed despite failures — it is still
+	// exactly correct.
+	Failovers int64
 	// Duration is the measured wall-clock time of the whole call.
 	Duration time.Duration
 
@@ -198,6 +205,31 @@ func (r *Result) account(sim time.Duration, bytes, messages, steps int64, visits
 			r.Visits[k] = v
 		}
 	}
+}
+
+// retryRound runs one multi-round computation (select/count — Boolean
+// rounds retry inside core), retrying it against a freshly probed
+// serving tier when a retryable mid-stream failure aborts it. Mirrors
+// core's round-retry policy: cancellation, an expired deadline and
+// ErrFragmentUnavailable are final. Returns the attempts spent on
+// retries for Result.Failovers.
+func retryRound[T any](ctx context.Context, tier *serve.Tier, run func() (T, error)) (T, int64, error) {
+	rep, err := run()
+	if err == nil || tier == nil {
+		return rep, 0, err
+	}
+	const maxRetries = 4
+	for attempt := 1; attempt <= maxRetries && ctx.Err() == nil; attempt++ {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, core.ErrFragmentUnavailable) {
+			break
+		}
+		tier.Recheck(ctx)
+		if rep, err = run(); err == nil {
+			return rep, int64(attempt), nil
+		}
+	}
+	return rep, 0, err
 }
 
 // Exec runs a prepared query against the deployed document. With no
@@ -301,6 +333,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.Answer = rep.Answers[0]
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
+			res.Failovers = rep.Failovers
 		} else {
 			rep, err := eng.Run(ctx, cfg.algo, q.program())
 			if err != nil {
@@ -310,31 +343,38 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.Answer = rep.Answer
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
+			res.Failovers = rep.Failovers
 		}
 	case ModeSelect:
 		sp, err := q.selectProgram()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := eng.SelectParBoX(ctx, sp)
+		rep, retries, err := retryRound(ctx, s.tier, func() (core.SelectReport, error) {
+			return eng.SelectParBoX(ctx, sp)
+		})
 		if err != nil {
 			return nil, err
 		}
 		res.Selection = &rep
 		res.Matched = int64(rep.Count)
 		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+		res.Failovers = rep.Failovers + retries
 	case ModeCount:
 		sp, err := q.selectProgram()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := eng.CountParBoX(ctx, sp)
+		rep, retries, err := retryRound(ctx, s.tier, func() (core.CountReport, error) {
+			return eng.CountParBoX(ctx, sp)
+		})
 		if err != nil {
 			return nil, err
 		}
 		res.Counting = &rep
 		res.Matched = rep.Count
 		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
+		res.Failovers = rep.Failovers + retries
 	case ModeMaterialize:
 		meter := core.NewMeteredTransport(tr)
 		v, err := views.MaterializeBounded(ctx, meter, eng.Coordinator(), eng.SourceTree(), q.program(), s.maxInflight)

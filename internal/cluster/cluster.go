@@ -309,6 +309,45 @@ func (s *Site) BumpFragment(f *frag.Fragment) uint64 {
 	return v
 }
 
+// SetFragmentParent rewrites a stored fragment's Parent pointer and, with
+// a store attached, re-journals it at its CURRENT version: the fragment's
+// content is unchanged, so cached triplets keyed by (id, version) stay
+// valid — only the durable source-tree edge moves. Split handlers use it
+// to persist the re-parenting of sub-fragments under a freshly split-off
+// fragment; Restore then trusts the journaled Parent instead of
+// recomputing it from virtual-node structure. Returns false when the site
+// does not store the fragment.
+func (s *Site) SetFragmentParent(id, parent xmltree.FragmentID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.fragments[id]
+	if !ok && s.store != nil {
+		lf, _, found, err := s.store.LoadFragment(id)
+		if err != nil {
+			s.noteStoreErr(err)
+			return false
+		}
+		if !found {
+			return false
+		}
+		f, ok = lf, true
+		s.fragments[id] = f
+	}
+	if !ok {
+		return false
+	}
+	if f.Parent == parent {
+		return true
+	}
+	f.Parent = parent
+	if s.store != nil {
+		s.touchLocked(id)
+		s.noteStoreErr(s.store.PutFragment(f, s.versions[id]))
+		s.evictLocked(id)
+	}
+	return true
+}
+
 // FragmentVersion returns the fragment's current version (0 if the site
 // has never stored it).
 func (s *Site) FragmentVersion(id xmltree.FragmentID) uint64 {

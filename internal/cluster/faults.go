@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/frag"
 )
@@ -30,6 +32,64 @@ type FaultyTransport struct {
 	// CorruptKinds truncates the response payload of listed kinds,
 	// exercising the decoders' hostile-input paths end to end.
 	CorruptKinds map[string]bool
+
+	// Site-level modes, toggled at runtime by SiteDown/SlowSite/FlakySite
+	// and cleared by ReviveSite — the outage-scripting surface failover
+	// tests and benches drive while queries are in flight.
+	downSites  map[frag.SiteID]bool
+	slowSites  map[frag.SiteID]time.Duration
+	flakySites map[frag.SiteID]float64
+	rng        *rand.Rand
+}
+
+// SiteDown marks a site dead: every remote call to it fails with
+// ErrInjected until ReviveSite.
+func (f *FaultyTransport) SiteDown(id frag.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downSites == nil {
+		f.downSites = make(map[frag.SiteID]bool)
+	}
+	f.downSites[id] = true
+}
+
+// SlowSite delays every remote call to the site by d (the call still
+// succeeds), modelling an overloaded or distant replica.
+func (f *FaultyTransport) SlowSite(id frag.SiteID, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.slowSites == nil {
+		f.slowSites = make(map[frag.SiteID]time.Duration)
+	}
+	f.slowSites[id] = d
+}
+
+// FlakySite fails each remote call to the site independently with
+// probability p, drawn from a deterministic PRNG (see Seed).
+func (f *FaultyTransport) FlakySite(id frag.SiteID, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.flakySites == nil {
+		f.flakySites = make(map[frag.SiteID]float64)
+	}
+	f.flakySites[id] = p
+}
+
+// ReviveSite clears every site-level mode for the site.
+func (f *FaultyTransport) ReviveSite(id frag.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.downSites, id)
+	delete(f.slowSites, id)
+	delete(f.flakySites, id)
+}
+
+// Seed fixes the PRNG behind FlakySite so outage scripts replay
+// identically.
+func (f *FaultyTransport) Seed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
 }
 
 // Call implements Transport.
@@ -38,9 +98,34 @@ func (f *FaultyTransport) Call(ctx context.Context, from, to frag.SiteID, req Re
 		f.mu.Lock()
 		f.calls++
 		n := f.calls
+		down := f.downSites[to]
+		delay := f.slowSites[to]
+		flakyP, flaky := f.flakySites[to]
+		var flakyHit bool
+		if flaky {
+			if f.rng == nil {
+				f.rng = rand.New(rand.NewSource(1))
+			}
+			flakyHit = f.rng.Float64() < flakyP
+		}
 		f.mu.Unlock()
 		if f.FailEveryN > 0 && n%f.FailEveryN == 0 {
 			return Response{}, CallCost{}, fmt.Errorf("%w: call %d (%s→%s %s)", ErrInjected, n, from, to, req.Kind)
+		}
+		if down {
+			return Response{}, CallCost{}, fmt.Errorf("%w: site %s is down", ErrInjected, to)
+		}
+		if flakyHit {
+			return Response{}, CallCost{}, fmt.Errorf("%w: site %s flaked (%s)", ErrInjected, to, req.Kind)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return Response{}, CallCost{}, ctx.Err()
+			case <-t.C:
+			}
 		}
 		if f.FailSites[to] {
 			return Response{}, CallCost{}, fmt.Errorf("%w: site %s is down", ErrInjected, to)

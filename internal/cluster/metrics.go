@@ -31,6 +31,12 @@ type SiteMetrics struct {
 	// that required a bottomUp pass (local calls included — a cache hit is
 	// a hit regardless of who asked).
 	TripletCacheHits, TripletCacheMisses int64
+	// ServiceEWMANanos is an exponentially-weighted moving average of the
+	// per-call service time observed at this site (the larger of measured
+	// handler wall time and modeled end-to-end time, so it is meaningful
+	// over both the simulated in-process transport and real TCP). The
+	// serving tier seeds its replica-routing score from it.
+	ServiceEWMANanos float64
 }
 
 // Metrics is the cluster-wide accounting; safe for concurrent use.
@@ -66,6 +72,16 @@ func (m *Metrics) record(from, to frag.SiteID, req Request, resp Response, cost 
 	callee.TripletCacheMisses += resp.CacheMisses
 	if !remote {
 		return
+	}
+	sample := float64(cost.Wall)
+	if t := float64(cost.Total()); t > sample {
+		sample = t
+	}
+	if callee.ServiceEWMANanos == 0 {
+		callee.ServiceEWMANanos = sample
+	} else {
+		const alpha = 0.3
+		callee.ServiceEWMANanos = (1-alpha)*callee.ServiceEWMANanos + alpha*sample
 	}
 	caller := m.site(from)
 	callee.Visits++

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/boolexpr"
-	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/frag"
 	"repro/internal/xmltree"
@@ -28,6 +26,9 @@ type BatchReport struct {
 	// CacheHits/CacheMisses count fragments served from the sites'
 	// versioned triplet caches versus evaluated, when caching is enabled.
 	CacheHits, CacheMisses int64
+	// Failovers counts scatter jobs this round re-placed onto another
+	// replica after a site failure (zero without a serving tier).
+	Failovers int64
 }
 
 // ParBoXBatch answers a whole batch of Boolean queries with a single
@@ -37,25 +38,23 @@ type BatchReport struct {
 // instead of N — the per-node work is the shared program's size, which
 // hash-consing keeps below the sum of the individual sizes.
 func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []int32) (BatchReport, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return BatchReport{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 	sites := e.st.Sites()
 
 	fp := e.fingerprint(prog)
+	mk := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+		return e.evalQualJob(prog, fp, site, ids)
+	}
 	jobs := make([]scatterJob[[]fragTriplet], len(sites))
 	for i, site := range sites {
-		jobs[i] = scatterJob[[]fragTriplet]{
-			to: site,
-			req: cluster.Request{
-				Kind:    KindEvalQual,
-				Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: e.st.FragmentsAt(site), fp: fp}),
-			},
-			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
-				return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-			},
-		}
+		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	perSite, simStage2, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
 	if err != nil {
 		return BatchReport{}, err
 	}
@@ -82,6 +81,7 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 	rep.TotalSteps = a.steps
 	rep.CacheHits = a.cacheHits
 	rep.CacheMisses = a.cacheMisses
+	rep.Failovers = a.failovers
 	rep.Visits = a.visits
 	return rep, nil
 }

@@ -32,30 +32,31 @@ type CountReport struct {
 	Messages   int64
 	TotalSteps int64
 	Visits     map[frag.SiteID]int64
+	// Failovers counts failed site calls re-placed onto surviving
+	// replicas by the serving tier (always zero without one).
+	Failovers int64
 }
 
 // CountParBoX counts the nodes a path query selects, without materializing
 // their identities anywhere: pass 1 as in SelectParBoX, pass 2 returns one
 // integer per fragment.
 func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (CountReport, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return CountReport{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 
 	sites := e.st.Sites()
+	mk := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+		return e.evalQualJob(sp.Bool, 0, site, ids)
+	}
 	jobs := make([]scatterJob[[]fragTriplet], len(sites))
 	for i, site := range sites {
-		jobs[i] = scatterJob[[]fragTriplet]{
-			to: site,
-			req: cluster.Request{
-				Kind:    KindEvalQual,
-				Payload: encodeEvalQualReq(evalQualReq{prog: sp.Bool, ids: e.st.FragmentsAt(site)}),
-			},
-			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
-				return decodeEvalQualResp(resp.Payload, nil)
-			},
-		}
+		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, sim, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	perSite, sim, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
 	if err != nil {
 		return CountReport{}, err
 	}
@@ -105,7 +106,7 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 				},
 			}
 		}
-		level, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		level, simLevel, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), nil)
 		if err != nil {
 			return CountReport{}, err
 		}
@@ -130,6 +131,7 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	rep.Messages = a.messages
 	rep.TotalSteps = a.steps
 	rep.Visits = a.visits
+	rep.Failovers = a.failovers
 	return rep, nil
 }
 

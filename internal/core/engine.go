@@ -45,6 +45,10 @@ type Report struct {
 	// versioned triplet caches versus fragments that ran bottomUp, summed
 	// over the run (both zero when the cache is disabled).
 	CacheHits, CacheMisses int64
+	// Failovers counts recoveries this run needed: scatter jobs re-placed
+	// onto another replica after a site failure, plus whole-round retries.
+	// Zero without a serving tier.
+	Failovers int64
 }
 
 // Engine evaluates queries over one fragmented document hosted on a
@@ -66,6 +70,14 @@ type Engine struct {
 	// (0 = unbounded). Set during setup (SetMaxInflight); read without
 	// synchronization.
 	maxInflight int
+	// tier, when set, is the replica-aware serving tier: every run plans
+	// its source tree through it and failed scatter jobs fail over to
+	// other live replicas (see tier.go). Set during setup (SetTier); read
+	// without synchronization.
+	tier Tier
+	// planned marks a per-round engine copy whose st already came from
+	// tier.PlanRound, so nested dispatches do not re-plan.
+	planned bool
 }
 
 // SetMaxInflight bounds the number of concurrent site calls per run
@@ -130,6 +142,26 @@ func (e *Engine) Coordinator() frag.SiteID { return e.coord }
 // recorder, and the state FullDistParBoX caches at the sites is keyed by a
 // unique run key.
 func (e *Engine) Run(ctx context.Context, algo Algorithm, prog *xpath.Program) (Report, error) {
+	rep, err := e.runOnce(ctx, algo, prog)
+	if err == nil || e.tier == nil {
+		return rep, err
+	}
+	// Round-level failover: a failed round re-probes site health and
+	// re-plans onto the surviving replicas. This covers the algorithms
+	// without job-level failover (nested hops the coordinator never
+	// observed directly, e.g. FullDist's resolve cascade).
+	for attempt := 1; attempt <= maxRoundRetries && retryableRoundErr(err) && ctx.Err() == nil; attempt++ {
+		e.tier.Recheck(ctx)
+		rep, err = e.runOnce(ctx, algo, prog)
+		if err == nil {
+			rep.Failovers += int64(attempt)
+			return rep, nil
+		}
+	}
+	return rep, err
+}
+
+func (e *Engine) runOnce(ctx context.Context, algo Algorithm, prog *xpath.Program) (Report, error) {
 	switch algo {
 	case AlgoParBoX:
 		return e.ParBoX(ctx, prog)
@@ -156,6 +188,7 @@ type recorder struct {
 	steps       int64
 	cacheHits   int64
 	cacheMisses int64
+	failovers   int64
 	visits      map[frag.SiteID]int64
 }
 
@@ -174,6 +207,14 @@ func (r *recorder) record(from, to frag.SiteID, cost cluster.CallCost, resp clus
 	}
 }
 
+// failover counts one job-level failover (a scatter job re-placed onto
+// another replica).
+func (r *recorder) failover() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failovers++
+}
+
 // accounting is a consistent copy of a recorder's counters; every report
 // type fills its common fields from one snapshot so the copy rules live
 // in a single place.
@@ -183,6 +224,7 @@ type accounting struct {
 	steps       int64
 	cacheHits   int64
 	cacheMisses int64
+	failovers   int64
 	visits      map[frag.SiteID]int64
 }
 
@@ -195,7 +237,8 @@ func (r *recorder) snapshot() accounting {
 	}
 	return accounting{
 		bytes: r.bytes, messages: r.messages, steps: r.steps,
-		cacheHits: r.cacheHits, cacheMisses: r.cacheMisses, visits: visits,
+		cacheHits: r.cacheHits, cacheMisses: r.cacheMisses,
+		failovers: r.failovers, visits: visits,
 	}
 }
 
@@ -206,12 +249,21 @@ func (r *recorder) fill(rep *Report) {
 	rep.TotalSteps = a.steps
 	rep.CacheHits = a.cacheHits
 	rep.CacheMisses = a.cacheMisses
+	rep.Failovers = a.failovers
 	rep.Visits = a.visits
 }
 
-// call is a thin wrapper recording accounting.
+// call is a thin wrapper recording accounting (and, with a tier
+// attached, feeding its passive health signals).
 func (e *Engine) call(ctx context.Context, rec *recorder, to frag.SiteID, req cluster.Request) (cluster.Response, cluster.CallCost, error) {
+	var done func(error)
+	if o := e.obs(); o != nil {
+		done = o(to)
+	}
 	resp, cost, err := e.tr.Call(ctx, e.coord, to, req)
+	if done != nil {
+		done(err)
+	}
 	if err != nil {
 		return resp, cost, err
 	}
@@ -219,11 +271,79 @@ func (e *Engine) call(ctx context.Context, rec *recorder, to frag.SiteID, req cl
 	return resp, cost, nil
 }
 
+// evalQualJob builds one stage-2 scatter job: ask site for the triplets
+// of ids. It carries the fragment list, so a failed job can fail over.
+func (e *Engine) evalQualJob(prog *xpath.Program, fp uint64, site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+	return scatterJob[[]fragTriplet]{
+		to:    site,
+		frags: ids,
+		req: cluster.Request{
+			Kind:    KindEvalQual,
+			Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: ids, fp: fp}),
+		},
+		// One slab per site response: every triplet of the response
+		// decodes into chunked storage instead of node-by-node allocs.
+		dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
+			return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
+		},
+	}
+}
+
+// failoverRetry returns scatterWith's in-flight failover hook (nil
+// without a tier): a job that failed at the transport re-places its
+// fragments onto other live replicas through the tier, excluding every
+// site that already failed this round. When some fragment has no replica
+// left, the round fails with (a wrapped) ErrFragmentUnavailable — the
+// loud-degradation contract. The hook runs serially on the round's
+// collector goroutine, so the exclusion set needs no lock.
+func (e *Engine) failoverRetry(rec *recorder, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet]) scatterRetry[[]fragTriplet] {
+	return tierRetry(e.tier, rec, mk)
+}
+
+// tierRetry is failoverRetry generalized over the job result type, for
+// fan-outs that carry something other than triplets (NaiveCentralized
+// fetches whole fragments). Sound only when the work is a pure function
+// of the fragment list — any replica can serve it; stages that depend on
+// per-site cached run state (FullDist's stage 2, the two-pass
+// propagation levels) must not re-place jobs and instead recover by
+// round retry.
+func tierRetry[T any](t Tier, rec *recorder, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[T]) scatterRetry[T] {
+	if t == nil {
+		return nil
+	}
+	excluded := make(map[frag.SiteID]bool)
+	return func(j scatterJob[T], _ error) ([]scatterJob[T], error) {
+		if len(j.frags) == 0 {
+			return nil, nil
+		}
+		excluded[j.to] = true
+		placement, err := t.Reassign(j.frags, excluded)
+		if err != nil {
+			return nil, err
+		}
+		sites := make([]frag.SiteID, 0, len(placement))
+		for s := range placement {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(a, b int) bool { return sites[a] < sites[b] })
+		jobs := make([]scatterJob[T], 0, len(sites))
+		for _, s := range sites {
+			jobs = append(jobs, mk(s, placement[s]))
+		}
+		rec.failover()
+		return jobs, nil
+	}
+}
+
 // ParBoX is Algorithm ParBoX (Fig. 3a): broadcast the QList to every site
 // holding fragments (each visited exactly once), collect the triplets
 // computed in parallel, and solve the Boolean equation system over the
 // source tree.
 func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return Report{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 
@@ -232,26 +352,14 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 
 	// Stage 2: evalQual on every site, through the scatter/gather layer.
 	fp := e.fingerprint(prog)
+	mk := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+		return e.evalQualJob(prog, fp, site, ids)
+	}
 	jobs := make([]scatterJob[[]fragTriplet], len(sites))
 	for i, site := range sites {
-		jobs[i] = scatterJob[[]fragTriplet]{
-			to: site,
-			req: cluster.Request{
-				Kind: KindEvalQual,
-				Payload: encodeEvalQualReq(evalQualReq{
-					prog: prog,
-					ids:  e.st.FragmentsAt(site),
-					fp:   fp,
-				}),
-			},
-			// One slab per site response: every triplet of the response
-			// decodes into chunked storage instead of node-by-node allocs.
-			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
-				return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-			},
-		}
+		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	perSite, simStage2, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
 	if err != nil {
 		return Report{}, err
 	}
@@ -284,6 +392,10 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 // Fetches fan out in parallel, but the modeled time charges all transfers
 // to the coordinator's link, which is the bottleneck resource.
 func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return Report{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 	sites := e.st.Sites()
@@ -295,6 +407,22 @@ func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Rep
 	// the fetches' network costs, accumulated here (decoders run
 	// concurrently) instead of taking scatter's parallel makespan.
 	var netNanos atomic.Int64
+	// Fetching is a pure function of the fragment list, so a dead site's
+	// fetch can fail over to any other replica (tierRetry below).
+	mkFetch := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]*frag.Fragment] {
+		return scatterJob[[]*frag.Fragment]{
+			to:    site,
+			frags: ids,
+			req: cluster.Request{
+				Kind:    KindFetchFragments,
+				Payload: encodeFetchReq(ids),
+			},
+			dec: func(resp cluster.Response, cost cluster.CallCost) ([]*frag.Fragment, error) {
+				netNanos.Add(int64(cost.Net))
+				return decodeFetchResp(resp.Payload)
+			},
+		}
+	}
 	for _, site := range sites {
 		ids := e.st.FragmentsAt(site)
 		if site == e.coord {
@@ -308,19 +436,9 @@ func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Rep
 			}
 			continue
 		}
-		jobs = append(jobs, scatterJob[[]*frag.Fragment]{
-			to: site,
-			req: cluster.Request{
-				Kind:    KindFetchFragments,
-				Payload: encodeFetchReq(ids),
-			},
-			dec: func(resp cluster.Response, cost cluster.CallCost) ([]*frag.Fragment, error) {
-				netNanos.Add(int64(cost.Net))
-				return decodeFetchResp(resp.Payload)
-			},
-		})
+		jobs = append(jobs, mkFetch(site, ids))
 	}
-	fetched, _, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	fetched, _, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), tierRetry(e.tier, rec, mkFetch))
 	if err != nil {
 		return Report{}, err
 	}
@@ -373,6 +491,10 @@ func (e *Engine) localFragment(id xmltree.FragmentID) (*frag.Fragment, error) {
 // sub-fragments' sites in turn, so a site is visited once per fragment it
 // stores and nothing runs in parallel.
 func (e *Engine) NaiveDistributed(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return Report{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 	rootEntry, ok := e.st.Entry(e.st.Root())
@@ -415,6 +537,10 @@ func (e *Engine) NaiveDistributed(ctx context.Context, prog *xpath.Program) (Rep
 // NaiveCentralized past the tipping point (pathological fragmentations
 // where shipping formulas costs more than shipping the data).
 func (e *Engine) Hybrid(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err0 := e.forRound()
+	if err0 != nil {
+		return Report{}, err0
+	}
 	cardF := e.st.Count()
 	sizeT := e.st.TotalSize()
 	q := prog.QListSize()
@@ -437,6 +563,10 @@ func (e *Engine) Hybrid(ctx context.Context, prog *xpath.Program) (Report, error
 // runs evalDistrST — triplets are unified site-by-site up the source tree,
 // so no variables ever travel and the coordinator is no bottleneck.
 func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return Report{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 	// Zero-padded so the key's wire length is independent of how many
@@ -462,7 +592,7 @@ func (e *Engine) FullDist(ctx context.Context, prog *xpath.Program) (Report, err
 			dec: func(cluster.Response, cluster.CallCost) (struct{}, error) { return struct{}{}, nil },
 		}
 	}
-	_, simStage2, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	_, simStage2, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), nil)
 	if err != nil {
 		e.cleanup(ctx, rec, runKey)
 		return Report{}, err
@@ -532,6 +662,10 @@ func (e *Engine) cleanup(ctx context.Context, rec *recorder, runKey string) {
 // descends one level. Within a step sites work in parallel; steps are
 // sequential.
 func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return Report{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 	triplets := make(map[xmltree.FragmentID]eval.Triplet, e.st.Count())
@@ -560,20 +694,14 @@ func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) 
 			levelSites = append(levelSites, site)
 		}
 		sort.Slice(levelSites, func(i, j int) bool { return levelSites[i] < levelSites[j] })
+		mk := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+			return e.evalQualJob(prog, 0, site, ids)
+		}
 		jobs := make([]scatterJob[[]fragTriplet], len(levelSites))
 		for i, site := range levelSites {
-			jobs[i] = scatterJob[[]fragTriplet]{
-				to: site,
-				req: cluster.Request{
-					Kind:    KindEvalQual,
-					Payload: encodeEvalQualReq(evalQualReq{prog: prog, ids: yieldSites[site]}),
-				},
-				dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
-					return decodeEvalQualResp(resp.Payload, boolexpr.NewSlab())
-				},
-			}
+			jobs[i] = mk(site, yieldSites[site])
 		}
-		perSite, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		perSite, simLevel, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
 		if err != nil {
 			return Report{}, err
 		}

@@ -33,7 +33,25 @@ type scatterJob[T any] struct {
 	to  frag.SiteID
 	req cluster.Request
 	dec func(resp cluster.Response, cost cluster.CallCost) (T, error)
+	// frags lists the fragments this job serves, for failover re-planning
+	// (scatterWith's retry hook); empty for jobs that are not per-fragment
+	// work.
+	frags []xmltree.FragmentID
 }
+
+// tierObs is the serving tier's per-call observation hook: called with
+// the target site as a call launches; the returned func is called with
+// the transport error (nil on success) when it completes. nil disables
+// observation.
+type tierObs func(to frag.SiteID) func(error)
+
+// scatterRetry is scatterWith's failover hook: given a job that failed at
+// the transport (site dead, timeout — not a decode error), return the
+// replacement jobs that re-place its fragments on other replicas. A
+// non-nil error fails the round with that error (no replica left); an
+// empty replacement set declines, letting the original error stand. The
+// hook runs serially on the round's collector goroutine.
+type scatterRetry[T any] func(j scatterJob[T], err error) ([]scatterJob[T], error)
 
 // scatter is the engine's single fan-out/fan-in primitive, replacing
 // the per-algorithm goroutine loops:
@@ -53,10 +71,21 @@ type scatterJob[T any] struct {
 //     records it, and the returned duration is the round's modeled
 //     makespan: the max of the successful calls' cost.Total().
 func scatter[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID, limit int, rec *recorder, jobs []scatterJob[T]) ([]T, time.Duration, error) {
+	return scatterWith(ctx, tr, from, limit, rec, jobs, nil, nil)
+}
+
+// scatterWith is scatter plus the serving tier's hooks: obs observes
+// every call for passive health tracking, and retry turns a transport
+// failure into replacement jobs on other replicas (in-flight failover).
+// With a retry hook the job list is dynamic, so results merge in launch
+// order (originals first, replacements appended) — the serving callers
+// fold triplets into a map and are order-insensitive; without one the
+// out[i]-is-job-i contract of scatter holds exactly.
+func scatterWith[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID, limit int, rec *recorder,
+	jobs []scatterJob[T], obs tierObs, retry scatterRetry[T]) ([]T, time.Duration, error) {
 	n := len(jobs)
-	out := make([]T, n)
 	if n == 0 {
-		return out, 0, nil
+		return make([]T, 0), 0, nil
 	}
 	if limit <= 0 || limit > n {
 		limit = n
@@ -65,23 +94,38 @@ func scatter[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID,
 	defer cancel()
 	type arrival struct {
 		idx  int
+		val  T
+		ok   bool
 		cost cluster.CallCost
 		err  error
+		// transport marks failures of the call itself (the failover
+		// trigger) as opposed to decode errors (a protocol bug another
+		// replica would reproduce).
+		transport bool
+		job       scatterJob[T]
 	}
 	arrivals := make(chan arrival, n)
 	sem := make(chan struct{}, limit)
-	for i := range jobs {
-		go func(i int, j scatterJob[T]) {
+	var launch func(idx int, j scatterJob[T])
+	launch = func(idx int, j scatterJob[T]) {
+		go func() {
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
-				arrivals <- arrival{idx: i, err: ctx.Err()}
+				arrivals <- arrival{idx: idx, err: ctx.Err(), transport: true, job: j}
 				return
+			}
+			var done func(error)
+			if obs != nil {
+				done = obs(j.to)
 			}
 			r := <-cluster.Go(ctx, tr, from, j.to, j.req)
 			<-sem
+			if done != nil {
+				done(r.Err)
+			}
 			if r.Err != nil {
-				arrivals <- arrival{idx: i, err: r.Err}
+				arrivals <- arrival{idx: idx, err: r.Err, transport: true, job: j}
 				return
 			}
 			if rec != nil {
@@ -89,41 +133,71 @@ func scatter[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID,
 			}
 			v, err := j.dec(r.Resp, r.Cost)
 			if err != nil {
-				arrivals <- arrival{idx: i, cost: r.Cost, err: err}
+				arrivals <- arrival{idx: idx, cost: r.Cost, err: err, job: j}
 				return
 			}
-			out[i] = v
-			arrivals <- arrival{idx: i, cost: r.Cost}
-		}(i, jobs[i])
+			arrivals <- arrival{idx: idx, val: v, ok: true, cost: r.Cost}
+		}()
+	}
+	for i := range jobs {
+		launch(i, jobs[i])
 	}
 	var sim time.Duration
-	errs := make([]error, n)
+	vals := make(map[int]T, n)
+	errs := make(map[int]error)
+	next := n // next launch index (replacement jobs extend the round)
+	pending := n
 	failed := false
-	for range jobs {
+	for pending > 0 {
 		a := <-arrivals
-		if a.err != nil {
-			errs[a.idx] = a.err
-			failed = true
-			cancel() // stop the round's remaining work
+		pending--
+		if a.ok {
+			vals[a.idx] = a.val
+			if a.cost.Total() > sim {
+				sim = a.cost.Total()
+			}
 			continue
 		}
-		if a.cost.Total() > sim {
-			sim = a.cost.Total()
+		if retry != nil && a.transport && !failed && ctx.Err() == nil && !errors.Is(a.err, context.Canceled) {
+			repl, rerr := retry(a.job, a.err)
+			if rerr != nil {
+				errs[a.idx] = rerr
+				failed = true
+				cancel()
+				continue
+			}
+			if len(repl) > 0 {
+				for _, rj := range repl {
+					launch(next, rj)
+					next++
+					pending++
+				}
+				continue
+			}
 		}
+		errs[a.idx] = a.err
+		failed = true
+		cancel() // stop the round's remaining work
 	}
 	if failed {
 		// The genuine failure, not a sibling's cancellation echo; if
 		// everything is a cancellation (the parent context expired), the
 		// lowest index still wins.
-		for _, err := range errs {
-			if err != nil && !errors.Is(err, context.Canceled) {
+		for idx := 0; idx < next; idx++ {
+			if err := errs[idx]; err != nil && !errors.Is(err, context.Canceled) {
 				return nil, sim, err
 			}
 		}
-		for _, err := range errs {
-			if err != nil {
+		for idx := 0; idx < next; idx++ {
+			if err := errs[idx]; err != nil {
 				return nil, sim, err
 			}
+		}
+	}
+	out := make([]T, 0, len(vals))
+	for idx := 0; idx < next; idx++ {
+		if v, ok := vals[idx]; ok {
+			out = append(out, v)
 		}
 	}
 	return out, sim, nil

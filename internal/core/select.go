@@ -33,6 +33,9 @@ type SelectReport struct {
 	Messages   int64
 	TotalSteps int64
 	Visits     map[frag.SiteID]int64
+	// Failovers counts failed site calls re-placed onto surviving
+	// replicas by the serving tier (always zero without one).
+	Failovers int64
 }
 
 // SelectParBoX evaluates a data-selection path query:
@@ -46,26 +49,24 @@ type SelectReport struct {
 // most 1 + card(F_Si) times; the paper's Section 8 remark sketches an "at
 // most twice" schedule, which batches pass 2 per site (see DESIGN.md).
 func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (SelectReport, error) {
+	e, err := e.forRound()
+	if err != nil {
+		return SelectReport{}, err
+	}
 	start := time.Now()
 	rec := newRecorder()
 
 	// Pass 1: collect triplets from every site, through the
 	// scatter/gather layer.
 	sites := e.st.Sites()
+	mk := func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet] {
+		return e.evalQualJob(sp.Bool, 0, site, ids)
+	}
 	jobs := make([]scatterJob[[]fragTriplet], len(sites))
 	for i, site := range sites {
-		jobs[i] = scatterJob[[]fragTriplet]{
-			to: site,
-			req: cluster.Request{
-				Kind:    KindEvalQual,
-				Payload: encodeEvalQualReq(evalQualReq{prog: sp.Bool, ids: e.st.FragmentsAt(site)}),
-			},
-			dec: func(resp cluster.Response, _ cluster.CallCost) ([]fragTriplet, error) {
-				return decodeEvalQualResp(resp.Payload, nil)
-			},
-		}
+		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simPass1, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+	perSite, simPass1, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
 	if err != nil {
 		return SelectReport{}, err
 	}
@@ -117,7 +118,7 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 				},
 			}
 		}
-		level, simLevel, err := scatter(ctx, e.tr, e.coord, e.maxInflight, rec, jobs)
+		level, simLevel, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), nil)
 		if err != nil {
 			return SelectReport{}, err
 		}
@@ -144,6 +145,7 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	rep.Messages = a.messages
 	rep.TotalSteps = a.steps
 	rep.Visits = a.visits
+	rep.Failovers = a.failovers
 	return rep, nil
 }
 

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// ErrFragmentUnavailable is the loud-degradation contract of the serving
+// tier: a query touching a fragment with zero live replicas fails with
+// this error instead of returning a silently partial answer. Callers test
+// with errors.Is.
+var ErrFragmentUnavailable = errors.New("core: fragment has no live replica")
+
+// Tier is the replica-aware serving tier's view from the engine
+// (implemented by internal/serve; core must not import it). A nil tier
+// means static placement: the engine serves its deploy-time source tree
+// unchanged.
+type Tier interface {
+	// PlanRound resolves every fragment to its best live replica and
+	// returns the resulting source tree for one round. It fails with (a
+	// wrapped) ErrFragmentUnavailable when some fragment has no live
+	// replica.
+	PlanRound() (*frag.SourceTree, error)
+	// Reassign re-places the given fragments after a failed scatter job,
+	// excluding the listed sites on top of everything the tier already
+	// considers down. The result groups the fragments by chosen site.
+	Reassign(ids []xmltree.FragmentID, exclude map[frag.SiteID]bool) (map[frag.SiteID][]xmltree.FragmentID, error)
+	// Started/Finished bracket every engine call to a site: the passive
+	// health signal (Finished's err is nil on success; rtt is measured
+	// wall time).
+	Started(site frag.SiteID)
+	Finished(site frag.SiteID, rtt time.Duration, err error)
+	// Recheck synchronously probes every known site, refreshing health
+	// state — the engine calls it between round-level retries so a
+	// re-plan sees failures the coordinator did not observe directly.
+	Recheck(ctx context.Context)
+}
+
+// SetTier attaches a serving tier: from now on every run plans its own
+// source tree through the tier (per-round replica routing) and failed
+// scatter jobs fail over to other live replicas. Call during setup,
+// before the engine serves; nil detaches.
+func (e *Engine) SetTier(t Tier) { e.tier = t }
+
+// Tier returns the attached serving tier (nil for static placement).
+func (e *Engine) Tier() Tier { return e.tier }
+
+// forRound returns the engine to run one round with: with a tier
+// attached, a shallow copy bound to a freshly planned source tree
+// (engines are cheap per-run views, so the copy is idiomatic); without
+// one — or when this engine already IS a per-round copy — the engine
+// itself. Every public algorithm entry calls it first, so nested
+// dispatches (Hybrid → ParBoX) do not double-plan.
+func (e *Engine) forRound() (*Engine, error) {
+	if e.tier == nil || e.planned {
+		return e, nil
+	}
+	st, err := e.tier.PlanRound()
+	if err != nil {
+		return nil, err
+	}
+	er := *e
+	er.st = st
+	er.planned = true
+	return &er, nil
+}
+
+// obs returns the scatter-level observation hook feeding the tier's
+// passive health signals, or nil without a tier.
+func (e *Engine) obs() tierObs {
+	t := e.tier
+	if t == nil {
+		return nil
+	}
+	return func(to frag.SiteID) func(error) {
+		t.Started(to)
+		start := time.Now()
+		return func(err error) { t.Finished(to, time.Since(start), err) }
+	}
+}
+
+// maxRoundRetries bounds how often Run re-plans and re-runs a whole round
+// after a retryable failure (sites can keep dying mid-round; each retry
+// re-probes and excludes them).
+const maxRoundRetries = 4
+
+// retryableRoundErr reports whether a failed round is worth re-planning:
+// cancellation is the caller's choice and ErrFragmentUnavailable cannot
+// improve without a replica coming back.
+func retryableRoundErr(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrFragmentUnavailable)
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/frag"
+)
+
+// State is a site's health as the tier sees it.
+type State int
+
+const (
+	// Up: the site serves normally and is a first-choice replica.
+	Up State = iota
+	// Suspect: at least one recent failure (or a recovery in progress).
+	// Suspect replicas stay eligible — hysteresis, so a single timeout
+	// does not flap a site out of rotation — but lose ties against Up
+	// ones.
+	Suspect
+	// Down: enough consecutive failures that the router excludes the
+	// site entirely until a probe succeeds.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the tier's health state machine and prober.
+type Options struct {
+	// DownAfter is the number of consecutive failures that takes a site
+	// from Up all the way to Down (the first failure only suspects it).
+	// Default 3.
+	DownAfter int
+	// UpAfter is the number of consecutive successes that promotes a
+	// Suspect site back to Up. Default 2.
+	UpAfter int
+	// ProbeInterval is the background prober's cadence; 0 uses the
+	// default (250ms), negative disables the background prober (health
+	// then moves on passive signals and explicit Recheck calls only).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe call. Default 2s.
+	ProbeTimeout time.Duration
+	// EWMAAlpha is the weight of the newest RTT sample in the per-site
+	// latency average the routing score uses. Default 0.3.
+	EWMAAlpha float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	if o.UpAfter <= 0 {
+		o.UpAfter = 2
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.3
+	}
+	return o
+}
+
+// SiteStatus is one site's health snapshot (Tier.Health).
+type SiteStatus struct {
+	State State
+	// EWMA is the smoothed observed round-trip/service time.
+	EWMA time.Duration
+	// Inflight is the number of engine calls currently outstanding.
+	Inflight int64
+	// Fails counts failures observed over the site's lifetime.
+	Fails int64
+	// Transitions counts health-state changes (flap indicator).
+	Transitions int64
+}
+
+type siteHealth struct {
+	state       State
+	fails       int // consecutive
+	oks         int // consecutive
+	ewmaNanos   float64
+	inflight    int64
+	totalFails  int64
+	transitions int64
+}
+
+// healthTracker is the tier's health state machine; safe for concurrent
+// use. Signals come from three places: the Started/Finished bracket
+// around every engine call (passive), probes (active), and the metrics
+// EWMA seed (see Tier.score).
+type healthTracker struct {
+	mu    sync.Mutex
+	opt   Options
+	sites map[frag.SiteID]*siteHealth
+}
+
+func newHealthTracker(opt Options, sites []frag.SiteID) *healthTracker {
+	h := &healthTracker{opt: opt, sites: make(map[frag.SiteID]*siteHealth, len(sites))}
+	for _, s := range sites {
+		h.sites[s] = &siteHealth{}
+	}
+	return h
+}
+
+func (h *healthTracker) site(id frag.SiteID) *siteHealth {
+	s, ok := h.sites[id]
+	if !ok {
+		s = &siteHealth{}
+		h.sites[id] = s
+	}
+	return s
+}
+
+func (h *healthTracker) started(id frag.SiteID) {
+	h.mu.Lock()
+	h.site(id).inflight++
+	h.mu.Unlock()
+}
+
+func (h *healthTracker) finished(id frag.SiteID, rtt time.Duration, err error) {
+	h.mu.Lock()
+	h.site(id).inflight--
+	h.mu.Unlock()
+	// A cancelled call is the round's choice (a sibling failed first),
+	// not evidence about this site.
+	if err != nil && errors.Is(err, context.Canceled) {
+		return
+	}
+	h.result(id, rtt, err)
+}
+
+// result feeds one observation — success or failure — through the state
+// machine. Used by both passive signals (finished) and probes.
+func (h *healthTracker) result(id frag.SiteID, rtt time.Duration, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.site(id)
+	if err == nil {
+		s.fails = 0
+		s.oks++
+		if a := h.opt.EWMAAlpha; s.ewmaNanos == 0 {
+			s.ewmaNanos = float64(rtt)
+		} else {
+			s.ewmaNanos = (1-a)*s.ewmaNanos + a*float64(rtt)
+		}
+		switch s.state {
+		case Down:
+			// One success is not full trust: Down goes through Suspect.
+			s.state = Suspect
+			s.transitions++
+			s.oks = 1
+		case Suspect:
+			if s.oks >= h.opt.UpAfter {
+				s.state = Up
+				s.transitions++
+			}
+		}
+		return
+	}
+	s.oks = 0
+	s.fails++
+	s.totalFails++
+	switch s.state {
+	case Up:
+		s.state = Suspect
+		s.transitions++
+	case Suspect:
+		if s.fails >= h.opt.DownAfter {
+			s.state = Down
+			s.transitions++
+		}
+	}
+}
+
+func (h *healthTracker) state(id frag.SiteID) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.site(id).state
+}
+
+// load returns the routing-score inputs of a site: its smoothed latency
+// (0 = never observed) and current in-flight count.
+func (h *healthTracker) load(id frag.SiteID) (ewmaNanos float64, inflight int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.site(id)
+	return s.ewmaNanos, s.inflight
+}
+
+func (h *healthTracker) snapshot() map[frag.SiteID]SiteStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[frag.SiteID]SiteStatus, len(h.sites))
+	for id, s := range h.sites {
+		out[id] = SiteStatus{
+			State:       s.state,
+			EWMA:        time.Duration(s.ewmaNanos),
+			Inflight:    s.inflight,
+			Fails:       s.totalFails,
+			Transitions: s.transitions,
+		}
+	}
+	return out
+}

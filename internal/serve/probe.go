@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frag"
+	"repro/internal/xmltree"
+)
+
+// Message kinds of the serving tier.
+const (
+	// KindProbe is the health probe: an (almost) empty round trip whose
+	// only point is that it exercises the same transport path queries
+	// use.
+	KindProbe = "serve.probe"
+	// KindCloneFragment asks a site for an encoded copy of one fragment
+	// (the rebalancer's read side).
+	KindCloneFragment = "serve.cloneFragment"
+	// KindInstallFragment installs a shipped fragment replica at a site
+	// (journaled through the durable store and version-bumped by
+	// Site.AddFragment, so stale cached triplets cannot survive).
+	KindInstallFragment = "serve.installFragment"
+)
+
+// ErrBadServeMessage is wrapped by the tier's decoders.
+var ErrBadServeMessage = errors.New("serve: bad message")
+
+// RegisterHandlers installs the tier's site-side handlers. Every
+// replica site of a failover deployment needs them (the daemon and the
+// facade both call this during setup).
+func RegisterHandlers(site *cluster.Site) {
+	site.Handle(KindProbe, handleProbe)
+	site.Handle(KindCloneFragment, handleCloneFragment)
+	site.Handle(KindInstallFragment, handleInstallFragment)
+}
+
+func handleProbe(_ context.Context, site *cluster.Site, _ cluster.Request) (cluster.Response, error) {
+	return cluster.Response{Payload: []byte(site.ID())}, nil
+}
+
+func handleCloneFragment(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	id, err := decodeFragIDReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	fr, ok := site.Fragment(id)
+	if !ok {
+		return cluster.Response{}, fmt.Errorf("serve: site %s does not store fragment %d", site.ID(), id)
+	}
+	dst := binary.AppendVarint(nil, int64(int32(fr.Parent)))
+	dst = append(dst, xmltree.Encode(fr.Root)...)
+	return cluster.Response{Payload: dst}, nil
+}
+
+func handleInstallFragment(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	id, parent, root, err := decodeInstallReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	site.AddFragment(&frag.Fragment{ID: id, Parent: parent, Root: root})
+	return cluster.Response{}, nil
+}
+
+func encodeFragIDReq(id xmltree.FragmentID) []byte {
+	return binary.AppendUvarint(nil, uint64(uint32(id)))
+}
+
+func decodeFragIDReq(buf []byte) (xmltree.FragmentID, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, fmt.Errorf("%w: bad fragment id", ErrBadServeMessage)
+	}
+	return xmltree.FragmentID(uint32(v)), nil
+}
+
+func encodeInstallReq(id, parent xmltree.FragmentID, root *xmltree.Node) []byte {
+	dst := binary.AppendUvarint(nil, uint64(uint32(id)))
+	dst = binary.AppendVarint(dst, int64(int32(parent)))
+	return append(dst, xmltree.Encode(root)...)
+}
+
+func decodeInstallReq(buf []byte) (id, parent xmltree.FragmentID, root *xmltree.Node, err error) {
+	idRaw, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad install id", ErrBadServeMessage)
+	}
+	buf = buf[n:]
+	parentRaw, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad install parent", ErrBadServeMessage)
+	}
+	root, err = xmltree.Decode(buf[n:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return xmltree.FragmentID(uint32(idRaw)), xmltree.FragmentID(int32(parentRaw)), root, nil
+}
+
+// Recheck implements core.Tier: a synchronous probe sweep, used by the
+// engine between round-level retries and by ProbeNow-driven callers
+// after scripted outages.
+func (t *Tier) Recheck(ctx context.Context) { t.ProbeNow(ctx) }
+
+// ProbeNow probes every site of the replica map once, concurrently, and
+// feeds the outcomes through the health state machine. The coordinator
+// itself is skipped: its calls are local and cannot fail at the
+// transport.
+func (t *Tier) ProbeNow(ctx context.Context) {
+	sites := t.sites()
+	done := make(chan struct{}, len(sites))
+	n := 0
+	for _, site := range sites {
+		if site == t.coord {
+			continue
+		}
+		n++
+		go func(site frag.SiteID) {
+			defer func() { done <- struct{}{} }()
+			t.probeOne(ctx, site)
+		}(site)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func (t *Tier) probeOne(ctx context.Context, site frag.SiteID) {
+	pctx, cancel := context.WithTimeout(ctx, t.opt.ProbeTimeout)
+	defer cancel()
+	start := time.Now()
+	_, _, err := t.tr.Call(pctx, t.coord, site, cluster.Request{Kind: KindProbe})
+	rtt := time.Since(start)
+	t.probes.Add(1)
+	if err != nil {
+		// The caller abandoning the sweep is not evidence about the site.
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			return
+		}
+		t.probeFails.Add(1)
+		t.health.result(site, rtt, err)
+		return
+	}
+	t.health.result(site, rtt, nil)
+}

@@ -20,6 +20,7 @@ func RegisterHandlers(site *cluster.Site, tr cluster.Transport) {
 	site.Handle(KindAdopt, handleAdopt)
 	site.Handle(KindMerge, handleMerge(tr))
 	site.Handle(KindYield, handleYield)
+	site.Handle(KindSetParent, handleSetParent)
 }
 
 func decodeProg(buf []byte) (*xpath.Program, error) {
@@ -136,6 +137,13 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 			}
 		}
 
+		// Sub-fragments referenced from inside the moving subtree now nest
+		// under newID; collect them while the subtree is still attached.
+		var moved []xmltree.FragmentID
+		for _, v := range node.VirtualNodes() {
+			moved = append(moved, v.Frag)
+		}
+
 		if !node.Parent.ReplaceChild(node, xmltree.NewVirtual(newID)) {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
@@ -143,16 +151,39 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 		// by a virtual node).
 		site.BumpFragment(fr)
 
+		// Re-journal the moved sub-fragments stored at this site under
+		// their new parent, so the persisted Parent relation stays exact.
+		// Ones stored elsewhere are fixed by the view through
+		// KindSetParent; a crash before either lands is repaired (with a
+		// warning) by Restore's structural verification. Content is
+		// untouched, so versions — and cached triplets — stay valid.
+		for _, sub := range moved {
+			site.SetFragmentParent(sub, newID)
+		}
+
 		own, s, err := eval.BottomUp(fr.Root, prog)
 		if err != nil {
 			return cluster.Response{}, err
 		}
 		steps += s
 		return cluster.Response{
-			Payload: encodeSplitResp(own.Encode(), fr.Size(), newTripletBytes, newSize),
+			Payload: encodeSplitResp(own.Encode(), fr.Size(), newTripletBytes, newSize, moved),
 			Steps:   steps,
 		}, nil
 	}
+}
+
+// handleSetParent re-journals a stored fragment under a new parent after
+// a split moved its referencing virtual node into another fragment.
+func handleSetParent(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
+	id, parent, err := decodeSetParentReq(req.Payload)
+	if err != nil {
+		return cluster.Response{}, err
+	}
+	if !site.SetFragmentParent(id, parent) {
+		return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
+	}
+	return cluster.Response{}, nil
 }
 
 // handleAdopt installs a shipped fragment and computes its triplet.

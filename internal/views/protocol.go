@@ -42,6 +42,13 @@ const (
 	KindMerge = "views.merge"
 	// KindYield removes a fragment from a site and returns its subtree.
 	KindYield = "views.yield"
+	// KindSetParent re-journals a stored fragment under a new parent — a
+	// split that moves a subtree containing virtual nodes re-parents the
+	// referenced sub-fragments, and ones stored away from the split site
+	// are fixed through this message so their persisted Parent never goes
+	// stale. The fragment's content is unchanged, so its version (and any
+	// cached triplets) stays valid.
+	KindSetParent = "views.setParent"
 )
 
 // OpKind is the content-update operation type.
@@ -350,32 +357,86 @@ func decodeSplitReq(buf []byte) (prog []byte, id xmltree.FragmentID, path []int,
 }
 
 // splitResp: two (triplet, size) pairs — the revised fragment and the new
-// fragment.
-func encodeSplitResp(ownTriplet []byte, ownSize int, newTriplet []byte, newSize int) []byte {
+// fragment — followed by the sub-fragments the split subtree carried away
+// (their parent is now the new fragment).
+func encodeSplitResp(ownTriplet []byte, ownSize int, newTriplet []byte, newSize int, moved []xmltree.FragmentID) []byte {
 	dst := encodeTripletSizeResp(ownTriplet, ownSize)
-	return append(dst, encodeTripletSizeResp(newTriplet, newSize)...)
+	dst = append(dst, encodeTripletSizeResp(newTriplet, newSize)...)
+	dst = binary.AppendUvarint(dst, uint64(len(moved)))
+	for _, id := range moved {
+		dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	}
+	return dst
 }
 
-func decodeSplitResp(buf []byte) (own []byte, ownSize int, nw []byte, newSize int, err error) {
-	// encodeTripletSizeResp is self-delimiting; split at the boundary.
+func decodeSplitResp(buf []byte) (own []byte, ownSize int, nw []byte, newSize int, moved []xmltree.FragmentID, err error) {
+	// encodeTripletSizeResp is self-delimiting; walk the boundaries.
 	r := &opReader{buf: buf}
-	sz, err := r.uvarint()
+	block := func() ([]byte, int, error) {
+		sz, err := r.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > uint64(len(buf)-r.pos) {
+			return nil, 0, fmt.Errorf("%w: triplet overruns buffer", ErrBadUpdate)
+		}
+		t := buf[r.pos : r.pos+int(n)]
+		r.pos += int(n)
+		return t, int(sz), nil
+	}
+	if own, ownSize, err = block(); err != nil {
+		return
+	}
+	if nw, newSize, err = block(); err != nil {
+		return
+	}
+	cnt, err := r.uvarint()
 	if err != nil {
 		return
 	}
-	n, err := r.uvarint()
-	if err != nil {
+	if cnt > uint64(len(buf)-r.pos)+1 {
+		err = fmt.Errorf("%w: moved list overruns buffer", ErrBadUpdate)
 		return
 	}
-	if n > uint64(len(buf)-r.pos) {
-		err = fmt.Errorf("%w: triplet overruns buffer", ErrBadUpdate)
-		return
+	for i := uint64(0); i < cnt; i++ {
+		v, verr := r.uvarint()
+		if verr != nil {
+			err = verr
+			return
+		}
+		moved = append(moved, xmltree.FragmentID(uint32(v)))
 	}
-	own = buf[r.pos : r.pos+int(n)]
-	r.pos += int(n)
-	ownSize = int(sz)
-	nw, newSize, err = decodeTripletSizeResp(buf[r.pos:])
+	if r.pos != len(buf) {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
 	return
+}
+
+// setParentReq: fragment ID and its new parent fragment ID.
+func encodeSetParentReq(id, parent xmltree.FragmentID) []byte {
+	dst := binary.AppendUvarint(nil, uint64(uint32(id)))
+	return binary.AppendUvarint(dst, uint64(uint32(parent)))
+}
+
+func decodeSetParentReq(buf []byte) (id, parent xmltree.FragmentID, err error) {
+	r := &opReader{buf: buf}
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	parentRaw, err := r.uvarint()
+	if err != nil {
+		return
+	}
+	if r.pos != len(buf) {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+		return
+	}
+	return xmltree.FragmentID(uint32(idRaw)), xmltree.FragmentID(uint32(parentRaw)), nil
 }
 
 // adoptReq: program, fragment ID, parent fragment ID, subtree bytes.

@@ -246,7 +246,7 @@ func (v *View) Split(ctx context.Context, id xmltree.FragmentID, path []int, tar
 	if target != entry.Site {
 		mc.SitesVisited = append(mc.SitesVisited, target)
 	}
-	ownB, ownSize, newB, newSize, err := decodeSplitResp(resp.Payload)
+	ownB, ownSize, newB, newSize, moved, err := decodeSplitResp(resp.Payload)
 	if err != nil {
 		return 0, mc, err
 	}
@@ -263,6 +263,42 @@ func (v *View) Split(ctx context.Context, id xmltree.FragmentID, path []int, tar
 	v.triplets[newID] = nw
 	if err := v.st.SetEntry(frag.Entry{Frag: newID, Parent: id, Site: target, Size: newSize}); err != nil {
 		return 0, mc, err
+	}
+	// Sub-fragments whose virtual nodes rode along in the split subtree
+	// now nest under newID: re-parent them in the source tree, and — for
+	// ones stored away from the split site, which already re-journaled its
+	// own — durably at their sites, so the persisted Parent relation never
+	// goes stale.
+	for _, child := range moved {
+		ce, ok := v.st.Entry(child)
+		if !ok {
+			return 0, mc, fmt.Errorf("views: split of %d moved unknown fragment %d", id, child)
+		}
+		childSite := ce.Site
+		if err := v.st.SetEntry(frag.Entry{Frag: child, Parent: newID, Site: ce.Site, Size: ce.Size}); err != nil {
+			return 0, mc, err
+		}
+		if childSite == entry.Site {
+			continue
+		}
+		_, cost, err := v.tr.Call(ctx, v.home, childSite, cluster.Request{
+			Kind:    KindSetParent,
+			Payload: encodeSetParentReq(child, newID),
+		})
+		if err != nil {
+			return 0, mc, fmt.Errorf("views: re-parenting fragment %d at %s: %w", child, childSite, err)
+		}
+		mc.Bytes += int64(cost.ReqBytes + cost.RespBytes)
+		seen := false
+		for _, s := range mc.SitesVisited {
+			if s == childSite {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			mc.SitesVisited = append(mc.SitesVisited, childSite)
+		}
 	}
 	mc.Elapsed = time.Since(start)
 	return newID, mc, nil

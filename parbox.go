@@ -43,6 +43,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/frag"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/views"
 	"repro/internal/xmltree"
@@ -162,6 +164,17 @@ type options struct {
 	residentLimit int
 	syncWrites    bool
 	maxInflight   int
+	// replication/failover/rebalance configure the replica-aware serving
+	// tier (WithReplication, WithFailover, WithRebalancing).
+	replication int
+	failover    bool
+	serveOpts   serve.Options
+	rebalance   bool
+	rbOpts      serve.RebalanceOptions
+	// wrapTransport, when set, wraps the cluster transport the engine and
+	// serving tier call through — the fault-injection seam of the failover
+	// tests (see withTransportWrapper).
+	wrapTransport func(cluster.Transport) cluster.Transport
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -211,6 +224,53 @@ func WithTripletCache() Option {
 	return func(o *options) { o.tripletCache = true }
 }
 
+// WithReplication makes Deploy store n copies of every fragment, spread
+// round-robin over the assignment's sites starting at the fragment's
+// assigned one. On its own it only provides placement choice (Replan);
+// combined with WithFailover the serving tier routes every round to the
+// best live replica and fails failed calls over to survivors.
+func WithReplication(n int) Option {
+	return func(o *options) { o.replication = n }
+}
+
+// WithFailover enables the replica-aware serving tier on a replicated
+// deployment (WithReplication or DeployReplicated): per-site health
+// tracking fed by probes and every engine call, per-round routing to the
+// best live replica, and in-flight failover of failed site calls onto
+// surviving replicas. A query loses no answers while every fragment has
+// at least one live replica; when one has none, the call fails loudly
+// with ErrFragmentUnavailable. Result.Failovers and ServeStats report
+// the tier's work; Health reports per-site state.
+func WithFailover() Option {
+	return func(o *options) { o.failover = true }
+}
+
+// WithRebalancing arms the serving tier's live rebalancer (requires
+// WithFailover): every interval it compares per-site traffic and
+// migrates a hot fragment onto an underloaded replica through the
+// ordinary fragment codecs — journaled by the durable store where
+// present and version-bumped, so stale cached triplets cannot survive
+// the move. interval <= 0 leaves passes manual (System.Rebalance).
+func WithRebalancing(interval time.Duration) Option {
+	return func(o *options) {
+		o.rebalance = true
+		o.rbOpts.Interval = interval
+	}
+}
+
+// withServeOptions overrides the serving tier's health/probe tuning —
+// a test hook (deterministic tests disable the background prober and
+// drive CheckHealth explicitly).
+func withServeOptions(so serve.Options) Option {
+	return func(o *options) { o.serveOpts = so }
+}
+
+// withTransportWrapper routes the engine and serving tier through a
+// wrapped transport — the fault-injection seam of the failover tests.
+func withTransportWrapper(w func(cluster.Transport) cluster.Transport) Option {
+	return func(o *options) { o.wrapTransport = w }
+}
+
 // System is a deployed fragmented document: an in-process cluster of
 // sites, each holding its assigned fragments and serving the ParBoX
 // protocol. All methods are safe for concurrent use.
@@ -231,6 +291,13 @@ type System struct {
 	// WithDurability deployment (nil otherwise); Close/Checkpoint drain
 	// them.
 	stores map[SiteID]*store.Store
+
+	// tier is the replica-aware serving tier of a WithFailover
+	// deployment (nil otherwise); trans is the transport the engine calls
+	// through when a test wrapped it (nil when the engine talks to the
+	// cluster directly). Both are set at deployment and never change.
+	tier  *serve.Tier
+	trans cluster.Transport
 
 	// mu guards engine, which Replan swaps; forest/replicas are retained
 	// for Replan on replicated deployments and never change.
@@ -263,6 +330,20 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	}
 	if o.residentLimit > 0 && o.dataDir == "" {
 		return nil, fmt.Errorf("parbox: WithResidentFragments requires WithDurability (evicted fragments must have a store to reload from)")
+	}
+	if o.replication > 1 {
+		replicas, err := replicateAssignment(forest, assign, o.replication)
+		if err != nil {
+			return nil, err
+		}
+		// PlaceFirst keeps the caller's assignment as the primary copy.
+		return deployReplicated(forest, replicas, PlaceFirst, o)
+	}
+	if o.failover {
+		return nil, fmt.Errorf("parbox: WithFailover requires replicas (WithReplication(n >= 2) or DeployReplicated)")
+	}
+	if o.rebalance {
+		return nil, fmt.Errorf("parbox: WithRebalancing requires WithFailover")
 	}
 	c := cluster.New(o.cost)
 	eng, err := core.Deploy(c, forest, assign)
@@ -456,6 +537,86 @@ const (
 	PlaceBalanced = core.PlaceBalanced
 )
 
+// ErrFragmentUnavailable is returned (wrapped) when a query needs a
+// fragment none of whose replicas is live: under WithFailover answers
+// are exactly correct or loudly absent, never silently partial. Test
+// with errors.Is.
+var ErrFragmentUnavailable = core.ErrFragmentUnavailable
+
+// SiteHealth is one site's health snapshot as the serving tier sees it.
+type SiteHealth = serve.SiteStatus
+
+// HealthState is a site's up/suspect/down classification.
+type HealthState = serve.State
+
+// The health states.
+const (
+	// SiteUp: serving normally, first-choice replica.
+	SiteUp = serve.Up
+	// SiteSuspect: recently failed (or recovering); still routable but
+	// loses ties against Up replicas.
+	SiteSuspect = serve.Suspect
+	// SiteDown: excluded from routing until a probe succeeds.
+	SiteDown = serve.Down
+)
+
+// ServeStats are the serving tier's cumulative counters (plans,
+// reassignments, probes, migrations).
+type ServeStats = serve.Stats
+
+// Health returns the per-site health snapshot of a WithFailover
+// deployment (nil otherwise).
+func (s *System) Health() map[SiteID]SiteHealth {
+	if s.tier == nil {
+		return nil
+	}
+	return s.tier.Health()
+}
+
+// ServeStats returns the serving tier's counters (zero without
+// WithFailover).
+func (s *System) ServeStats() ServeStats {
+	if s.tier == nil {
+		return ServeStats{}
+	}
+	return s.tier.Stats()
+}
+
+// CheckHealth probes every site once, synchronously, updating the health
+// snapshot — the deterministic alternative to waiting out the background
+// prober after a known outage or recovery. No-op without WithFailover.
+func (s *System) CheckHealth(ctx context.Context) {
+	if s.tier != nil {
+		s.tier.ProbeNow(ctx)
+	}
+}
+
+// Rebalance runs one serving-tier rebalancing pass and reports how many
+// fragments moved; see WithRebalancing for the policy.
+func (s *System) Rebalance(ctx context.Context) (int, error) {
+	if s.tier == nil {
+		return 0, fmt.Errorf("parbox: Rebalance requires WithFailover")
+	}
+	return s.tier.RebalanceOnce(ctx)
+}
+
+// Replicas returns the current replica map of a replicated deployment —
+// the live routing table under WithFailover (the rebalancer moves
+// entries), the deploy-time map otherwise, nil for unreplicated systems.
+func (s *System) Replicas() ReplicaMap {
+	if s.tier != nil {
+		return s.tier.Replicas()
+	}
+	if s.replicas == nil {
+		return nil
+	}
+	out := make(ReplicaMap, len(s.replicas))
+	for id, sites := range s.replicas {
+		out[id] = append([]SiteID(nil), sites...)
+	}
+	return out
+}
+
 // DeployReplicated stores every replica of every fragment at its sites
 // and returns a system whose queries run against the placement chosen by
 // the strategy. Because ParBoX never moves data, switching strategies is
@@ -465,8 +626,52 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	for _, opt := range opts {
 		opt(&o)
 	}
+	return deployReplicated(forest, replicas, strategy, o)
+}
+
+// replicateAssignment expands an Assignment into a ReplicaMap with n
+// copies of every fragment, spread round-robin over the assignment's
+// distinct sites starting at the fragment's assigned one.
+func replicateAssignment(forest *Forest, assign Assignment, n int) (ReplicaMap, error) {
+	seen := make(map[SiteID]bool, len(assign))
+	var distinct []SiteID
+	for _, site := range assign {
+		if !seen[site] {
+			seen[site] = true
+			distinct = append(distinct, site)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	if n > len(distinct) {
+		return nil, fmt.Errorf("parbox: WithReplication(%d) exceeds the assignment's %d distinct sites", n, len(distinct))
+	}
+	idx := make(map[SiteID]int, len(distinct))
+	for i, site := range distinct {
+		idx[site] = i
+	}
+	replicas := make(ReplicaMap, forest.Count())
+	for _, id := range forest.IDs() {
+		site, ok := assign[id]
+		if !ok {
+			return nil, fmt.Errorf("parbox: fragment %d is unassigned", id)
+		}
+		start := idx[site]
+		for k := 0; k < n; k++ {
+			replicas[id] = append(replicas[id], distinct[(start+k)%len(distinct)])
+		}
+	}
+	return replicas, nil
+}
+
+// deployReplicated is the shared replicated-deployment path of Deploy
+// (WithReplication) and DeployReplicated, including the serving tier of
+// WithFailover deployments.
+func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStrategy, o options) (*System, error) {
 	if o.dataDir != "" {
 		return nil, fmt.Errorf("parbox: WithDurability is not supported for replicated deployments")
+	}
+	if o.rebalance && !o.failover {
+		return nil, fmt.Errorf("parbox: WithRebalancing requires WithFailover")
 	}
 	c := cluster.New(o.cost)
 	eng, err := core.DeployReplicated(c, forest, replicas, strategy)
@@ -476,13 +681,37 @@ func DeployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	for _, siteID := range c.Sites() {
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
+		if o.failover {
+			serve.RegisterHandlers(site)
+		}
+	}
+	var trans cluster.Transport
+	if o.wrapTransport != nil {
+		// Route the engine (and below, the tier's probes) through the
+		// wrapper, so injected faults hit exactly what queries use.
+		trans = o.wrapTransport(c)
+		eng = core.NewEngine(trans, eng.Coordinator(), eng.SourceTree(), c.Cost())
 	}
 	eng.EnableTripletCache(o.tripletCache)
 	eng.SetMaxInflight(o.maxInflight)
 	s := &System{
 		cluster: c, engine: eng, forest: forest, replicas: replicas,
 		coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache,
-		maxInflight: o.maxInflight,
+		maxInflight: o.maxInflight, trans: trans,
+	}
+	if o.failover {
+		tr := cluster.Transport(c)
+		if trans != nil {
+			tr = trans
+		}
+		tier := serve.NewTier(tr, eng.Coordinator(), forest, replicas, o.serveOpts)
+		tier.AttachMetrics(c.Metrics())
+		if o.rebalance {
+			tier.StartRebalancer(o.rbOpts)
+		}
+		eng.SetTier(tier)
+		tier.Start()
+		s.tier = tier
 	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
 	return s, nil
@@ -499,8 +728,14 @@ func (s *System) Replan(strategy PlacementStrategy) error {
 	if err != nil {
 		return err
 	}
+	if s.trans != nil {
+		eng = core.NewEngine(s.trans, eng.Coordinator(), eng.SourceTree(), s.cluster.Cost())
+	}
 	eng.EnableTripletCache(s.cacheEnabled)
 	eng.SetMaxInflight(s.maxInflight)
+	if s.tier != nil {
+		eng.SetTier(s.tier)
+	}
 	s.mu.Lock()
 	s.engine = eng
 	s.mu.Unlock()

@@ -288,6 +288,9 @@ func (sch *scheduler) flush(win *schedWindow, reason string) {
 			// the round (the metrics-sum invariant differential tests
 			// pin). SimTime is deliberately NOT split — it is a makespan,
 			// and every caller of the round waited through all of it.
+			// Failovers, like SimTime, is a round-level fact: every caller
+			// of the round rode through the same recoveries.
+			Failovers:   rep.Failovers,
 			SimTime:     rep.SimTime,
 			Bytes:       fairShare(rep.Bytes, i, k),
 			Messages:    fairShare(rep.Messages, i, k),
