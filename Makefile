@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak failover-smoke
+.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak failover-smoke overload-smoke
 
 all: build vet test
 
@@ -54,3 +54,15 @@ transport-soak:
 failover-smoke:
 	go test -race -run 'TestDaemonFailover' ./cmd/parbox-site
 	go test -race -run 'TestFailover|TestRebalanceMovesHotFragment' .
+
+# overload-smoke is CI's overload-protection gate: real site daemons
+# serving fat fragments take a 16-worker burst against a tight
+# -admission bound (the daemons must shed for real, and every shed must
+# be absorbed by a budgeted, backed-off retry with zero wrong answers),
+# then a second pass shims one replica 50x slower and hedging must keep
+# the burst's p99 far below the injected delay. Plus the in-process
+# seeded chaos differential and the already-expired-deadline semantics,
+# all under the race detector.
+overload-smoke:
+	go test -race -run 'TestDaemonOverloadShedding' ./cmd/parbox-site
+	go test -race -run 'TestChaosDifferentialSeeded|TestExecTimeoutAlreadyExpired' .

@@ -48,16 +48,17 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory: WAL + snapshots; recovers from it on restart")
 	maxResident := flag.Int("max-resident", 0, "bound on in-memory fragments with -data-dir (0 = unbounded)")
 	syncWrites := flag.Bool("sync-writes", false, "fsync every WAL append (survive machine crashes, not just process crashes)")
+	admission := flag.Int("admission", 0, "max concurrently admitted requests; excess is shed with a retryable overload status (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*name, *manifestPath, *listen, *dataDir, *maxResident, *syncWrites); err != nil {
+	if err := run(*name, *manifestPath, *listen, *dataDir, *maxResident, *syncWrites, *admission); err != nil {
 		fmt.Fprintf(os.Stderr, "parbox-site: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool) error {
-	d, err := setup(name, manifestPath, listen, dataDir, maxResident, syncWrites)
+func run(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool, admission int) error {
+	d, err := setup(name, manifestPath, listen, dataDir, maxResident, syncWrites, admission)
 	if err != nil {
 		return err
 	}
@@ -105,7 +106,7 @@ func (d *daemon) Close() error {
 
 // setup loads or recovers the site's fragments, registers the full
 // protocol and starts serving; split out of run so tests can drive it.
-func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool) (*daemon, error) {
+func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool, admission int) (*daemon, error) {
 	if name == "" || manifestPath == "" {
 		return nil, fmt.Errorf("-name and -manifest are required")
 	}
@@ -215,6 +216,14 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 	// Serving-tier protocol: health probes plus the fragment clone/install
 	// pair the live rebalancer migrates replicas with.
 	serve.RegisterHandlers(site)
+	if admission > 0 {
+		// Bounded admission: past the cap, requests are shed with a typed,
+		// retryable overload status instead of queueing without bound. The
+		// cost estimator comes from core.RegisterHandlers above; probes and
+		// the rebalancer's control plane stay exempt (serve.RegisterHandlers)
+		// so a saturated site still proves it is alive.
+		site.SetAdmission(cluster.AdmissionLimits{MaxInflight: admission})
+	}
 
 	// The daemon serves wire protocol v2 only: a version-skewed v1
 	// coordinator is answered with a clean "requires wire protocol v2"

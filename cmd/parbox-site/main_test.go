@@ -37,7 +37,7 @@ func TestSiteDaemonServesQueries(t *testing.T) {
 	manifestPath := filepath.Join(dir, "manifest.txt")
 
 	// Start the S1 daemon on an ephemeral port.
-	d, err := setup("S1", manifestPath, "127.0.0.1:0", "", 0, false)
+	d, err := setup("S1", manifestPath, "127.0.0.1:0", "", 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestSetupErrors(t *testing.T) {
 		{"S1", manifestPath, "256.0.0.1:99999"},    // bad listen address
 	}
 	for _, c := range cases {
-		d, err := setup(c.name, c.mpath, c.listen, "", 0, false)
+		d, err := setup(c.name, c.mpath, c.listen, "", 0, false, 0)
 		if err == nil {
 			d.Close()
 			t.Errorf("setup(%q,%q,%q) succeeded, want error", c.name, c.mpath, c.listen)

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/manifest"
+	"repro/internal/serve"
+	"repro/internal/xpath"
+)
+
+// writeOverloadDeployment is writeReplicatedDeployment's layout — a
+// 2x-replicated ring over four daemons — with fat fragments: each
+// carries enough padding nodes that one bottomUp pass runs well past
+// the Go scheduler's async-preemption slice (~10ms). That matters on a
+// small CI host: a site daemon's handlers only genuinely overlap — the
+// thing a bound on *concurrently admitted* work can observe — if a
+// running handler can be preempted while the next request is admitted.
+// Against microsecond toy fragments, a single-core box serializes the
+// handlers perfectly and no admission bound is ever hit, whatever the
+// offered load.
+func writeOverloadDeployment(t *testing.T) (dir string, daemonManifests map[string]string) {
+	t.Helper()
+	dir = t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fat := func(inner string) string {
+		return "<section>" + inner + strings.Repeat("<pad><x>y</x></pad>", 60000) + "</section>"
+	}
+	write("f0.xml", `<catalog><parbox.fragment id="1"/><parbox.fragment id="2"/><parbox.fragment id="3"/><parbox.fragment id="4"/></catalog>`)
+	write("f1.xml", fat(`<name>alpha</name><quantity>2</quantity>`))
+	write("f2.xml", fat(`<name>beta</name><keyword>k</keyword>`))
+	write("f3.xml", fat(`<emph>e</emph><listitem>x</listitem>`))
+	write("f4.xml", fat(`<name>delta</name><quantity>9</quantity>`))
+
+	sites := `
+site S0 local
+site S1 127.0.0.1:0
+site S2 127.0.0.1:0
+site S3 127.0.0.1:0
+site S4 127.0.0.1:0
+`
+	write("manifest.txt", sites+`
+frag 0 -1 S0 f0.xml
+frag 1 0 S1 f1.xml
+frag 2 0 S2 f2.xml
+frag 3 0 S3 f3.xml
+frag 4 0 S4 f4.xml
+`)
+	// S4 additionally hosts f2: the hedge pass routes fragment 2 to
+	// {S2, S4} so the slow site only ever receives singleton, hedgeable
+	// fragment-3 jobs. A daemon hosting a fragment the coordinator's
+	// replica map ignores is harmless (the shed pass does exactly that).
+	daemonManifests = map[string]string{}
+	host := map[string][]string{
+		"S1": {"frag 1 0 S1 f1.xml", "frag 4 0 S1 f4.xml"},
+		"S2": {"frag 2 0 S2 f2.xml", "frag 1 0 S2 f1.xml"},
+		"S3": {"frag 3 0 S3 f3.xml", "frag 2 0 S3 f2.xml"},
+		"S4": {"frag 4 0 S4 f4.xml", "frag 3 0 S4 f3.xml", "frag 2 0 S4 f2.xml"},
+	}
+	for name, lines := range host {
+		fname := "manifest-" + name + ".txt"
+		write(fname, sites+"\nfrag 0 -1 S0 f0.xml\n"+strings.Join(lines, "\n")+"\n")
+		daemonManifests[name] = filepath.Join(dir, fname)
+	}
+	return dir, daemonManifests
+}
+
+// overloadWorld is one coordinator wired against running daemons: the
+// engine, its serving tier, and the transports underneath.
+type overloadWorld struct {
+	eng   *core.Engine
+	tier  *serve.Tier
+	tcp   *cluster.TCPTransport
+	ft    *cluster.FaultyTransport
+	progs []*xpath.Program
+	want  []bool
+}
+
+var overloadQueries = []string{
+	`//name && //quantity`,
+	`//keyword || //absent`,
+	`//listitem[text() = "x"]`,
+	`//name[text() = "beta"] && //emph`,
+	`//absent`,
+}
+
+// newOverloadWorld builds a coordinator over the given daemon addresses:
+// local S0 with the root fragment, a replica-aware tier, and reference
+// answers from an unfaulted in-memory deployment.
+func newOverloadWorld(t *testing.T, m *manifest.Manifest, addrs map[frag.SiteID]string,
+	replicas core.ReplicaMap, opt serve.Options, pol backoff.Policy) *overloadWorld {
+	t.Helper()
+	cost := cluster.DefaultCostModel()
+	tcp := cluster.NewTCPTransport(addrs)
+	t.Cleanup(func() { tcp.Close() })
+	s0 := cluster.NewSite("S0")
+	frags, _, err := m.LoadFragments("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frags {
+		s0.AddFragment(fr)
+	}
+	ft := &cluster.FaultyTransport{Inner: tcp}
+	core.RegisterHandlers(s0, ft, cost)
+	serve.RegisterHandlers(s0)
+	tcp.Local(s0)
+
+	forest, assign, err := loadReferenceForest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := frag.BuildSourceTree(forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := serve.NewTier(ft, "S0", forest, replicas, opt)
+	eng := core.NewEngine(ft, "S0", st, cost)
+	eng.SetTier(tier)
+	eng.SetRetryPolicy(pol)
+
+	refEng, err := core.Deploy(cluster.New(cost), forest, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &overloadWorld{eng: eng, tier: tier, tcp: tcp, ft: ft}
+	ctx := context.Background()
+	for _, src := range overloadQueries {
+		prog := xpath.MustCompileString(src)
+		rep, err := refEng.ParBoX(ctx, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.progs = append(w.progs, prog)
+		w.want = append(w.want, rep.Answer)
+	}
+	return w
+}
+
+// burst fires workers×perWorker queries, asserts every answer against
+// the reference, and returns the sorted per-query latencies plus the
+// summed hedge counters.
+func (w *overloadWorld) burst(t *testing.T, workers, perWorker int) (lat []time.Duration, hedges, hedgeWins int64) {
+	t.Helper()
+	lat = make([]time.Duration, workers*perWorker)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	ctx := context.Background()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			<-start
+			for q := 0; q < perWorker; q++ {
+				i := (wk + q) % len(w.progs)
+				t0 := time.Now()
+				rep, err := w.eng.Run(ctx, core.AlgoParBoX, w.progs[i])
+				took := time.Since(t0)
+				if err != nil {
+					t.Errorf("worker %d %q: %v", wk, overloadQueries[i], err)
+					return
+				}
+				if rep.Answer != w.want[i] {
+					t.Errorf("worker %d %q = %v, want %v", wk, overloadQueries[i], rep.Answer, w.want[i])
+					return
+				}
+				mu.Lock()
+				lat[wk*perWorker+q] = took
+				hedges += rep.Hedges
+				hedgeWins += rep.HedgeWins
+				mu.Unlock()
+			}
+		}(wk)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat, hedges, hedgeWins
+}
+
+func startDaemons(t *testing.T, bin string, daemonManifests map[string]string, extra ...string) (map[frag.SiteID]*exec.Cmd, map[frag.SiteID]string) {
+	t.Helper()
+	daemons := map[frag.SiteID]*exec.Cmd{}
+	addrs := map[frag.SiteID]string{}
+	for _, name := range []string{"S1", "S2", "S3", "S4"} {
+		args := append([]string{"-name", name,
+			"-manifest", daemonManifests[name], "-listen", "127.0.0.1:0"}, extra...)
+		cmd, addr := startDaemon(t, bin, args...)
+		daemons[frag.SiteID(name)] = cmd
+		addrs[frag.SiteID(name)] = addr
+	}
+	t.Cleanup(func() {
+		for _, cmd := range daemons {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return daemons, addrs
+}
+
+// ringReplicas is the coordinator-side replica map matching the
+// deployment's 2x ring.
+func ringReplicas() core.ReplicaMap {
+	return core.ReplicaMap{
+		0: {"S0"},
+		1: {"S1", "S2"},
+		2: {"S2", "S3"},
+		3: {"S3", "S4"},
+		4: {"S4", "S1"},
+	}
+}
+
+// TestDaemonOverloadShedding is the overload smoke CI runs, in two
+// independent passes against real site daemons serving fat fragments:
+//
+// Shed pass: daemons run with a tight -admission 2 while a 16-worker
+// burst offers far more concurrency. The daemons must shed for real —
+// the coordinator's transport metrics record nonzero typed
+// StatusOverloaded responses — and every shed must be recovered by a
+// failover or a budgeted, backed-off retry: zero wrong answers, zero
+// errors.
+//
+// Hedge pass: fresh unbounded daemons, with the coordinator's transport
+// shimmed so one site serves ~50x slower than its siblings. With
+// hedging armed, the slow replica's jobs are raced against its sibling,
+// so the burst's p99 stays far below the injected delay — while the
+// shim guarantees any unhedged path through the slow site would eat the
+// full delay.
+func TestDaemonOverloadShedding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real daemon processes")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "parbox-site")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building parbox-site: %v\n%s", err, out)
+	}
+	dir, daemonManifests := writeOverloadDeployment(t)
+	m, err := manifest.ParseFile(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("shed", func(t *testing.T) {
+		_, addrs := startDaemons(t, bin, daemonManifests, "-admission", "2")
+		w := newOverloadWorld(t, m, addrs, ringReplicas(),
+			serve.Options{ProbeInterval: -1},
+			backoff.Policy{Budget: 64})
+		lat, _, _ := w.burst(t, 16, 2)
+		sheds := w.tcp.Metrics().TotalSheds()
+		if sheds == 0 {
+			t.Error("16-worker burst against -admission 2 daemons recorded zero sheds")
+		}
+		t.Logf("sheds=%d p50=%v max=%v", sheds, lat[len(lat)/2], lat[len(lat)-1])
+	})
+
+	t.Run("hedge", func(t *testing.T) {
+		_, addrs := startDaemons(t, bin, daemonManifests)
+		// The tier's replica map routes only fragment 3 to the slow site,
+		// so its jobs always have a sibling to hedge to (a job covering
+		// two fragments can only hedge onto a site holding both).
+		replicas := ringReplicas()
+		replicas[2] = []frag.SiteID{"S2", "S4"}
+		w := newOverloadWorld(t, m, addrs, replicas,
+			serve.Options{ProbeInterval: -1, Hedging: true, HedgeDelay: 25 * time.Millisecond},
+			backoff.Policy{Budget: 16})
+		// The shim must dominate any queueing a loaded single-core CI host
+		// adds to the healthy sites, or "slow replica" and "busy box"
+		// become indistinguishable and a hedge can lose its race to pure
+		// CPU contention.
+		const slowDelay = 10 * time.Second
+		w.ft.SlowSite("S3", slowDelay, nil)
+
+		lat, hedges, hedgeWins := w.burst(t, 16, 7)
+		if hedges == 0 {
+			t.Error("no hedge fired against a slow replica with a 25ms hedge delay")
+		}
+		if hedgeWins == 0 {
+			t.Error("no hedge ever won against a 10s-slow replica")
+		}
+		if hedgeWins > hedges {
+			t.Errorf("%d hedge wins out of %d hedges (double-counting)", hedgeWins, hedges)
+		}
+		p99 := lat[len(lat)*99/100]
+		if p99 >= slowDelay/2 {
+			t.Errorf("query p99 = %v, want < %v (hedging should cut the %v slow-replica tail)",
+				p99, slowDelay/2, slowDelay)
+		}
+		t.Logf("hedges=%d wins=%d p50=%v p99=%v max=%v",
+			hedges, hedgeWins, lat[len(lat)/2], p99, lat[len(lat)-1])
+	})
+}

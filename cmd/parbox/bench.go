@@ -15,6 +15,7 @@ import (
 	"time"
 
 	parbox "repro"
+	"repro/internal/backoff"
 	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -700,6 +701,175 @@ func cmdBench(args []string) error {
 	}
 	record("serve/failover-8sites", failRes, failMetrics)
 
+	// --- Serving tier: hedging and admission under overload ---------------
+	// Shared runner for the two overload-protection scenarios: the fanout
+	// forest replicated per the given map over 8 real TCP sites, each
+	// charging the modeled service time (slow sites charge more), with
+	// optional per-site admission bounds. 16 workers × 4 sequential
+	// queries, identical to the failover burst; every query must answer.
+	runOverload := func(replicas core.ReplicaMap, slow map[frag.SiteID]time.Duration,
+		admission int, opt serve.Options, pol backoff.Policy,
+	) (lat []time.Duration, sheds, hedges, hedgeWins int64, elapsed time.Duration, err error) {
+		addrs := make(map[frag.SiteID]string, 8)
+		var servers []*cluster.Server
+		var trs []*cluster.TCPTransport
+		defer func() {
+			for _, tr := range trs {
+				tr.Close()
+			}
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}()
+		for i := 0; i < 8; i++ {
+			id := frag.SiteID(fmt.Sprintf("S%d", i))
+			site := cluster.NewSite(id)
+			for fid, sites := range replicas {
+				for _, s := range sites {
+					if s != id {
+						continue
+					}
+					fr, ok := fanoutForest.Fragment(fid)
+					if !ok {
+						return nil, 0, 0, 0, 0, fmt.Errorf("missing fragment %d", fid)
+					}
+					site.AddFragment(fr)
+				}
+			}
+			siteTr := cluster.NewTCPTransport(nil)
+			siteTr.Local(site)
+			trs = append(trs, siteTr)
+			core.RegisterHandlers(site, siteTr, cluster.DefaultCostModel())
+			serve.RegisterHandlers(site)
+			service := fanoutServiceTime
+			if d, ok := slow[id]; ok {
+				service = d
+			}
+			if inner, ok := site.HandlerFor(core.KindEvalQual); ok {
+				site.Handle(core.KindEvalQual, func(ctx context.Context, s *cluster.Site, req cluster.Request) (cluster.Response, error) {
+					time.Sleep(service) // the emulated remote CPU
+					return inner(ctx, s, req)
+				})
+			}
+			if admission > 0 {
+				site.SetAdmission(cluster.AdmissionLimits{MaxInflight: admission})
+			}
+			srv, err := cluster.Serve(site, "127.0.0.1:0")
+			if err != nil {
+				return nil, 0, 0, 0, 0, err
+			}
+			servers = append(servers, srv)
+			addrs[id] = srv.Addr()
+		}
+		coordTr := cluster.NewTCPTransport(addrs)
+		trs = append(trs, coordTr)
+		tier := serve.NewTier(coordTr, "C", fanoutForest, replicas, opt)
+		eng := core.NewEngine(coordTr, "C", fanoutSt, cluster.DefaultCostModel())
+		eng.SetTier(tier)
+		eng.SetRetryPolicy(pol)
+		const overloadWorkers = 16
+		perWorker := subscribers / overloadWorkers
+		burst := func() ([]time.Duration, int64, int64, error) {
+			lat := make([]time.Duration, subscribers)
+			errs := make([]error, subscribers)
+			var h, hw atomic.Int64
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < overloadWorkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					<-start
+					for q := 0; q < perWorker; q++ {
+						i := w*perWorker + q
+						t0 := time.Now()
+						rep, err := eng.Run(ctx, core.AlgoParBoX, fanoutProgs[i%len(fanoutProgs)])
+						lat[i] = time.Since(t0)
+						errs[i] = err
+						h.Add(rep.Hedges)
+						hw.Add(rep.HedgeWins)
+					}
+				}(w)
+			}
+			close(start)
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			return lat, h.Load(), hw.Load(), nil
+		}
+		if _, _, _, err := burst(); err != nil { // warmup: dial + handshake + caches
+			return nil, 0, 0, 0, 0, err
+		}
+		shedsBefore := coordTr.Metrics().TotalSheds()
+		t0 := time.Now()
+		lat, hedges, hedgeWins, err = burst()
+		elapsed = time.Since(t0)
+		if err != nil {
+			return nil, 0, 0, 0, 0, err
+		}
+		sortDurations(lat)
+		return lat, coordTr.Metrics().TotalSheds() - shedsBefore, hedges, hedgeWins, elapsed, nil
+	}
+
+	// serve/hedged-8sites: one replica serves 50x slower than its ring
+	// siblings. The replica map routes only one fragment to the slow site
+	// (with a sibling holding it too), so every job landing there is
+	// hedgeable; the p99 contrast against the same cluster with hedging
+	// off is the tail the hedge cuts.
+	const hedgeSlowdown = 50
+	hedgeReplicas := core.ReplicaMap{}
+	for fid, sites := range failoverReplicas {
+		hedgeReplicas[fid] = append([]frag.SiteID(nil), sites...)
+	}
+	// Fragment 2 moves off the slow S3 (to the S2/S4 pair), so S3 serves
+	// only fragment 3 — singleton jobs a sibling can always cover.
+	hedgeReplicas[2] = []frag.SiteID{"S2", "S4"}
+	slowSite := map[frag.SiteID]time.Duration{"S3": hedgeSlowdown * fanoutServiceTime}
+	unhedgedLat, _, _, _, _, err := runOverload(hedgeReplicas, slowSite, 0,
+		serve.Options{ProbeInterval: -1}, backoff.Policy{Budget: 16})
+	if err != nil {
+		return err
+	}
+	hedgedLat, _, hedgeCount, hedgeWinCount, hedgedElapsed, err := runOverload(hedgeReplicas, slowSite, 0,
+		serve.Options{ProbeInterval: -1, Hedging: true, HedgeDelay: 2 * fanoutServiceTime},
+		backoff.Policy{Budget: 16})
+	if err != nil {
+		return err
+	}
+	unhedgedP99 := float64(unhedgedLat[len(unhedgedLat)*99/100])
+	hedgedP99 := float64(hedgedLat[len(hedgedLat)*99/100])
+	record("serve/hedged-8sites", testing.BenchmarkResult{N: len(hedgedLat), T: hedgedElapsed}, map[string]float64{
+		"queries_per_burst": subscribers,
+		"slowdown_x":        hedgeSlowdown,
+		"p50_ns":            float64(hedgedLat[len(hedgedLat)/2]),
+		"p99_ns":            hedgedP99,
+		"p99_unhedged_ns":   unhedgedP99,
+		"tail_cut_x":        unhedgedP99 / hedgedP99,
+		"hedges":            float64(hedgeCount),
+		"hedge_wins":        float64(hedgeWinCount),
+	})
+
+	// serve/shed-overload: every site bounds admission at 2 concurrent
+	// requests while the 16-worker burst offers far more. The sheds are
+	// real typed refusals observed at the coordinator's transport; the
+	// burst still answers every query through budgeted, backed-off
+	// retries and replica failover.
+	shedLat, shedCount, _, _, shedElapsed, err := runOverload(failoverReplicas, nil, 2,
+		serve.Options{ProbeInterval: -1}, backoff.Policy{Budget: 64})
+	if err != nil {
+		return err
+	}
+	record("serve/shed-overload", testing.BenchmarkResult{N: len(shedLat), T: shedElapsed}, map[string]float64{
+		"queries_per_burst": subscribers,
+		"max_inflight":      2,
+		"p50_ns":            float64(shedLat[len(shedLat)/2]),
+		"p99_ns":            float64(shedLat[len(shedLat)*99/100]),
+		"sheds":             float64(shedCount),
+	})
+
 	// --- Serving tier: live rebalancing of a skewed replica layout --------
 	// Everything except the root starts replicated on just B and C while
 	// the coordinator A sits idle (local calls are free, so the cluster's
@@ -820,6 +990,8 @@ var gateExempt = map[string]bool{
 	"serve/fanout-8sites-v2": true, // machine- and scheduler-dependent
 	"serve/failover-8sites":  true, // when the kill lands varies per run
 	"serve/rebalance":        true, // convergence passes depend on routing noise
+	"serve/hedged-8sites":    true, // hedge races are timer- and load-dependent
+	"serve/shed-overload":    true, // shed/retry counts depend on arrival timing
 }
 
 // sortDurations sorts in place, ascending (for percentile extraction).

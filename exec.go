@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -175,6 +176,12 @@ type Result struct {
 	// value means the answer was computed despite failures — it is still
 	// exactly correct.
 	Failovers int64
+	// Hedges counts speculative duplicate calls this run issued against
+	// slow replicas' next-best siblings; HedgeWins counts how many of them
+	// answered first. Only the winning attempt of a hedged pair counts in
+	// Bytes/Messages/TotalSteps. Always zero unless the system was
+	// deployed with WithHedging.
+	Hedges, HedgeWins int64
 	// Duration is the measured wall-clock time of the whole call.
 	Duration time.Duration
 
@@ -211,22 +218,34 @@ func (r *Result) account(sim time.Duration, bytes, messages, steps int64, visits
 // rounds retry inside core), retrying it against a freshly probed
 // serving tier when a retryable mid-stream failure aborts it. Mirrors
 // core's round-retry policy: cancellation, an expired deadline and
-// ErrFragmentUnavailable are final. Returns the attempts spent on
-// retries for Result.Failovers.
-func retryRound[T any](ctx context.Context, tier *serve.Tier, run func() (T, error)) (T, int64, error) {
+// ErrFragmentUnavailable are final; every retry sleeps — exponential
+// backoff with full jitter, floored at any server-provided retry-after
+// hint — and draws from the deployment's per-query retry budget
+// (WithRetryBudget). Returns the attempts spent on retries for
+// Result.Failovers.
+func retryRound[T any](ctx context.Context, tier *serve.Tier, pol backoff.Policy, run func() (T, error)) (T, int64, error) {
 	rep, err := run()
 	if err == nil || tier == nil {
 		return rep, 0, err
 	}
-	const maxRetries = 4
-	for attempt := 1; attempt <= maxRetries && ctx.Err() == nil; attempt++ {
+	rr := backoff.New(pol)
+	var attempts int64
+	for ctx.Err() == nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
 			errors.Is(err, core.ErrFragmentUnavailable) {
 			break
 		}
+		d, ok := rr.Next(cluster.RetryAfterHint(err))
+		if !ok {
+			break
+		}
+		if backoff.Sleep(ctx, d) != nil {
+			break
+		}
 		tier.Recheck(ctx)
+		attempts++
 		if rep, err = run(); err == nil {
-			return rep, int64(attempt), nil
+			return rep, attempts, nil
 		}
 	}
 	return rep, 0, err
@@ -334,6 +353,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
 			res.Failovers = rep.Failovers
+			res.Hedges, res.HedgeWins = rep.Hedges, rep.HedgeWins
 		} else {
 			rep, err := eng.Run(ctx, cfg.algo, q.program())
 			if err != nil {
@@ -344,13 +364,14 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 			res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 			res.CacheHits, res.CacheMisses = rep.CacheHits, rep.CacheMisses
 			res.Failovers = rep.Failovers
+			res.Hedges, res.HedgeWins = rep.Hedges, rep.HedgeWins
 		}
 	case ModeSelect:
 		sp, err := q.selectProgram()
 		if err != nil {
 			return nil, err
 		}
-		rep, retries, err := retryRound(ctx, s.tier, func() (core.SelectReport, error) {
+		rep, retries, err := retryRound(ctx, s.tier, s.retryPol, func() (core.SelectReport, error) {
 			return eng.SelectParBoX(ctx, sp)
 		})
 		if err != nil {
@@ -360,12 +381,13 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 		res.Matched = int64(rep.Count)
 		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 		res.Failovers = rep.Failovers + retries
+		res.Hedges, res.HedgeWins = rep.Hedges, rep.HedgeWins
 	case ModeCount:
 		sp, err := q.selectProgram()
 		if err != nil {
 			return nil, err
 		}
-		rep, retries, err := retryRound(ctx, s.tier, func() (core.CountReport, error) {
+		rep, retries, err := retryRound(ctx, s.tier, s.retryPol, func() (core.CountReport, error) {
 			return eng.CountParBoX(ctx, sp)
 		})
 		if err != nil {
@@ -375,6 +397,7 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 		res.Matched = rep.Count
 		res.account(rep.SimTime, rep.Bytes, rep.Messages, rep.TotalSteps, rep.Visits)
 		res.Failovers = rep.Failovers + retries
+		res.Hedges, res.HedgeWins = rep.Hedges, rep.HedgeWins
 	case ModeMaterialize:
 		meter := core.NewMeteredTransport(tr)
 		v, err := views.MaterializeBounded(ctx, meter, eng.Coordinator(), eng.SourceTree(), q.program(), s.maxInflight)

@@ -222,6 +222,14 @@ type Site struct {
 	clock       uint64
 	lastUse     map[xmltree.FragmentID]uint64
 	storeErr    error
+
+	// admit, when set, is the site's admission controller (SetAdmission):
+	// dispatch sheds requests past its watermarks with an OverloadError
+	// instead of queueing them. admitEstimate prices requests for the
+	// cost watermark (SetAdmissionEstimator).
+	admit         *admission
+	admitEstimate func(req Request) int64
+	admitExempt   map[string]bool
 }
 
 // NewSite creates a detached site (used directly by the TCP server; the
@@ -558,14 +566,31 @@ func (s *Site) Delete(key string) {
 	delete(s.state, key)
 }
 
-// dispatch runs the registered handler for the request.
+// dispatch runs the registered handler for the request, behind the
+// site's admission controller (when one is set): requests past the
+// watermarks are shed with an OverloadError before any work happens, and
+// a context that is already expired is declined for free — both the
+// in-process transport and both TCP server paths funnel through here, so
+// admission is uniform across transports.
 func (s *Site) dispatch(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	s.mu.RLock()
 	h, ok := s.handlers[req.Kind]
+	adm := s.admit
+	if adm != nil && s.admitExempt[req.Kind] {
+		adm = nil
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return Response{}, fmt.Errorf("cluster: site %s has no handler for %q", s.id, req.Kind)
 	}
+	release, err := adm.admit(s.id, req)
+	if err != nil {
+		return Response{}, err
+	}
+	defer release()
 	return h(ctx, s, req)
 }
 
@@ -657,6 +682,12 @@ func (c *Cluster) Call(ctx context.Context, from, to frag.SiteID, req Request) (
 	cost.Steps = resp.Steps
 	cost.Compute = c.cost.ComputeTime(resp.Steps)
 	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			c.metrics.recordShed(to)
+		case errors.Is(err, context.DeadlineExceeded):
+			c.metrics.recordExpired(to)
+		}
 		c.metrics.recordError(to)
 		return Response{}, cost, fmt.Errorf("cluster: %s→%s %s: %w", from, to, req.Kind, err)
 	}

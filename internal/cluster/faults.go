@@ -33,13 +33,27 @@ type FaultyTransport struct {
 	// exercising the decoders' hostile-input paths end to end.
 	CorruptKinds map[string]bool
 
-	// Site-level modes, toggled at runtime by SiteDown/SlowSite/FlakySite
-	// and cleared by ReviveSite — the outage-scripting surface failover
-	// tests and benches drive while queries are in flight.
-	downSites  map[frag.SiteID]bool
-	slowSites  map[frag.SiteID]time.Duration
-	flakySites map[frag.SiteID]float64
-	rng        *rand.Rand
+	// Site-level modes, toggled at runtime by SiteDown/SlowSite/FlakySite/
+	// OverloadSite and cleared by ReviveSite — the outage-scripting surface
+	// failover tests and benches drive while queries are in flight. Each
+	// randomized fault owns its PRNG, seeded by the caller's rand.Source,
+	// so a chaos schedule replays identically however sites interleave.
+	downSites     map[frag.SiteID]bool
+	slowSites     map[frag.SiteID]*slowFault
+	flakySites    map[frag.SiteID]*flakyFault
+	overloadSites map[frag.SiteID]time.Duration
+}
+
+// slowFault delays calls by d, jittered down to d/2 when rng is set.
+type slowFault struct {
+	d   time.Duration
+	rng *rand.Rand
+}
+
+// flakyFault fails calls with probability p from its own PRNG.
+type flakyFault struct {
+	p   float64
+	rng *rand.Rand
 }
 
 // SiteDown marks a site dead: every remote call to it fails with
@@ -53,26 +67,51 @@ func (f *FaultyTransport) SiteDown(id frag.SiteID) {
 	f.downSites[id] = true
 }
 
-// SlowSite delays every remote call to the site by d (the call still
-// succeeds), modelling an overloaded or distant replica.
-func (f *FaultyTransport) SlowSite(id frag.SiteID, d time.Duration) {
+// SlowSite delays every remote call to the site (the call still
+// succeeds), modelling an overloaded or distant replica. With a nil src
+// the delay is exactly d every call; with a src it is drawn uniformly
+// from [d/2, d) by a PRNG owned by this fault, so the same seed replays
+// the same latency schedule.
+func (f *FaultyTransport) SlowSite(id frag.SiteID, d time.Duration, src rand.Source) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.slowSites == nil {
-		f.slowSites = make(map[frag.SiteID]time.Duration)
+		f.slowSites = make(map[frag.SiteID]*slowFault)
 	}
-	f.slowSites[id] = d
+	sf := &slowFault{d: d}
+	if src != nil {
+		sf.rng = rand.New(src)
+	}
+	f.slowSites[id] = sf
 }
 
 // FlakySite fails each remote call to the site independently with
-// probability p, drawn from a deterministic PRNG (see Seed).
-func (f *FaultyTransport) FlakySite(id frag.SiteID, p float64) {
+// probability p, drawn from a PRNG owned by this fault and seeded by
+// src (nil falls back to a fixed-seed source), so chaos schedules
+// replay deterministically per site.
+func (f *FaultyTransport) FlakySite(id frag.SiteID, p float64, src rand.Source) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.flakySites == nil {
-		f.flakySites = make(map[frag.SiteID]float64)
+		f.flakySites = make(map[frag.SiteID]*flakyFault)
 	}
-	f.flakySites[id] = p
+	if src == nil {
+		src = rand.NewSource(1)
+	}
+	f.flakySites[id] = &flakyFault{p: p, rng: rand.New(src)}
+}
+
+// OverloadSite sheds every remote call to the site with a typed
+// OverloadError carrying retryAfter as its hint — the injected twin of
+// real admission-control shedding, for driving the retry/backoff paths
+// without saturating a site for real.
+func (f *FaultyTransport) OverloadSite(id frag.SiteID, retryAfter time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.overloadSites == nil {
+		f.overloadSites = make(map[frag.SiteID]time.Duration)
+	}
+	f.overloadSites[id] = retryAfter
 }
 
 // ReviveSite clears every site-level mode for the site.
@@ -82,14 +121,7 @@ func (f *FaultyTransport) ReviveSite(id frag.SiteID) {
 	delete(f.downSites, id)
 	delete(f.slowSites, id)
 	delete(f.flakySites, id)
-}
-
-// Seed fixes the PRNG behind FlakySite so outage scripts replay
-// identically.
-func (f *FaultyTransport) Seed(seed int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.rng = rand.New(rand.NewSource(seed))
+	delete(f.overloadSites, id)
 }
 
 // Call implements Transport.
@@ -99,21 +131,27 @@ func (f *FaultyTransport) Call(ctx context.Context, from, to frag.SiteID, req Re
 		f.calls++
 		n := f.calls
 		down := f.downSites[to]
-		delay := f.slowSites[to]
-		flakyP, flaky := f.flakySites[to]
-		var flakyHit bool
-		if flaky {
-			if f.rng == nil {
-				f.rng = rand.New(rand.NewSource(1))
+		var delay time.Duration
+		if sf := f.slowSites[to]; sf != nil {
+			delay = sf.d
+			if sf.rng != nil && sf.d > 0 {
+				delay = sf.d/2 + time.Duration(sf.rng.Int63n(int64(sf.d/2)+1))
 			}
-			flakyHit = f.rng.Float64() < flakyP
 		}
+		var flakyHit bool
+		if ff := f.flakySites[to]; ff != nil {
+			flakyHit = ff.rng.Float64() < ff.p
+		}
+		retryAfter, overloaded := f.overloadSites[to]
 		f.mu.Unlock()
 		if f.FailEveryN > 0 && n%f.FailEveryN == 0 {
 			return Response{}, CallCost{}, fmt.Errorf("%w: call %d (%s→%s %s)", ErrInjected, n, from, to, req.Kind)
 		}
 		if down {
 			return Response{}, CallCost{}, fmt.Errorf("%w: site %s is down", ErrInjected, to)
+		}
+		if overloaded {
+			return Response{}, CallCost{}, &OverloadError{Site: to, RetryAfter: retryAfter}
 		}
 		if flakyHit {
 			return Response{}, CallCost{}, fmt.Errorf("%w: site %s flaked (%s)", ErrInjected, to, req.Kind)

@@ -37,6 +37,13 @@ type SiteMetrics struct {
 	// over both the simulated in-process transport and real TCP). The
 	// serving tier seeds its replica-routing score from it.
 	ServiceEWMANanos float64
+	// Sheds counts requests the site's admission control declined
+	// (StatusOverloaded); over TCP the client transport records the sheds
+	// it observes, so the counter is meaningful on both ends.
+	Sheds int64
+	// DeadlineExpired counts requests whose wire-propagated deadline
+	// expired at the site (work aborted or never started).
+	DeadlineExpired int64
 }
 
 // Metrics is the cluster-wide accounting; safe for concurrent use.
@@ -101,6 +108,40 @@ func (m *Metrics) recordError(to frag.SiteID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.site(to).Errors++
+}
+
+func (m *Metrics) recordShed(to frag.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.site(to).Sheds++
+}
+
+func (m *Metrics) recordExpired(to frag.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.site(to).DeadlineExpired++
+}
+
+// TotalSheds sums admission sheds over all sites.
+func (m *Metrics) TotalSheds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sites {
+		n += s.Sheds
+	}
+	return n
+}
+
+// TotalDeadlineExpired sums remote deadline expiries over all sites.
+func (m *Metrics) TotalDeadlineExpired() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.sites {
+		n += s.DeadlineExpired
+	}
+	return n
 }
 
 // Reset clears all counters; the harness resets between experiment

@@ -31,6 +31,12 @@ import (
 const (
 	tcpStatusOK  byte = 0
 	tcpStatusErr byte = 1
+	// tcpStatusDeadline (v2 only) reports the request's wire-propagated
+	// deadline expired at the site; work was aborted or never started.
+	tcpStatusDeadline byte = 2
+	// tcpStatusOverload (v2 only) reports admission control shed the
+	// request; the body carries a uvarint retry-after hint in µs.
+	tcpStatusOverload byte = 3
 )
 
 // maxFrame bounds accepted frame bodies (64 MiB) so a corrupt length prefix
@@ -354,24 +360,58 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 	sem := make(chan struct{}, inflight)
 	var handlers sync.WaitGroup
 	for {
-		id, kind, payload, err := readV2Request(r)
+		id, deadlineMicros, kind, payload, err := readV2Request(r)
 		if err != nil {
 			break // EOF, torn frame, or drain kick
 		}
-		sem <- struct{}{}
+		// Per-connection admission: when the site runs admission control,
+		// a full handler semaphore sheds (status 3 + retry-after hint)
+		// instead of parking the reader — bounded queueing end to end.
+		// Without admission control the reader blocks as before, so a
+		// flooding peer sees TCP backpressure, never errors. Exempt kinds
+		// (health probes) always take the blocking path: shedding a probe
+		// would make a merely-busy site look dead.
+		if s.site.admissionEnabled() && !s.site.admissionExempt(kind) {
+			select {
+			case sem <- struct{}{}:
+			default:
+				hint := time.Duration(len(sem)) * DefaultRetryAfterBase
+				body := appendRetryAfter(nil, hint)
+				respCh <- appendV2Response(nil, id, tcpStatusOverload, Response{Payload: body})
+				continue
+			}
+		} else {
+			sem <- struct{}{}
+		}
 		handlers.Add(1)
-		go func(id uint64, kind string, payload []byte) {
+		go func(id, deadlineMicros uint64, kind string, payload []byte) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			resp, herr := s.site.dispatch(context.Background(), Request{Kind: kind, Payload: payload})
+			// Derive the per-request context from the wire deadline: the
+			// relative budget needs no clock sync, and dispatch checks the
+			// context before touching the handler, so an already-expired
+			// budget does zero evaluation work.
+			ctx := context.Background()
+			if deadlineMicros > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMicros)*time.Microsecond)
+				defer cancel()
+			}
+			resp, herr := s.site.dispatch(ctx, Request{Kind: kind, Payload: payload})
 			var buf []byte
-			if herr != nil {
-				buf = appendV2Response(nil, id, tcpStatusErr, Response{Payload: []byte(herr.Error())})
-			} else {
+			switch {
+			case herr == nil:
 				buf = appendV2Response(nil, id, tcpStatusOK, resp)
+			case errors.Is(herr, ErrOverloaded):
+				body := appendRetryAfter(nil, RetryAfterHint(herr))
+				buf = appendV2Response(nil, id, tcpStatusOverload, Response{Payload: body})
+			case errors.Is(herr, context.DeadlineExceeded):
+				buf = appendV2Response(nil, id, tcpStatusDeadline, Response{})
+			default:
+				buf = appendV2Response(nil, id, tcpStatusErr, Response{Payload: []byte(herr.Error())})
 			}
 			respCh <- buf
-		}(id, kind, payload)
+		}(id, deadlineMicros, kind, payload)
 	}
 	handlers.Wait()
 	close(respCh)
@@ -541,7 +581,7 @@ func (t *TCPTransport) muxFor(to frag.SiteID) (*muxConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: %s: %w", to, err)
 	}
-	c := newMuxConn(conn, r, func(broken *muxConn) { t.dropMux(to, broken) })
+	c := newMuxConn(conn, r, to, func(broken *muxConn) { t.dropMux(to, broken) })
 	t.mu.Lock()
 	if prev, ok := t.muxes[to]; ok {
 		t.mu.Unlock()
@@ -613,6 +653,11 @@ func (t *TCPTransport) Call(ctx context.Context, from, to frag.SiteID, req Reque
 		cost.Wall = time.Since(start)
 		cost.Steps = resp.Steps
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				t.metrics.recordShed(to)
+			} else if errors.Is(err, context.DeadlineExceeded) {
+				t.metrics.recordExpired(to)
+			}
 			t.metrics.recordError(to)
 			return Response{}, cost, err
 		}
@@ -689,6 +734,15 @@ func (t *TCPTransport) goRemote(ctx context.Context, from, to frag.SiteID, req R
 	c.send(ctx, req.Kind, req.Payload, func(resp Response, err error) {
 		cost.Wall = time.Since(start)
 		if err != nil {
+			// Typed overload/deadline responses count on the client side
+			// too — the coordinator's transport metrics are what the
+			// operator (and the smoke tests) can actually see.
+			var de *DeadlineError
+			if errors.Is(err, ErrOverloaded) {
+				t.metrics.recordShed(to)
+			} else if errors.As(err, &de) {
+				t.metrics.recordExpired(to)
+			}
 			t.metrics.recordError(to)
 			ch <- Reply{Cost: cost, Err: err}
 			return

@@ -21,11 +21,22 @@ package cluster
 //
 // Frames after the handshake:
 //
-//	request:  uvarint id, uvarint kind length, kind,
+//	request:  uvarint id, uvarint deadline budget (µs, 0 = none),
+//	          uvarint kind length, kind,
 //	          uvarint payload length, payload
-//	response: uvarint id, one status byte (0 ok, 1 error), uvarint steps,
+//	response: uvarint id, one status byte (0 ok, 1 error, 2 deadline
+//	          expired, 3 overloaded), uvarint steps,
 //	          uvarint cache hits, uvarint cache misses,
-//	          uvarint body length, body (payload or error text)
+//	          uvarint body length, body (payload, error text, or for
+//	          status 3 a uvarint retry-after hint in µs)
+//
+// The deadline field propagates the caller's remaining budget to the
+// server as a RELATIVE duration (relative budgets need no clock
+// synchronization between peers): the server derives a per-request
+// context from it, aborts evaluation when it expires, and answers
+// status 2 instead of silently finishing work nobody is waiting for.
+// Status 3 is admission control shedding the request with a typed
+// retryable error carrying the server's retry-after hint.
 //
 // Cancellation is per request: a caller whose context expires gets its
 // error immediately and its request ID is abandoned — the connection is
@@ -43,6 +54,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/frag"
 )
 
 const (
@@ -56,6 +69,11 @@ const (
 	// maxKind bounds accepted request kind strings; real kinds are short
 	// dotted names ("parbox.evalQual").
 	maxKind = 1 << 10
+	// maxDeadlineMicros bounds the deadline budget a frame may carry
+	// (≈1h in µs): an absurd — corrupt or hostile — value must not arm an
+	// effectively-infinite server timer. Encoder and decoder both clamp,
+	// so decode ∘ encode is the identity on every frame this build emits.
+	maxDeadlineMicros = uint64(time.Hour / time.Microsecond)
 )
 
 // ErrProtocolVersion marks handshake failures: the peer does not speak
@@ -64,9 +82,15 @@ var ErrProtocolVersion = errors.New("cluster: wire protocol version mismatch")
 
 // --- frame codecs ----------------------------------------------------------
 
-// appendV2Request appends one encoded v2 request frame.
-func appendV2Request(dst []byte, id uint64, kind string, payload []byte) []byte {
+// appendV2Request appends one encoded v2 request frame. deadlineMicros
+// is the caller's remaining budget in microseconds (0 = no deadline),
+// clamped to maxDeadlineMicros.
+func appendV2Request(dst []byte, id, deadlineMicros uint64, kind string, payload []byte) []byte {
+	if deadlineMicros > maxDeadlineMicros {
+		deadlineMicros = maxDeadlineMicros
+	}
 	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, deadlineMicros)
 	dst = binary.AppendUvarint(dst, uint64(len(kind)))
 	dst = append(dst, kind...)
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
@@ -76,33 +100,40 @@ func appendV2Request(dst []byte, id uint64, kind string, payload []byte) []byte 
 // readV2Request reads one request frame. kind and payload are freshly
 // allocated: v2 handlers run concurrently with the reader, so frames
 // cannot share a connection-scoped scratch buffer the way v1 does.
-func readV2Request(r *bufio.Reader) (id uint64, kind string, payload []byte, err error) {
+// deadlineMicros is clamped like the encoder clamps it.
+func readV2Request(r *bufio.Reader) (id, deadlineMicros uint64, kind string, payload []byte, err error) {
 	if id, err = binary.ReadUvarint(r); err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
+	}
+	if deadlineMicros, err = binary.ReadUvarint(r); err != nil {
+		return 0, 0, "", nil, err
+	}
+	if deadlineMicros > maxDeadlineMicros {
+		deadlineMicros = maxDeadlineMicros
 	}
 	kn, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
 	}
 	if kn > maxKind {
-		return 0, "", nil, fmt.Errorf("%w (kind %d bytes)", errFrameTooBig, kn)
+		return 0, 0, "", nil, fmt.Errorf("%w (kind %d bytes)", errFrameTooBig, kn)
 	}
 	kb := make([]byte, kn)
 	if _, err = io.ReadFull(r, kb); err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
 	}
 	pn, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
 	}
 	if pn > maxFrame {
-		return 0, "", nil, errFrameTooBig
+		return 0, 0, "", nil, errFrameTooBig
 	}
 	payload = make([]byte, pn)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
 	}
-	return id, string(kb), payload, nil
+	return id, deadlineMicros, string(kb), payload, nil
 }
 
 // appendV2Response appends one encoded v2 response frame.
@@ -164,6 +195,9 @@ func readV2Response(r *bufio.Reader) (id uint64, status byte, resp Response, err
 // socket and reports the conn broken to its owner.
 type muxConn struct {
 	conn net.Conn
+	// peer identifies the site this connection serves; typed shed and
+	// deadline errors name it.
+	peer frag.SiteID
 
 	wr     chan []byte   // encoded request frames for the writer goroutine
 	broken chan struct{} // closed once the conn has failed
@@ -189,9 +223,10 @@ type muxPending struct {
 
 // newMuxConn wraps an already-handshaken connection and starts its
 // writer and reader goroutines.
-func newMuxConn(conn net.Conn, r *bufio.Reader, onBroken func(*muxConn)) *muxConn {
+func newMuxConn(conn net.Conn, r *bufio.Reader, peer frag.SiteID, onBroken func(*muxConn)) *muxConn {
 	c := &muxConn{
 		conn:     conn,
+		peer:     peer,
 		wr:       make(chan []byte, 16),
 		broken:   make(chan struct{}),
 		onBroken: onBroken,
@@ -232,11 +267,16 @@ func (c *muxConn) readLoop(r *bufio.Reader) {
 			c.fail(err)
 			return
 		}
-		if status == tcpStatusErr {
+		switch status {
+		case tcpStatusErr:
 			c.finish(id, Response{}, fmt.Errorf("%w: %s", ErrRemote, resp.Payload))
-			continue
+		case tcpStatusDeadline:
+			c.finish(id, Response{}, &DeadlineError{Site: c.peer})
+		case tcpStatusOverload:
+			c.finish(id, Response{}, &OverloadError{Site: c.peer, RetryAfter: decodeRetryAfter(resp.Payload)})
+		default:
+			c.finish(id, resp, nil)
 		}
-		c.finish(id, resp, nil)
 	}
 }
 
@@ -271,7 +311,19 @@ func (c *muxConn) send(ctx context.Context, kind string, payload []byte, complet
 		stop()
 	}
 
-	frame := appendV2Request(make([]byte, 0, 16+len(kind)+len(payload)), id, kind, payload)
+	// Propagate the caller's remaining budget as a relative deadline. A
+	// deadline that has already passed still encodes as 1µs, not 0 (the
+	// no-deadline sentinel): the race belongs to the server, which answers
+	// status 2 without dispatching.
+	var deadlineMicros uint64
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl) / time.Microsecond
+		if rem < 1 {
+			rem = 1
+		}
+		deadlineMicros = uint64(rem)
+	}
+	frame := appendV2Request(make([]byte, 0, 24+len(kind)+len(payload)), id, deadlineMicros, kind, payload)
 	select {
 	case c.wr <- frame:
 	case <-c.broken:

@@ -6,34 +6,59 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // FuzzV2RequestFrame hammers the server-side request decoder with
 // arbitrary bytes: it must never panic, and any frame it accepts must
 // round-trip through the encoder byte for byte.
 func FuzzV2RequestFrame(f *testing.F) {
-	f.Add(appendV2Request(nil, 1, "parbox.evalQual", []byte("payload")))
-	f.Add(appendV2Request(nil, 0, "", nil))
-	f.Add(appendV2Request(appendV2Request(nil, 7, "a", []byte("x")), 8, "b", []byte("y")))
+	f.Add(appendV2Request(nil, 1, 0, "parbox.evalQual", []byte("payload")))
+	f.Add(appendV2Request(nil, 0, 0, "", nil))
+	f.Add(appendV2Request(appendV2Request(nil, 7, 1, "a", []byte("x")), 8, 250_000, "b", []byte("y")))
+	f.Add(appendV2Request(nil, 3, ^uint64(0), "k", nil))                      // absurd deadline: clamped
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge uvarint id
-	f.Add([]byte{1, 5, 'h', 'i'})                                             // kind truncated
-	f.Add(appendV2Request(nil, 2, "k", []byte("p"))[:3])                      // torn frame
+	f.Add([]byte{1, 0, 5, 'h', 'i'})                                          // kind truncated
+	f.Add(appendV2Request(nil, 2, 9, "k", []byte("p"))[:3])                   // torn frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
 		for {
-			id, kind, payload, err := readV2Request(r)
+			id, deadline, kind, payload, err := readV2Request(r)
 			if err != nil {
 				return // torn, truncated or oversized: rejected without panic
 			}
-			reenc := appendV2Request(nil, id, kind, payload)
-			id2, kind2, payload2, err := readV2Request(bufio.NewReader(bytes.NewReader(reenc)))
+			if deadline > maxDeadlineMicros {
+				t.Fatalf("decoder admitted deadline %d past the %d clamp", deadline, maxDeadlineMicros)
+			}
+			reenc := appendV2Request(nil, id, deadline, kind, payload)
+			id2, deadline2, kind2, payload2, err := readV2Request(bufio.NewReader(bytes.NewReader(reenc)))
 			if err != nil {
 				t.Fatalf("re-decoding an accepted frame failed: %v", err)
 			}
-			if id2 != id || kind2 != kind || !bytes.Equal(payload2, payload) {
-				t.Fatalf("request frame round trip changed (%d %q %d bytes) -> (%d %q %d bytes)",
-					id, kind, len(payload), id2, kind2, len(payload2))
+			if id2 != id || deadline2 != deadline || kind2 != kind || !bytes.Equal(payload2, payload) {
+				t.Fatalf("request frame round trip changed (%d dl %d %q %d bytes) -> (%d dl %d %q %d bytes)",
+					id, deadline, kind, len(payload), id2, deadline2, kind2, len(payload2))
 			}
+		}
+	})
+}
+
+// FuzzRetryAfter: the shed-hint body codec must never panic, always
+// decode into [0, maxRetryAfter], and round-trip every value it emits.
+func FuzzRetryAfter(f *testing.F) {
+	f.Add(appendRetryAfter(nil, 0))
+	f.Add(appendRetryAfter(nil, time.Millisecond))
+	f.Add(appendRetryAfter(nil, maxRetryAfter))
+	f.Add([]byte{})
+	f.Add([]byte{0xff})                                                        // torn uvarint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd hint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := decodeRetryAfter(data)
+		if d < 0 || d > maxRetryAfter {
+			t.Fatalf("decoded hint %v outside [0, %v]", d, maxRetryAfter)
+		}
+		if got := decodeRetryAfter(appendRetryAfter(nil, d)); got != d {
+			t.Fatalf("hint round trip changed %v -> %v", d, got)
 		}
 	})
 }

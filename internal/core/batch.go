@@ -29,6 +29,9 @@ type BatchReport struct {
 	// Failovers counts scatter jobs this round re-placed onto another
 	// replica after a site failure (zero without a serving tier).
 	Failovers int64
+	// Hedges/HedgeWins count speculative duplicate calls issued and won
+	// (see Report; zero with hedging disabled).
+	Hedges, HedgeWins int64
 }
 
 // ParBoXBatch answers a whole batch of Boolean queries with a single
@@ -54,7 +57,7 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 	for i, site := range sites {
 		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simStage2, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
+	perSite, simStage2, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk), e.hedgeHook(mk))
 	if err != nil {
 		return BatchReport{}, err
 	}
@@ -82,6 +85,8 @@ func (e *Engine) ParBoXBatch(ctx context.Context, prog *xpath.Program, roots []i
 	rep.CacheHits = a.cacheHits
 	rep.CacheMisses = a.cacheMisses
 	rep.Failovers = a.failovers
+	rep.Hedges = a.hedges
+	rep.HedgeWins = a.hedgeWins
 	rep.Visits = a.visits
 	return rep, nil
 }

@@ -35,6 +35,9 @@ type CountReport struct {
 	// Failovers counts failed site calls re-placed onto surviving
 	// replicas by the serving tier (always zero without one).
 	Failovers int64
+	// Hedges/HedgeWins count speculative duplicate calls issued and won
+	// (see Report; zero with hedging disabled).
+	Hedges, HedgeWins int64
 }
 
 // CountParBoX counts the nodes a path query selects, without materializing
@@ -56,7 +59,7 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	for i, site := range sites {
 		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, sim, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
+	perSite, sim, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk), e.hedgeHook(mk))
 	if err != nil {
 		return CountReport{}, err
 	}
@@ -132,6 +135,8 @@ func (e *Engine) CountParBoX(ctx context.Context, sp *xpath.SelectProgram) (Coun
 	rep.TotalSteps = a.steps
 	rep.Visits = a.visits
 	rep.Failovers = a.failovers
+	rep.Hedges = a.hedges
+	rep.HedgeWins = a.hedgeWins
 	return rep, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/boolexpr"
 	"repro/internal/cluster"
 	"repro/internal/eval"
@@ -49,6 +50,11 @@ type Report struct {
 	// onto another replica after a site failure, plus whole-round retries.
 	// Zero without a serving tier.
 	Failovers int64
+	// Hedges counts speculative duplicate calls this run issued against a
+	// slow replica's next-best sibling; HedgeWins counts how many of them
+	// answered first. Only the winning attempt of a hedged pair is
+	// reflected in Bytes/Messages/TotalSteps. Zero with hedging disabled.
+	Hedges, HedgeWins int64
 }
 
 // Engine evaluates queries over one fragmented document hosted on a
@@ -78,7 +84,25 @@ type Engine struct {
 	// planned marks a per-round engine copy whose st already came from
 	// tier.PlanRound, so nested dispatches do not re-plan.
 	planned bool
+	// retryPol shapes the per-query retry discipline: round retries sleep
+	// with exponential backoff and full jitter, and round- plus job-level
+	// retries together draw from one budget per Run. Zero value = package
+	// defaults. Set during setup (SetRetryPolicy); read without
+	// synchronization.
+	retryPol backoff.Policy
+	// rr is the live retry budget of the Run this engine copy serves
+	// (nil on engines used outside Run — direct algorithm calls keep the
+	// old unbudgeted failover behavior, bounded by the exclusion set).
+	rr *backoff.Retry
 }
+
+// SetRetryPolicy shapes the engine's retry discipline: every Run gets a
+// fresh budget from the policy, consumed by both whole-round retries
+// (which sleep, exponential backoff + full jitter, floored at any
+// server-provided retry-after hint) and job-level failover re-placements
+// (which never sleep — they run on the round's collector). Call during
+// setup, before the engine serves.
+func (e *Engine) SetRetryPolicy(pol backoff.Policy) { e.retryPol = pol }
 
 // SetMaxInflight bounds the number of concurrent site calls per run
 // (0 = unbounded). Call it during setup, before the engine serves.
@@ -142,17 +166,31 @@ func (e *Engine) Coordinator() frag.SiteID { return e.coord }
 // recorder, and the state FullDistParBoX caches at the sites is keyed by a
 // unique run key.
 func (e *Engine) Run(ctx context.Context, algo Algorithm, prog *xpath.Program) (Report, error) {
-	rep, err := e.runOnce(ctx, algo, prog)
+	// One retry budget per query, shared between the round retries below
+	// and job-level failover inside the rounds.
+	run := *e
+	run.rr = backoff.New(e.retryPol)
+	rep, err := run.runOnce(ctx, algo, prog)
 	if err == nil || e.tier == nil {
 		return rep, err
 	}
 	// Round-level failover: a failed round re-probes site health and
 	// re-plans onto the surviving replicas. This covers the algorithms
 	// without job-level failover (nested hops the coordinator never
-	// observed directly, e.g. FullDist's resolve cascade).
-	for attempt := 1; attempt <= maxRoundRetries && retryableRoundErr(err) && ctx.Err() == nil; attempt++ {
+	// observed directly, e.g. FullDist's resolve cascade). Retries back
+	// off with jitter — immediate re-runs against a saturated or flapping
+	// site are the retry storms this exists to prevent — and honor any
+	// shed's retry-after hint as the delay floor.
+	for attempt := 1; retryableRoundErr(err) && ctx.Err() == nil; attempt++ {
+		d, ok := run.rr.Next(cluster.RetryAfterHint(err))
+		if !ok {
+			break // per-query budget spent
+		}
+		if backoff.Sleep(ctx, d) != nil {
+			break
+		}
 		e.tier.Recheck(ctx)
-		rep, err = e.runOnce(ctx, algo, prog)
+		rep, err = run.runOnce(ctx, algo, prog)
 		if err == nil {
 			rep.Failovers += int64(attempt)
 			return rep, nil
@@ -189,6 +227,8 @@ type recorder struct {
 	cacheHits   int64
 	cacheMisses int64
 	failovers   int64
+	hedges      int64
+	hedgeWins   int64
 	visits      map[frag.SiteID]int64
 }
 
@@ -215,6 +255,20 @@ func (r *recorder) failover() {
 	r.failovers++
 }
 
+// hedge counts one speculative duplicate launched; hedgeWin counts one
+// whose answer beat the primary's.
+func (r *recorder) hedge() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hedges++
+}
+
+func (r *recorder) hedgeWin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hedgeWins++
+}
+
 // accounting is a consistent copy of a recorder's counters; every report
 // type fills its common fields from one snapshot so the copy rules live
 // in a single place.
@@ -225,6 +279,8 @@ type accounting struct {
 	cacheHits   int64
 	cacheMisses int64
 	failovers   int64
+	hedges      int64
+	hedgeWins   int64
 	visits      map[frag.SiteID]int64
 }
 
@@ -238,7 +294,8 @@ func (r *recorder) snapshot() accounting {
 	return accounting{
 		bytes: r.bytes, messages: r.messages, steps: r.steps,
 		cacheHits: r.cacheHits, cacheMisses: r.cacheMisses,
-		failovers: r.failovers, visits: visits,
+		failovers: r.failovers, hedges: r.hedges, hedgeWins: r.hedgeWins,
+		visits: visits,
 	}
 }
 
@@ -250,6 +307,8 @@ func (r *recorder) fill(rep *Report) {
 	rep.CacheHits = a.cacheHits
 	rep.CacheMisses = a.cacheMisses
 	rep.Failovers = a.failovers
+	rep.Hedges = a.hedges
+	rep.HedgeWins = a.hedgeWins
 	rep.Visits = a.visits
 }
 
@@ -297,7 +356,13 @@ func (e *Engine) evalQualJob(prog *xpath.Program, fp uint64, site frag.SiteID, i
 // loud-degradation contract. The hook runs serially on the round's
 // collector goroutine, so the exclusion set needs no lock.
 func (e *Engine) failoverRetry(rec *recorder, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet]) scatterRetry[[]fragTriplet] {
-	return tierRetry(e.tier, rec, mk)
+	return tierRetry(e.tier, e.rr, rec, mk)
+}
+
+// hedgeHook is tierHedge bound to this engine's tier, for the triplet
+// fan-outs (nil without a hedging-capable tier).
+func (e *Engine) hedgeHook(mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[[]fragTriplet]) scatterHedge[[]fragTriplet] {
+	return tierHedge(e.tier, mk)
 }
 
 // tierRetry is failoverRetry generalized over the job result type, for
@@ -307,7 +372,15 @@ func (e *Engine) failoverRetry(rec *recorder, mk func(site frag.SiteID, ids []xm
 // per-site cached run state (FullDist's stage 2, the two-pass
 // propagation levels) must not re-place jobs and instead recover by
 // round retry.
-func tierRetry[T any](t Tier, rec *recorder, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[T]) scatterRetry[T] {
+//
+// Re-placements draw on the query's shared retry budget (rr) but never
+// sleep — the hook runs on the round's collector goroutine, and the
+// re-placed job targets a different site, so the backoff delay belongs
+// to same-site retries only. With the budget spent the hook declines and
+// the original error stands; nil rr (a direct algorithm call outside
+// Run) keeps the unbudgeted behavior, naturally bounded by the growing
+// exclusion set.
+func tierRetry[T any](t Tier, rr *backoff.Retry, rec *recorder, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[T]) scatterRetry[T] {
 	if t == nil {
 		return nil
 	}
@@ -316,9 +389,26 @@ func tierRetry[T any](t Tier, rec *recorder, mk func(site frag.SiteID, ids []xml
 		if len(j.frags) == 0 {
 			return nil, nil
 		}
+		if rr != nil {
+			if _, ok := rr.Next(0); !ok {
+				return nil, nil
+			}
+		}
 		excluded[j.to] = true
 		placement, err := t.Reassign(j.frags, excluded)
 		if err != nil {
+			// Exhausting this round's exclusion set does not mean the
+			// replicas are gone — a shed means "try later" and a flake may
+			// pass next time. With a retry budget, decline: the original
+			// transport error stands, and if it is retryable the round-level
+			// retry backs off (honoring any retry-after hint), re-probes and
+			// re-plans from scratch. Genuinely dead replicas still fail
+			// loudly — the re-planned round sees them Down and fails with
+			// ErrFragmentUnavailable at planning. Without a budget (legacy
+			// direct algorithm calls) keep the immediate loud failure.
+			if rr != nil {
+				return nil, nil
+			}
 			return nil, err
 		}
 		sites := make([]frag.SiteID, 0, len(placement))
@@ -359,7 +449,7 @@ func (e *Engine) ParBoX(ctx context.Context, prog *xpath.Program) (Report, error
 	for i, site := range sites {
 		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simStage2, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
+	perSite, simStage2, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk), e.hedgeHook(mk))
 	if err != nil {
 		return Report{}, err
 	}
@@ -438,7 +528,7 @@ func (e *Engine) NaiveCentralized(ctx context.Context, prog *xpath.Program) (Rep
 		}
 		jobs = append(jobs, mkFetch(site, ids))
 	}
-	fetched, _, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), tierRetry(e.tier, rec, mkFetch))
+	fetched, _, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), tierRetry(e.tier, e.rr, rec, mkFetch), tierHedge(e.tier, mkFetch))
 	if err != nil {
 		return Report{}, err
 	}
@@ -701,7 +791,7 @@ func (e *Engine) Lazy(ctx context.Context, prog *xpath.Program) (Report, error) 
 		for i, site := range levelSites {
 			jobs[i] = mk(site, yieldSites[site])
 		}
-		perSite, simLevel, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
+		perSite, simLevel, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk), e.hedgeHook(mk))
 		if err != nil {
 			return Report{}, err
 		}

@@ -47,6 +47,41 @@ func RegisterHandlers(site *cluster.Site, tr cluster.Transport, cost cluster.Cos
 	site.Handle(KindEvalFragDist, handleEvalFragDist(tr, cost))
 	site.Handle(KindSelect, handleSelect)
 	site.Handle(KindCount, handleCount)
+	site.SetAdmissionEstimator(admissionEstimate(site))
+}
+
+// admissionEstimate prices a request for the site's admission controller
+// in fragment nodes: an evaluation or fetch touching big fragments
+// weighs proportionally more against the cost watermark than one
+// touching leaves. Unknown kinds (and undecodable payloads — they will
+// fail in the handler anyway) weigh the minimum.
+func admissionEstimate(site *cluster.Site) func(req cluster.Request) int64 {
+	sizeOf := func(ids []xmltree.FragmentID) int64 {
+		var total int64
+		for _, id := range ids {
+			if fr, ok := site.Fragment(id); ok {
+				total += int64(fr.Size())
+			}
+		}
+		return total
+	}
+	return func(req cluster.Request) int64 {
+		switch req.Kind {
+		case KindEvalQual, KindEvalQualKeep:
+			if q, err := decodeEvalQualReq(req.Payload); err == nil {
+				return sizeOf(q.ids)
+			}
+		case KindFetchFragments:
+			if ids, err := decodeFetchReq(req.Payload); err == nil {
+				return sizeOf(ids)
+			}
+		case KindSelect, KindCount:
+			if _, id, _, _, err := decodeSelectReq(req.Payload); err == nil {
+				return sizeOf([]xmltree.FragmentID{id})
+			}
+		}
+		return 1
+	}
 }
 
 // handleEvalQual is Procedure evalQual (Fig. 3b): run bottomUp over each

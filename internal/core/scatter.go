@@ -53,6 +53,25 @@ type tierObs func(to frag.SiteID) func(error)
 // hook runs serially on the round's collector goroutine.
 type scatterRetry[T any] func(j scatterJob[T], err error) ([]scatterJob[T], error)
 
+// hedgePlan is one armed hedge: the equivalent job on the next-best
+// replica, the delay to arm the hedge timer with (the primary site's
+// latency p95), and an optional loss-feedback hook — called with how
+// long the primary had been outstanding when the hedge won, the only
+// latency evidence a cancelled loser ever produces.
+type hedgePlan[T any] struct {
+	alt   scatterJob[T]
+	delay time.Duration
+	lost  func(elapsed time.Duration)
+}
+
+// scatterHedge is the speculative-retry hook: given a job about to
+// launch, return the hedge plan for it. If the primary has not answered
+// when the timer fires, the hedge launches and the first answer wins;
+// the loser's context is cancelled. Only sound for pure jobs — work any
+// replica can serve identically — so the hook declines (ok=false)
+// everything else.
+type scatterHedge[T any] func(j scatterJob[T]) (hedgePlan[T], bool)
+
 // scatter is the engine's single fan-out/fan-in primitive, replacing
 // the per-algorithm goroutine loops:
 //
@@ -83,6 +102,17 @@ func scatter[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID,
 // out[i]-is-job-i contract of scatter holds exactly.
 func scatterWith[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID, limit int, rec *recorder,
 	jobs []scatterJob[T], obs tierObs, retry scatterRetry[T]) ([]T, time.Duration, error) {
+	return scatterHedged(ctx, tr, from, limit, rec, jobs, obs, retry, nil)
+}
+
+// scatterHedged is scatterWith plus the hedging hook: jobs the hook
+// accepts race a speculative duplicate on another replica once the
+// primary has been quiet past the hedge delay. The first answer wins and
+// is the only one recorded (a hedge must never double-count bytes,
+// messages or steps); the loser is cancelled and its outcome feeds only
+// the tier's health observation (where cancellation is neutral).
+func scatterHedged[T any](ctx context.Context, tr cluster.Transport, from frag.SiteID, limit int, rec *recorder,
+	jobs []scatterJob[T], obs tierObs, retry scatterRetry[T], hedge scatterHedge[T]) ([]T, time.Duration, error) {
 	n := len(jobs)
 	if n == 0 {
 		return make([]T, 0), 0, nil
@@ -106,6 +136,19 @@ func scatterWith[T any](ctx context.Context, tr cluster.Transport, from frag.Sit
 	}
 	arrivals := make(chan arrival, n)
 	sem := make(chan struct{}, limit)
+	// issue runs one attempt of a job, bracketing it with the tier's
+	// health observation.
+	issue := func(callCtx context.Context, j scatterJob[T]) cluster.Reply {
+		var done func(error)
+		if obs != nil {
+			done = obs(j.to)
+		}
+		r := <-cluster.Go(callCtx, tr, from, j.to, j.req)
+		if done != nil {
+			done(r.Err)
+		}
+		return r
+	}
 	var launch func(idx int, j scatterJob[T])
 	launch = func(idx int, j scatterJob[T]) {
 		go func() {
@@ -115,23 +158,96 @@ func scatterWith[T any](ctx context.Context, tr cluster.Transport, from frag.Sit
 				arrivals <- arrival{idx: idx, err: ctx.Err(), transport: true, job: j}
 				return
 			}
-			var done func(error)
-			if obs != nil {
-				done = obs(j.to)
+			var plan hedgePlan[T]
+			hedged := false
+			if hedge != nil {
+				plan, hedged = hedge(j)
 			}
-			r := <-cluster.Go(ctx, tr, from, j.to, j.req)
+			var r cluster.Reply
+			won := j
+			if !hedged {
+				r = issue(ctx, j)
+			} else {
+				hj, delay := plan.alt, plan.delay
+				// Race the primary against a delayed speculative duplicate.
+				// The hedge shares the primary's concurrency slot: it is a
+				// duplicate of admitted work, not new work, so it must not
+				// queue behind (or starve) unlaunched jobs.
+				type hres struct {
+					r   cluster.Reply
+					alt bool
+				}
+				res := make(chan hres, 2)
+				primCtx, primCancel := context.WithCancel(ctx)
+				altCtx, altCancel := context.WithCancel(ctx)
+				primStart := time.Now()
+				go func() { res <- hres{issue(primCtx, j), false} }()
+				timer := time.NewTimer(delay)
+				launched := false
+				outstanding := 1
+				var primFail cluster.Reply
+				havePrimFail := false
+				for decided := false; !decided; {
+					select {
+					case a := <-res:
+						outstanding--
+						switch {
+						case a.r.Err == nil:
+							r = a.r
+							if a.alt {
+								won = hj
+								if rec != nil {
+									rec.hedgeWin()
+								}
+								// The cancelled primary took at least this
+								// long — the planner's only latency evidence
+								// about a replica it keeps hedging around.
+								if plan.lost != nil {
+									plan.lost(time.Since(primStart))
+								}
+							}
+							decided = true
+						case outstanding > 0:
+							// One attempt failed but its sibling is still
+							// running: hold out for the sibling's answer.
+							if !a.alt {
+								primFail, havePrimFail = a.r, true
+							}
+						default:
+							// No attempt left. Report the primary's failure
+							// (deterministic, and the retry hook re-places
+							// against the primary's site).
+							if !a.alt || !havePrimFail {
+								r = a.r
+							} else {
+								r = primFail
+							}
+							decided = true
+						}
+					case <-timer.C:
+						if !launched {
+							launched = true
+							outstanding++
+							if rec != nil {
+								rec.hedge()
+							}
+							go func() { res <- hres{issue(altCtx, hj), true} }()
+						}
+					}
+				}
+				timer.Stop()
+				primCancel() // cancel the loser; the winner already answered
+				altCancel()
+			}
 			<-sem
-			if done != nil {
-				done(r.Err)
-			}
 			if r.Err != nil {
 				arrivals <- arrival{idx: idx, err: r.Err, transport: true, job: j}
 				return
 			}
 			if rec != nil {
-				rec.record(from, j.to, r.Cost, r.Resp)
+				rec.record(from, won.to, r.Cost, r.Resp)
 			}
-			v, err := j.dec(r.Resp, r.Cost)
+			v, err := won.dec(r.Resp, r.Cost)
 			if err != nil {
 				arrivals <- arrival{idx: idx, cost: r.Cost, err: err, job: j}
 				return

@@ -36,6 +36,9 @@ type SelectReport struct {
 	// Failovers counts failed site calls re-placed onto surviving
 	// replicas by the serving tier (always zero without one).
 	Failovers int64
+	// Hedges/HedgeWins count speculative duplicate calls issued and won
+	// (see Report; zero with hedging disabled).
+	Hedges, HedgeWins int64
 }
 
 // SelectParBoX evaluates a data-selection path query:
@@ -66,7 +69,7 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	for i, site := range sites {
 		jobs[i] = mk(site, e.st.FragmentsAt(site))
 	}
-	perSite, simPass1, err := scatterWith(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk))
+	perSite, simPass1, err := scatterHedged(ctx, e.tr, e.coord, e.maxInflight, rec, jobs, e.obs(), e.failoverRetry(rec, mk), e.hedgeHook(mk))
 	if err != nil {
 		return SelectReport{}, err
 	}
@@ -146,6 +149,8 @@ func (e *Engine) SelectParBoX(ctx context.Context, sp *xpath.SelectProgram) (Sel
 	rep.TotalSteps = a.steps
 	rep.Visits = a.visits
 	rep.Failovers = a.failovers
+	rep.Hedges = a.hedges
+	rep.HedgeWins = a.hedgeWins
 	return rep, nil
 }
 

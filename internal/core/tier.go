@@ -40,6 +40,53 @@ type Tier interface {
 	Recheck(ctx context.Context)
 }
 
+// HedgePlanner is the optional hedging capability of a serving tier
+// (asserted with a type switch, so Tier implementers that predate it
+// keep compiling). PlanHedge picks the next-best live replica able to
+// serve all of ids besides primary, and the delay to arm the hedge
+// timer with — the primary's observed latency p95, or the deployment's
+// fixed override. ok=false declines (no other replica, hedging off).
+type HedgePlanner interface {
+	PlanHedge(primary frag.SiteID, ids []xmltree.FragmentID) (alt frag.SiteID, delay time.Duration, ok bool)
+}
+
+// HedgeLossReporter is the optional feedback half of hedging: when a
+// hedge wins its race, the primary's call is cancelled and never yields
+// an RTT sample, so the planner is told the primary took *at least*
+// elapsed. Tiers use it to keep routing scores honest for replicas that
+// are consistently hedged around (see serve.Tier.HedgeLost).
+type HedgeLossReporter interface {
+	HedgeLost(primary frag.SiteID, elapsed time.Duration)
+}
+
+// tierHedge adapts a tier's HedgePlanner to a scatter round's hedge
+// hook, building the speculative job with the same constructor the round
+// uses for failover re-placement. nil when the tier cannot hedge. Only
+// pure jobs — where mk(site, ids) is equivalent on any replica — may
+// pass a non-nil result to scatterHedged.
+func tierHedge[T any](t Tier, mk func(site frag.SiteID, ids []xmltree.FragmentID) scatterJob[T]) scatterHedge[T] {
+	hp, ok := t.(HedgePlanner)
+	if !ok {
+		return nil
+	}
+	lr, _ := t.(HedgeLossReporter)
+	return func(j scatterJob[T]) (hedgePlan[T], bool) {
+		if len(j.frags) == 0 {
+			return hedgePlan[T]{}, false
+		}
+		alt, delay, ok := hp.PlanHedge(j.to, j.frags)
+		if !ok {
+			return hedgePlan[T]{}, false
+		}
+		plan := hedgePlan[T]{alt: mk(alt, j.frags), delay: delay}
+		if lr != nil {
+			primary := j.to
+			plan.lost = func(elapsed time.Duration) { lr.HedgeLost(primary, elapsed) }
+		}
+		return plan, true
+	}
+}
+
 // SetTier attaches a serving tier: from now on every run plans its own
 // source tree through the tier (per-round replica routing) and failed
 // scatter jobs fail over to other live replicas. Call during setup,
@@ -83,10 +130,10 @@ func (e *Engine) obs() tierObs {
 	}
 }
 
-// maxRoundRetries bounds how often Run re-plans and re-runs a whole round
-// after a retryable failure (sites can keep dying mid-round; each retry
-// re-probes and excludes them).
-const maxRoundRetries = 4
+// Round retries are bounded by the engine's per-query retry budget
+// (SetRetryPolicy; backoff.DefaultBudget without one) — sites can keep
+// dying mid-round, and each retry backs off, re-probes and excludes
+// them.
 
 // retryableRoundErr reports whether a failed round is worth re-planning:
 // cancellation is the caller's choice and ErrFragmentUnavailable cannot

@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/frag"
 )
 
@@ -56,6 +58,15 @@ type Options struct {
 	// EWMAAlpha is the weight of the newest RTT sample in the per-site
 	// latency average the routing score uses. Default 0.3.
 	EWMAAlpha float64
+	// Hedging enables speculative duplicates: a pure scatter job on a
+	// fragment set with a second live replica races a copy on the
+	// next-best site once the primary has been quiet past the hedge
+	// delay. First answer wins; the loser is cancelled. Default off.
+	Hedging bool
+	// HedgeDelay fixes the hedge timer's arm. 0 (the default) arms it
+	// dynamically at the primary site's observed latency p95 — and until
+	// the primary has been observed at least once, declines to hedge.
+	HedgeDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -91,13 +102,17 @@ type SiteStatus struct {
 }
 
 type siteHealth struct {
-	state       State
-	fails       int // consecutive
-	oks         int // consecutive
-	ewmaNanos   float64
-	inflight    int64
-	totalFails  int64
-	transitions int64
+	state     State
+	fails     int // consecutive
+	oks       int // consecutive
+	ewmaNanos float64
+	// ewmaVarNanos2 is the exponentially-weighted variance of the RTT
+	// samples (ns²), tracked alongside the mean so the hedging layer can
+	// estimate a latency p95 without keeping a histogram.
+	ewmaVarNanos2 float64
+	inflight      int64
+	totalFails    int64
+	transitions   int64
 }
 
 // healthTracker is the tier's health state machine; safe for concurrent
@@ -137,8 +152,8 @@ func (h *healthTracker) finished(id frag.SiteID, rtt time.Duration, err error) {
 	h.mu.Lock()
 	h.site(id).inflight--
 	h.mu.Unlock()
-	// A cancelled call is the round's choice (a sibling failed first),
-	// not evidence about this site.
+	// A cancelled call is the round's choice (a sibling failed first, or
+	// a hedge lost its race), not evidence about this site.
 	if err != nil && errors.Is(err, context.Canceled) {
 		return
 	}
@@ -148,6 +163,13 @@ func (h *healthTracker) finished(id frag.SiteID, rtt time.Duration, err error) {
 // result feeds one observation — success or failure — through the state
 // machine. Used by both passive signals (finished) and probes.
 func (h *healthTracker) result(id frag.SiteID, rtt time.Duration, err error) {
+	// An admission shed — seen by a query or a probe — is neutral: the
+	// site answered, so it is alive, just saturated; marking it Suspect
+	// would push the router's load onto its siblings precisely when
+	// shedding asks for the opposite.
+	if err != nil && errors.Is(err, cluster.ErrOverloaded) {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := h.site(id)
@@ -157,7 +179,9 @@ func (h *healthTracker) result(id frag.SiteID, rtt time.Duration, err error) {
 		if a := h.opt.EWMAAlpha; s.ewmaNanos == 0 {
 			s.ewmaNanos = float64(rtt)
 		} else {
-			s.ewmaNanos = (1-a)*s.ewmaNanos + a*float64(rtt)
+			diff := float64(rtt) - s.ewmaNanos
+			s.ewmaNanos += a * diff
+			s.ewmaVarNanos2 = (1 - a) * (s.ewmaVarNanos2 + a*diff*diff)
 		}
 		switch s.state {
 		case Down:
@@ -201,6 +225,43 @@ func (h *healthTracker) load(id frag.SiteID) (ewmaNanos float64, inflight int64)
 	defer h.mu.Unlock()
 	s := h.site(id)
 	return s.ewmaNanos, s.inflight
+}
+
+// floorSample feeds a latency *floor* observation: the site was seen to
+// take at least rtt (a hedge raced it and won, so its true latency is
+// unknown but no smaller). It moves the EWMA/variance like a sample —
+// but only upward, and without touching the consecutive-ok/fail state
+// machine: losing a hedge race is slowness evidence, not failure
+// evidence. Without this, a replica whose calls always lose hedges is
+// always cancelled, never observed, and keeps scoring as average.
+func (h *healthTracker) floorSample(id frag.SiteID, rtt time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.site(id)
+	if float64(rtt) <= s.ewmaNanos {
+		return
+	}
+	if s.ewmaNanos == 0 {
+		s.ewmaNanos = float64(rtt)
+		return
+	}
+	a := h.opt.EWMAAlpha
+	diff := float64(rtt) - s.ewmaNanos
+	s.ewmaNanos += a * diff
+	s.ewmaVarNanos2 = (1 - a) * (s.ewmaVarNanos2 + a*diff*diff)
+}
+
+// p95 estimates the site's latency 95th percentile from the smoothed
+// mean and variance (mean + 2σ — exact for a normal tail, a serviceable
+// hedge-timer arm for any); 0 when the site was never observed.
+func (h *healthTracker) p95(id frag.SiteID) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.site(id)
+	if s.ewmaNanos == 0 {
+		return 0
+	}
+	return time.Duration(s.ewmaNanos + 2*math.Sqrt(s.ewmaVarNanos2))
 }
 
 func (h *healthTracker) snapshot() map[frag.SiteID]SiteStatus {

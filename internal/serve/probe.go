@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/frag"
 	"repro/internal/xmltree"
@@ -32,11 +33,15 @@ var ErrBadServeMessage = errors.New("serve: bad message")
 
 // RegisterHandlers installs the tier's site-side handlers. Every
 // replica site of a failover deployment needs them (the daemon and the
-// facade both call this during setup).
+// facade both call this during setup). The tier's control plane is
+// exempt from admission control: a saturated site must still answer
+// probes (shedding them would read as the site dying, amplifying the
+// overload onto its siblings) and still accept rebalancer traffic.
 func RegisterHandlers(site *cluster.Site) {
 	site.Handle(KindProbe, handleProbe)
 	site.Handle(KindCloneFragment, handleCloneFragment)
 	site.Handle(KindInstallFragment, handleInstallFragment)
+	site.ExemptFromAdmission(KindProbe, KindCloneFragment, KindInstallFragment)
 }
 
 func handleProbe(_ context.Context, site *cluster.Site, _ cluster.Request) (cluster.Response, error) {
@@ -109,41 +114,101 @@ func (t *Tier) Recheck(ctx context.Context) { t.ProbeNow(ctx) }
 // ProbeNow probes every site of the replica map once, concurrently, and
 // feeds the outcomes through the health state machine. The coordinator
 // itself is skipped: its calls are local and cannot fail at the
-// transport.
-func (t *Tier) ProbeNow(ctx context.Context) {
+// transport. Explicit sweeps always probe everything — the per-site
+// backoff schedule only thins the background prober (probeSweep) — but
+// their outcomes still feed it, so a revived site found by Recheck
+// returns to full-rate background probing immediately.
+func (t *Tier) ProbeNow(ctx context.Context) { t.sweep(ctx, false) }
+
+// probeSweep is the background prober's pass: like ProbeNow, except
+// sites whose probes keep failing are re-probed at exponentially
+// backed-off (jittered) intervals instead of every tick — a dead site
+// does not deserve a full-rate probe stream while it is down.
+func (t *Tier) probeSweep(ctx context.Context) { t.sweep(ctx, true) }
+
+func (t *Tier) sweep(ctx context.Context, honorSchedule bool) {
 	sites := t.sites()
-	done := make(chan struct{}, len(sites))
-	n := 0
+	now := time.Now()
+	due := sites[:0:0]
+	t.probeMu.Lock()
 	for _, site := range sites {
 		if site == t.coord {
 			continue
 		}
-		n++
+		if honorSchedule {
+			if sc := t.probeSched[site]; sc != nil && now.Before(sc.next) {
+				continue
+			}
+		}
+		due = append(due, site)
+	}
+	t.probeMu.Unlock()
+	done := make(chan struct{}, len(due))
+	for _, site := range due {
 		go func(site frag.SiteID) {
 			defer func() { done <- struct{}{} }()
-			t.probeOne(ctx, site)
+			if evidence, err := t.probeOne(ctx, site); evidence {
+				t.reschedule(site, err)
+			}
 		}(site)
 	}
-	for i := 0; i < n; i++ {
+	for range due {
 		<-done
 	}
 }
 
-func (t *Tier) probeOne(ctx context.Context, site frag.SiteID) {
+// probeSchedule is one failing site's backed-off background probing
+// state.
+type probeSchedule struct {
+	bo   *backoff.Retry
+	next time.Time
+}
+
+// reschedule updates a site's background probing cadence from a probe
+// outcome: failures push the next probe out (exponential, jittered,
+// capped); a success clears the schedule back to every-tick.
+func (t *Tier) reschedule(site frag.SiteID, err error) {
+	t.probeMu.Lock()
+	defer t.probeMu.Unlock()
+	if err == nil {
+		delete(t.probeSched, site)
+		return
+	}
+	sc := t.probeSched[site]
+	if sc == nil {
+		if t.probeSched == nil {
+			t.probeSched = make(map[frag.SiteID]*probeSchedule)
+		}
+		sc = &probeSchedule{bo: backoff.New(backoff.Policy{
+			Base:   t.opt.ProbeInterval,
+			Max:    16 * t.opt.ProbeInterval,
+			Budget: -1, // probing never gives up; it just slows down
+		})}
+		t.probeSched[site] = sc
+	}
+	d, _ := sc.bo.Next(0)
+	sc.next = time.Now().Add(d)
+}
+
+// probeOne probes a single site and feeds the health state machine.
+// evidence is false when the outcome says nothing about the site (the
+// caller abandoned the sweep).
+func (t *Tier) probeOne(ctx context.Context, site frag.SiteID) (evidence bool, err error) {
 	pctx, cancel := context.WithTimeout(ctx, t.opt.ProbeTimeout)
 	defer cancel()
 	start := time.Now()
-	_, _, err := t.tr.Call(pctx, t.coord, site, cluster.Request{Kind: KindProbe})
+	_, _, err = t.tr.Call(pctx, t.coord, site, cluster.Request{Kind: KindProbe})
 	rtt := time.Since(start)
 	t.probes.Add(1)
 	if err != nil {
 		// The caller abandoning the sweep is not evidence about the site.
 		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
-			return
+			return false, err
 		}
 		t.probeFails.Add(1)
 		t.health.result(site, rtt, err)
-		return
+		return true, err
 	}
 	t.health.result(site, rtt, nil)
+	return true, nil
 }

@@ -58,6 +58,12 @@ type Tier struct {
 
 	plans, reassigns, migrations atomic.Int64
 	probes, probeFails           atomic.Int64
+	hedges                       atomic.Int64
+
+	// probeMu guards the background prober's per-site backoff schedule
+	// (failing sites are probed at decaying, not full, rate).
+	probeMu    sync.Mutex
+	probeSched map[frag.SiteID]*probeSchedule
 
 	stopOnce  sync.Once
 	stop      chan struct{}
@@ -137,6 +143,10 @@ type Stats struct {
 	Probes, ProbeFailures int64
 	// Migrations counts fragments the rebalancer moved.
 	Migrations int64
+	// Hedges counts speculative duplicate requests the tier planned
+	// (armed timers that fired may be fewer; see core's Report for
+	// launched/won counts).
+	Hedges int64
 }
 
 func (t *Tier) Stats() Stats {
@@ -146,6 +156,7 @@ func (t *Tier) Stats() Stats {
 		Probes:        t.probes.Load(),
 		ProbeFailures: t.probeFails.Load(),
 		Migrations:    t.migrations.Load(),
+		Hedges:        t.hedges.Load(),
 	}
 }
 
@@ -293,6 +304,85 @@ func (t *Tier) score(site frag.SiteID, base float64, planned int64) float64 {
 	return ewma * float64(1+inflight+planned)
 }
 
+// PlanHedge implements core.HedgePlanner: pick the best-scored live
+// site besides primary that replicates ALL of ids, and the delay to arm
+// the hedge timer with — the fixed Options.HedgeDelay, or (when 0) the
+// primary's observed latency p95. Declines when hedging is off, no such
+// site exists, or dynamic mode has no p95 yet (a hedge armed on zero
+// information would fire instantly and double every call).
+func (t *Tier) PlanHedge(primary frag.SiteID, ids []xmltree.FragmentID) (frag.SiteID, time.Duration, bool) {
+	if !t.opt.Hedging || len(ids) == 0 {
+		return "", 0, false
+	}
+	delay := t.opt.HedgeDelay
+	if delay <= 0 {
+		if delay = t.health.p95(primary); delay <= 0 {
+			return "", 0, false
+		}
+	}
+	// Candidates: sites holding a replica of every fragment of the job.
+	t.mu.RLock()
+	var cands map[frag.SiteID]bool
+	for _, id := range ids {
+		here := make(map[frag.SiteID]bool, len(t.replicas[id]))
+		for _, s := range t.replicas[id] {
+			if s != primary {
+				here[s] = true
+			}
+		}
+		if cands == nil {
+			cands = here
+			continue
+		}
+		for s := range cands {
+			if !here[s] {
+				delete(cands, s)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+	}
+	t.mu.RUnlock()
+
+	base := t.baseScore()
+	var best frag.SiteID
+	bestRank := -1
+	var bestScore float64
+	for site := range cands {
+		st := t.health.state(site)
+		if st == Down {
+			continue
+		}
+		rank := 0
+		if st == Suspect {
+			rank = 1
+		}
+		score := t.score(site, base, 0)
+		better := bestRank < 0 ||
+			rank < bestRank ||
+			(rank == bestRank && (score < bestScore || (score == bestScore && site < best)))
+		if better {
+			best, bestRank, bestScore = site, rank, score
+		}
+	}
+	if bestRank < 0 {
+		return "", 0, false
+	}
+	t.hedges.Add(1)
+	return best, delay, true
+}
+
+// HedgeLost implements core.HedgeLossReporter: the hedge on a job won,
+// so its primary demonstrably took at least elapsed. The loser's call is
+// cancelled — it never produces an RTT sample of its own — so this floor
+// is the router's only way to learn that a hedged-around replica is
+// slow; without it the site keeps scoring as average and keeps being
+// offered work it always loses.
+func (t *Tier) HedgeLost(primary frag.SiteID, elapsed time.Duration) {
+	t.health.floorSample(primary, elapsed)
+}
+
 // Start launches the background prober (and the rebalancer, when
 // configured via StartRebalancer before Start). Stop with Stop.
 func (t *Tier) Start() {
@@ -307,7 +397,7 @@ func (t *Tier) Start() {
 				case <-t.stop:
 					return
 				case <-ticker.C:
-					t.ProbeNow(context.Background())
+					t.probeSweep(context.Background())
 				}
 			}
 		}()

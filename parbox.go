@@ -47,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -175,6 +176,13 @@ type options struct {
 	// serving tier call through — the fault-injection seam of the failover
 	// tests (see withTransportWrapper).
 	wrapTransport func(cluster.Transport) cluster.Transport
+	// retryPol shapes the per-query retry discipline (WithRetryBudget);
+	// hedging/hedgeDelay arm speculative duplicates (WithHedging) and
+	// admission bounds per-site concurrent work (WithAdmissionLimit).
+	retryPol   backoff.Policy
+	hedging    bool
+	hedgeDelay time.Duration
+	admission  int
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -258,6 +266,42 @@ func WithRebalancing(interval time.Duration) Option {
 	}
 }
 
+// WithRetryBudget caps the transparent retries any single query spends
+// recovering from transient failures — whole-round retries (which sleep,
+// exponential backoff with full jitter, floored at any server-provided
+// retry-after hint) and per-call failover re-placements draw from the
+// same budget, so a struggling deployment sees per-query retry traffic
+// bounded by n instead of multiplying across layers. 0 picks the default
+// (4); negative removes the cap (the pre-budget behavior, bounded only
+// by the per-round site-exclusion sets).
+func WithRetryBudget(n int) Option {
+	return func(o *options) { o.retryPol.Budget = n }
+}
+
+// WithHedging arms speculative retries on a WithFailover deployment:
+// a pure scatter call on fragments with a second live replica races a
+// duplicate on the next-best site once the primary has been quiet past
+// the hedge delay — the first answer wins and the loser is cancelled,
+// cutting tail latency when a replica is slow but not dead. delay fixes
+// the hedge timer; 0 arms it adaptively at the primary site's observed
+// latency p95 (no hedge fires until the site has been observed). Only
+// the winning attempt of a hedged pair is accounted; Result.Hedges and
+// ServeStats report the hedging work.
+func WithHedging(delay time.Duration) Option {
+	return func(o *options) { o.hedging = true; o.hedgeDelay = delay }
+}
+
+// WithAdmissionLimit bounds every site to n concurrently admitted
+// requests: work beyond the bound is shed immediately with a retryable
+// overload error carrying a retry-after hint (honored by the retry
+// backoff), so a burst degrades into bounded queueing plus fast sheds
+// instead of unbounded pile-up. Health probes and the serving tier's
+// control plane are exempt — a saturated site still answers probes.
+// Shed counts appear in the cluster metrics (Sheds).
+func WithAdmissionLimit(n int) Option {
+	return func(o *options) { o.admission = n }
+}
+
 // withServeOptions overrides the serving tier's health/probe tuning —
 // a test hook (deterministic tests disable the background prober and
 // drive CheckHealth explicitly).
@@ -298,6 +342,11 @@ type System struct {
 	// cluster directly). Both are set at deployment and never change.
 	tier  *serve.Tier
 	trans cluster.Transport
+
+	// retryPol is the deployment's per-query retry discipline
+	// (WithRetryBudget), shared by the engine's Boolean rounds and the
+	// facade's select/count round retries.
+	retryPol backoff.Policy
 
 	// mu guards engine, which Replan swaps; forest/replicas are retained
 	// for Replan on replicated deployments and never change.
@@ -345,6 +394,9 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	if o.rebalance {
 		return nil, fmt.Errorf("parbox: WithRebalancing requires WithFailover")
 	}
+	if o.hedging {
+		return nil, fmt.Errorf("parbox: WithHedging requires WithFailover (a hedge needs a second live replica)")
+	}
 	c := cluster.New(o.cost)
 	eng, err := core.Deploy(c, forest, assign)
 	if err != nil {
@@ -353,12 +405,17 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	for _, siteID := range eng.SourceTree().Sites() {
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
+		if o.admission > 0 {
+			site.SetAdmission(cluster.AdmissionLimits{MaxInflight: o.admission})
+		}
 	}
 	eng.EnableTripletCache(o.tripletCache)
 	eng.SetMaxInflight(o.maxInflight)
+	eng.SetRetryPolicy(o.retryPol)
 	s := &System{
 		cluster: c, engine: eng, coalesceDefault: o.coalesce,
 		cacheEnabled: o.tripletCache, maxInflight: o.maxInflight,
+		retryPol: o.retryPol,
 	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
 	if o.dataDir != "" {
@@ -470,6 +527,15 @@ func (s *System) Coordinator() SiteID { return s.eng().Coordinator() }
 // TotalBytes returns the cumulative remote traffic since deployment (or
 // the last ResetMetrics).
 func (s *System) TotalBytes() int64 { return s.cluster.Metrics().TotalBytes() }
+
+// Sheds returns the cumulative number of requests admission control shed
+// since deployment (or the last ResetMetrics); zero without
+// WithAdmissionLimit.
+func (s *System) Sheds() int64 { return s.cluster.Metrics().TotalSheds() }
+
+// DeadlineExpired returns the cumulative number of calls that hit a
+// propagated deadline since deployment (or the last ResetMetrics).
+func (s *System) DeadlineExpired() int64 { return s.cluster.Metrics().TotalDeadlineExpired() }
 
 // ResetMetrics clears the cluster-wide accounting.
 func (s *System) ResetMetrics() { s.cluster.Metrics().Reset() }
@@ -673,6 +739,13 @@ func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	if o.rebalance && !o.failover {
 		return nil, fmt.Errorf("parbox: WithRebalancing requires WithFailover")
 	}
+	if o.hedging && !o.failover {
+		return nil, fmt.Errorf("parbox: WithHedging requires WithFailover (the serving tier plans the hedges)")
+	}
+	if o.hedging {
+		o.serveOpts.Hedging = true
+		o.serveOpts.HedgeDelay = o.hedgeDelay
+	}
 	c := cluster.New(o.cost)
 	eng, err := core.DeployReplicated(c, forest, replicas, strategy)
 	if err != nil {
@@ -684,6 +757,9 @@ func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 		if o.failover {
 			serve.RegisterHandlers(site)
 		}
+		if o.admission > 0 {
+			site.SetAdmission(cluster.AdmissionLimits{MaxInflight: o.admission})
+		}
 	}
 	var trans cluster.Transport
 	if o.wrapTransport != nil {
@@ -694,10 +770,11 @@ func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	}
 	eng.EnableTripletCache(o.tripletCache)
 	eng.SetMaxInflight(o.maxInflight)
+	eng.SetRetryPolicy(o.retryPol)
 	s := &System{
 		cluster: c, engine: eng, forest: forest, replicas: replicas,
 		coalesceDefault: o.coalesce, cacheEnabled: o.tripletCache,
-		maxInflight: o.maxInflight, trans: trans,
+		maxInflight: o.maxInflight, trans: trans, retryPol: o.retryPol,
 	}
 	if o.failover {
 		tr := cluster.Transport(c)
@@ -733,6 +810,7 @@ func (s *System) Replan(strategy PlacementStrategy) error {
 	}
 	eng.EnableTripletCache(s.cacheEnabled)
 	eng.SetMaxInflight(s.maxInflight)
+	eng.SetRetryPolicy(s.retryPol)
 	if s.tier != nil {
 		eng.SetTier(s.tier)
 	}
