@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff recovery-smoke transport-soak failover-smoke overload-smoke
+.PHONY: all build test vet bench bench-smoke bench-diff fuzz-fused recovery-smoke transport-soak failover-smoke overload-smoke
 
 all: build vet test
 
@@ -29,6 +29,13 @@ bench-smoke:
 # touching BENCH_parbox.json; `make bench` re-records the baseline.
 bench-diff:
 	go run ./cmd/parbox bench -out /tmp/BENCH_parbox.json -quiet -compare BENCH_parbox.json
+
+# fuzz-fused differentially fuzzes the fused lane kernel: arbitrary
+# (tree, fragmentation, query batch) triples must evaluate identically
+# through the word-parallel kernel, the scalar per-lane loop, and the
+# legacy pointer evaluator. CI runs the same target for 30s.
+fuzz-fused:
+	go test ./internal/eval -run Fuzz -fuzz FuzzFusedBottomUp -fuzztime 30s
 
 # recovery-smoke is CI's crash-recovery gate: SIGKILL a durable site
 # daemon mid-run and restart it from its data dir, plus the in-process

@@ -12,6 +12,7 @@ package parbox
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/boolexpr"
@@ -252,6 +253,70 @@ func benchFragmented(b *testing.B, n int, nodes int) *core.Engine {
 		b.Fatal(err)
 	}
 	return eng
+}
+
+// BenchmarkCoalescedBurst mirrors the harness's serve/coalesced-64q
+// scenario in a profileable shape: 64 concurrent subscribers sharing six
+// standing queries against an 8-site star, served by the coalescing
+// scheduler. `go test -bench CoalescedBurst -cpuprofile cpu.out .` is the
+// way to see where a scheduler round actually spends its time.
+func BenchmarkCoalescedBurst(b *testing.B) {
+	root, sites, err := xmark.BuildDoc(xmark.TreeSpec{
+		Seed:       3,
+		Parents:    xmark.StarParents(8),
+		MBs:        xmark.EvenMBs(float64(8*10000)/float64(xmark.DefaultNodesPerMB), 8),
+		NodesPerMB: xmark.DefaultNodesPerMB,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := xmark.Fragment(root, sites)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := frag.Assignment{}
+	for i := 0; i < 8; i++ {
+		assign[FragmentID(i)] = frag.SiteID(fmt.Sprintf("S%d", i))
+	}
+	sys, err := Deploy(forest, assign, WithCoalescedServing(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := []string{
+		xmark.NamedQueries["BQ1-person-lookup"],
+		xmark.NamedQueries["BQ2-bidder-increase"],
+		xmark.NamedQueries["BQ3-closed-price"],
+		xmark.NamedQueries["BQ5-absence"],
+		xmark.NamedQueries["BQ6-region-items"],
+		xmark.Queries[8],
+	}
+	subs := make([]*Prepared, 64)
+	for i := range subs {
+		q, err := Prepare(srcs[i%len(srcs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = q
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, q := range subs {
+			wg.Add(1)
+			go func(q *Prepared) {
+				defer wg.Done()
+				<-start
+				if _, err := sys.Exec(ctx, q); err != nil {
+					b.Error(err)
+				}
+			}(q)
+		}
+		close(start)
+		wg.Wait()
+	}
 }
 
 func BenchmarkParBoXEndToEnd(b *testing.B) {

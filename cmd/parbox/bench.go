@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -43,8 +44,38 @@ func cmdBench(args []string) error {
 	compare := fs.String("compare", "", "baseline BENCH_parbox.json to diff against; exit nonzero on regression")
 	tolerance := fs.Float64("tolerance", 0.25, "allowed relative regression before -compare fails (0.25 = 25%)")
 	compareMetric := fs.String("compare-metric", "both", "what -compare gates on: ns, allocs, or both (allocs is machine-independent; use it on shared CI runners)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole bench run to this file (go tool pprof attributes kernel wins to functions instead of inferring them from ns/op deltas)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit, after a final GC")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	type benchResult struct {
@@ -104,6 +135,38 @@ func cmdBench(args []string) error {
 		"legacy_allocs_op":  float64(legacyRes.AllocsPerOp()),
 		"arena_allocs_op":   float64(newRes.AllocsPerOp()),
 	})
+
+	// --- Lane scaling: one fused bottomUp pass over 8/64/256 lanes --------
+	// The fused kernel's pitch is sublinear lane scaling: same-shaped
+	// queries over different constants share (level, op, delta) groups, so
+	// going from 8 to 256 lanes mostly widens masks instead of adding ops.
+	// ns_per_lane_node is the honest per-unit cost — it must FALL as lanes
+	// stack, or the fusion is just a loop in disguise.
+	for _, target := range []int{8, 64, 256} {
+		lb := xpath.NewBatchBuilder()
+		for i := 0; lb.Lanes() < target; i++ {
+			e, err := xpath.Parse(fmt.Sprintf(`//item%d[//keyword%d[text() = "v%d"] && quantity%d]`, i, i, i, i))
+			if err != nil {
+				return err
+			}
+			lb.Add(e)
+		}
+		laneProg, _ := lb.Program()
+		laneRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eval.BottomUp(doc, laneProg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		record(fmt.Sprintf("eval/lanes-%d", target), laneRes, map[string]float64{
+			"lanes":            float64(len(laneProg.Subs)),
+			"kernel_ops":       float64(laneProg.Kernel().Ops()),
+			"fragment_nodes":   float64(doc.Size()),
+			"ns_per_lane_node": float64(laneRes.NsPerOp()) / (float64(len(laneProg.Subs)) * float64(doc.Size())),
+		})
+	}
 
 	// --- Solve over a 32-fragment chain: the memoized arena unification ---
 	chainRoot, chainSites, err := xmark.BuildDoc(xmark.TreeSpec{
@@ -231,16 +294,26 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	// solve_work/bottomup_steps split the round's site-side bottomUp
+	// traversal from the coordinator's solve, so a profile regression can
+	// be attributed to the right half without rerunning under pprof.
+	var seqSolveWork, seqBottomUpSteps int64
 	seqServe := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			seqSolveWork, seqBottomUpSteps = 0, 0
 			for _, q := range subs {
-				if _, err := seqSys.Exec(ctx, q, parbox.WithNoCoalesce()); err != nil {
+				res, err := seqSys.Exec(ctx, q, parbox.WithNoCoalesce())
+				if err != nil {
 					b.Fatal(err)
 				}
+				seqSolveWork += res.Boolean.SolveWork
+				seqBottomUpSteps += res.TotalSteps - res.Boolean.SolveWork
 			}
 		}
 	})
+	var coSolveWork, coBottomUpSteps int64
+	coResults := make([]*parbox.Result, subscribers)
 	coServe := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -250,28 +323,87 @@ func cmdBench(args []string) error {
 			// load and understate what a loaded server sees).
 			start := make(chan struct{})
 			var wg sync.WaitGroup
-			for _, q := range subs {
+			for si, q := range subs {
 				wg.Add(1)
-				go func(q *parbox.Prepared) {
+				go func(si int, q *parbox.Prepared) {
 					defer wg.Done()
 					<-start
-					if _, err := coSys.Exec(ctx, q); err != nil {
+					res, err := coSys.Exec(ctx, q)
+					if err != nil {
 						b.Error(err)
 					}
-				}(q)
+					coResults[si] = res
+				}(si, q)
 			}
 			close(start)
 			wg.Wait()
+			// Round reports are shared between round-mates (pointer
+			// identity), so dedupe before summing the burst's work.
+			coSolveWork, coBottomUpSteps = 0, 0
+			seen := make(map[*parbox.BatchResult]bool)
+			for _, res := range coResults {
+				if res == nil || res.Sched == nil || seen[res.Sched.Round] {
+					continue
+				}
+				seen[res.Sched.Round] = true
+				rep := res.Sched.Round
+				coSolveWork += rep.SolveWork
+				coBottomUpSteps += rep.TotalSteps - rep.SolveWork
+			}
 		}
 	})
 	coStats := coSys.SchedulerStats()
 	serveSpeedup := float64(seqServe.NsPerOp()) / float64(coServe.NsPerOp())
-	record("serve/sequential-64q", seqServe, map[string]float64{"queries": subscribers})
+	record("serve/sequential-64q", seqServe, map[string]float64{
+		"queries":        subscribers,
+		"solve_work":     float64(seqSolveWork),
+		"bottomup_steps": float64(seqBottomUpSteps),
+	})
 	record("serve/coalesced-64q", coServe, map[string]float64{
 		"queries":           subscribers,
 		"speedup_x":         serveSpeedup,
 		"rounds":            float64(coStats.Rounds),
 		"queries_coalesced": float64(coStats.CoalescedQueries),
+		"solve_work":        float64(coSolveWork),
+		"bottomup_steps":    float64(coBottomUpSteps),
+	})
+
+	// --- Serving: the whole burst as ONE fused round -----------------------
+	// The ceiling the coalescing scheduler approaches: all 64 subscriber
+	// queries fused into a single shared QList and answered by one
+	// ParBoXBatch round — one word-parallel bottomUp pass per fragment
+	// evaluates every lane of every query simultaneously through the
+	// precompiled lane kernel. No admission windows, no scheduler; the
+	// per-op cost is one round (including the round's batch compile,
+	// exactly what a scheduler flush pays), full stop.
+	var fusedRep parbox.BatchResult
+	var fusedLanes int
+	fusedRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := seqSys.Exec(ctx, subs[0], parbox.WithBatch(subs[1:]...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fusedRep = *res.Batch
+		}
+	})
+	fusedExprs := make([]xpath.Expr, subscribers)
+	for i := range fusedExprs {
+		e, err := xpath.Parse(subSrcs[i%len(subSrcs)])
+		if err != nil {
+			return err
+		}
+		fusedExprs[i] = e
+	}
+	fusedProg, _ := xpath.CompileBatch(fusedExprs)
+	fusedLanes = len(fusedProg.Subs)
+	record("serve/fused-64q", fusedRes, map[string]float64{
+		"queries":        subscribers,
+		"lanes":          float64(fusedLanes),
+		"speedup_x":      float64(seqServe.NsPerOp()) / float64(fusedRes.NsPerOp()),
+		"solve_work":     float64(fusedRep.SolveWork),
+		"bottomup_steps": float64(fusedRep.TotalSteps - fusedRep.SolveWork),
 	})
 
 	// --- Serving: warm triplet cache, repeated rounds ----------------------

@@ -311,3 +311,39 @@ func TestCoalesceOptionValidation(t *testing.T) {
 		t.Errorf("optimized answer %v != plain %v", opt.Answer, res.Answer)
 	}
 }
+
+// TestSchedulerReusesBatchBuilder pins the cross-window builder recycling:
+// after a round flushes, its BatchBuilder (Reset, intern storage kept) must
+// be the one the next window opens with — steady-state serving compiles
+// every round through a single builder instead of allocating a compiler per
+// round. (The allocs-per-round bound for the builder cycle itself is pinned
+// in xpath's TestBatchBuilderSteadyStateAllocs.)
+func TestSchedulerReusesBatchBuilder(t *testing.T) {
+	sys, _ := deployPortfolio(t)
+	ctx := context.Background()
+	q := MustPrepare(`//stock[code = "YHOO"]`)
+
+	if _, err := sys.Exec(ctx, q, WithCoalescing()); err != nil {
+		t.Fatal(err)
+	}
+	sys.sched.mu.Lock()
+	spare := sys.sched.spare
+	sys.sched.mu.Unlock()
+	if spare == nil {
+		t.Fatal("no spare builder parked after the first round")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Exec(ctx, q, WithCoalescing()); err != nil {
+			t.Fatal(err)
+		}
+		sys.sched.mu.Lock()
+		again := sys.sched.spare
+		sys.sched.mu.Unlock()
+		if again != spare {
+			t.Fatalf("round %d flushed through a different builder — recycling broken", i)
+		}
+	}
+	if stats := sys.SchedulerStats(); stats.Rounds != 6 {
+		t.Fatalf("expected 6 rounds, got %d", stats.Rounds)
+	}
+}

@@ -66,6 +66,24 @@ func NewArena() *Arena {
 // Len returns the number of distinct nodes interned so far.
 func (a *Arena) Len() int { return len(a.nodes) }
 
+// Reset returns the arena to its freshly constructed state while retaining
+// every piece of allocated storage — node/operand/var slabs, intern map
+// buckets, the Subst memo table and rewrite buffers — so pooled arenas let
+// steady-state evaluation rounds run without re-growing any of it. All
+// NodeIDs handed out before the Reset are invalidated.
+func (a *Arena) Reset() {
+	a.nodes = append(a.nodes[:0], arenaNode{op: OpFalse}, arenaNode{op: OpTrue})
+	a.kids = a.kids[:0]
+	a.vars = a.vars[:0]
+	clear(a.varIDs)
+	clear(a.intern)
+	// Bumping the generation invalidates every memo entry in O(1); the
+	// memo/memoGen tables keep their capacity for the next tenant.
+	a.gen++
+	a.scratch = a.scratch[:0]
+	a.substKids = a.substKids[:0]
+}
+
 // Reserve pre-grows the arena's node, operand and memo storage for about n
 // additional nodes. Bulk importers with a size estimate in hand (Solve
 // interning a whole round's triplets) call it once up front instead of

@@ -50,3 +50,45 @@ func (b BitVec) Clear() {
 		b[i] = 0
 	}
 }
+
+// ShiftWord returns word w of the vector shifted UP by d bit positions
+// (bit i of the result is bit i-d of b; bits below d are zero). It is the
+// word-level primitive of the fused lane kernels: a kernel op that routes
+// every lane's operand bit A = i-d to lane i reads its source words through
+// ShiftWord instead of gathering bit by bit. Shifts of any size are legal;
+// words before the start of the vector read as zero.
+func ShiftWord(b BitVec, w int, d int32) uint64 {
+	i := w - int(d>>6)
+	r := uint(d) & 63
+	var hi, lo uint64
+	if i >= 0 {
+		hi = b[i]
+	}
+	if i > 0 {
+		lo = b[i-1]
+	}
+	if r == 0 {
+		return hi
+	}
+	return hi<<r | lo>>(64-r)
+}
+
+// ShiftWordOr is ShiftWord over the word-wise union a|b, without
+// materializing the union: word w of ((a|b) << d). The kernels' //q case
+// reads (DV ∨ V) this way — the descendant accumulator as the sequential
+// per-lane loop would have observed it mid-iteration.
+func ShiftWordOr(a, b BitVec, w int, d int32) uint64 {
+	i := w - int(d>>6)
+	r := uint(d) & 63
+	var hi, lo uint64
+	if i >= 0 {
+		hi = a[i] | b[i]
+	}
+	if i > 0 {
+		lo = a[i-1] | b[i-1]
+	}
+	if r == 0 {
+		return hi
+	}
+	return hi<<r | lo>>(64-r)
+}

@@ -1,0 +1,96 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shiftRef is the bit-by-bit reference for ShiftWord: bit i of the result
+// is bit i-d of b, over every bit position the words can hold (the result
+// may carry source bits shifted past the vector's logical size — kernel
+// ops always mask, so the contract is word-level, not lane-level).
+func shiftRef(b BitVec, n int, d int32) BitVec {
+	out := NewBitVec(n)
+	top := int32(len(out) * 64)
+	for i := d; i < top; i++ {
+		if i-d < top && b.Get(i-d) {
+			out[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return out
+}
+
+func TestShiftWordMatchesReference(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%200
+		d := int32(dRaw) % int32(n+70) // exercise out-of-range shifts too
+		b := NewBitVec(n)
+		for i := 0; i < n/2; i++ {
+			b.Set(int32(r.Intn(n)))
+		}
+		want := shiftRef(b, n, d)
+		for w := range b {
+			if got := ShiftWord(b, w, d); got != want[w] {
+				t.Logf("n=%d d=%d word %d: got %016x want %016x", n, d, w, got, want[w])
+				return false
+			}
+		}
+		// ShiftWordOr(a, b) must equal ShiftWord over the materialized union.
+		a := NewBitVec(n)
+		for i := 0; i < n/2; i++ {
+			a.Set(int32(r.Intn(n)))
+		}
+		union := NewBitVec(n)
+		union.Or(a)
+		union.Or(b)
+		for w := range b {
+			if got := ShiftWordOr(a, b, w, d); got != ShiftWord(union, w, d) {
+				t.Logf("union n=%d d=%d word %d mismatch", n, d, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenaReset: after Reset, the arena reproduces exactly the ids a fresh
+// arena would hand out, and pre-Reset interning leaves no trace.
+func TestArenaReset(t *testing.T) {
+	build := func(a *Arena) []NodeID {
+		x := a.Var(Var{Frag: 1, Vec: VecV, Q: 0})
+		y := a.Var(Var{Frag: 2, Vec: VecDV, Q: 3})
+		ids := []NodeID{
+			x, y,
+			a.And2(x, y),
+			a.Or2(a.Not(x), IDTrue),
+			a.And2(a.Or2(x, y), a.Not(y)),
+		}
+		return ids
+	}
+	reused := NewArena()
+	// Populate with different content so Reset has real state to clear.
+	z := reused.Var(Var{Frag: 9, Vec: VecV, Q: 7})
+	reused.Or2(reused.Not(z), reused.Var(Var{Frag: 8, Vec: VecDV, Q: 1}))
+	reused.Reset()
+
+	fresh := NewArena()
+	got, want := build(reused), build(fresh)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("id %d after Reset = %d, fresh arena = %d", i, got[i], want[i])
+		}
+	}
+	if reused.Len() != fresh.Len() {
+		t.Errorf("arena sizes diverge after Reset: %d vs %d", reused.Len(), fresh.Len())
+	}
+	// Subst across the Reset boundary must not see stale memo entries.
+	sub := reused.Subst(got[2], func(v Var) (NodeID, bool) { return IDTrue, true })
+	if sub != IDTrue {
+		t.Errorf("Subst(x∧y, all-true) = %d, want IDTrue", sub)
+	}
+}

@@ -179,6 +179,11 @@ func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (clu
 // fanning out over a bounded worker pool, and returns the triplets in
 // request order plus the summed step count.
 func evalFragments(ctx context.Context, site *cluster.Site, prog *xpath.Program, ids []xmltree.FragmentID) ([]fragTriplet, int64, error) {
+	// Programs decoded off the wire arrive without a compiled lane kernel;
+	// compile it once here rather than racing to build it (each winning
+	// once, wasting the losers' work) inside the first fragment of every
+	// worker.
+	prog.PrecompileKernel()
 	fts := make([]fragTriplet, len(ids))
 	evalOne := func(i int, id xmltree.FragmentID) (int64, error) {
 		if err := ctx.Err(); err != nil {

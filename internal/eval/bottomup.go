@@ -32,6 +32,8 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/boolexpr"
 	"repro/internal/frag"
@@ -129,17 +131,48 @@ func ImportTriplet(a *boolexpr.Arena, t Triplet) ArenaTriplet {
 	return ArenaTriplet{V: conv(t.V), CV: conv(t.CV), DV: conv(t.DV)}
 }
 
+// arenaPool recycles formula arenas across BottomUp/Solve calls: a
+// steady-state serving round reuses one arena's node/intern storage instead
+// of re-growing it per fragment. Arenas are Reset before going back in.
+var arenaPool = sync.Pool{New: func() any { return boolexpr.NewArena() }}
+
+func getArena() *boolexpr.Arena { return arenaPool.Get().(*boolexpr.Arena) }
+
+func putArena(a *boolexpr.Arena) {
+	a.Reset()
+	arenaPool.Put(a)
+}
+
 // BottomUp is Procedure bottomUp of the paper, run over the fragment rooted
 // at root for the compiled QList prog. It returns the fragment's triplet
 // and the number of computation steps performed (node × subquery units, the
 // paper's total-computation measure).
 func BottomUp(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
-	a := boolexpr.NewArena()
+	a := getArena()
 	at, steps, err := BottomUpArena(a, root, prog)
 	if err != nil {
+		putArena(a)
 		return Triplet{}, steps, err
 	}
-	return at.Export(a), steps, nil
+	t := at.Export(a)
+	putArena(a)
+	return t, steps, nil
+}
+
+// BottomUpPerLane is BottomUp evaluated with the scalar per-lane loop
+// instead of the fused lane kernel. It is the differential reference for
+// the kernel (as LegacyBottomUp is for the bitset representation): the two
+// must agree entry-wise on every (tree, program) pair.
+func BottomUpPerLane(root *xmltree.Node, prog *xpath.Program) (Triplet, int64, error) {
+	a := getArena()
+	at, steps, err := BottomUpArenaPerLane(a, root, prog)
+	if err != nil {
+		putArena(a)
+		return Triplet{}, steps, err
+	}
+	t := at.Export(a)
+	putArena(a)
+	return t, steps, nil
 }
 
 // buFrame is one traversal frame. A frame starts on the constant plane
@@ -153,6 +186,32 @@ type buFrame struct {
 	cv, dv   []boolexpr.NodeID
 }
 
+// buFrame1 is the single-word traversal frame: for programs of at most 64
+// lanes — every scheduler round under the default lane budget — the
+// constant-plane CV/DV accumulators are plain uint64 words carried in the
+// frame itself. No bitset is allocated, recycled, or even touched until a
+// virtual child forces the variable plane (cv non-nil marks the switch).
+type buFrame1 struct {
+	node   *xmltree.Node
+	next   int
+	cw, dw uint64
+	cv, dv []boolexpr.NodeID
+}
+
+// buScratch is the pooled traversal workspace: bitset and id-vector free
+// lists plus the frame stacks, recycled across BottomUp calls so a
+// steady-state serving round re-walks fragments with zero traversal
+// allocations. Vectors of a different shape than the current program are
+// dropped on reuse (cap check), never resized in place.
+type buScratch struct {
+	bits   []boolexpr.BitVec
+	ids    [][]boolexpr.NodeID
+	stack  []buFrame
+	stack1 []buFrame1
+}
+
+var buScratchPool = sync.Pool{New: func() any { return new(buScratch) }}
+
 // BottomUpArena is BottomUp producing arena ids in a caller-provided arena,
 // for callers that keep working symbolically (Solve, the view layer) and
 // don't want the pointer export.
@@ -164,11 +223,28 @@ type buFrame struct {
 // lists, so the whole traversal allocates O(depth) small objects instead of
 // O(|F_j|).
 //
+// Constant-plane nodes evaluate through the program's fused lane kernel
+// (xpath.LaneKernel): the whole QList in a few masked word ops per node
+// instead of a per-lane loop. Frames forced onto the variable plane fall
+// back to the per-lane arena body, which is the only representation that
+// can hold residual formulas.
+//
 // Virtual nodes do not recurse: a virtual child standing for fragment k
 // contributes the variables x(k,V,i) to the parent's CV and x(k,DV,i) to
 // the parent's DV. (A parent never consumes a child's CV vector, so no CV
 // variables are ever created; see DESIGN.md.)
 func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (ArenaTriplet, int64, error) {
+	return bottomUpArena(a, root, prog, prog.Kernel())
+}
+
+// BottomUpArenaPerLane is BottomUpArena with the fused kernel disabled —
+// the constant plane runs the scalar per-lane loop. Differential reference
+// for the kernel path.
+func BottomUpArenaPerLane(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (ArenaTriplet, int64, error) {
+	return bottomUpArena(a, root, prog, nil)
+}
+
+func bottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program, kern *xpath.LaneKernel) (ArenaTriplet, int64, error) {
 	if root == nil {
 		return ArenaTriplet{}, 0, errors.New("eval: nil fragment root")
 	}
@@ -176,26 +252,42 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 		return ArenaTriplet{}, 0, errors.New("eval: fragment root is a virtual node")
 	}
 	n := len(prog.Subs)
+	words := (n + 63) / 64
 	var steps int64
 
-	var bitPool []boolexpr.BitVec
-	newBits := func() boolexpr.BitVec {
-		if k := len(bitPool); k > 0 {
-			b := bitPool[k-1]
-			bitPool = bitPool[:k-1]
-			b.Clear()
-			return b
-		}
-		return boolexpr.NewBitVec(n)
+	sc := buScratchPool.Get().(*buScratch)
+	if kern != nil && kern.Words() == 1 {
+		result, steps := bottomUpArena1(a, root, prog, kern, sc)
+		buScratchPool.Put(sc)
+		return result, steps, nil
 	}
-	var idPool [][]boolexpr.NodeID
-	newIDs := func() []boolexpr.NodeID {
-		if k := len(idPool); k > 0 {
-			v := idPool[k-1]
-			idPool = idPool[:k-1]
-			return v
+	newBits := func() boolexpr.BitVec {
+		for {
+			k := len(sc.bits)
+			if k == 0 {
+				return boolexpr.NewBitVec(n)
+			}
+			b := sc.bits[k-1]
+			sc.bits = sc.bits[:k-1]
+			if cap(b) >= words {
+				b = b[:words]
+				b.Clear()
+				return b
+			}
 		}
-		return make([]boolexpr.NodeID, n)
+	}
+	newIDs := func() []boolexpr.NodeID {
+		for {
+			k := len(sc.ids)
+			if k == 0 {
+				return make([]boolexpr.NodeID, n)
+			}
+			v := sc.ids[k-1]
+			sc.ids = sc.ids[:k-1]
+			if cap(v) >= n {
+				return v[:n]
+			}
+		}
 	}
 	// materialize moves a frame from the constant to the variable plane:
 	// every decided bit becomes the corresponding constant id.
@@ -205,12 +297,11 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 			f.cv[i] = a.Const(f.cvb.Get(i))
 			f.dv[i] = a.Const(f.dvb.Get(i))
 		}
-		bitPool = append(bitPool, f.cvb, f.dvb)
+		sc.bits = append(sc.bits, f.cvb, f.dvb)
 		f.cvb, f.dvb = nil, nil
 	}
 
-	stack := make([]buFrame, 1, 32)
-	stack[0] = buFrame{node: root, cvb: newBits(), dvb: newBits()}
+	stack := append(sc.stack[:0], buFrame{node: root, cvb: newBits(), dvb: newBits()})
 	var result ArenaTriplet
 
 	for len(stack) > 0 {
@@ -233,6 +324,23 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 				}
 				continue
 			}
+			if kern != nil && len(c.Children) == 0 {
+				// Leaf: CV = DV = 0, so the kernel's leaf plan yields V
+				// directly and the outgoing DV is exactly V — no frame, no
+				// CV/DV vectors, one scratch word vector.
+				steps += int64(n)
+				vb := newBits()
+				kern.EvalLeaf(vb, c.Label, c.Text)
+				if f.cv == nil {
+					f.cvb.Or(vb)
+					f.dvb.Or(vb)
+				} else {
+					orBitsInto(a, f.cv, vb)
+					orBitsInto(a, f.dv, vb)
+				}
+				sc.bits = append(sc.bits, vb)
+				continue
+			}
 			stack = append(stack, buFrame{node: c, cvb: newBits(), dvb: newBits()})
 			descended = true
 			break
@@ -247,9 +355,14 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 		stack = stack[:len(stack)-1]
 		if child.cv == nil {
 			vb := newBits()
-			evalCasesBits(vb, child.node, prog, child.cvb, child.dvb)
+			if kern != nil {
+				kern.EvalConst(vb, child.cvb, child.dvb, child.node.Label, child.node.Text)
+			} else {
+				evalCasesBits(vb, child.node, prog, child.cvb, child.dvb)
+			}
 			if len(stack) == 0 {
 				result = constArenaTriplet(a, n, vb, child.cvb, child.dvb)
+				sc.bits = append(sc.bits, vb, child.cvb, child.dvb)
 				break
 			}
 			p := &stack[len(stack)-1]
@@ -260,11 +373,13 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 				orBitsInto(a, p.cv, vb)
 				orBitsInto(a, p.dv, child.dvb)
 			}
-			bitPool = append(bitPool, vb, child.cvb, child.dvb)
+			sc.bits = append(sc.bits, vb, child.cvb, child.dvb)
 		} else {
 			v := newIDs()
 			evalCasesArena(a, v, child.node, prog, child.cv, child.dv)
 			if len(stack) == 0 {
+				// The result vectors escape to the caller; they cannot
+				// return to the free lists.
 				result = ArenaTriplet{V: v, CV: child.cv, DV: child.dv}
 				break
 			}
@@ -278,10 +393,181 @@ func BottomUpArena(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program) (
 			}
 			// The child's vectors only carried ids upward; the slices
 			// themselves are free for reuse.
-			idPool = append(idPool, v, child.cv, child.dv)
+			sc.ids = append(sc.ids, v, child.cv, child.dv)
 		}
 	}
+	// Clear frame contents before pooling the stack so popped frames don't
+	// pin tree nodes (and the early-break leftovers don't leak vectors into
+	// the next call with a different shape — the cap checks handle shape,
+	// the zeroing handles liveness).
+	stack = stack[:cap(stack)]
+	for i := range stack {
+		stack[i] = buFrame{}
+	}
+	sc.stack = stack[:0]
+	buScratchPool.Put(sc)
 	return result, steps, nil
+}
+
+// bottomUpArena1 is the traversal specialized for single-word kernels: the
+// dominant serving shape (≤64 fused lanes). Constant-plane frames carry
+// their CV/DV accumulators as two uint64 fields — the entire per-node
+// evaluation is kern.EvalConstWord in registers plus two word ORs into the
+// parent — and leaves never get a frame at all: a childless real node's V
+// is computed from (CV, DV) = (0, 0) and folded straight into the frame on
+// top of the stack. The variable plane (virtual children) falls back to
+// the same per-lane arena body as the general path.
+func bottomUpArena1(a *boolexpr.Arena, root *xmltree.Node, prog *xpath.Program, kern *xpath.LaneKernel, sc *buScratch) (ArenaTriplet, int64) {
+	n := len(prog.Subs)
+	var steps int64
+	newIDs := func() []boolexpr.NodeID {
+		for {
+			k := len(sc.ids)
+			if k == 0 {
+				return make([]boolexpr.NodeID, n)
+			}
+			v := sc.ids[k-1]
+			sc.ids = sc.ids[:k-1]
+			if cap(v) >= n {
+				return v[:n]
+			}
+		}
+	}
+	materialize := func(f *buFrame1) {
+		f.cv, f.dv = newIDs(), newIDs()
+		for i := 0; i < n; i++ {
+			f.cv[i] = a.Const(f.cw>>uint(i)&1 == 1)
+			f.dv[i] = a.Const(f.dw>>uint(i)&1 == 1)
+		}
+	}
+
+	stack := append(sc.stack1[:0], buFrame1{node: root})
+	var result ArenaTriplet
+
+	// Leaf-plan memo: EvalLeafPlan is a pure function of the base self-test
+	// word, and a document's leaves collapse to a handful of distinct bases
+	// (most match no test at all). Direct-mapped, 4 slots, multiplicative
+	// hash; a collision just recomputes.
+	var (
+		leafKey [4]uint64
+		leafVal [4]uint64
+		leafSet [4]bool
+	)
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		descended := false
+		for f.next < len(f.node.Children) {
+			c := f.node.Children[f.next]
+			f.next++
+			if c.Virtual {
+				steps += int64(n)
+				if f.cv == nil {
+					materialize(f)
+				}
+				for i := 0; i < n; i++ {
+					vVar := a.Var(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecV, Q: int32(i)})
+					dVar := a.Var(boolexpr.Var{Frag: int32(c.Frag), Vec: boolexpr.VecDV, Q: int32(i)})
+					f.cv[i] = a.Or2(f.cv[i], vVar)
+					f.dv[i] = a.Or2(f.dv[i], dVar)
+				}
+				continue
+			}
+			if len(c.Children) == 0 {
+				// Leaf: CV = DV = 0, and line 17 makes the leaf's outgoing
+				// DV exactly its V.
+				steps += int64(n)
+				base := kern.LeafBase(c.Label, c.Text)
+				s := (base * 0x9e3779b97f4a7c15) >> 62
+				var vw uint64
+				if leafSet[s] && leafKey[s] == base {
+					vw = leafVal[s]
+				} else {
+					vw = kern.EvalLeafPlan(base)
+					leafKey[s], leafVal[s], leafSet[s] = base, vw, true
+				}
+				if f.cv == nil {
+					f.cw |= vw
+					f.dw |= vw
+				} else {
+					orWordInto(f.cv, vw)
+					orWordInto(f.dv, vw)
+				}
+				continue
+			}
+			stack = append(stack, buFrame1{node: c})
+			descended = true
+			break
+		}
+		if descended {
+			continue
+		}
+		steps += int64(n)
+		top := len(stack) - 1
+		child := &stack[top] // stays valid: nothing appends before it's consumed
+		stack = stack[:top]
+		if child.cv == nil {
+			vw := kern.EvalConstWord(child.cw, child.dw, child.node.Label, child.node.Text)
+			dw := child.dw | vw
+			if top == 0 {
+				result = constArenaTriplet1(a, n, vw, child.cw, dw)
+				break
+			}
+			p := &stack[top-1]
+			if p.cv == nil {
+				p.cw |= vw // line 4 of bottomUp, the whole vector in one OR
+				p.dw |= dw // line 5
+			} else {
+				orWordInto(p.cv, vw)
+				orWordInto(p.dv, dw)
+			}
+		} else {
+			v := newIDs()
+			evalCasesArena(a, v, child.node, prog, child.cv, child.dv)
+			if top == 0 {
+				result = ArenaTriplet{V: v, CV: child.cv, DV: child.dv}
+				break
+			}
+			p := &stack[top-1]
+			if p.cv == nil {
+				materialize(p)
+			}
+			for i := 0; i < n; i++ {
+				p.cv[i] = a.Or2(p.cv[i], v[i])
+				p.dv[i] = a.Or2(p.dv[i], child.dv[i])
+			}
+			sc.ids = append(sc.ids, v, child.cv, child.dv)
+		}
+	}
+	stack = stack[:cap(stack)]
+	for i := range stack {
+		stack[i] = buFrame1{}
+	}
+	sc.stack1 = stack[:0]
+	return result, steps
+}
+
+// orWordInto folds a single-word constant-plane vector into a
+// variable-plane id vector: each set bit forces its entry to true.
+func orWordInto(dst []boolexpr.NodeID, w uint64) {
+	for ; w != 0; w &= w - 1 {
+		dst[bits.TrailingZeros64(w)] = boolexpr.IDTrue
+	}
+}
+
+// constArenaTriplet1 is constArenaTriplet from single-word vectors.
+func constArenaTriplet1(a *boolexpr.Arena, n int, vw, cw, dw uint64) ArenaTriplet {
+	t := ArenaTriplet{
+		V:  make([]boolexpr.NodeID, n),
+		CV: make([]boolexpr.NodeID, n),
+		DV: make([]boolexpr.NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.V[i] = a.Const(vw>>uint(i)&1 == 1)
+		t.CV[i] = a.Const(cw>>uint(i)&1 == 1)
+		t.DV[i] = a.Const(dw>>uint(i)&1 == 1)
+	}
+	return t
 }
 
 // constArenaTriplet converts the root frame's bitsets into an all-constant
@@ -389,15 +675,19 @@ func evalCasesArena(a *boolexpr.Arena, v []boolexpr.NodeID, node *xmltree.Node, 
 // truth value. Over a complete tree the evaluation never leaves the
 // constant plane: the whole run is bitwise arithmetic.
 func Evaluate(root *xmltree.Node, prog *xpath.Program) (bool, int64, error) {
-	a := boolexpr.NewArena()
+	a := getArena()
 	t, steps, err := BottomUpArena(a, root, prog)
 	if err != nil {
+		putArena(a)
 		return false, steps, err
 	}
 	ans, ok := a.ConstValue(t.V[prog.Root()])
 	if !ok {
-		return false, steps, fmt.Errorf("eval: residual answer %v (tree has virtual nodes)", a.String(t.V[prog.Root()]))
+		err := fmt.Errorf("eval: residual answer %v (tree has virtual nodes)", a.String(t.V[prog.Root()]))
+		putArena(a)
+		return false, steps, err
 	}
+	putArena(a)
 	return ans, steps, nil
 }
 

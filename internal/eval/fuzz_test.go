@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/boolexpr"
+	"repro/internal/frag"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -51,6 +53,62 @@ func FuzzDecodeTriplet(f *testing.F) {
 		}
 		if !fresh.Equal(again) {
 			t.Fatal("round trip changed the triplet")
+		}
+	})
+}
+
+// FuzzFusedBottomUp is the differential fuzzer for the fused lane kernel:
+// an arbitrary (tree, fragmentation, query batch) triple must evaluate to
+// exactly the same triplets through the word-parallel kernel (BottomUp) as
+// through the scalar per-lane loop (BottomUpPerLane) — same step counts,
+// entry-wise equal vectors — and stay logically equivalent to the pointer
+// reference (LegacyBottomUp).
+func FuzzFusedBottomUp(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(3), uint8(2))
+	f.Add(int64(7), uint8(120), uint8(8), uint8(10))
+	f.Add(int64(42), uint8(5), uint8(0), uint8(40)) // lanes past one word
+	f.Add(int64(-9), uint8(200), uint8(12), uint8(1))
+
+	f.Fuzz(func(t *testing.T, seed int64, nodesRaw, splitRaw, queriesRaw uint8) {
+		r := rand.New(rand.NewSource(seed))
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 2 + int(nodesRaw)})
+		forest := frag.NewForest(tree)
+		if err := forest.SplitRandom(r, 1+int(splitRaw%14)); err != nil {
+			t.Skip()
+		}
+		b := xpath.NewBatchBuilder()
+		nq := 1 + int(queriesRaw)%48
+		for i := 0; i < nq; i++ {
+			b.Add(xpath.RandomQuery(r, xpath.RandomSpec{AllowNot: true, MaxDepth: 4, MaxSteps: 6}))
+		}
+		prog, _ := b.Program()
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("batch program invalid: %v", err)
+		}
+		for _, id := range forest.IDs() {
+			fr, _ := forest.Fragment(id)
+			fused, fusedSteps, err := BottomUp(fr.Root, prog)
+			if err != nil {
+				t.Fatalf("fragment %d fused: %v", id, err)
+			}
+			lane, laneSteps, err := BottomUpPerLane(fr.Root, prog)
+			if err != nil {
+				t.Fatalf("fragment %d per-lane: %v", id, err)
+			}
+			if fusedSteps != laneSteps {
+				t.Fatalf("fragment %d: fused %d steps, per-lane %d", id, fusedSteps, laneSteps)
+			}
+			if !fused.Equal(lane) {
+				t.Fatalf("fragment %d: fused kernel diverges from per-lane evaluator (%d lanes)\n%s",
+					id, len(prog.Subs), prog)
+			}
+			legacy, _, err := LegacyBottomUp(fr.Root, prog)
+			if err != nil {
+				t.Fatalf("fragment %d legacy: %v", id, err)
+			}
+			if !equivalentTriplets(r, fused, legacy) {
+				t.Fatalf("fragment %d: fused kernel not equivalent to LegacyBottomUp", id)
+			}
 		}
 	})
 }

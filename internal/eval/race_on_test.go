@@ -1,0 +1,7 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the race runtime is active; allocation
+// pinning is skipped there because the detector allocates on its own.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/boolexpr"
 	"repro/internal/frag"
@@ -13,6 +14,30 @@ import (
 // ErrUnresolved is returned by Solve when a triplet's formulas cannot be
 // reduced to constants — some referenced fragment's triplet is missing.
 var ErrUnresolved = errors.New("eval: unresolved variables in the equation system")
+
+// solveScratch pools the substitution environment and the import memo of
+// one evalST run. A steady-state serving round solves one system per
+// flush; clear() keeps the maps' bucket storage, so the round reuses the
+// previous round's capacity instead of re-growing two maps per solve.
+type solveScratch struct {
+	env  map[boolexpr.Var]boolexpr.NodeID
+	memo map[*boolexpr.Formula]boolexpr.NodeID
+}
+
+var solveScratchPool = sync.Pool{New: func() any {
+	return &solveScratch{
+		env:  make(map[boolexpr.Var]boolexpr.NodeID),
+		memo: make(map[*boolexpr.Formula]boolexpr.NodeID),
+	}
+}}
+
+func getSolveScratch() *solveScratch { return solveScratchPool.Get().(*solveScratch) }
+
+func putSolveScratch(s *solveScratch) {
+	clear(s.env)
+	clear(s.memo)
+	solveScratchPool.Put(s)
+}
 
 // Solve is Procedure evalST: a single bottom-up traversal of the source
 // tree that unifies the variables of each fragment's triplet with its
@@ -26,9 +51,12 @@ var ErrUnresolved = errors.New("eval: unresolved variables in the equation syste
 // memoized per (node, fragment-generation), so shared subformulas are
 // rewritten once instead of once per occurrence.
 func Solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (bool, int64, error) {
-	a := boolexpr.NewArena()
-	ats := importTriplets(a, triplets)
-	ans, work, resolved, err := solveArena(st, a, ats, prog, true)
+	a := getArena()
+	defer putArena(a)
+	sc := getSolveScratch()
+	defer putSolveScratch(sc)
+	ats := importTriplets(a, triplets, sc.memo)
+	ans, work, resolved, err := solveArenaEnv(st, a, ats, prog, true, sc.env)
 	if err != nil {
 		return false, work, err
 	}
@@ -42,7 +70,9 @@ func Solve(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *x
 // the entry point for callers that keep long-lived arena state (the view
 // layer) and skip the pointer round trip entirely.
 func SolveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.FragmentID]ArenaTriplet, prog *xpath.Program) (bool, int64, error) {
-	ans, work, resolved, err := solveArena(st, a, triplets, prog, true)
+	sc := getSolveScratch()
+	defer putSolveScratch(sc)
+	ans, work, resolved, err := solveArenaEnv(st, a, triplets, prog, true, sc.env)
 	if err != nil {
 		return false, work, err
 	}
@@ -57,14 +87,19 @@ func SolveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.Fra
 // reports whether the root answer already folded to a constant (in which
 // case deeper fragments need not be evaluated at all).
 func SolvePartial(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (ans bool, work int64, resolved bool, err error) {
-	a := boolexpr.NewArena()
-	return solveArena(st, a, importTriplets(a, triplets), prog, false)
+	a := getArena()
+	defer putArena(a)
+	sc := getSolveScratch()
+	defer putSolveScratch(sc)
+	return solveArenaEnv(st, a, importTriplets(a, triplets, sc.memo), prog, false, sc.env)
 }
 
-func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet) map[xmltree.FragmentID]ArenaTriplet {
+// importTriplets interns the pointer triplets into the arena through the
+// caller's (empty) memo map.
+func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet, memo map[*boolexpr.Formula]boolexpr.NodeID) map[xmltree.FragmentID]ArenaTriplet {
 	// One sizing pass so everything downstream is allocated exactly once:
-	// the arena's node/kid/memo storage (Reserve), the import memo, and a
-	// single id slab that every per-fragment vector is carved from.
+	// the arena's node/kid/memo storage (Reserve) and a single id slab that
+	// every per-fragment vector is carved from.
 	var entries, nodes int
 	for _, t := range triplets {
 		entries += len(t.V) + len(t.DV)
@@ -76,7 +111,6 @@ func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet) 
 		}
 	}
 	a.Reserve(nodes)
-	memo := make(map[*boolexpr.Formula]boolexpr.NodeID, nodes)
 	slab := make([]boolexpr.NodeID, 0, entries)
 	out := make(map[xmltree.FragmentID]ArenaTriplet, len(triplets))
 	conv := func(fs []*boolexpr.Formula) []boolexpr.NodeID {
@@ -94,10 +128,11 @@ func importTriplets(a *boolexpr.Arena, triplets map[xmltree.FragmentID]Triplet) 
 	return out
 }
 
-func solveArena(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.FragmentID]ArenaTriplet, prog *xpath.Program, needAll bool) (bool, int64, bool, error) {
+// solveArenaEnv is the evalST core; env must arrive empty (it is the
+// substitution environment, filled fragment by fragment).
+func solveArenaEnv(st *frag.SourceTree, a *boolexpr.Arena, triplets map[xmltree.FragmentID]ArenaTriplet, prog *xpath.Program, needAll bool, env map[boolexpr.Var]boolexpr.NodeID) (bool, int64, bool, error) {
 	n := len(prog.Subs)
 	root := st.Root()
-	env := make(map[boolexpr.Var]boolexpr.NodeID, 2*n*len(triplets))
 	lookup := func(v boolexpr.Var) (boolexpr.NodeID, bool) {
 		f, ok := env[v]
 		return f, ok
@@ -186,9 +221,12 @@ func SolveMulti(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, pr
 // booleans.
 func SolveAll(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog *xpath.Program) (map[xmltree.FragmentID]BoolVecs, int64, error) {
 	n := len(prog.Subs)
-	a := boolexpr.NewArena()
-	ats := importTriplets(a, triplets)
-	env := make(map[boolexpr.Var]boolexpr.NodeID, 2*n*len(ats))
+	a := getArena()
+	defer putArena(a)
+	sc := getSolveScratch()
+	defer putSolveScratch(sc)
+	ats := importTriplets(a, triplets, sc.memo)
+	env := sc.env
 	lookup := func(v boolexpr.Var) (boolexpr.NodeID, bool) {
 		f, ok := env[v]
 		return f, ok
@@ -231,9 +269,11 @@ func SolveAll(st *frag.SourceTree, triplets map[xmltree.FragmentID]Triplet, prog
 // (FullDistParBoX): "no variables appear in the resulting triplet".
 func ResolveTriplet(id xmltree.FragmentID, own Triplet, subs map[xmltree.FragmentID]Triplet, prog *xpath.Program) (Triplet, int64, error) {
 	n := len(prog.Subs)
-	a := boolexpr.NewArena()
-	memo := make(map[*boolexpr.Formula]boolexpr.NodeID)
-	env := make(map[boolexpr.Var]boolexpr.NodeID, 3*n*len(subs))
+	a := getArena()
+	defer putArena(a)
+	sc := getSolveScratch()
+	defer putSolveScratch(sc)
+	memo, env := sc.memo, sc.env
 	for sub, t := range subs {
 		if len(t.V) != n || len(t.DV) != n {
 			return Triplet{}, 0, fmt.Errorf("eval: sub-fragment %d triplet has wrong arity", sub)

@@ -83,9 +83,10 @@ func uvarintLen(v uint64) int {
 // len(buf)/4 bounds the node count and the first slab usually serves the
 // whole tree — the decode-side analogue of Encode's EncodedSize presizing.
 type treeDecoder struct {
-	buf  []byte
-	pos  int
-	slab []Node
+	buf    []byte
+	pos    int
+	slab   []Node
+	labels map[string]string // interned labels; see internStr
 }
 
 // decoderSlabMax caps slab size so a small message never provokes a large
@@ -136,6 +137,32 @@ func (d *treeDecoder) str() (string, error) {
 	return s, nil
 }
 
+// internStr is str for label fields: document labels draw from a small
+// repeated alphabet, so interning dedupes the per-node allocations and —
+// more importantly — gives every occurrence of a label the same backing
+// array, letting downstream string comparisons (kernel self-test memos)
+// short-circuit on pointer equality instead of comparing bytes.
+func (d *treeDecoder) internStr() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", fmt.Errorf("%w: string length %d exceeds buffer", ErrBadTree, n)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if s, ok := d.labels[string(b)]; ok { // no alloc: map lookup on string(bytes)
+		return s, nil
+	}
+	s := string(b)
+	if d.labels == nil {
+		d.labels = make(map[string]string, 16)
+	}
+	d.labels[s] = s
+	return s, nil
+}
+
 func (d *treeDecoder) node() (*Node, error) {
 	flags, err := d.byte()
 	if err != nil {
@@ -150,7 +177,7 @@ func (d *treeDecoder) node() (*Node, error) {
 		}
 		n.Frag = FragmentID(uint32(id))
 	} else {
-		if n.Label, err = d.str(); err != nil {
+		if n.Label, err = d.internStr(); err != nil {
 			return nil, err
 		}
 		if n.Text, err = d.str(); err != nil {

@@ -79,6 +79,10 @@ type Program struct {
 	// fp caches Fingerprint (0 = not yet computed). Do not mutate Subs
 	// after the first Fingerprint call.
 	fp atomic.Uint64
+
+	// kern caches the compiled lane kernel (see Kernel). Do not mutate
+	// Subs after the first Kernel call.
+	kern atomic.Pointer[LaneKernel]
 }
 
 // Fingerprint returns a stable 64-bit fingerprint of the program: FNV-1a
@@ -168,9 +172,8 @@ func CompileWithOptions(e Expr, opts CompileOptions) *Program {
 	idx := b.expr(e)
 	// The wrapper is appended directly (not interned) so that the program
 	// root is always the last entry, as the paper's evalST assumes.
-	b.prog.Subs = append(b.prog.Subs, Subquery{Kind: KFilter, A: idx, B: -1})
-	b.prog.Source = e.String()
-	return &b.prog
+	b.subs = append(b.subs, Subquery{Kind: KFilter, A: idx, B: -1})
+	return &Program{Subs: b.subs, Source: e.String()}
 }
 
 // CompileBatch compiles several queries into ONE shared program: the
@@ -188,6 +191,14 @@ func CompileBatch(exprs []Expr) (*Program, []int32) {
 		b.Add(e)
 	}
 	return b.Program()
+}
+
+// PrecompileKernel eagerly compiles and caches the fused lane kernel, so
+// evaluation threads never race to build it inside the first fragment's
+// traversal. Kernel() lazily does the same; this just front-loads the work.
+func (p *Program) PrecompileKernel() *Program {
+	p.Kernel()
+	return p
 }
 
 // BatchBuilder builds a shared batch program incrementally — CompileBatch
@@ -221,15 +232,30 @@ func (b *BatchBuilder) Queries() int { return len(b.roots) }
 
 // Lanes returns the current fused QList size — what every node of every
 // fragment will pay per bottomUp visit for the whole batch.
-func (b *BatchBuilder) Lanes() int { return len(b.c.prog.Subs) }
+func (b *BatchBuilder) Lanes() int { return len(b.c.subs) }
 
 // Program finalizes and returns the shared program plus each query's answer
-// entry, in Add order. The builder must not be used afterwards.
+// entry, in Add order, with the fused lane kernel precompiled. The builder
+// must not receive further Adds until Reset; the returned program and roots
+// do not alias builder state that Reset reuses.
 func (b *BatchBuilder) Program() (*Program, []int32) {
-	if len(b.c.prog.Subs) == 0 {
+	if len(b.c.subs) == 0 {
 		b.c.add(Subquery{Kind: KTrue, A: -1, B: -1})
 	}
-	return &b.c.prog, b.roots
+	p := &Program{Subs: b.c.subs}
+	p.PrecompileKernel()
+	return p, b.roots
+}
+
+// Reset returns the builder to its freshly constructed state while keeping
+// the intern map's bucket storage, so a steady-state scheduler can compile
+// every window's batch through one builder without re-growing the
+// hash-consing table each round. The previously returned Program and roots
+// remain valid: Reset abandons those slices rather than truncating them.
+func (b *BatchBuilder) Reset() {
+	clear(b.c.intern)
+	b.c.subs = nil
+	b.roots = nil
 }
 
 // MustCompileString parses and compiles, panicking on parse errors; it is
@@ -256,7 +282,7 @@ func CompileString(src string) (*Program, error) {
 }
 
 type compiler struct {
-	prog   Program
+	subs   []Subquery
 	intern map[Subquery]int32
 }
 
@@ -266,8 +292,8 @@ func (c *compiler) add(s Subquery) int32 {
 			return i
 		}
 	}
-	i := int32(len(c.prog.Subs))
-	c.prog.Subs = append(c.prog.Subs, s)
+	i := int32(len(c.subs))
+	c.subs = append(c.subs, s)
 	if c.intern != nil {
 		c.intern[s] = i
 	}
@@ -376,7 +402,7 @@ func (c *compiler) filter(q, tail int32) int32 {
 	if tail < 0 {
 		return c.add(Subquery{Kind: KFilter, A: q, B: -1})
 	}
-	t := c.prog.Subs[tail]
+	t := c.subs[tail]
 	switch t.Kind {
 	case KFilter:
 		// ε[q]/ε[q']/cont  →  ε[q ∧ q']/cont

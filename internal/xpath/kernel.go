@@ -1,0 +1,541 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/boolexpr"
+)
+
+// This file compiles a Program's QList into a LaneKernel: a word-parallel
+// execution plan for the constant-plane body of Procedure bottomUp. The
+// per-lane loop (eval.evalCasesBits) pays one branchy switch iteration per
+// QList entry per node, so a fused batch of N queries costs N× per node
+// even though the traversal is shared. The kernel regroups the lanes:
+//
+//   - Self-test lanes (ε, label()=l, text()=s) become per-string bit MASKS.
+//     One node evaluates every label test of every query in the batch with
+//     a single table lookup and a word-wise OR, however many queries — or
+//     tenants — contributed one.
+//   - Structural lanes (*/q, //q, ε[q]/q', ∧, ∨, ¬) become masked SHIFT
+//     ops. The compiler emits operands at adjacent indices, so a lane
+//     reading lane i-d is a shift by d; lanes sharing (dependency level,
+//     connective, operand deltas) — which all copies of a query shape do,
+//     wherever their lanes landed in the fused QList — collapse into ONE
+//     op whose mask selects them all.
+//
+// The dependency schedule orders the ops: a lane may read the V bit of an
+// earlier lane computed at the same node (the paper's left-to-right QList
+// order), so each lane gets a level — 0 for lanes reading only the node
+// and the child-fold inputs (CV, DV), 1 + max(operand levels) otherwise —
+// and ops apply in level order. Within a level the masked source bits are
+// all complete, so op order is free.
+//
+// Per-node cost is therefore O(distinct shapes × words), not O(lanes): a
+// round fusing 64 structurally similar subscriptions pays for the shapes
+// once, with the lanes riding along 64 to the machine word.
+
+// LaneKernel is the compiled word-parallel plan of one Program. It is
+// immutable after compilation and safe for concurrent use.
+type LaneKernel struct {
+	lanes, words int
+
+	// Level-0 self tests: lanes set by looking at the node alone.
+	trueMask []uint64  // ε lanes, set at every node
+	labels   maskTable // label()=l lanes, keyed by l
+	texts    maskTable // text()=s lanes, keyed by s
+
+	// Structural ops in dependency-level order. ops1 is the single-word
+	// specialization (≤64 lanes — the scheduler's default round budget);
+	// exactly one of ops/ops1 is populated. ops1Leaf/opsLeaf are the same
+	// plans specialized for childless nodes, where CV = DV = 0: child-fold
+	// ops vanish and //q collapses to a same-word copy, so the (dominant)
+	// leaf visits run an even shorter plan.
+	ops      []laneOp
+	ops1     []laneOp1
+	ops1Leaf []laneOp1
+	opsLeaf  []laneOp
+}
+
+// opKind is the fused connective of one kernel op.
+type opKind uint8
+
+const (
+	// opChild: v |= shift(cv, d1) & mask — case */q reads the child fold.
+	opChild opKind = iota
+	// opDesc: v |= shift(dv|v, d1) & mask — case //q reads the descendant
+	// accumulator as the sequential loop would observe it mid-iteration
+	// (dv entries of earlier lanes already include their V at this node).
+	opDesc
+	// opCopy: v |= shift(v, d1) & mask — ε[q] with no continuation.
+	opCopy
+	// opAnd: v |= shift(v, d1) & shift(v, d2) & mask — ∧ and ε[q]/q'.
+	opAnd
+	// opOr: v |= (shift(v, d1) | shift(v, d2)) & mask.
+	opOr
+	// opNot: v |= ^shift(v, d1) & mask.
+	opNot
+)
+
+// laneOp is one masked word-parallel op in the multi-word plan. The mask is
+// sparse: only words with a selected lane are stored, so a batch of many
+// heterogeneous shapes never pays more word ops than it has lanes.
+type laneOp struct {
+	kind   opKind
+	d1, d2 int32
+	idx    []int32  // word indices with at least one selected lane
+	mask   []uint64 // parallel to idx
+}
+
+// laneOp1 is the single-word specialization: the whole vector lives in one
+// register across the op sequence.
+type laneOp1 struct {
+	kind   opKind
+	d1, d2 uint8 // lanes ≤ 64 ⇒ deltas < 64
+	mask   uint64
+}
+
+// maskTable maps a string key to the lane mask of its self tests. Lookups
+// run once per node, so the table is bucketed by key length: the common
+// miss (a node label no query tests) costs one slice index, and hits
+// compare only same-length candidates.
+type maskTable struct {
+	byLen [][]maskEntry // index min(len(key), maxLenBucket)
+}
+
+type maskEntry struct {
+	key  string
+	mask []uint64
+}
+
+// maxLenBucket caps the length-bucket index; longer keys share the last
+// bucket and disambiguate by full comparison.
+const maxLenBucket = 32
+
+func (t *maskTable) add(key string, mask []uint64) {
+	b := len(key)
+	if b > maxLenBucket {
+		b = maxLenBucket
+	}
+	if t.byLen == nil {
+		t.byLen = make([][]maskEntry, maxLenBucket+1)
+	}
+	t.byLen[b] = append(t.byLen[b], maskEntry{key: key, mask: mask})
+}
+
+// lookup returns the mask for key, or nil.
+func (t *maskTable) lookup(key string) []uint64 {
+	if t.byLen == nil {
+		return nil
+	}
+	b := len(key)
+	if b > maxLenBucket {
+		b = maxLenBucket
+	}
+	for i := range t.byLen[b] {
+		if t.byLen[b][i].key == key {
+			return t.byLen[b][i].mask
+		}
+	}
+	return nil
+}
+
+// lookup1 is lookup for single-word kernels: the zero word means "absent or
+// empty", which callers fold with OR either way.
+func (t *maskTable) lookup1(key string) uint64 {
+	if t.byLen == nil {
+		return 0
+	}
+	b := len(key)
+	if b > maxLenBucket {
+		b = maxLenBucket
+	}
+	for i := range t.byLen[b] {
+		if t.byLen[b][i].key == key {
+			return t.byLen[b][i].mask[0]
+		}
+	}
+	return 0
+}
+
+// Lanes returns the QList size the kernel was compiled for.
+func (k *LaneKernel) Lanes() int { return k.lanes }
+
+// Ops returns how many structural ops a node evaluation executes — the
+// per-node work unit that stays near-constant as structurally similar
+// queries stack lanes. Exposed for the lane-scaling benchmarks and tests.
+func (k *LaneKernel) Ops() int {
+	if k.words == 1 {
+		return len(k.ops1)
+	}
+	return len(k.ops)
+}
+
+// Words reports the kernel's vector width in 64-bit words. 1 means the
+// whole QList fits one machine word and the registers-only EvalConstWord
+// form applies.
+func (k *LaneKernel) Words() int { return k.words }
+
+// EvalConstWord is EvalConst for single-word kernels with the entire node
+// evaluation in registers: given the only word of the folded CV and DV
+// vectors it returns the only word of V. The caller owns the dv |= v fold
+// (line 17 of Procedure bottomUp). Must only be called when Words() == 1.
+func (k *LaneKernel) EvalConstWord(cw, dw uint64, label, text string) uint64 {
+	return k.evalOps1(k.LeafBase(label, text), cw, dw)
+}
+
+// evalOps1 runs the single-word structural plan over the self-test word.
+func (k *LaneKernel) evalOps1(vw, cw, dw uint64) uint64 {
+	for _, op := range k.ops1 {
+		switch op.kind {
+		case opChild:
+			vw |= (cw << op.d1) & op.mask
+		case opDesc:
+			vw |= ((dw | vw) << op.d1) & op.mask
+		case opCopy:
+			vw |= (vw << op.d1) & op.mask
+		case opAnd:
+			vw |= (vw << op.d1) & (vw << op.d2) & op.mask
+		case opOr:
+			vw |= ((vw << op.d1) | (vw << op.d2)) & op.mask
+		case opNot:
+			vw |= ^(vw << op.d1) & op.mask
+		}
+	}
+	return vw
+}
+
+// EvalLeafWord is EvalConstWord for a childless node: CV and DV are zero
+// by construction, so the precompiled leaf plan (ops1Leaf) applies.
+func (k *LaneKernel) EvalLeafWord(label, text string) uint64 {
+	return k.EvalLeafPlan(k.LeafBase(label, text))
+}
+
+// LeafBase returns the self-test word of a childless node — the sole input
+// to the leaf plan. A document's leaves collapse to very few distinct base
+// words (most match no label or text test at all), so traversals memoize
+// EvalLeafPlan keyed by this word instead of re-running the op loop.
+func (k *LaneKernel) LeafBase(label, text string) uint64 {
+	return k.trueMask[0] | k.labels.lookup1(label) | k.texts.lookup1(text)
+}
+
+// EvalLeafPlan runs the precompiled leaf plan on a base self-test word.
+func (k *LaneKernel) EvalLeafPlan(vw uint64) uint64 {
+	for _, op := range k.ops1Leaf {
+		switch op.kind {
+		case opCopy:
+			vw |= (vw << op.d1) & op.mask
+		case opAnd:
+			vw |= (vw << op.d1) & (vw << op.d2) & op.mask
+		case opOr:
+			vw |= ((vw << op.d1) | (vw << op.d2)) & op.mask
+		case opNot:
+			vw |= ^(vw << op.d1) & op.mask
+		}
+	}
+	return vw
+}
+
+// kernelCache memoizes compiled kernels across Program instances by
+// content fingerprint: one serving round materializes the same fused
+// program several times over — once at the coordinator's builder and once
+// per site that decodes it off the wire — and a standing subscription set
+// re-materializes it every round. Sites already key their triplet caches
+// by the same fingerprint, so correctness already rides on its
+// collision-freedom. Bounded: past the cap new programs compile fresh
+// (steady-state serving cycles a handful of standing programs).
+var (
+	kernelCache     sync.Map // fingerprint -> *LaneKernel
+	kernelCacheSize atomic.Int64
+)
+
+const kernelCacheCap = 512
+
+// Kernel returns the program's fused lane kernel, compiling and caching it
+// on first use. Batch entry points (CompileBatch, BatchBuilder.Program)
+// compile it eagerly so serving rounds never pay the compile inside the
+// first fragment's traversal.
+func (p *Program) Kernel() *LaneKernel {
+	if k := p.kern.Load(); k != nil {
+		return k
+	}
+	fp := p.Fingerprint()
+	if v, ok := kernelCache.Load(fp); ok {
+		k := v.(*LaneKernel)
+		if k.lanes == len(p.Subs) { // belt over the fingerprint's braces
+			p.kern.Store(k) // racing stores all hold equivalent kernels
+			return k
+		}
+	}
+	k := CompileKernel(p)
+	if !p.kern.CompareAndSwap(nil, k) {
+		return p.kern.Load()
+	}
+	if kernelCacheSize.Load() < kernelCacheCap {
+		if _, loaded := kernelCache.LoadOrStore(fp, k); !loaded {
+			kernelCacheSize.Add(1)
+		}
+	}
+	return k
+}
+
+// CompileKernel builds the word-parallel plan for prog. Every valid
+// program compiles; cost is O(|QList| + distinct op groups).
+func CompileKernel(prog *Program) *LaneKernel {
+	n := len(prog.Subs)
+	words := (n + 63) / 64 // 0 lanes ⇒ 0 words: every op loop is empty
+	k := &LaneKernel{lanes: n, words: words, trueMask: make([]uint64, words)}
+
+	// Dependency levels: 0 for lanes reading only the node and the child
+	// fold; otherwise one past the deepest same-node operand.
+	levels := make([]int32, n)
+	level := func(op int32) int32 { return levels[op] }
+	for i, s := range prog.Subs {
+		switch s.Kind {
+		case KTrue, KLabel, KText, KChild:
+			levels[i] = 0
+		case KDesc, KNot:
+			levels[i] = level(s.A) + 1
+		case KFilter:
+			if s.B < 0 {
+				levels[i] = level(s.A) + 1
+			} else {
+				levels[i] = maxi32(level(s.A), level(s.B)) + 1
+			}
+		case KAnd, KOr:
+			levels[i] = maxi32(level(s.A), level(s.B)) + 1
+		default:
+			panic(fmt.Sprintf("xpath: kernel: unknown subquery kind %v", s.Kind))
+		}
+	}
+
+	// Group structural lanes by (level, op, deltas); self tests by string.
+	type groupKey struct {
+		level  int32
+		kind   opKind
+		d1, d2 int32
+	}
+	groups := make(map[groupKey][]uint64)
+	labelMasks := make(map[string][]uint64)
+	textMasks := make(map[string][]uint64)
+	setBit := func(mask []uint64, i int) []uint64 {
+		if mask == nil {
+			mask = make([]uint64, words)
+		}
+		mask[i>>6] |= 1 << (uint(i) & 63)
+		return mask
+	}
+	addGroup := func(lvl int32, kind opKind, d1, d2 int32, i int) {
+		gk := groupKey{level: lvl, kind: kind, d1: d1, d2: d2}
+		groups[gk] = setBit(groups[gk], i)
+	}
+	for i, s := range prog.Subs {
+		switch s.Kind {
+		case KTrue:
+			k.trueMask = setBit(k.trueMask, i)
+		case KLabel:
+			labelMasks[s.Str] = setBit(labelMasks[s.Str], i)
+		case KText:
+			textMasks[s.Str] = setBit(textMasks[s.Str], i)
+		case KChild:
+			addGroup(levels[i], opChild, int32(i)-s.A, 0, i)
+		case KDesc:
+			addGroup(levels[i], opDesc, int32(i)-s.A, 0, i)
+		case KFilter:
+			if s.B < 0 {
+				addGroup(levels[i], opCopy, int32(i)-s.A, 0, i)
+			} else {
+				addGroup(levels[i], opAnd, int32(i)-s.A, int32(i)-s.B, i)
+			}
+		case KAnd:
+			addGroup(levels[i], opAnd, int32(i)-s.A, int32(i)-s.B, i)
+		case KOr:
+			addGroup(levels[i], opOr, int32(i)-s.A, int32(i)-s.B, i)
+		case KNot:
+			addGroup(levels[i], opNot, int32(i)-s.A, 0, i)
+		}
+	}
+	for s, m := range labelMasks {
+		k.labels.add(s, m)
+	}
+	for s, m := range textMasks {
+		k.texts.add(s, m)
+	}
+
+	// Deterministic op order: by level, then a stable tiebreak. Within a
+	// level every op's sources are complete, so the tiebreak is free.
+	keys := make([]groupKey, 0, len(groups))
+	for gk := range groups {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		x, y := keys[a], keys[b]
+		if x.level != y.level {
+			return x.level < y.level
+		}
+		if x.kind != y.kind {
+			return x.kind < y.kind
+		}
+		if x.d1 != y.d1 {
+			return x.d1 < y.d1
+		}
+		return x.d2 < y.d2
+	})
+	if words == 1 {
+		k.ops1 = make([]laneOp1, len(keys))
+		for j, gk := range keys {
+			k.ops1[j] = laneOp1{kind: gk.kind, d1: uint8(gk.d1), d2: uint8(gk.d2), mask: groups[gk][0]}
+		}
+		for _, op := range k.ops1 {
+			switch op.kind {
+			case opChild:
+				continue // reads CV, which is zero at a leaf
+			case opDesc:
+				op.kind = opCopy // shift(0|v) = shift(v)
+			}
+			k.ops1Leaf = append(k.ops1Leaf, op)
+		}
+	} else {
+		k.ops = make([]laneOp, len(keys))
+		for j, gk := range keys {
+			full := groups[gk]
+			op := laneOp{kind: gk.kind, d1: gk.d1, d2: gk.d2}
+			for w, bits := range full {
+				if bits != 0 {
+					op.idx = append(op.idx, int32(w))
+					op.mask = append(op.mask, bits)
+				}
+			}
+			k.ops[j] = op
+		}
+		for _, op := range k.ops {
+			switch op.kind {
+			case opChild:
+				continue // reads CV, which is zero at a leaf
+			case opDesc:
+				op.kind = opCopy // shift(0|v) = shift(v)
+			}
+			k.opsLeaf = append(k.opsLeaf, op)
+		}
+	}
+	return k
+}
+
+// EvalConst evaluates the whole QList at one constant-plane node: v (which
+// must arrive zeroed and is fully written), given the node's label and
+// text and the folded child vectors cv/dv. On return dv additionally
+// includes v (line 17 of Procedure bottomUp for every lane at once). It is
+// the word-parallel replacement for the per-lane loop and must agree with
+// it entry-wise on every input — the FuzzFusedBottomUp target pins this.
+func (k *LaneKernel) EvalConst(v, cv, dv boolexpr.BitVec, label, text string) {
+	if k.words == 1 {
+		vw := k.EvalConstWord(cv[0], dv[0], label, text)
+		v[0] = vw
+		dv[0] |= vw
+		return
+	}
+	for w, m := range k.trueMask {
+		v[w] |= m
+	}
+	if m := k.labels.lookup(label); m != nil {
+		for w, bits := range m {
+			v[w] |= bits
+		}
+	}
+	if m := k.texts.lookup(text); m != nil {
+		for w, bits := range m {
+			v[w] |= bits
+		}
+	}
+	for i := range k.ops {
+		op := &k.ops[i]
+		for j, w32 := range op.idx {
+			w, m := int(w32), op.mask[j]
+			switch op.kind {
+			case opChild:
+				v[w] |= boolexpr.ShiftWord(cv, w, op.d1) & m
+			case opDesc:
+				v[w] |= boolexpr.ShiftWordOr(dv, v, w, op.d1) & m
+			case opCopy:
+				v[w] |= boolexpr.ShiftWord(v, w, op.d1) & m
+			case opAnd:
+				v[w] |= boolexpr.ShiftWord(v, w, op.d1) & boolexpr.ShiftWord(v, w, op.d2) & m
+			case opOr:
+				v[w] |= (boolexpr.ShiftWord(v, w, op.d1) | boolexpr.ShiftWord(v, w, op.d2)) & m
+			case opNot:
+				v[w] |= ^boolexpr.ShiftWord(v, w, op.d1) & m
+			}
+		}
+	}
+	for w := range v {
+		dv[w] |= v[w]
+	}
+}
+
+// EvalLeaf is EvalConst for a childless node: CV and DV are zero by
+// construction, so the precompiled leaf plan applies and v (which must
+// arrive zeroed) ends holding the leaf's V — which is also its outgoing DV
+// (line 17 with dv = 0). Works for any word count.
+func (k *LaneKernel) EvalLeaf(v boolexpr.BitVec, label, text string) {
+	if k.words == 1 {
+		v[0] = k.EvalLeafWord(label, text)
+		return
+	}
+	for w, m := range k.trueMask {
+		v[w] |= m
+	}
+	if m := k.labels.lookup(label); m != nil {
+		for w, bits := range m {
+			v[w] |= bits
+		}
+	}
+	if m := k.texts.lookup(text); m != nil {
+		for w, bits := range m {
+			v[w] |= bits
+		}
+	}
+	for i := range k.opsLeaf {
+		op := &k.opsLeaf[i]
+		for j, w32 := range op.idx {
+			w, m := int(w32), op.mask[j]
+			switch op.kind {
+			case opCopy:
+				v[w] |= boolexpr.ShiftWord(v, w, op.d1) & m
+			case opAnd:
+				v[w] |= boolexpr.ShiftWord(v, w, op.d1) & boolexpr.ShiftWord(v, w, op.d2) & m
+			case opOr:
+				v[w] |= (boolexpr.ShiftWord(v, w, op.d1) | boolexpr.ShiftWord(v, w, op.d2)) & m
+			case opNot:
+				v[w] |= ^boolexpr.ShiftWord(v, w, op.d1) & m
+			}
+		}
+	}
+}
+
+// String renders the plan for tests and debugging: one line per op group,
+// self-test tables summarized.
+func (k *LaneKernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: %d lanes, %d words, %d ops\n", k.lanes, k.words, k.Ops())
+	names := [...]string{"child", "desc", "copy", "and", "or", "not"}
+	if k.words == 1 {
+		for _, op := range k.ops1 {
+			fmt.Fprintf(&b, "  %-5s d1=%-3d d2=%-3d mask=%016x\n", names[op.kind], op.d1, op.d2, op.mask)
+		}
+	} else {
+		for _, op := range k.ops {
+			fmt.Fprintf(&b, "  %-5s d1=%-3d d2=%-3d words=%d\n", names[op.kind], op.d1, op.d2, len(op.idx))
+		}
+	}
+	return b.String()
+}
+
+func maxi32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

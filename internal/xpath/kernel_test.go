@@ -1,0 +1,244 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolexpr"
+)
+
+// kernelRef is the scalar per-lane reference for LaneKernel.EvalConst: the
+// nine cases of Procedure bottomUp evaluated lane by lane (the shape of
+// eval.evalCasesBits, duplicated here so the xpath package can pin its own
+// kernel without importing the evaluator).
+func kernelRef(v boolexpr.BitVec, prog *Program, label, text string, cv, dv boolexpr.BitVec) {
+	for i, sq := range prog.Subs {
+		var b bool
+		switch sq.Kind {
+		case KTrue:
+			b = true
+		case KLabel:
+			b = label == sq.Str
+		case KText:
+			b = text == sq.Str
+		case KChild:
+			b = cv.Get(sq.A)
+		case KFilter:
+			b = v.Get(sq.A) && (sq.B < 0 || v.Get(sq.B))
+		case KDesc:
+			b = dv.Get(sq.A)
+		case KOr:
+			b = v.Get(sq.A) || v.Get(sq.B)
+		case KAnd:
+			b = v.Get(sq.A) && v.Get(sq.B)
+		case KNot:
+			b = !v.Get(sq.A)
+		}
+		if b {
+			v.Set(int32(i))
+			dv.Set(int32(i))
+		}
+	}
+}
+
+func bitVecEq(a, b boolexpr.BitVec) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKernelMatchesPerLane: on random batch programs — from 1 lane to well
+// past the single-word boundary — and random (label, text, CV, DV) node
+// inputs, EvalConst computes exactly the per-lane loop's V and DV.
+func TestKernelMatchesPerLane(t *testing.T) {
+	labels := []string{"a", "b", "c", "d", "longer-label-name-beyond-bucket-cap-aaaaaaaaaaaa"}
+	texts := []string{"x", "y", ""}
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nq := 1 + r.Intn(12)
+		b := NewBatchBuilder()
+		for i := 0; i < nq; i++ {
+			b.Add(RandomQuery(r, RandomSpec{Labels: labels, Texts: texts, AllowNot: true, MaxDepth: 4, MaxSteps: 6}))
+		}
+		prog, _ := b.Program()
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kern := prog.Kernel()
+		if kern.Lanes() != len(prog.Subs) {
+			t.Fatalf("seed %d: kernel lanes %d != program %d", seed, kern.Lanes(), len(prog.Subs))
+		}
+		n := len(prog.Subs)
+		for trial := 0; trial < 50; trial++ {
+			cv, dv1, dv2 := boolexpr.NewBitVec(n), boolexpr.NewBitVec(n), boolexpr.NewBitVec(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					cv.Set(int32(i))
+				}
+				if r.Intn(2) == 0 {
+					dv1.Set(int32(i))
+					dv2.Set(int32(i))
+				}
+			}
+			label := labels[r.Intn(len(labels))]
+			text := texts[r.Intn(len(texts))]
+			got, want := boolexpr.NewBitVec(n), boolexpr.NewBitVec(n)
+			kern.EvalConst(got, cv, dv1, label, text)
+			kernelRef(want, prog, label, text, cv, dv2)
+			if !bitVecEq(got, want) || !bitVecEq(dv1, dv2) {
+				t.Fatalf("seed %d trial %d: kernel diverges from per-lane\nprogram:\n%s\nkernel:\n%s",
+					seed, trial, prog, kern)
+			}
+		}
+	}
+}
+
+// TestKernelSharedShapes pins the sublinearity mechanism: same-shaped
+// queries over different constants must collapse into the same op groups,
+// so the structural op count stays flat as copies stack lanes.
+func TestKernelSharedShapes(t *testing.T) {
+	shape := func(i int) Expr {
+		e, err := Parse(fmt.Sprintf(`//s%d[//code%d[text() = "v%d"] && price%d]`, i, i, i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	progOne, _ := CompileBatch([]Expr{shape(0)})
+	opsOne := progOne.Kernel().Ops()
+
+	var many []Expr
+	for i := 0; i < 64; i++ {
+		many = append(many, shape(i))
+	}
+	progMany, _ := CompileBatch(many)
+	opsMany := progMany.Kernel().Ops()
+	if opsMany > opsOne+2 {
+		t.Errorf("64 same-shaped queries need %d op groups, one needs %d — shapes are not being shared", opsMany, opsOne)
+	}
+}
+
+// TestKernelDeterministic: recompiling the same program yields the same
+// plan (the op sort must not depend on map iteration order).
+func TestKernelDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var exprs []Expr
+	for i := 0; i < 8; i++ {
+		exprs = append(exprs, RandomQuery(r, RandomSpec{AllowNot: true}))
+	}
+	prog, _ := CompileBatch(exprs)
+	plan := CompileKernel(prog).String()
+	for i := 0; i < 10; i++ {
+		if again := CompileKernel(prog).String(); again != plan {
+			t.Fatalf("plan changed between compiles:\n%s\nvs\n%s", plan, again)
+		}
+	}
+	if prog.Kernel() != prog.Kernel() {
+		t.Error("Kernel() is not cached")
+	}
+}
+
+// TestBatchBuilderReset: Reset must leave previously returned programs and
+// roots untouched, and a reused builder must compile exactly what a fresh
+// one would.
+func TestBatchBuilderReset(t *testing.T) {
+	q1 := MustCompileString(`//a[b]`) // just for parity with Parse below
+	_ = q1
+	e1, _ := Parse(`//a[b && c]`)
+	e2, _ := Parse(`//x[text() = "t"]`)
+	e3, _ := Parse(`//y || //z`)
+
+	b := NewBatchBuilder()
+	b.Add(e1)
+	b.Add(e2)
+	prog1, roots1 := b.Program()
+	subsBefore := append([]Subquery(nil), prog1.Subs...)
+	rootsBefore := append([]int32(nil), roots1...)
+
+	b.Reset()
+	if b.Queries() != 0 || b.Lanes() != 0 {
+		t.Fatalf("Reset left %d queries / %d lanes", b.Queries(), b.Lanes())
+	}
+	b.Add(e3)
+	prog2, roots2 := b.Program()
+
+	for i := range subsBefore {
+		if prog1.Subs[i] != subsBefore[i] {
+			t.Fatal("Reset mutated a previously returned program")
+		}
+	}
+	for i := range rootsBefore {
+		if roots1[i] != rootsBefore[i] {
+			t.Fatal("Reset mutated previously returned roots")
+		}
+	}
+
+	fresh, freshRoots := CompileBatch([]Expr{e3})
+	if len(prog2.Subs) != len(fresh.Subs) {
+		t.Fatalf("reused builder compiled %d subs, fresh %d", len(prog2.Subs), len(fresh.Subs))
+	}
+	for i := range fresh.Subs {
+		if prog2.Subs[i] != fresh.Subs[i] {
+			t.Fatalf("sub %d: reused %+v, fresh %+v", i, prog2.Subs[i], fresh.Subs[i])
+		}
+	}
+	if len(roots2) != len(freshRoots) || roots2[0] != freshRoots[0] {
+		t.Fatalf("reused roots %v, fresh %v", roots2, freshRoots)
+	}
+	if prog2.Fingerprint() != fresh.Fingerprint() {
+		t.Error("fingerprints diverge between reused and fresh builder")
+	}
+}
+
+// TestBatchBuilderSteadyStateAllocs pins the cross-window reuse win: once
+// warmed, a full window cycle (Add the round's queries, finalize, Reset)
+// through one builder allocates a bounded handful of objects — the program
+// + roots + kernel that escape to the round, not a fresh compiler's maps.
+func TestBatchBuilderSteadyStateAllocs(t *testing.T) {
+	var exprs []Expr
+	for i := 0; i < 16; i++ {
+		e, err := Parse(fmt.Sprintf(`//sub%d[code && text() = "v%d"]`, i%6, i%6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs = append(exprs, e)
+	}
+	b := NewBatchBuilder()
+	reusedRound := func() {
+		for _, e := range exprs {
+			b.Add(e)
+		}
+		prog, roots := b.Program()
+		if len(roots) != len(exprs) || prog.Kernel() == nil {
+			t.Fatal("round produced wrong program")
+		}
+		b.Reset()
+	}
+	freshRound := func() {
+		fb := NewBatchBuilder()
+		for _, e := range exprs {
+			fb.Add(e)
+		}
+		prog, roots := fb.Program()
+		if len(roots) != len(exprs) || prog.Kernel() == nil {
+			t.Fatal("round produced wrong program")
+		}
+	}
+	reusedRound() // warm the intern map once
+	reused := testing.AllocsPerRun(50, reusedRound)
+	fresh := testing.AllocsPerRun(50, freshRound)
+	// What escapes per round — subs + roots + Program + compiled kernel —
+	// is charged either way; the reused builder must shed the fresh
+	// compiler's intern-map construction on top of that, and stay under an
+	// absolute cap that a per-round map rebuild cannot meet.
+	if reused >= fresh {
+		t.Errorf("reused builder allocates %.0f objects per round, fresh builder %.0f — Reset buys nothing", reused, fresh)
+	}
+	if reused > 80 {
+		t.Errorf("steady-state window cycle allocates %.0f objects — builder reuse is broken", reused)
+	}
+}

@@ -126,11 +126,10 @@ func CompileSelect(e Expr) (*SelectProgram, error) {
 	}
 	// Guard programs must be non-empty for the evaluator; ensure at least
 	// one subquery exists.
-	if len(b.prog.Subs) == 0 {
+	if len(b.subs) == 0 {
 		b.add(Subquery{Kind: KTrue, A: -1, B: -1})
 	}
-	sp := &SelectProgram{Bool: &b.prog, Chain: chain, Source: e.String()}
-	sp.Bool.Source = e.String()
+	sp := &SelectProgram{Bool: &Program{Subs: b.subs, Source: e.String()}, Chain: chain, Source: e.String()}
 	return sp, nil
 }
 

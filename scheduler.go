@@ -2,6 +2,7 @@ package parbox
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,11 @@ type scheduler struct {
 
 	mu  sync.Mutex
 	win *schedWindow
+	// spare is the recycled batch builder: flush Resets the round's builder
+	// (keeping its hash-consing intern table's storage) and parks it here,
+	// so steady-state windows compile through one builder instead of
+	// allocating a fresh compiler + intern map per round.
+	spare *xpath.BatchBuilder
 
 	// inflight counts Exec calls currently inside the scheduler; the
 	// opener of a window uses it to detect the uncontended case. running
@@ -152,7 +158,13 @@ func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
 	sch.mu.Lock()
 	opened := sch.win == nil
 	if opened {
-		sch.win = &schedWindow{builder: xpath.NewBatchBuilder()}
+		b := sch.spare
+		if b != nil {
+			sch.spare = nil
+		} else {
+			b = xpath.NewBatchBuilder()
+		}
+		sch.win = &schedWindow{builder: b}
 	}
 	win := sch.win
 	win.waiters = append(win.waiters, w)
@@ -167,7 +179,7 @@ func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
 			sch.flushLane.Add(1)
 			sch.flush(win, "lanes")
 		}
-	case opened && sch.inflight.Load() == 1:
+	case opened && sch.idleAfterYield():
 		// Nobody else is in flight: flushing now costs no coalescing
 		// opportunity and saves the window latency.
 		if sch.detach(win) != nil {
@@ -182,6 +194,7 @@ func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
 			if sch.running.Load() > 0 {
 				return
 			}
+			sch.settle(win)
 			if sch.detach(win) != nil {
 				sch.flushTimer.Add(1)
 				sch.flush(win, "timer")
@@ -205,6 +218,46 @@ func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
 		return out.res, out.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+}
+
+// idleAfterYield reports whether the window opener is still the only
+// caller in flight after giving up its scheduling quantum once. The
+// callers of a subscription burst are released in the same instant but are
+// merely runnable, not yet enqueued — on a loaded single-P server,
+// reliably so — and an opener that trusted a bare inflight check would
+// flush solo and leave the rest of the burst to a second full round. One
+// cooperative yield lets same-instant arrivals join this window, turning
+// two back-to-back forest walks into one fused round; a genuinely
+// uncontended caller pays one Gosched (sub-microsecond) before the idle
+// flush.
+func (sch *scheduler) idleAfterYield() bool {
+	if sch.inflight.Load() > 1 {
+		return false
+	}
+	runtime.Gosched()
+	return sch.inflight.Load() == 1
+}
+
+// settle yields until every caller already inside exec has enqueued into
+// the expired window (or a bounded number of tries runs out). The timer
+// can fire while the tail of a burst is runnable but not yet enqueued —
+// on a loaded single-P server, reliably so — and flushing at that instant
+// strands those callers in a follow-up round that re-walks the whole
+// forest for a sliver of the burst. The wait is bounded (≤16 yields), so
+// the window-latency contract moves by microseconds, not another window.
+func (sch *scheduler) settle(win *schedWindow) {
+	for i := 0; i < 16; i++ {
+		sch.mu.Lock()
+		enqueued := 0
+		if sch.win == win {
+			enqueued = len(win.waiters)
+		}
+		sch.mu.Unlock()
+		if enqueued == 0 || int64(enqueued) >= sch.inflight.Load() {
+			return
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -259,6 +312,16 @@ func (sch *scheduler) flush(win *schedWindow, reason string) {
 		}
 	}()
 	prog, roots := win.builder.Program()
+	// The returned program and roots don't alias builder state Reset
+	// reuses, so the builder can go straight back into rotation while the
+	// round runs.
+	win.builder.Reset()
+	sch.mu.Lock()
+	if sch.spare == nil {
+		sch.spare = win.builder
+	}
+	sch.mu.Unlock()
+	win.builder = nil
 	start := time.Now()
 	rep, err := sch.sys.eng().ParBoXBatch(context.Background(), prog, roots)
 	if err != nil {
