@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet bench bench-smoke bench-diff fuzz-fused recovery-smoke transport-soak failover-smoke overload-smoke
+.PHONY: all build test vet lint bench bench-smoke bench-diff fuzz fuzz-fused recovery-smoke transport-soak failover-smoke overload-smoke
 
 all: build vet test
 
@@ -12,6 +12,12 @@ test:
 
 vet:
 	go vet ./...
+
+# lint mirrors CI's lint job: vet plus staticcheck at the version CI
+# pins (install once with
+# `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1`).
+lint: vet
+	staticcheck ./...
 
 # bench runs the reproducible perf harness and records the hot-path numbers
 # (ns/op, allocs/op, bytes shipped) in BENCH_parbox.json, so the perf
@@ -29,6 +35,13 @@ bench-smoke:
 # touching BENCH_parbox.json; `make bench` re-records the baseline.
 bench-diff:
 	go run ./cmd/parbox bench -out /tmp/BENCH_parbox.json -quiet -compare BENCH_parbox.json
+
+# fuzz runs every fuzz target for 30s each, matching CI's fuzz matrix:
+# the fused lane kernel differential, WAL replay, and the v2 frame
+# decoder (demux, torn frames, hostile span blocks).
+fuzz: fuzz-fused
+	go test ./internal/store -run Fuzz -fuzz FuzzWALReplay -fuzztime 30s
+	go test ./internal/cluster -run Fuzz -fuzz FuzzV2ResponseDemux -fuzztime 30s
 
 # fuzz-fused differentially fuzzes the fused lane kernel: arbitrary
 # (tree, fragmentation, query batch) triples must evaluate identically

@@ -23,11 +23,21 @@
 // number of coordinator requests are in flight per connection, and a
 // legacy v1 peer is rejected with a readable error (see
 // internal/cluster/wirev2.go for the frame layout and handshake).
+//
+// With -http addr the daemon additionally serves a live introspection
+// plane: /metrics (Prometheus text: the site's visit/message/byte/step
+// counters and latency histogram), /healthz, /tracez (recent traced
+// requests as span trees, ?min= filters by duration), and
+// /debug/pprof. The same counters are also answered over the data
+// plane via the admission-exempt obs.stats RPC, which is what
+// `parbox top -manifest …` scrapes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,36 +46,53 @@ import (
 	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/views"
 )
 
+// config collects the daemon's command-line settings.
+type config struct {
+	name         string
+	manifestPath string
+	listen       string
+	dataDir      string
+	maxResident  int
+	syncWrites   bool
+	admission    int
+	// httpAddr, when non-empty, serves the introspection plane
+	// (/metrics, /healthz, /tracez, /debug/pprof) on that address.
+	httpAddr string
+}
+
 func main() {
-	name := flag.String("name", "", "site name (required, must appear in the manifest)")
-	manifestPath := flag.String("manifest", "", "manifest file (required)")
-	listen := flag.String("listen", "", "listen address (default: the manifest's address for this site)")
-	dataDir := flag.String("data-dir", "", "durable store directory: WAL + snapshots; recovers from it on restart")
-	maxResident := flag.Int("max-resident", 0, "bound on in-memory fragments with -data-dir (0 = unbounded)")
-	syncWrites := flag.Bool("sync-writes", false, "fsync every WAL append (survive machine crashes, not just process crashes)")
-	admission := flag.Int("admission", 0, "max concurrently admitted requests; excess is shed with a retryable overload status (0 = unbounded)")
+	var cfg config
+	flag.StringVar(&cfg.name, "name", "", "site name (required, must appear in the manifest)")
+	flag.StringVar(&cfg.manifestPath, "manifest", "", "manifest file (required)")
+	flag.StringVar(&cfg.listen, "listen", "", "listen address (default: the manifest's address for this site)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable store directory: WAL + snapshots; recovers from it on restart")
+	flag.IntVar(&cfg.maxResident, "max-resident", 0, "bound on in-memory fragments with -data-dir (0 = unbounded)")
+	flag.BoolVar(&cfg.syncWrites, "sync-writes", false, "fsync every WAL append (survive machine crashes, not just process crashes)")
+	flag.IntVar(&cfg.admission, "admission", 0, "max concurrently admitted requests; excess is shed with a retryable overload status (0 = unbounded)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "introspection HTTP address serving /metrics, /healthz, /tracez and /debug/pprof (empty = off)")
 	flag.Parse()
 
-	if err := run(*name, *manifestPath, *listen, *dataDir, *maxResident, *syncWrites, *admission); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "parbox-site: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool, admission int) error {
-	d, err := setup(name, manifestPath, listen, dataDir, maxResident, syncWrites, admission)
+func run(cfg config) error {
+	d, err := setup(cfg)
 	if err != nil {
 		return err
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("parbox-site %s: shutting down\n", name)
+	fmt.Printf("parbox-site %s: shutting down\n", cfg.name)
 	return d.Close()
 }
 
@@ -76,6 +103,9 @@ type daemon struct {
 	tr   *cluster.TCPTransport
 	st   *store.Store
 	site *cluster.Site
+	// httpSrv/httpLn are the -http introspection server (nil without it).
+	httpSrv *http.Server
+	httpLn  net.Listener
 }
 
 // Close shuts the daemon down gracefully: stop accepting work, then
@@ -83,6 +113,9 @@ type daemon struct {
 // mid-write), then drop the peer connections. Safe to call once.
 func (d *daemon) Close() error {
 	var first error
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
 	if d.srv != nil {
 		if err := d.srv.Close(); err != nil {
 			first = err
@@ -106,7 +139,10 @@ func (d *daemon) Close() error {
 
 // setup loads or recovers the site's fragments, registers the full
 // protocol and starts serving; split out of run so tests can drive it.
-func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrites bool, admission int) (*daemon, error) {
+func setup(cfg config) (*daemon, error) {
+	name, manifestPath, listen := cfg.name, cfg.manifestPath, cfg.listen
+	dataDir, maxResident := cfg.dataDir, cfg.maxResident
+	syncWrites, admission := cfg.syncWrites, cfg.admission
 	if name == "" || manifestPath == "" {
 		return nil, fmt.Errorf("-name and -manifest are required")
 	}
@@ -229,6 +265,12 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 	// coordinator is answered with a clean "requires wire protocol v2"
 	// error instead of interleaved-frame corruption. Close drains
 	// in-flight v2 requests before the connections go away.
+	// Live observability: the obs.stats RPC answers `parbox top` over the
+	// ordinary transport (admission-exempt, excluded from its own
+	// counters), and -http serves the same data as Prometheus text plus
+	// the slow-request trace ring and pprof.
+	cluster.RegisterStatsHandler(site)
+
 	srv, err := cluster.ServeWith(site, listen, cluster.ServeConfig{RequireV2: true})
 	if err != nil {
 		if st != nil {
@@ -236,7 +278,28 @@ func setup(name, manifestPath, listen, dataDir string, maxResident int, syncWrit
 		}
 		return fail(err)
 	}
+	d := &daemon{srv: srv, tr: tr, st: st, site: site}
+	if cfg.httpAddr != "" {
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("introspection listen %s: %w", cfg.httpAddr, err)
+		}
+		mux := obs.NewMux(obs.MuxConfig{
+			Metrics: func(p *obs.Prom) {
+				snap := site.Stats().Snapshot()
+				snap.Site = name
+				p.SiteStatsProm(snap)
+			},
+			Healthz: func() (bool, string) { return true, fmt.Sprintf("ok site=%s\n", name) },
+			Tracez:  site.TraceRing().Records,
+		})
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: mux}
+		go d.httpSrv.Serve(ln)
+		fmt.Printf("parbox-site %s: introspection on http://%s\n", name, ln.Addr())
+	}
 	fmt.Printf("parbox-site %s: serving %d fragments on %s (%s)\n",
 		name, count, srv.Addr(), origin)
-	return &daemon{srv: srv, tr: tr, st: st, site: site}, nil
+	return d, nil
 }

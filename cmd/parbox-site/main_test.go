@@ -2,8 +2,11 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -37,7 +40,7 @@ func TestSiteDaemonServesQueries(t *testing.T) {
 	manifestPath := filepath.Join(dir, "manifest.txt")
 
 	// Start the S1 daemon on an ephemeral port.
-	d, err := setup("S1", manifestPath, "127.0.0.1:0", "", 0, false, 0)
+	d, err := setup(config{name: "S1", manifestPath: manifestPath, listen: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +82,73 @@ func TestSiteDaemonServesQueries(t *testing.T) {
 	}
 }
 
+// TestSiteDaemonIntrospection: a daemon started with -http serves its
+// live counters as Prometheus text and answers health checks; the
+// counters move when the daemon serves a query.
+func TestSiteDaemonIntrospection(t *testing.T) {
+	dir := writeDeployment(t)
+	manifestPath := filepath.Join(dir, "manifest.txt")
+	d, err := setup(config{name: "S1", manifestPath: manifestPath,
+		listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.httpLn.Addr().String()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok site=S1") {
+		t.Errorf("/healthz = %q", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `parbox_site_visits_total{site="S1"} 0`) {
+		t.Errorf("/metrics before any query lacks the zero visit counter:\n%s", body)
+	}
+
+	// Serve one query through the daemon, then the counter must read 1.
+	m, err := manifest.ParseFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTr := cluster.NewTCPTransport(map[frag.SiteID]string{"S1": d.srv.Addr()})
+	defer coordTr.Close()
+	cost := cluster.DefaultCostModel()
+	s0 := cluster.NewSite("S0")
+	frags, sizes, err := m.LoadFragments("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frags {
+		s0.AddFragment(fr)
+	}
+	core.RegisterHandlers(s0, coordTr, cost)
+	coordTr.Local(s0)
+	st, err := m.SourceTree(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(coordTr, "S0", st, cost)
+	if _, err := eng.ParBoX(context.Background(), xpath.MustCompileString(`//b[text() = "y"]`)); err != nil {
+		t.Fatal(err)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `parbox_site_visits_total{site="S1"} 1`) {
+		t.Errorf("/metrics after one query does not show the visit:\n%s", body)
+	}
+}
+
 func TestSetupErrors(t *testing.T) {
 	dir := writeDeployment(t)
 	manifestPath := filepath.Join(dir, "manifest.txt")
@@ -93,7 +163,7 @@ func TestSetupErrors(t *testing.T) {
 		{"S1", manifestPath, "256.0.0.1:99999"},    // bad listen address
 	}
 	for _, c := range cases {
-		d, err := setup(c.name, c.mpath, c.listen, "", 0, false, 0)
+		d, err := setup(config{name: c.name, manifestPath: c.mpath, listen: c.listen})
 		if err == nil {
 			d.Close()
 			t.Errorf("setup(%q,%q,%q) succeeded, want error", c.name, c.mpath, c.listen)

@@ -314,7 +314,7 @@ func cmdBench(args []string) error {
 	})
 	var coSolveWork, coBottomUpSteps int64
 	coResults := make([]*parbox.Result, subscribers)
-	coServe := testing.Benchmark(func(b *testing.B) {
+	coBurst := func(b *testing.B, opts ...parbox.ExecOption) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// A start barrier makes the 64 subscribers genuinely
@@ -328,7 +328,7 @@ func cmdBench(args []string) error {
 				go func(si int, q *parbox.Prepared) {
 					defer wg.Done()
 					<-start
-					res, err := coSys.Exec(ctx, q)
+					res, err := coSys.Exec(ctx, q, opts...)
 					if err != nil {
 						b.Error(err)
 					}
@@ -351,7 +351,8 @@ func cmdBench(args []string) error {
 				coBottomUpSteps += rep.TotalSteps - rep.SolveWork
 			}
 		}
-	})
+	}
+	coServe := testing.Benchmark(func(b *testing.B) { coBurst(b) })
 	coStats := coSys.SchedulerStats()
 	serveSpeedup := float64(seqServe.NsPerOp()) / float64(coServe.NsPerOp())
 	record("serve/sequential-64q", seqServe, map[string]float64{
@@ -405,6 +406,55 @@ func cmdBench(args []string) error {
 		"solve_work":     float64(fusedRep.SolveWork),
 		"bottomup_steps": float64(fusedRep.TotalSteps - fusedRep.SolveWork),
 	})
+
+	// --- Serving: the coalesced burst with span collection on --------------
+	// serve/observed-64q is serve/coalesced-64q's exact workload with
+	// WithSpans() on every call: each round grows a span tree (collector,
+	// per-lane attribution, trace-ring publication) the caller can
+	// introspect. The gate is relative and measured in the same process —
+	// observability may cost at most 5% over the untraced burst — so it
+	// holds on fast and slow machines alike.
+	obsBurst := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, q := range subs {
+				wg.Add(1)
+				go func(q *parbox.Prepared) {
+					defer wg.Done()
+					<-start
+					res, err := coSys.Exec(ctx, q, parbox.WithSpans())
+					if err != nil {
+						b.Error(err)
+					} else if len(res.Spans) == 0 {
+						b.Error("observed burst returned no spans")
+					}
+				}(q)
+			}
+			close(start)
+			wg.Wait()
+		}
+	}
+	obsServe := testing.Benchmark(obsBurst)
+	obsOverheadPct := (float64(obsServe.NsPerOp())/float64(coServe.NsPerOp()) - 1) * 100
+	if obsOverheadPct > 5 {
+		// Concurrent bursts are noisy; re-measure both sides once before
+		// declaring a regression.
+		coServe2 := testing.Benchmark(func(b *testing.B) { coBurst(b) })
+		obsServe2 := testing.Benchmark(obsBurst)
+		if co2 := float64(coServe2.NsPerOp()); co2 > 0 {
+			obsOverheadPct = (float64(obsServe2.NsPerOp())/co2 - 1) * 100
+		}
+		obsServe = obsServe2
+	}
+	record("serve/observed-64q", obsServe, map[string]float64{
+		"queries":      subscribers,
+		"overhead_pct": obsOverheadPct,
+	})
+	if obsOverheadPct > 5 {
+		return fmt.Errorf("serve/observed-64q: span collection costs %.1f%% over serve/coalesced-64q (gate 5%%)", obsOverheadPct)
+	}
 
 	// --- Serving: warm triplet cache, repeated rounds ----------------------
 	// A standing query re-executed over unchanged fragments: after the
@@ -1118,6 +1168,7 @@ type benchPoint struct {
 // numbers are still recorded for eyeballing.
 var gateExempt = map[string]bool{
 	"serve/coalesced-64q":    true,
+	"serve/observed-64q":     true, // gated inline against coalesced-64q (≤5% overhead)
 	"serve/fanout-8sites-v1": true, // latency of a real-socket burst:
 	"serve/fanout-8sites-v2": true, // machine- and scheduler-dependent
 	"serve/failover-8sites":  true, // when the kill lands varies per run

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/frag"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
@@ -460,4 +461,83 @@ func cmdHealth(args []string) error {
 		return fmt.Errorf("%d of %d sites down", down, len(sites))
 	}
 	return nil
+}
+
+// cmdTop scrapes every remote site's always-on counters (the obs.stats
+// RPC) over the ordinary transport and renders the paper's evaluation
+// quantities — visits, messages, bytes, steps — plus cache, shed and
+// latency-quantile columns as a live table. With -watch it refreshes at
+// that interval until interrupted. The scrape is admission-exempt and
+// excluded from the counters it reports, so watching a site does not
+// perturb what it measures.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "manifest file (required)")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-site scrape deadline")
+	watch := fs.Duration("watch", 0, "refresh interval (0 = scrape once)")
+	fs.Parse(args)
+	if *manifestPath == "" {
+		return fmt.Errorf("-manifest is required")
+	}
+	m, err := manifest.ParseFile(*manifestPath)
+	if err != nil {
+		return err
+	}
+	addrs := make(map[frag.SiteID]string)
+	var sites []frag.SiteID
+	for s, addr := range m.Sites {
+		if addr != manifest.LocalAddr {
+			addrs[s] = addr
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("manifest declares no remote sites")
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	tr := cluster.NewTCPTransport(addrs)
+	defer tr.Close()
+	for {
+		if err := topOnce(tr, sites, *timeout); err != nil {
+			return err
+		}
+		if *watch <= 0 {
+			return nil
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+// topOnce scrapes and prints one round of the per-site stats table.
+func topOnce(tr *cluster.TCPTransport, sites []frag.SiteID, timeout time.Duration) error {
+	fmt.Printf("%-8s %8s %8s %8s %11s %11s %11s %7s %7s %6s %9s %9s %9s\n",
+		"site", "visits", "msgsIn", "msgsOut", "bytesIn", "bytesOut", "steps",
+		"hits", "miss", "sheds", "p50", "p95", "p99")
+	var firstErr error
+	for _, s := range sites {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		resp, _, err := tr.Call(ctx, "top", s, cluster.Request{Kind: cluster.StatsKind})
+		cancel()
+		if err != nil {
+			fmt.Printf("%-8s down: %v\n", s, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("site %s: %w", s, err)
+			}
+			continue
+		}
+		snap, err := obs.DecodeSiteStats(resp.Payload)
+		if err != nil {
+			return fmt.Errorf("site %s sent a bad stats payload: %w", s, err)
+		}
+		q := func(p float64) time.Duration {
+			return time.Duration(snap.Latency.Quantile(p)).Round(time.Microsecond)
+		}
+		fmt.Printf("%-8s %8d %8d %8d %11d %11d %11d %7d %7d %6d %9v %9v %9v\n",
+			s, snap.Visits, snap.MessagesIn, snap.MessagesOut,
+			snap.BytesIn, snap.BytesOut, snap.Steps,
+			snap.CacheHits, snap.CacheMisses, snap.Sheds,
+			q(0.50), q(0.95), q(0.99))
+	}
+	return firstErr
 }

@@ -43,6 +43,8 @@ func main() {
 		err = cmdRemote(os.Args[2:])
 	case "health":
 		err = cmdHealth(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
@@ -60,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: parbox <gen|eval|split|run|remote|health> [flags]
+	fmt.Fprintln(os.Stderr, `usage: parbox <gen|eval|split|run|remote|health|top> [flags]
 
   gen     generate an XMark-style document        (-mb -seed -beacon -out)
   eval    centralized Boolean XPath evaluation    (-doc -q)
@@ -69,6 +71,8 @@ func usage() {
   remote  coordinate over TCP parbox-site daemons (-manifest -algo -q)
   health  probe a manifest's sites over TCP and
           print per-site up/down + RTT            (-manifest -timeout)
+  top     scrape sites' live counters and print the
+          visits/messages/bytes/steps table       (-manifest -watch -timeout)
   bench   run the core-procedure benchmarks and
           write BENCH_parbox.json                 (-out -nodes -query -quiet)
 

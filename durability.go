@@ -219,9 +219,13 @@ func (s *System) Checkpoint() error {
 // goroutines stop, and each durable store checkpoints and closes, so a
 // subsequent Restore starts from snapshots alone. A system that is
 // dropped without Close recovers through WAL replay instead — that is
-// the crash path, and it is equally correct. No-op without
-// WithDurability or WithFailover.
+// the crash path, and it is equally correct. The introspection server
+// of a WithIntrospection deployment also stops here. No-op without
+// WithDurability, WithFailover or WithIntrospection.
 func (s *System) Close() error {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
 	if s.tier != nil {
 		s.tier.Stop()
 	}

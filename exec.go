@@ -10,6 +10,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/views"
 	"repro/internal/xpath"
@@ -66,6 +67,7 @@ type execConfig struct {
 	timeout    time.Duration
 	timeoutSet bool
 	trace      io.Writer
+	spans      bool
 	batch      []*Prepared
 	batchSet   bool
 	coalesce   bool
@@ -92,12 +94,28 @@ func WithTimeout(d time.Duration) ExecOption {
 	return func(c *execConfig) { c.timeout = d; c.timeoutSet = true }
 }
 
-// WithTrace logs every remote message the coordinator exchanges during
-// this run to w, one line per call in completion order. Site-to-site hops
-// of the recursive algorithms (AlgoFullDist, AlgoNaiveDistributed) happen
-// behind the sites' own transport and are not logged.
+// WithTrace logs this run's coordinator-side activity to w. A solo run
+// writes the message log (one line per remote call, in completion order)
+// followed by the reconstructed span tree; a coalesced run — where a
+// shared round has no per-caller transport to log messages from — writes
+// the round's span tree with this caller's lane attributed. Site-to-site
+// hops of the recursive algorithms (AlgoFullDist, AlgoNaiveDistributed)
+// happen behind the sites' own transport and are not logged. WithTrace
+// implies WithSpans: Result.Spans is filled either way.
 func WithTrace(w io.Writer) ExecOption {
 	return func(c *execConfig) { c.trace = w }
+}
+
+// WithSpans collects wire-propagated trace spans for this call into
+// Result.Spans without any text rendering: every hop the run takes —
+// transport calls, per-site queue/admission/handler brackets, bottomUp
+// and encode phases — is recorded as a Span and reassembled into one
+// tree (see obs.Span). Spans ride back piggybacked on the v2 wire
+// protocol, so remote sites contribute their server-side timings too.
+// Cheaper than WithTrace (no per-run transport wrapper, no rendering);
+// composes with every mode and with coalescing.
+func WithSpans() ExecOption {
+	return func(c *execConfig) { c.spans = true }
 }
 
 // WithBatch evaluates additional Boolean queries in the same ParBoX
@@ -122,8 +140,10 @@ func WithBatch(more ...*Prepared) ExecOption {
 // shared ParBoX rounds (one fused QList, one visit per site, one solve for
 // the whole group) and each caller receives its own answer and a fair
 // share of the round's accounting; Result.Sched reports the round. It
-// applies only to ModeBoolean under AlgoParBoX without WithBatch or
-// WithTrace — combining it with any of those is an error. An Optimized()
+// applies only to ModeBoolean under AlgoParBoX without WithBatch —
+// combining those is an error. WithTrace and WithSpans compose: the
+// shared round records one span tree and every traced caller receives it
+// with its own lane attributed. An Optimized()
 // query always runs its own round (the scheduler fuses from the parsed
 // form, which would discard the minimized program). Systems deployed with
 // WithCoalescedServing coalesce by default; use WithNoCoalesce to opt a
@@ -184,6 +204,16 @@ type Result struct {
 	Hedges, HedgeWins int64
 	// Duration is the measured wall-clock time of the whole call.
 	Duration time.Duration
+
+	// Spans is the call's reconstructed trace — every transport hop plus
+	// the remote sites' own queue/admission/handler/bottomUp/encode
+	// timings, piggybacked back over the wire — as a flat list linked by
+	// parent IDs into one tree. Filled under WithSpans or WithTrace; nil
+	// otherwise. For a coalesced call, every traced caller of the round
+	// shares ONE slice: the round's spans plus a "lane" span per traced
+	// round-mate (the lane attr is the caller's slot). Treat it as
+	// read-only — mutating it corrupts the round-mates' results.
+	Spans []obs.Span
 
 	// Sched reports the shared round for calls served by the coalescing
 	// scheduler (WithCoalescing or a WithCoalescedServing system); nil for
@@ -292,8 +322,6 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 				ModeBoolean, AlgoParBoX, cfg.mode, cfg.algo)
 		case cfg.batchSet:
 			return nil, errors.New("parbox: WithCoalescing cannot combine with WithBatch (the scheduler already batches)")
-		case cfg.trace != nil:
-			return nil, errors.New("parbox: WithCoalescing cannot combine with WithTrace (a shared round has no per-caller transport)")
 		}
 	}
 	if cfg.timeoutSet {
@@ -303,17 +331,18 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 	}
 	// Route through the coalescing scheduler when asked to (explicitly, or
 	// by the system default set at deployment) and the call shape allows
-	// it. A traced call always runs solo: per-run transport wrappers
-	// cannot demultiplex a shared round. A precompiled query (Optimized)
-	// also runs solo — the scheduler fuses from the parsed form, which
-	// would silently discard the minimized program.
+	// it. A precompiled query (Optimized) runs solo — the scheduler fuses
+	// from the parsed form, which would silently discard the minimized
+	// program. Traced calls ride along: the round collects one shared span
+	// tree and the scheduler attributes each caller's lane.
 	if (cfg.coalesce || (s.coalesceDefault && !cfg.noCoalesce)) && !q.precompiled &&
-		cfg.mode == ModeBoolean && cfg.algo == AlgoParBoX && !cfg.batchSet && cfg.trace == nil {
-		return s.sched.exec(ctx, q)
+		cfg.mode == ModeBoolean && cfg.algo == AlgoParBoX && !cfg.batchSet {
+		return s.sched.exec(ctx, q, cfg.trace, cfg.spans)
 	}
 	eng := s.eng()
 	var tracer *cluster.Tracer
 	tr := cluster.Transport(s.cluster)
+	traceFlushed := false
 	if cfg.trace != nil {
 		// Route this run's coordinator through a tracing transport. The
 		// engine is just a view over (transport, coordinator, source
@@ -323,8 +352,25 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 		tr = &cluster.TracingTransport{Inner: s.cluster, Tracer: tracer}
 		eng = core.NewEngine(tr, eng.Coordinator(), eng.SourceTree(), s.cluster.Cost())
 		// Flush whatever was traced even when the run fails — a failing
-		// run is exactly when the message log matters.
-		defer func() { fmt.Fprint(cfg.trace, tracer.String()) }()
+		// run is exactly when the message log matters. (The success path
+		// flushes inline so the span tree can follow the message log.)
+		defer func() {
+			if !traceFlushed {
+				fmt.Fprint(cfg.trace, tracer.String())
+			}
+		}()
+	}
+	// Span collection: give the run a fresh trace identity so every hop it
+	// takes — transport calls here, and queue/admission/handler/bottomUp
+	// brackets on the sites, piggybacked back over the wire — lands in one
+	// collector. The root span brackets the whole call.
+	var spanCol *obs.Collector
+	var rootSpan obs.Span
+	if cfg.spans || cfg.trace != nil {
+		spanCol = obs.NewCollector()
+		rootSpan = obs.Span{TraceID: obs.NewTraceID(), ID: obs.NewSpanID(),
+			Site: "coordinator", Name: "exec " + cfg.mode.String()}
+		ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: rootSpan.TraceID, SpanID: rootSpan.ID, Collector: spanCol})
 	}
 
 	res := &Result{Mode: cfg.mode, Algorithm: cfg.algo}
@@ -415,5 +461,23 @@ func (s *System) Exec(ctx context.Context, q *Prepared, opts ...ExecOption) (*Re
 		res.Answer = v.Answer()
 	}
 	res.Duration = time.Since(start)
+	if spanCol != nil {
+		rootSpan.Start = start.UnixNano()
+		rootSpan.Dur = res.Duration.Nanoseconds()
+		spanCol.Add(rootSpan)
+		res.Spans = spanCol.Spans()
+		rec := obs.TraceRecord{TraceID: rootSpan.TraceID, Root: rootSpan.Name,
+			Dur: res.Duration, At: start, Spans: res.Spans}
+		if s.obsRing != nil {
+			s.obsRing.Add(rec)
+		}
+		if cfg.trace != nil {
+			// Message log first (the historical WithTrace output), then
+			// the reconstructed span tree.
+			fmt.Fprint(cfg.trace, tracer.String())
+			traceFlushed = true
+			obs.RenderTrace(cfg.trace, rec)
+		}
+	}
 	return res, nil
 }

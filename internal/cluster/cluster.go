@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/frag"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -51,6 +52,11 @@ type Response struct {
 	Steps       int64
 	CacheHits   int64
 	CacheMisses int64
+	// Spans piggybacks the server-side trace spans of a traced request
+	// (wire v2 encodes them after the counters); empty when tracing is
+	// off. In-process transports leave it empty and record straight
+	// into the caller's collector instead.
+	Spans []obs.Span
 }
 
 // Handler processes one request at a site.
@@ -230,6 +236,14 @@ type Site struct {
 	admit         *admission
 	admitEstimate func(req Request) int64
 	admitExempt   map[string]bool
+
+	// stats is the site's always-on observability counter block
+	// (visits, messages, bytes, steps, cache, sheds + a latency
+	// histogram), updated lock-free in dispatch and exposed over
+	// /metrics and the obs.stats RPC. ring retains recently traced
+	// requests for /tracez.
+	stats obs.SiteStats
+	ring  *obs.TraceRing
 }
 
 // NewSite creates a detached site (used directly by the TCP server; the
@@ -241,8 +255,15 @@ func NewSite(id frag.SiteID) *Site {
 		fragments: make(map[xmltree.FragmentID]*frag.Fragment),
 		versions:  make(map[xmltree.FragmentID]uint64),
 		state:     make(map[string]any),
+		ring:      obs.NewTraceRing(0),
 	}
 }
+
+// Stats returns the site's observability counters.
+func (s *Site) Stats() *obs.SiteStats { return &s.stats }
+
+// TraceRing returns the site's retained-trace ring (/tracez).
+func (s *Site) TraceRing() *obs.TraceRing { return s.ring }
 
 // ID returns the site's name.
 func (s *Site) ID() frag.SiteID { return s.id }
@@ -576,6 +597,17 @@ func (s *Site) dispatch(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	// observe gates the stats counters: the obs.stats scrape itself is
+	// excluded so monitoring does not pollute the paper's per-site
+	// visit/message/byte table.
+	observe := req.Kind != StatsKind
+	var start time.Time
+	if observe {
+		start = time.Now()
+		s.stats.Visits.Add(1)
+		s.stats.MessagesIn.Add(1)
+		s.stats.BytesIn.Add(uint64(len(req.Payload)))
+	}
 	s.mu.RLock()
 	h, ok := s.handlers[req.Kind]
 	adm := s.admit
@@ -588,10 +620,41 @@ func (s *Site) dispatch(ctx context.Context, req Request) (Response, error) {
 	}
 	release, err := adm.admit(s.id, req)
 	if err != nil {
+		if observe {
+			s.stats.Sheds.Add(1)
+		}
+		// The admission decision is itself a span-worthy event: a
+		// traced request that was shed shows up in the tree as a
+		// zero-work "admit" span instead of vanishing.
+		_, asp := obs.StartSpan(ctx, string(s.id), "admit "+req.Kind)
+		asp.SetAttr("shed", 1)
+		asp.End()
 		return Response{}, err
 	}
 	defer release()
-	return h(ctx, s, req)
+	hctx, hsp := obs.StartSpan(ctx, string(s.id), "handle "+req.Kind)
+	resp, err := h(hctx, s, req)
+	if hsp != nil {
+		hsp.SetAttr("steps", resp.Steps)
+		hsp.End()
+	}
+	if observe {
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.stats.DeadlineExpired.Add(1)
+			} else {
+				s.stats.Errors.Add(1)
+			}
+		} else {
+			s.stats.MessagesOut.Add(1)
+			s.stats.BytesOut.Add(uint64(len(resp.Payload)))
+			s.stats.Steps.Add(uint64(resp.Steps))
+			s.stats.CacheHits.Add(uint64(resp.CacheHits))
+			s.stats.CacheMisses.Add(uint64(resp.CacheMisses))
+			s.stats.Latency.Observe(time.Since(start).Nanoseconds())
+		}
+	}
+	return resp, err
 }
 
 // Cluster is the in-process simulated LAN.
@@ -676,9 +739,32 @@ func (c *Cluster) Call(ctx context.Context, from, to frag.SiteID, req Request) (
 			sleepCtx(ctx, c.cost.Latency+c.cost.TransferTime(cost.ReqBytes))
 		}
 	}
+	// A traced remote call gets a client-side "call" span; the callee's
+	// handler spans parent under it. The in-process transport shares the
+	// caller's collector directly (no wire, no piggyback).
+	dctx := ctx
+	var callSpan obs.Span
+	tc, traced := obs.FromContext(ctx)
+	if traced && remote {
+		callSpan = obs.Span{
+			TraceID: tc.TraceID,
+			ID:      obs.NewSpanID(),
+			Parent:  tc.SpanID,
+			Site:    string(to),
+			Name:    "call " + req.Kind,
+		}
+		child := tc
+		child.SpanID = callSpan.ID
+		dctx = obs.WithTrace(ctx, child)
+	}
 	start := time.Now()
-	resp, err := site.dispatch(ctx, req)
+	resp, err := site.dispatch(dctx, req)
 	cost.Wall = time.Since(start)
+	if traced && remote {
+		callSpan.Start = start.UnixNano()
+		callSpan.Dur = cost.Wall.Nanoseconds()
+		tc.Collector.Add(callSpan)
+	}
 	cost.Steps = resp.Steps
 	cost.Compute = c.cost.ComputeTime(resp.Steps)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/frag"
+	"repro/internal/obs"
 )
 
 // SiteMetrics aggregates one site's activity during a run.
@@ -37,6 +38,12 @@ type SiteMetrics struct {
 	// over both the simulated in-process transport and real TCP). The
 	// serving tier seeds its replica-routing score from it.
 	ServiceEWMANanos float64
+	// ServiceHist is the full log-bucketed distribution of the same
+	// per-call service-time samples the EWMA smooths: one sample per
+	// remote call handled by this site, so its count equals MessagesIn.
+	// p50/p95/p99 come from here (ServiceHist.Quantile); the EWMA
+	// survives as a cheap seed for code that wants one number.
+	ServiceHist obs.HistSnapshot
 	// Sheds counts requests the site's admission control declined
 	// (StatusOverloaded); over TCP the client transport records the sheds
 	// it observes, so the counter is meaningful on both ends.
@@ -90,6 +97,7 @@ func (m *Metrics) record(from, to frag.SiteID, req Request, resp Response, cost 
 		const alpha = 0.3
 		callee.ServiceEWMANanos = (1-alpha)*callee.ServiceEWMANanos + alpha*sample
 	}
+	callee.ServiceHist.Observe(int64(sample))
 	caller := m.site(from)
 	callee.Visits++
 	callee.MessagesIn++

@@ -99,7 +99,7 @@ func rawV2Call(t *testing.T, addr string, deadlineMicros uint64, kind string, pa
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := appendV2Request(nil, 1, deadlineMicros, kind, payload)
+	frame := appendV2Request(nil, 1, deadlineMicros, 0, 0, kind, payload)
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}

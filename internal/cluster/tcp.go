@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/frag"
+	"repro/internal/obs"
 )
 
 // The legacy (v1) TCP wire format, shared by server and client:
@@ -360,10 +361,11 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 	sem := make(chan struct{}, inflight)
 	var handlers sync.WaitGroup
 	for {
-		id, deadlineMicros, kind, payload, err := readV2Request(r)
+		id, deadlineMicros, traceID, parentSpan, kind, payload, err := readV2Request(r)
 		if err != nil {
 			break // EOF, torn frame, or drain kick
 		}
+		recv := time.Now()
 		// Per-connection admission: when the site runs admission control,
 		// a full handler semaphore sheds (status 3 + retry-after hint)
 		// instead of parking the reader — bounded queueing end to end.
@@ -377,6 +379,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			default:
 				hint := time.Duration(len(sem)) * DefaultRetryAfterBase
 				body := appendRetryAfter(nil, hint)
+				s.site.stats.Sheds.Add(1)
 				respCh <- appendV2Response(nil, id, tcpStatusOverload, Response{Payload: body})
 				continue
 			}
@@ -384,7 +387,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			sem <- struct{}{}
 		}
 		handlers.Add(1)
-		go func(id, deadlineMicros uint64, kind string, payload []byte) {
+		go func(id, deadlineMicros, traceID, parentSpan uint64, kind string, payload []byte, recv time.Time) {
 			defer handlers.Done()
 			defer func() { <-sem }()
 			// Derive the per-request context from the wire deadline: the
@@ -397,21 +400,41 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMicros)*time.Microsecond)
 				defer cancel()
 			}
+			// A traced request gets a fresh per-request collector: the
+			// server's spans parent under the caller's wire span IDs and
+			// ride back on the response frame. The gap between frame read
+			// and this goroutine running is the queue-wait span.
+			var col *obs.Collector
+			if traceID != 0 {
+				col = obs.NewCollector()
+				ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: traceID, SpanID: parentSpan, Collector: col})
+				col.Add(obs.Span{
+					TraceID: traceID, ID: obs.NewSpanID(), Parent: parentSpan,
+					Site: string(s.site.id), Name: "queue",
+					Start: recv.UnixNano(), Dur: time.Since(recv).Nanoseconds(),
+				})
+			}
 			resp, herr := s.site.dispatch(ctx, Request{Kind: kind, Payload: payload})
+			if col != nil {
+				resp.Spans = col.Spans()
+				s.site.ring.Add(obs.TraceRecord{
+					TraceID: traceID, Root: kind, Dur: time.Since(recv), At: recv, Spans: resp.Spans,
+				})
+			}
 			var buf []byte
 			switch {
 			case herr == nil:
 				buf = appendV2Response(nil, id, tcpStatusOK, resp)
 			case errors.Is(herr, ErrOverloaded):
 				body := appendRetryAfter(nil, RetryAfterHint(herr))
-				buf = appendV2Response(nil, id, tcpStatusOverload, Response{Payload: body})
+				buf = appendV2Response(nil, id, tcpStatusOverload, Response{Payload: body, Spans: resp.Spans})
 			case errors.Is(herr, context.DeadlineExceeded):
-				buf = appendV2Response(nil, id, tcpStatusDeadline, Response{})
+				buf = appendV2Response(nil, id, tcpStatusDeadline, Response{Spans: resp.Spans})
 			default:
-				buf = appendV2Response(nil, id, tcpStatusErr, Response{Payload: []byte(herr.Error())})
+				buf = appendV2Response(nil, id, tcpStatusErr, Response{Payload: []byte(herr.Error()), Spans: resp.Spans})
 			}
 			respCh <- buf
-		}(id, deadlineMicros, kind, payload)
+		}(id, deadlineMicros, traceID, parentSpan, kind, payload, recv)
 	}
 	handlers.Wait()
 	close(respCh)
@@ -730,9 +753,28 @@ func (t *TCPTransport) goRemote(ctx context.Context, from, to frag.SiteID, req R
 		ch <- Reply{Cost: cost, Err: err}
 		return ch
 	}
+	// A traced call carries its trace ID and a fresh RPC span ID on the
+	// wire; the server's spans come back on the response frame and merge
+	// into the caller's collector under that span.
+	var traceID, parentSpan uint64
+	tc, traced := obs.FromContext(ctx)
+	var rpcSpan obs.Span
+	if traced {
+		rpcSpan = obs.Span{
+			TraceID: tc.TraceID, ID: obs.NewSpanID(), Parent: tc.SpanID,
+			Site: string(to), Name: "rpc " + req.Kind,
+		}
+		traceID, parentSpan = tc.TraceID, rpcSpan.ID
+	}
 	start := time.Now()
-	c.send(ctx, req.Kind, req.Payload, func(resp Response, err error) {
+	c.send(ctx, req.Kind, req.Payload, traceID, parentSpan, func(resp Response, err error) {
 		cost.Wall = time.Since(start)
+		if traced {
+			rpcSpan.Start = start.UnixNano()
+			rpcSpan.Dur = cost.Wall.Nanoseconds()
+			tc.Collector.Add(rpcSpan)
+			tc.Collector.Add(resp.Spans...)
+		}
 		if err != nil {
 			// Typed overload/deadline responses count on the client side
 			// too — the coordinator's transport metrics are what the

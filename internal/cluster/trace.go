@@ -31,16 +31,46 @@ func (e TraceEvent) String() string {
 	return s
 }
 
+// DefaultTracerLimit bounds a Tracer's retained events unless
+// SetLimit raises (or lowers) it. Generous enough for any single
+// query's call log; a long-lived traced system retains the most recent
+// events at constant memory instead of growing without limit.
+const DefaultTracerLimit = 65536
+
 // Tracer collects TraceEvents; attach with TracingTransport or
-// Cluster.SetTracer. Safe for concurrent use.
+// Cluster.SetTracer. Safe for concurrent use. Retention is bounded:
+// once limit events are held the oldest is overwritten (Seq keeps
+// counting, so a trimmed log is detectable — Events()[0].Seq > 1).
 type Tracer struct {
 	mu     sync.Mutex
-	events []TraceEvent
+	events []TraceEvent // circular once len == limit
+	start  int          // index of oldest event
+	n      int          // events held
+	limit  int
 	seq    int
 }
 
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewTracer returns an empty tracer retaining DefaultTracerLimit
+// events.
+func NewTracer() *Tracer { return &Tracer{limit: DefaultTracerLimit} }
+
+// SetLimit changes the retention bound (minimum 1), keeping the most
+// recent events when shrinking.
+func (t *Tracer) SetLimit(limit int) {
+	if limit < 1 {
+		limit = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.eventsLocked()
+	if len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	t.limit = limit
+	t.events = evs
+	t.start = 0
+	t.n = len(evs)
+}
 
 func (t *Tracer) record(e TraceEvent) {
 	t.mu.Lock()
@@ -48,14 +78,33 @@ func (t *Tracer) record(e TraceEvent) {
 	t.seq++
 	e.Seq = t.seq
 	e.At = time.Now()
-	t.events = append(t.events, e)
+	if t.n < t.limit {
+		if len(t.events) < t.limit && t.n == len(t.events) {
+			t.events = append(t.events, e)
+		} else {
+			t.events[(t.start+t.n)%len(t.events)] = e
+		}
+		t.n++
+		return
+	}
+	t.events[t.start] = e
+	t.start = (t.start + 1) % len(t.events)
 }
 
-// Events returns a copy of the recorded events in completion order.
+func (t *Tracer) eventsLocked() []TraceEvent {
+	out := make([]TraceEvent, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// Events returns a copy of the retained events in completion order
+// (the most recent limit events when the log has wrapped).
 func (t *Tracer) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]TraceEvent(nil), t.events...)
+	return t.eventsLocked()
 }
 
 // Reset clears the log.
@@ -63,16 +112,18 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.events = nil
+	t.start = 0
+	t.n = 0
 	t.seq = 0
 }
 
-// KindCounts tallies events by request kind.
+// KindCounts tallies retained events by request kind.
 func (t *Tracer) KindCounts() map[string]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make(map[string]int)
-	for _, e := range t.events {
-		out[e.Kind]++
+	for i := 0; i < t.n; i++ {
+		out[t.events[(t.start+i)%len(t.events)].Kind]++
 	}
 	return out
 }

@@ -22,11 +22,15 @@ package cluster
 // Frames after the handshake:
 //
 //	request:  uvarint id, uvarint deadline budget (µs, 0 = none),
+//	          uvarint trace ID (0 = tracing off; when non-zero a
+//	          uvarint parent span ID follows),
 //	          uvarint kind length, kind,
 //	          uvarint payload length, payload
 //	response: uvarint id, one status byte (0 ok, 1 error, 2 deadline
 //	          expired, 3 overloaded), uvarint steps,
 //	          uvarint cache hits, uvarint cache misses,
+//	          uvarint span block length, span block (obs.EncodeSpans;
+//	          empty for untraced requests),
 //	          uvarint body length, body (payload, error text, or for
 //	          status 3 a uvarint retry-after hint in µs)
 //
@@ -56,14 +60,18 @@ import (
 	"time"
 
 	"repro/internal/frag"
+	"repro/internal/obs"
 )
 
 const (
 	// v2Magic opens every v2 handshake byte pair. Deliberately ≥ 0x80 so
 	// it can never be mistaken for a v1 kind-length byte.
 	v2Magic byte = 0xB2
-	// v2Version is the protocol version this build speaks.
-	v2Version byte = 2
+	// v2Version is the protocol version this build speaks. Version 3
+	// added the optional trace-context fields on requests and the span
+	// block on responses; the handshake requires an exact match, so
+	// version-skewed binaries fail loudly instead of misparsing frames.
+	v2Version byte = 3
 	// v2Reject is the version byte of a rejection reply.
 	v2Reject byte = 0
 	// maxKind bounds accepted request kind strings; real kinds are short
@@ -84,13 +92,19 @@ var ErrProtocolVersion = errors.New("cluster: wire protocol version mismatch")
 
 // appendV2Request appends one encoded v2 request frame. deadlineMicros
 // is the caller's remaining budget in microseconds (0 = no deadline),
-// clamped to maxDeadlineMicros.
-func appendV2Request(dst []byte, id, deadlineMicros uint64, kind string, payload []byte) []byte {
+// clamped to maxDeadlineMicros. traceID 0 means tracing off and adds a
+// single zero byte; a non-zero traceID is followed by the parent span
+// ID so the server can attach its spans under the caller's RPC span.
+func appendV2Request(dst []byte, id, deadlineMicros, traceID, parentSpan uint64, kind string, payload []byte) []byte {
 	if deadlineMicros > maxDeadlineMicros {
 		deadlineMicros = maxDeadlineMicros
 	}
 	dst = binary.AppendUvarint(dst, id)
 	dst = binary.AppendUvarint(dst, deadlineMicros)
+	dst = binary.AppendUvarint(dst, traceID)
+	if traceID != 0 {
+		dst = binary.AppendUvarint(dst, parentSpan)
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(kind)))
 	dst = append(dst, kind...)
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
@@ -101,48 +115,65 @@ func appendV2Request(dst []byte, id, deadlineMicros uint64, kind string, payload
 // allocated: v2 handlers run concurrently with the reader, so frames
 // cannot share a connection-scoped scratch buffer the way v1 does.
 // deadlineMicros is clamped like the encoder clamps it.
-func readV2Request(r *bufio.Reader) (id, deadlineMicros uint64, kind string, payload []byte, err error) {
+func readV2Request(r *bufio.Reader) (id, deadlineMicros, traceID, parentSpan uint64, kind string, payload []byte, err error) {
 	if id, err = binary.ReadUvarint(r); err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
 	if deadlineMicros, err = binary.ReadUvarint(r); err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
 	if deadlineMicros > maxDeadlineMicros {
 		deadlineMicros = maxDeadlineMicros
 	}
+	if traceID, err = binary.ReadUvarint(r); err != nil {
+		return 0, 0, 0, 0, "", nil, err
+	}
+	if traceID != 0 {
+		if parentSpan, err = binary.ReadUvarint(r); err != nil {
+			return 0, 0, 0, 0, "", nil, err
+		}
+	}
 	kn, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
 	if kn > maxKind {
-		return 0, 0, "", nil, fmt.Errorf("%w (kind %d bytes)", errFrameTooBig, kn)
+		return 0, 0, 0, 0, "", nil, fmt.Errorf("%w (kind %d bytes)", errFrameTooBig, kn)
 	}
 	kb := make([]byte, kn)
 	if _, err = io.ReadFull(r, kb); err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
 	pn, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
 	if pn > maxFrame {
-		return 0, 0, "", nil, errFrameTooBig
+		return 0, 0, 0, 0, "", nil, errFrameTooBig
 	}
 	payload = make([]byte, pn)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, 0, 0, "", nil, err
 	}
-	return id, deadlineMicros, string(kb), payload, nil
+	return id, deadlineMicros, traceID, parentSpan, string(kb), payload, nil
 }
 
-// appendV2Response appends one encoded v2 response frame.
+// appendV2Response appends one encoded v2 response frame. The span
+// block piggybacks the server-side spans of a traced request; for the
+// (overwhelmingly common) untraced case it is a single zero byte.
 func appendV2Response(dst []byte, id uint64, status byte, resp Response) []byte {
 	dst = binary.AppendUvarint(dst, id)
 	dst = append(dst, status)
 	dst = binary.AppendUvarint(dst, uint64(resp.Steps))
 	dst = binary.AppendUvarint(dst, uint64(resp.CacheHits))
 	dst = binary.AppendUvarint(dst, uint64(resp.CacheMisses))
+	if len(resp.Spans) == 0 {
+		dst = binary.AppendUvarint(dst, 0) // one zero byte when untraced
+	} else {
+		spanBlock := obs.EncodeSpans(nil, resp.Spans)
+		dst = binary.AppendUvarint(dst, uint64(len(spanBlock)))
+		dst = append(dst, spanBlock...)
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(resp.Payload)))
 	return append(dst, resp.Payload...)
 }
@@ -169,6 +200,28 @@ func readV2Response(r *bufio.Reader) (id uint64, status byte, resp Response, err
 	if err != nil {
 		return 0, 0, Response{}, err
 	}
+	sn, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, Response{}, err
+	}
+	if sn > maxFrame {
+		return 0, 0, Response{}, errFrameTooBig
+	}
+	var spans []obs.Span
+	if sn > 0 {
+		sb := make([]byte, sn)
+		if _, err = io.ReadFull(r, sb); err != nil {
+			return 0, 0, Response{}, err
+		}
+		var used int
+		spans, used, err = obs.DecodeSpans(sb)
+		if err != nil {
+			return 0, 0, Response{}, err
+		}
+		if used != len(sb) {
+			return 0, 0, Response{}, errors.New("cluster: span block has trailing bytes")
+		}
+	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return 0, 0, Response{}, err
@@ -180,7 +233,7 @@ func readV2Response(r *bufio.Reader) (id uint64, status byte, resp Response, err
 	if _, err = io.ReadFull(r, body); err != nil {
 		return 0, 0, Response{}, err
 	}
-	resp = Response{Payload: body, Steps: int64(steps), CacheHits: int64(hits), CacheMisses: int64(misses)}
+	resp = Response{Payload: body, Steps: int64(steps), CacheHits: int64(hits), CacheMisses: int64(misses), Spans: spans}
 	return id, status, resp, nil
 }
 
@@ -267,13 +320,15 @@ func (c *muxConn) readLoop(r *bufio.Reader) {
 			c.fail(err)
 			return
 		}
+		// Error statuses keep any piggybacked spans: a traced request
+		// that was shed or expired still shows its server-side spans.
 		switch status {
 		case tcpStatusErr:
-			c.finish(id, Response{}, fmt.Errorf("%w: %s", ErrRemote, resp.Payload))
+			c.finish(id, Response{Spans: resp.Spans}, fmt.Errorf("%w: %s", ErrRemote, resp.Payload))
 		case tcpStatusDeadline:
-			c.finish(id, Response{}, &DeadlineError{Site: c.peer})
+			c.finish(id, Response{Spans: resp.Spans}, &DeadlineError{Site: c.peer})
 		case tcpStatusOverload:
-			c.finish(id, Response{}, &OverloadError{Site: c.peer, RetryAfter: decodeRetryAfter(resp.Payload)})
+			c.finish(id, Response{Spans: resp.Spans}, &OverloadError{Site: c.peer, RetryAfter: decodeRetryAfter(resp.Payload)})
 		default:
 			c.finish(id, resp, nil)
 		}
@@ -282,7 +337,9 @@ func (c *muxConn) readLoop(r *bufio.Reader) {
 
 // send registers a new call and enqueues its frame. complete is invoked
 // exactly once with the outcome; ctx expiry resolves only this call.
-func (c *muxConn) send(ctx context.Context, kind string, payload []byte, complete func(Response, error)) {
+// traceID/parentSpan propagate the caller's trace context to the server
+// (0 trace ID = tracing off, costing one zero byte on the wire).
+func (c *muxConn) send(ctx context.Context, kind string, payload []byte, traceID, parentSpan uint64, complete func(Response, error)) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -323,7 +380,7 @@ func (c *muxConn) send(ctx context.Context, kind string, payload []byte, complet
 		}
 		deadlineMicros = uint64(rem)
 	}
-	frame := appendV2Request(make([]byte, 0, 24+len(kind)+len(payload)), id, deadlineMicros, kind, payload)
+	frame := appendV2Request(make([]byte, 0, 44+len(kind)+len(payload)), id, deadlineMicros, traceID, parentSpan, kind, payload)
 	select {
 	case c.wr <- frame:
 	case <-c.broken:

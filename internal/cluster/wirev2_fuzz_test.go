@@ -4,40 +4,51 @@ import (
 	"bufio"
 	"bytes"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FuzzV2RequestFrame hammers the server-side request decoder with
 // arbitrary bytes: it must never panic, and any frame it accepts must
 // round-trip through the encoder byte for byte.
 func FuzzV2RequestFrame(f *testing.F) {
-	f.Add(appendV2Request(nil, 1, 0, "parbox.evalQual", []byte("payload")))
-	f.Add(appendV2Request(nil, 0, 0, "", nil))
-	f.Add(appendV2Request(appendV2Request(nil, 7, 1, "a", []byte("x")), 8, 250_000, "b", []byte("y")))
-	f.Add(appendV2Request(nil, 3, ^uint64(0), "k", nil))                      // absurd deadline: clamped
+	f.Add(appendV2Request(nil, 1, 0, 0, 0, "parbox.evalQual", []byte("payload")))
+	f.Add(appendV2Request(nil, 0, 0, 0, 0, "", nil))
+	f.Add(appendV2Request(appendV2Request(nil, 7, 1, 0, 0, "a", []byte("x")), 8, 250_000, 0, 0, "b", []byte("y")))
+	f.Add(appendV2Request(nil, 3, ^uint64(0), 0, 0, "k", nil)) // absurd deadline: clamped
+	// Traced frames: trace ID plus parent span ID.
+	f.Add(appendV2Request(nil, 4, 1000, 0xdeadbeef, 0xfeedface, "parbox.evalQual", []byte("traced")))
+	f.Add(appendV2Request(nil, 5, 0, ^uint64(0), ^uint64(0), "k", nil))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge uvarint id
-	f.Add([]byte{1, 0, 5, 'h', 'i'})                                          // kind truncated
-	f.Add(appendV2Request(nil, 2, 9, "k", []byte("p"))[:3])                   // torn frame
+	f.Add([]byte{1, 0, 0, 5, 'h', 'i'})                                       // kind truncated
+	f.Add(appendV2Request(nil, 2, 9, 0, 0, "k", []byte("p"))[:3])             // torn frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
 		for {
-			id, deadline, kind, payload, err := readV2Request(r)
+			id, deadline, traceID, parentSpan, kind, payload, err := readV2Request(r)
 			if err != nil {
 				return // torn, truncated or oversized: rejected without panic
 			}
 			if deadline > maxDeadlineMicros {
 				t.Fatalf("decoder admitted deadline %d past the %d clamp", deadline, maxDeadlineMicros)
 			}
-			reenc := appendV2Request(nil, id, deadline, kind, payload)
-			id2, deadline2, kind2, payload2, err := readV2Request(bufio.NewReader(bytes.NewReader(reenc)))
+			if traceID == 0 && parentSpan != 0 {
+				t.Fatalf("untraced frame decoded a parent span %d", parentSpan)
+			}
+			reenc := appendV2Request(nil, id, deadline, traceID, parentSpan, kind, payload)
+			id2, deadline2, traceID2, parentSpan2, kind2, payload2, err := readV2Request(bufio.NewReader(bytes.NewReader(reenc)))
 			if err != nil {
 				t.Fatalf("re-decoding an accepted frame failed: %v", err)
 			}
-			if id2 != id || deadline2 != deadline || kind2 != kind || !bytes.Equal(payload2, payload) {
-				t.Fatalf("request frame round trip changed (%d dl %d %q %d bytes) -> (%d dl %d %q %d bytes)",
-					id, deadline, kind, len(payload), id2, deadline2, kind2, len(payload2))
+			if id2 != id || deadline2 != deadline || traceID2 != traceID ||
+				parentSpan2 != parentSpan || kind2 != kind || !bytes.Equal(payload2, payload) {
+				t.Fatalf("request frame round trip changed (%d dl %d tr %d/%d %q %d bytes) -> (%d dl %d tr %d/%d %q %d bytes)",
+					id, deadline, traceID, parentSpan, kind, len(payload),
+					id2, deadline2, traceID2, parentSpan2, kind2, len(payload2))
 			}
 		}
 	})
@@ -50,7 +61,7 @@ func FuzzRetryAfter(f *testing.F) {
 	f.Add(appendRetryAfter(nil, time.Millisecond))
 	f.Add(appendRetryAfter(nil, maxRetryAfter))
 	f.Add([]byte{})
-	f.Add([]byte{0xff})                                                        // torn uvarint
+	f.Add([]byte{0xff})                                                       // torn uvarint
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd hint
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := decodeRetryAfter(data)
@@ -61,6 +72,13 @@ func FuzzRetryAfter(f *testing.F) {
 			t.Fatalf("hint round trip changed %v -> %v", d, got)
 		}
 	})
+}
+
+// fuzzSpans is a canonical span set used by the response-frame seeds.
+var fuzzSpans = []obs.Span{
+	{TraceID: 9, ID: 2, Parent: 1, Site: "s1", Name: "handle parbox.evalQual", Start: 1234, Dur: 56,
+		Attrs: []obs.Attr{{Key: "steps", Val: 7}}},
+	{TraceID: 9, ID: 3, Parent: 2, Site: "s1", Name: "bottomUp", Start: 1240, Dur: 40},
 }
 
 // FuzzV2ResponseDemux feeds an arbitrary byte stream to a live demux
@@ -75,6 +93,8 @@ func FuzzV2ResponseDemux(f *testing.F) {
 	s = appendV2Response(s, 3, tcpStatusErr, Response{Payload: []byte("boom")})
 	s = appendV2Response(s, 1, tcpStatusOK, Response{CacheHits: 1, CacheMisses: 2})
 	f.Add(s, uint8(3))
+	// A traced response carrying piggybacked spans.
+	f.Add(appendV2Response(nil, 1, tcpStatusOK, Response{Payload: []byte("ok"), Spans: fuzzSpans}), uint8(1))
 	// A response for an id nobody is waiting on (abandoned by ctx expiry).
 	f.Add(appendV2Response(nil, 99, tcpStatusOK, Response{Payload: []byte("late")}), uint8(2))
 	// Torn mid-frame.
@@ -120,10 +140,12 @@ func FuzzV2ResponseDemux(f *testing.F) {
 	})
 }
 
-// FuzzV2ResponseFrame: decode/encode/decode parity for response frames.
+// FuzzV2ResponseFrame: decode/encode/decode parity for response frames,
+// including the piggybacked span block.
 func FuzzV2ResponseFrame(f *testing.F) {
 	f.Add(appendV2Response(nil, 5, tcpStatusOK, Response{Payload: []byte("ok"), Steps: 3, CacheHits: 1, CacheMisses: 2}))
 	f.Add(appendV2Response(nil, 1, tcpStatusErr, Response{Payload: []byte("error text")}))
+	f.Add(appendV2Response(nil, 8, tcpStatusOK, Response{Payload: []byte("traced"), Steps: 11, Spans: fuzzSpans}))
 	f.Add([]byte{0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReader(bytes.NewReader(data))
@@ -139,7 +161,8 @@ func FuzzV2ResponseFrame(f *testing.F) {
 			}
 			if id2 != id || status2 != status || resp2.Steps != resp.Steps ||
 				resp2.CacheHits != resp.CacheHits || resp2.CacheMisses != resp.CacheMisses ||
-				!bytes.Equal(resp2.Payload, resp.Payload) {
+				!bytes.Equal(resp2.Payload, resp.Payload) ||
+				!reflect.DeepEqual(resp2.Spans, resp.Spans) {
 				t.Fatalf("response frame round trip changed: id %d->%d status %d->%d", id, id2, status, status2)
 			}
 		}

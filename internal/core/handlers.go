@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/frag"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -115,7 +116,13 @@ func handleEvalQual(keep bool) cluster.Handler {
 		if q.fp != 0 && !keep {
 			return evalQualCached(ctx, site, q)
 		}
-		fts, steps, err := evalFragments(ctx, site, q.prog, q.ids)
+		bctx, bsp := obs.StartSpan(ctx, string(site.ID()), "bottomUp")
+		fts, steps, err := evalFragments(bctx, site, q.prog, q.ids)
+		if bsp != nil {
+			bsp.SetAttr("fragments", int64(len(q.ids)))
+			bsp.SetAttr("steps", steps)
+			bsp.End()
+		}
 		if err != nil {
 			return cluster.Response{}, err
 		}
@@ -126,7 +133,10 @@ func handleEvalQual(keep bool) cluster.Handler {
 			state.remaining = len(state.triplets)
 			site.Put(runStateKey(q.runKey), state)
 		}
-		return cluster.Response{Payload: encodeEvalQualResp(fts), Steps: steps}, nil
+		_, esp := obs.StartSpan(ctx, string(site.ID()), "encode")
+		payload := encodeEvalQualResp(fts)
+		esp.End()
+		return cluster.Response{Payload: payload, Steps: steps}, nil
 	}
 }
 
@@ -142,6 +152,7 @@ func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (clu
 	vers := make([]uint64, len(q.ids))
 	var missIdx []int
 	var missIDs []xmltree.FragmentID
+	_, csp := obs.StartSpan(ctx, string(site.ID()), "triplet-cache")
 	for i, id := range q.ids {
 		vers[i] = site.FragmentVersion(id)
 		if enc, ok := cache.lookup(id, vers[i], q.fp); ok {
@@ -151,9 +162,20 @@ func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (clu
 			missIDs = append(missIDs, id)
 		}
 	}
+	if csp != nil {
+		csp.SetAttr("hits", int64(len(q.ids)-len(missIDs)))
+		csp.SetAttr("misses", int64(len(missIDs)))
+		csp.End()
+	}
 	var steps int64
 	if len(missIDs) > 0 {
-		mfts, s, err := evalFragments(ctx, site, q.prog, missIDs)
+		bctx, bsp := obs.StartSpan(ctx, string(site.ID()), "bottomUp")
+		mfts, s, err := evalFragments(bctx, site, q.prog, missIDs)
+		if bsp != nil {
+			bsp.SetAttr("fragments", int64(len(missIDs)))
+			bsp.SetAttr("steps", s)
+			bsp.End()
+		}
 		if err != nil {
 			return cluster.Response{}, err
 		}
@@ -167,8 +189,11 @@ func evalQualCached(ctx context.Context, site *cluster.Site, q evalQualReq) (clu
 			site.PersistTriplet(q.ids[i], vers[i], q.fp, enc)
 		}
 	}
+	_, esp := obs.StartSpan(ctx, string(site.ID()), "encode")
+	payload := encodeEvalQualResp(fts)
+	esp.End()
 	return cluster.Response{
-		Payload:     encodeEvalQualResp(fts),
+		Payload:     payload,
 		Steps:       steps,
 		CacheHits:   int64(len(q.ids) - len(missIDs)),
 		CacheMisses: int64(len(missIDs)),

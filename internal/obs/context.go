@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Collector accumulates the spans of one trace. It is safe for
+// concurrent use (hedged requests record duplicates from both arms;
+// scatter workers record in parallel) and bounded so a runaway trace
+// cannot grow without limit.
+type Collector struct {
+	mu    sync.Mutex
+	spans []Span
+	limit int
+	drop  uint64
+}
+
+// defaultCollectorLimit bounds spans retained per trace.
+const defaultCollectorLimit = 8192
+
+// NewCollector returns a Collector retaining at most the default
+// per-trace span limit.
+func NewCollector() *Collector { return &Collector{limit: defaultCollectorLimit} }
+
+// Add records spans into the collector, dropping past the limit.
+func (c *Collector) Add(spans ...Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	room := c.limit - len(c.spans)
+	if room > len(spans) {
+		room = len(spans)
+	}
+	if room > 0 {
+		c.spans = append(c.spans, spans[:room]...)
+	}
+	c.drop += uint64(len(spans) - room)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// Dropped reports how many spans were discarded over the limit.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drop
+}
+
+// TraceContext is the per-request tracing state carried through
+// context.Context: the trace ID, the current parent span, and the
+// collector receiving finished spans.
+type TraceContext struct {
+	TraceID   uint64
+	SpanID    uint64 // current parent span; children attach here
+	Collector *Collector
+}
+
+type traceCtxKey struct{}
+
+// WithTrace returns ctx carrying tc. A zero TraceID or nil Collector
+// disables tracing (FromContext will report !ok).
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// FromContext extracts the active trace, if any. The single map-free
+// context lookup is the entire cost of observability when tracing is
+// off.
+func FromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	if !ok || tc.TraceID == 0 || tc.Collector == nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// ActiveSpan is an in-progress span started by StartSpan. A nil
+// ActiveSpan (tracing off) is valid: every method is a no-op.
+type ActiveSpan struct {
+	tc    TraceContext
+	span  Span
+	start time.Time
+}
+
+// StartSpan begins a named span as a child of ctx's current span and
+// returns a context whose current span is the new one (so nested
+// StartSpan calls build the tree). When ctx carries no trace it
+// returns (ctx, nil) at the cost of one context lookup.
+func StartSpan(ctx context.Context, site, name string) (context.Context, *ActiveSpan) {
+	tc, ok := FromContext(ctx)
+	if !ok {
+		return ctx, nil
+	}
+	sp := &ActiveSpan{
+		tc: tc,
+		span: Span{
+			TraceID: tc.TraceID,
+			ID:      NewSpanID(),
+			Parent:  tc.SpanID,
+			Site:    site,
+			Name:    name,
+		},
+		start: time.Now(),
+	}
+	sp.span.Start = sp.start.UnixNano()
+	child := tc
+	child.SpanID = sp.span.ID
+	return WithTrace(ctx, child), sp
+}
+
+// SetAttr attaches an integer attribute to the span.
+func (a *ActiveSpan) SetAttr(key string, val int64) {
+	if a == nil {
+		return
+	}
+	a.span.Attrs = append(a.span.Attrs, Attr{Key: key, Val: val})
+}
+
+// End finishes the span and delivers it to the trace's collector.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.span.Dur = time.Since(a.start).Nanoseconds()
+	a.tc.Collector.Add(a.span)
+}

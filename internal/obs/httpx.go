@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MuxConfig wires the introspection endpoints to their data sources.
+// Nil sources disable the corresponding endpoint's body (the route
+// still responds, reporting the feature as unavailable).
+type MuxConfig struct {
+	// Metrics fills the Prometheus exposition for /metrics.
+	Metrics func(*Prom)
+	// Healthz reports liveness for /healthz: ok plus a short detail
+	// body (e.g. per-site health states).
+	Healthz func() (ok bool, detail string)
+	// Tracez returns the retained traces for /tracez.
+	Tracez func() []TraceRecord
+}
+
+// NewMux builds the introspection HTTP handler: /metrics (Prometheus
+// text), /healthz, /tracez (?min=duration filters to slow traces),
+// and /debug/pprof/*. Stdlib only.
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var p Prom
+		if cfg.Metrics != nil {
+			cfg.Metrics(&p)
+		}
+		fmt.Fprint(w, p.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ok, detail := true, "ok\n"
+		if cfg.Healthz != nil {
+			ok, detail = cfg.Healthz()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprint(w, detail)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var min time.Duration
+		if v := r.URL.Query().Get("min"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = d
+		}
+		if cfg.Tracez == nil {
+			fmt.Fprintln(w, "tracing not enabled")
+			return
+		}
+		recs := cfg.Tracez()
+		shown := 0
+		// Newest first: the most recent slow queries are what an
+		// operator is hunting.
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].Dur < min {
+				continue
+			}
+			RenderTrace(w, recs[i])
+			shown++
+		}
+		fmt.Fprintf(w, "%d/%d traces shown (min=%v)\n", shown, len(recs), min)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

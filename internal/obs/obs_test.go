@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000) // 1µs .. 1ms in ns
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	s := h.Snapshot()
+	// Log buckets guarantee at most 2x relative error.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500_000}, {0.95, 950_000}, {0.99, 990_000}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%v = %d, want within 2x of %d", tc.q, got, tc.want)
+		}
+	}
+	if s.Quantile(1) < s.Quantile(0.5) {
+		t.Errorf("quantiles not monotone")
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.95) != 0 {
+		t.Errorf("empty quantile should be 0")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: sum=%d count=%d", h.Sum(), h.Count())
+	}
+}
+
+func TestSpanCodecRoundTrip(t *testing.T) {
+	spans := []Span{
+		{TraceID: 7, ID: 1, Parent: 0, Site: "s0", Name: "root", Start: 123456789, Dur: 42},
+		{TraceID: 7, ID: 2, Parent: 1, Site: "s1", Name: "call core.evalQual", Start: 123456800, Dur: 17,
+			Attrs: []Attr{{Key: "steps", Val: 99}, {Key: "lane", Val: -3}}},
+	}
+	buf := EncodeSpans(nil, spans)
+	got, n, err := DecodeSpans(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, spans)
+	}
+	// Empty set encodes to a single zero-count byte.
+	if empty := EncodeSpans(nil, nil); len(empty) != 1 {
+		t.Fatalf("empty spans encode to %d bytes, want 1", len(empty))
+	}
+}
+
+func TestSpanDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeSpans([]byte{}); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	// Count says 1, no body.
+	if _, _, err := DecodeSpans([]byte{1}); err == nil {
+		t.Error("truncated span should fail")
+	}
+	// Absurd count is rejected before allocating.
+	big := EncodeSpans(nil, nil)
+	big[0] = 0xff
+	if _, _, err := DecodeSpans(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 0)); err == nil {
+		t.Error("oversized count should fail")
+	}
+	_ = big
+}
+
+func TestCollectorBounded(t *testing.T) {
+	c := &Collector{limit: 4}
+	for i := 0; i < 10; i++ {
+		c.Add(Span{ID: uint64(i + 1)})
+	}
+	if got := len(c.Spans()); got != 4 {
+		t.Fatalf("retained %d spans, want 4", got)
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", c.Dropped())
+	}
+}
+
+func TestStartSpanNesting(t *testing.T) {
+	col := NewCollector()
+	ctx := WithTrace(context.Background(), TraceContext{TraceID: 9, SpanID: 100, Collector: col})
+	ctx2, parent := StartSpan(ctx, "s0", "outer")
+	_, child := StartSpan(ctx2, "s0", "inner")
+	child.SetAttr("k", 5)
+	child.End()
+	parent.End()
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1]
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want %d", inner.Parent, outer.ID)
+	}
+	if outer.Parent != 100 {
+		t.Errorf("outer.Parent = %d, want 100", outer.Parent)
+	}
+	if v, ok := inner.Attr("k"); !ok || v != 5 {
+		t.Errorf("attr k = %d,%v", v, ok)
+	}
+	// No trace in context: all no-ops.
+	ctx3, sp := StartSpan(context.Background(), "s0", "off")
+	if sp != nil || ctx3 != context.Background() {
+		t.Error("untraced StartSpan should return nil span and same ctx")
+	}
+	sp.SetAttr("x", 1)
+	sp.End()
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceRecord{TraceID: uint64(i)})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if recs[i].TraceID != want {
+			t.Errorf("recs[%d] = %d, want %d", i, recs[i].TraceID, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestSiteStatsCodec(t *testing.T) {
+	var st SiteStats
+	st.Visits.Store(3)
+	st.BytesIn.Store(1024)
+	st.CacheHits.Store(7)
+	st.Latency.Observe(5000)
+	st.Latency.Observe(9000)
+	snap := st.Snapshot()
+	snap.Site = "alpha"
+	buf := snap.Encode(nil)
+	got, err := DecodeSiteStats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	var p Prom
+	p.Counter("parbox_test_total", "help text", 3, "site", "s0")
+	p.Counter("parbox_test_total", "help text", 4, "site", "s1")
+	var h HistSnapshot
+	h.Observe(1500)
+	h.Observe(3000)
+	p.Histogram("parbox_lat_seconds", "latency", h, 1e9)
+	out := p.String()
+	if strings.Count(out, "# HELP parbox_test_total") != 1 {
+		t.Errorf("family header should appear once:\n%s", out)
+	}
+	for _, want := range []string{
+		`parbox_test_total{site="s0"} 3`,
+		`parbox_test_total{site="s1"} 4`,
+		`parbox_lat_seconds_bucket{le="+Inf"} 2`,
+		"parbox_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.Add(TraceRecord{TraceID: 1, Root: "q1", Dur: 5 * time.Millisecond,
+		Spans: []Span{{TraceID: 1, ID: 1, Name: "root", Dur: int64(5 * time.Millisecond)}}})
+	ring.Add(TraceRecord{TraceID: 2, Root: "q2", Dur: 50 * time.Millisecond})
+	mux := NewMux(MuxConfig{
+		Metrics: func(p *Prom) { p.Counter("parbox_up", "up", 1) },
+		Healthz: func() (bool, string) { return true, "all up\n" },
+		Tracez:  ring.Records,
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if out := get("/metrics"); !strings.Contains(out, "parbox_up 1") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/healthz"); !strings.Contains(out, "all up") {
+		t.Errorf("/healthz = %q", out)
+	}
+	if out := get("/tracez"); !strings.Contains(out, "q1") || !strings.Contains(out, "q2") {
+		t.Errorf("/tracez missing traces:\n%s", out)
+	}
+	if out := get("/tracez?min=10ms"); strings.Contains(out, "q1") || !strings.Contains(out, "q2") {
+		t.Errorf("/tracez?min=10ms filter wrong:\n%s", out)
+	}
+}
+
+func TestRenderTraceTree(t *testing.T) {
+	rec := TraceRecord{TraceID: 5, Root: "query", Dur: time.Millisecond, Spans: []Span{
+		{TraceID: 5, ID: 1, Name: "exec", Start: 10, Dur: 1000},
+		{TraceID: 5, ID: 2, Parent: 1, Site: "s1", Name: "rpc", Start: 20, Dur: 400},
+		{TraceID: 5, ID: 3, Parent: 2, Site: "s1", Name: "handle", Start: 25, Dur: 300},
+		{TraceID: 5, ID: 9, Parent: 77, Name: "orphan", Start: 30, Dur: 10},
+	}}
+	var b strings.Builder
+	RenderTrace(&b, rec)
+	out := b.String()
+	if !strings.Contains(out, "  - exec") ||
+		!strings.Contains(out, "    - rpc @s1") ||
+		!strings.Contains(out, "      - handle @s1") ||
+		!strings.Contains(out, "  - orphan") {
+		t.Errorf("tree rendering wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prom builds Prometheus text exposition format (version 0.0.4) by
+// hand — the introspection plane is stdlib-only by design. Metric
+// families must be emitted contiguously: call Counter/Gauge with the
+// same name back to back for multiple label sets; the writer emits
+// the # HELP/# TYPE header once per family.
+type Prom struct {
+	b    strings.Builder
+	last string
+}
+
+func (p *Prom) header(name, typ, help string) {
+	if p.last != name {
+		fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		p.last = name
+	}
+}
+
+// labelBlock renders {k="v",...} from alternating key/value pairs.
+func labelBlock(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter emits one counter sample. labels are alternating key/value
+// pairs.
+func (p *Prom) Counter(name, help string, v float64, labels ...string) {
+	p.header(name, "counter", help)
+	fmt.Fprintf(&p.b, "%s%s %g\n", name, labelBlock(labels), v)
+}
+
+// Gauge emits one gauge sample.
+func (p *Prom) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, "gauge", help)
+	fmt.Fprintf(&p.b, "%s%s %g\n", name, labelBlock(labels), v)
+}
+
+// Histogram emits a full Prometheus histogram family from a snapshot:
+// cumulative _bucket{le=...} series for every non-empty log bucket,
+// plus _sum and _count. scale divides raw sample units into the
+// exposed unit (1e9 turns nanoseconds into seconds).
+func (p *Prom) Histogram(name, help string, s HistSnapshot, scale float64, labels ...string) {
+	p.header(name, "histogram", help)
+	if scale <= 0 {
+		scale = 1
+	}
+	lb := labelBlock(labels)
+	sep := "{"
+	if lb != "" {
+		sep = lb[:len(lb)-1] + ","
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(&p.b, "%s_bucket%sle=\"%g\"} %d\n", name, sep, float64(bucketHigh(i))/scale, cum)
+	}
+	fmt.Fprintf(&p.b, "%s_bucket%sle=\"+Inf\"} %d\n", name, sep, s.Count)
+	fmt.Fprintf(&p.b, "%s_sum%s %g\n", name, lb, float64(s.Sum)/scale)
+	fmt.Fprintf(&p.b, "%s_count%s %d\n", name, lb, s.Count)
+}
+
+// String returns the exposition text built so far.
+func (p *Prom) String() string { return p.b.String() }
+
+// SiteStatsProm emits the standard per-site metric families under the
+// parbox_site_* namespace, family-major so a multi-site exposition
+// stays contiguous (the text format requires each family to appear
+// exactly once). Both the daemon /metrics endpoint (one site) and the
+// coordinator (every site, labeled) use it so the schema stays in one
+// place.
+func (p *Prom) SiteStatsProm(sites ...SiteStatsSnapshot) {
+	each := func(name, help string, get func(SiteStatsSnapshot) uint64) {
+		for _, s := range sites {
+			p.Counter(name, help, float64(get(s)), "site", s.Site)
+		}
+	}
+	each("parbox_site_visits_total", "Site visits (requests dispatched to this site).",
+		func(s SiteStatsSnapshot) uint64 { return s.Visits })
+	each("parbox_site_messages_in_total", "Messages received by this site.",
+		func(s SiteStatsSnapshot) uint64 { return s.MessagesIn })
+	each("parbox_site_messages_out_total", "Messages sent by this site.",
+		func(s SiteStatsSnapshot) uint64 { return s.MessagesOut })
+	each("parbox_site_bytes_in_total", "Request payload bytes received.",
+		func(s SiteStatsSnapshot) uint64 { return s.BytesIn })
+	each("parbox_site_bytes_out_total", "Response payload bytes sent.",
+		func(s SiteStatsSnapshot) uint64 { return s.BytesOut })
+	each("parbox_site_steps_total", "Computation steps executed.",
+		func(s SiteStatsSnapshot) uint64 { return s.Steps })
+	each("parbox_site_cache_hits_total", "Triplet-cache hits.",
+		func(s SiteStatsSnapshot) uint64 { return s.CacheHits })
+	each("parbox_site_cache_misses_total", "Triplet-cache misses.",
+		func(s SiteStatsSnapshot) uint64 { return s.CacheMisses })
+	each("parbox_site_sheds_total", "Requests shed by admission control.",
+		func(s SiteStatsSnapshot) uint64 { return s.Sheds })
+	each("parbox_site_deadline_expired_total", "Requests aborted on an expired deadline.",
+		func(s SiteStatsSnapshot) uint64 { return s.DeadlineExpired })
+	each("parbox_site_errors_total", "Requests that returned an error.",
+		func(s SiteStatsSnapshot) uint64 { return s.Errors })
+	for _, s := range sites {
+		p.Histogram("parbox_site_request_seconds", "Service latency of dispatched requests.", s.Latency, 1e9, "site", s.Site)
+	}
+}
+
+// SortedKeys returns map keys in sorted order — a small helper for
+// deterministic exposition and tables.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

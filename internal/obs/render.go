@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// RenderTrace writes an indented tree of the record's spans. Orphan
+// spans (parent missing from the set — e.g. dropped over a ring
+// limit) render as additional roots so nothing is silently hidden.
+func RenderTrace(w io.Writer, rec TraceRecord) {
+	fmt.Fprintf(w, "trace %016x %s (%v, %d spans)\n", rec.TraceID, rec.Root, rec.Dur, len(rec.Spans))
+	byID := make(map[uint64]int, len(rec.Spans))
+	children := make(map[uint64][]int, len(rec.Spans))
+	for i, s := range rec.Spans {
+		byID[s.ID] = i
+	}
+	var roots []int
+	for i, s := range rec.Spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			sa, sb := rec.Spans[idx[a]], rec.Spans[idx[b]]
+			if sa.Start != sb.Start {
+				return sa.Start < sb.Start
+			}
+			return sa.ID < sb.ID
+		})
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := rec.Spans[i]
+		for j := 0; j < depth; j++ {
+			io.WriteString(w, "  ")
+		}
+		fmt.Fprintf(w, "- %s", s.Name)
+		if s.Site != "" {
+			fmt.Fprintf(w, " @%s", s.Site)
+		}
+		fmt.Fprintf(w, " %v", time.Duration(s.Dur))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(w, " %s=%d", a.Key, a.Val)
+		}
+		io.WriteString(w, "\n")
+		kids := children[s.ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	order(roots)
+	for _, r := range roots {
+		walk(r, 1)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed trace retained for /tracez: the trace
+// ID, what ran (a query string or request kind), how long it took, and
+// the full span set when available.
+type TraceRecord struct {
+	TraceID uint64
+	Root    string
+	Dur     time.Duration
+	At      time.Time
+	Spans   []Span
+}
+
+// TraceRing is a bounded, concurrency-safe ring of completed traces.
+// Adding past capacity overwrites the oldest record, so a long-lived
+// daemon retains the most recent N traces at constant memory.
+type TraceRing struct {
+	mu    sync.Mutex
+	recs  []TraceRecord
+	start int
+	n     int
+	total uint64
+}
+
+// DefaultTraceRingSize is the per-site /tracez retention.
+const DefaultTraceRingSize = 256
+
+// NewTraceRing returns a ring retaining the last capacity records
+// (DefaultTraceRingSize when capacity <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceRingSize
+	}
+	return &TraceRing{recs: make([]TraceRecord, capacity)}
+}
+
+// Add records one completed trace, evicting the oldest at capacity.
+func (r *TraceRing) Add(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.n < len(r.recs) {
+		r.recs[(r.start+r.n)%len(r.recs)] = rec
+		r.n++
+	} else {
+		r.recs[r.start] = rec
+		r.start = (r.start + 1) % len(r.recs)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Records returns the retained traces, oldest first.
+func (r *TraceRing) Records() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.recs[(r.start+i)%len(r.recs)])
+	}
+	return out
+}
+
+// Total reports how many traces have ever been added (including
+// evicted ones).
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

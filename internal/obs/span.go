@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+)
+
+// Attr is one integer-valued span attribute (lane index, step count,
+// cache hits…). Keeping values integral keeps the wire codec compact
+// and allocation-light.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one timed operation inside a query's trace. Spans form a
+// tree through Parent; the tree — parent/child structure plus
+// durations — is the contract. Start is the recording machine's
+// UnixNano, so absolute offsets between spans recorded on different
+// machines are subject to clock skew (durations are not).
+type Span struct {
+	TraceID uint64
+	ID      uint64
+	Parent  uint64 // 0 = root of its trace
+	Site    string
+	Name    string
+	Start   int64 // UnixNano on the recording machine
+	Dur     int64 // nanoseconds
+	Attrs   []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is set.
+func (s Span) Attr(key string) (int64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// NewTraceID returns a random non-zero trace ID. Zero means "tracing
+// off" on the wire, so it is never issued.
+func NewTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() uint64 { return NewTraceID() }
+
+// Decode limits: a response frame may piggyback at most maxWireSpans
+// spans, and strings/attribute lists are individually bounded, so a
+// hostile frame cannot balloon the decoder.
+const (
+	maxWireSpans    = 4096
+	maxWireSpanStr  = 256
+	maxWireSpanAttr = 64
+)
+
+// EncodeSpans appends a compact uvarint framing of spans to dst:
+//
+//	uvarint count
+//	per span: uvarint traceID, id, parent,
+//	          uvarint len+site, uvarint len+name,
+//	          uvarint start, uvarint dur,
+//	          uvarint nattrs, per attr: uvarint len+key, varint val
+func EncodeSpans(dst []byte, spans []Span) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(spans)))
+	for _, s := range spans {
+		dst = binary.AppendUvarint(dst, s.TraceID)
+		dst = binary.AppendUvarint(dst, s.ID)
+		dst = binary.AppendUvarint(dst, s.Parent)
+		dst = appendString(dst, s.Site)
+		dst = appendString(dst, s.Name)
+		dst = binary.AppendUvarint(dst, uint64(s.Start))
+		dst = binary.AppendUvarint(dst, uint64(s.Dur))
+		dst = binary.AppendUvarint(dst, uint64(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			dst = appendString(dst, a.Key)
+			dst = binary.AppendVarint(dst, a.Val)
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+var errSpanDecode = errors.New("obs: malformed span encoding")
+
+// DecodeSpans decodes an EncodeSpans buffer. It returns the spans and
+// the number of bytes consumed.
+func DecodeSpans(buf []byte) ([]Span, int, error) {
+	off := 0
+	n, k := binary.Uvarint(buf[off:])
+	if k <= 0 || n > maxWireSpans {
+		return nil, 0, errSpanDecode
+	}
+	off += k
+	if n == 0 {
+		return nil, off, nil
+	}
+	spans := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s Span
+		var err error
+		if s.TraceID, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if s.ID, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if s.Parent, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if s.Site, off, err = readString(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if s.Name, off, err = readString(buf, off); err != nil {
+			return nil, 0, err
+		}
+		var u uint64
+		if u, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		s.Start = int64(u)
+		if u, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		s.Dur = int64(u)
+		var na uint64
+		if na, off, err = readUvarint(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if na > maxWireSpanAttr {
+			return nil, 0, errSpanDecode
+		}
+		if na > 0 {
+			s.Attrs = make([]Attr, 0, na)
+			for j := uint64(0); j < na; j++ {
+				var a Attr
+				if a.Key, off, err = readString(buf, off); err != nil {
+					return nil, 0, err
+				}
+				v, k := binary.Varint(buf[off:])
+				if k <= 0 {
+					return nil, 0, errSpanDecode
+				}
+				a.Val = v
+				off += k
+				s.Attrs = append(s.Attrs, a)
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans, off, nil
+}
+
+func readUvarint(buf []byte, off int) (uint64, int, error) {
+	v, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return 0, 0, errSpanDecode
+	}
+	return v, off + k, nil
+}
+
+func readString(buf []byte, off int) (string, int, error) {
+	n, off, err := readUvarint(buf, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if n > maxWireSpanStr || off+int(n) > len(buf) {
+		return "", 0, errSpanDecode
+	}
+	return string(buf[off : off+int(n)]), off + int(n), nil
+}

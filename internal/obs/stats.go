@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// SiteStats is the always-on per-site counter block: the paper's four
+// evaluation quantities (visits, messages, bytes, computation steps)
+// plus cache, shedding, and deadline counters, and a latency
+// histogram of served requests. Every field is atomic so the hot path
+// (Site.dispatch) updates it without locks; daemons expose it over
+// /metrics and the obs.stats RPC that powers `parbox top`.
+type SiteStats struct {
+	Visits          atomic.Uint64
+	MessagesIn      atomic.Uint64
+	MessagesOut     atomic.Uint64
+	BytesIn         atomic.Uint64
+	BytesOut        atomic.Uint64
+	Steps           atomic.Uint64
+	CacheHits       atomic.Uint64
+	CacheMisses     atomic.Uint64
+	Sheds           atomic.Uint64
+	DeadlineExpired atomic.Uint64
+	Errors          atomic.Uint64
+	Latency         Histogram
+}
+
+// SiteStatsSnapshot is the plain, wire-encodable copy of SiteStats.
+type SiteStatsSnapshot struct {
+	Site            string
+	Visits          uint64
+	MessagesIn      uint64
+	MessagesOut     uint64
+	BytesIn         uint64
+	BytesOut        uint64
+	Steps           uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	Sheds           uint64
+	DeadlineExpired uint64
+	Errors          uint64
+	Latency         HistSnapshot
+}
+
+// Snapshot copies the counters. Not atomic across fields; fine for
+// monitoring.
+func (s *SiteStats) Snapshot() SiteStatsSnapshot {
+	return SiteStatsSnapshot{
+		Visits:          s.Visits.Load(),
+		MessagesIn:      s.MessagesIn.Load(),
+		MessagesOut:     s.MessagesOut.Load(),
+		BytesIn:         s.BytesIn.Load(),
+		BytesOut:        s.BytesOut.Load(),
+		Steps:           s.Steps.Load(),
+		CacheHits:       s.CacheHits.Load(),
+		CacheMisses:     s.CacheMisses.Load(),
+		Sheds:           s.Sheds.Load(),
+		DeadlineExpired: s.DeadlineExpired.Load(),
+		Errors:          s.Errors.Load(),
+		Latency:         s.Latency.Snapshot(),
+	}
+}
+
+// Encode appends a uvarint framing of the snapshot to dst. Histogram
+// buckets are encoded sparsely (index,count pairs) since most of the
+// 64 log buckets are empty.
+func (s SiteStatsSnapshot) Encode(dst []byte) []byte {
+	dst = appendString(dst, s.Site)
+	for _, v := range [...]uint64{
+		s.Visits, s.MessagesIn, s.MessagesOut, s.BytesIn, s.BytesOut,
+		s.Steps, s.CacheHits, s.CacheMisses, s.Sheds, s.DeadlineExpired,
+		s.Errors,
+	} {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, uint64(s.Latency.Sum))
+	dst = binary.AppendUvarint(dst, s.Latency.Count)
+	nonzero := 0
+	for _, c := range s.Latency.Counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nonzero))
+	for i, c := range s.Latency.Counts {
+		if c != 0 {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, c)
+		}
+	}
+	return dst
+}
+
+// DecodeSiteStats decodes an Encode buffer.
+func DecodeSiteStats(buf []byte) (SiteStatsSnapshot, error) {
+	var s SiteStatsSnapshot
+	var err error
+	off := 0
+	if s.Site, off, err = readString(buf, off); err != nil {
+		return s, err
+	}
+	for _, p := range [...]*uint64{
+		&s.Visits, &s.MessagesIn, &s.MessagesOut, &s.BytesIn, &s.BytesOut,
+		&s.Steps, &s.CacheHits, &s.CacheMisses, &s.Sheds, &s.DeadlineExpired,
+		&s.Errors,
+	} {
+		if *p, off, err = readUvarint(buf, off); err != nil {
+			return s, err
+		}
+	}
+	var u uint64
+	if u, off, err = readUvarint(buf, off); err != nil {
+		return s, err
+	}
+	s.Latency.Sum = int64(u)
+	if s.Latency.Count, off, err = readUvarint(buf, off); err != nil {
+		return s, err
+	}
+	var nonzero uint64
+	if nonzero, off, err = readUvarint(buf, off); err != nil {
+		return s, err
+	}
+	if nonzero > HistBuckets {
+		return s, errSpanDecode
+	}
+	for i := uint64(0); i < nonzero; i++ {
+		var idx, c uint64
+		if idx, off, err = readUvarint(buf, off); err != nil {
+			return s, err
+		}
+		if idx >= HistBuckets {
+			return s, errSpanDecode
+		}
+		if c, off, err = readUvarint(buf, off); err != nil {
+			return s, err
+		}
+		s.Latency.Counts[idx] = c
+	}
+	return s, nil
+}

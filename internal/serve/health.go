@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/frag"
+	"repro/internal/obs"
 )
 
 // State is a site's health as the tier sees it.
@@ -93,6 +94,9 @@ type SiteStatus struct {
 	State State
 	// EWMA is the smoothed observed round-trip/service time.
 	EWMA time.Duration
+	// P95 is the observed round-trip p95 (histogram quantile once
+	// enough samples exist, mean+2σ before that; 0 = never observed).
+	P95 time.Duration
 	// Inflight is the number of engine calls currently outstanding.
 	Inflight int64
 	// Fails counts failures observed over the site's lifetime.
@@ -107,13 +111,22 @@ type siteHealth struct {
 	oks       int // consecutive
 	ewmaNanos float64
 	// ewmaVarNanos2 is the exponentially-weighted variance of the RTT
-	// samples (ns²), tracked alongside the mean so the hedging layer can
-	// estimate a latency p95 without keeping a histogram.
+	// samples (ns²), tracked alongside the mean as a cold-start p95
+	// estimate (mean + 2σ) until the histogram has enough samples.
 	ewmaVarNanos2 float64
-	inflight      int64
-	totalFails    int64
-	transitions   int64
+	// hist is the full log-bucketed RTT distribution; once it holds
+	// histP95MinSamples samples the hedge delay arms from its real p95
+	// instead of the normal-tail approximation.
+	hist        obs.HistSnapshot
+	inflight    int64
+	totalFails  int64
+	transitions int64
 }
+
+// histP95MinSamples gates the switch from the mean+2σ estimate to the
+// histogram p95: below it a couple of outliers would swing the
+// quantile wildly.
+const histP95MinSamples = 16
 
 // healthTracker is the tier's health state machine; safe for concurrent
 // use. Signals come from three places: the Started/Finished bracket
@@ -183,6 +196,7 @@ func (h *healthTracker) result(id frag.SiteID, rtt time.Duration, err error) {
 			s.ewmaNanos += a * diff
 			s.ewmaVarNanos2 = (1 - a) * (s.ewmaVarNanos2 + a*diff*diff)
 		}
+		s.hist.Observe(rtt.Nanoseconds())
 		switch s.state {
 		case Down:
 			// One success is not full trust: Down goes through Suspect.
@@ -249,15 +263,22 @@ func (h *healthTracker) floorSample(id frag.SiteID, rtt time.Duration) {
 	diff := float64(rtt) - s.ewmaNanos
 	s.ewmaNanos += a * diff
 	s.ewmaVarNanos2 = (1 - a) * (s.ewmaVarNanos2 + a*diff*diff)
+	// A floor is still a real "at least this slow" observation — it
+	// belongs in the distribution the hedge p95 arms from.
+	s.hist.Observe(rtt.Nanoseconds())
 }
 
-// p95 estimates the site's latency 95th percentile from the smoothed
-// mean and variance (mean + 2σ — exact for a normal tail, a serviceable
-// hedge-timer arm for any); 0 when the site was never observed.
+// p95 estimates the site's latency 95th percentile; 0 when the site
+// was never observed. With enough samples the real histogram quantile
+// is used; before that, the smoothed mean + 2σ (exact for a normal
+// tail, a serviceable hedge-timer arm for any) covers the cold start.
 func (h *healthTracker) p95(id frag.SiteID) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := h.site(id)
+	if s.hist.Count >= histP95MinSamples {
+		return time.Duration(s.hist.Quantile(0.95))
+	}
 	if s.ewmaNanos == 0 {
 		return 0
 	}
@@ -269,9 +290,16 @@ func (h *healthTracker) snapshot() map[frag.SiteID]SiteStatus {
 	defer h.mu.Unlock()
 	out := make(map[frag.SiteID]SiteStatus, len(h.sites))
 	for id, s := range h.sites {
+		p95 := time.Duration(0)
+		if s.hist.Count >= histP95MinSamples {
+			p95 = time.Duration(s.hist.Quantile(0.95))
+		} else if s.ewmaNanos != 0 {
+			p95 = time.Duration(s.ewmaNanos + 2*math.Sqrt(s.ewmaVarNanos2))
+		}
 		out[id] = SiteStatus{
 			State:       s.state,
 			EWMA:        time.Duration(s.ewmaNanos),
+			P95:         p95,
 			Inflight:    s.inflight,
 			Fails:       s.totalFails,
 			Transitions: s.transitions,

@@ -43,6 +43,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/frag"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/views"
@@ -183,6 +186,9 @@ type options struct {
 	hedging    bool
 	hedgeDelay time.Duration
 	admission  int
+	// introspect, when non-empty, serves /metrics, /healthz, /tracez and
+	// /debug/pprof on that address (WithIntrospection).
+	introspect string
 }
 
 // WithCostModel sets the simulated LAN/CPU cost model (latency, bandwidth,
@@ -348,6 +354,13 @@ type System struct {
 	// facade's select/count round retries.
 	retryPol backoff.Policy
 
+	// obsRing retains recent traced Exec calls for /tracez; httpSrv and
+	// httpLn are the introspection server of a WithIntrospection
+	// deployment (all nil otherwise). Set at deployment, closed by Close.
+	obsRing *obs.TraceRing
+	httpSrv *http.Server
+	httpLn  net.Listener
+
 	// mu guards engine, which Replan swaps; forest/replicas are retained
 	// for Replan on replicated deployments and never change.
 	mu       sync.RWMutex
@@ -405,6 +418,7 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 	for _, siteID := range eng.SourceTree().Sites() {
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
+		cluster.RegisterStatsHandler(site)
 		if o.admission > 0 {
 			site.SetAdmission(cluster.AdmissionLimits{MaxInflight: o.admission})
 		}
@@ -423,6 +437,11 @@ func Deploy(forest *Forest, assign Assignment, opts ...Option) (*System, error) 
 			return nil, err
 		}
 	}
+	if o.introspect != "" {
+		if err := s.startIntrospection(o.introspect); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -432,6 +451,7 @@ func (s *System) AddSite(id SiteID) {
 	site := s.cluster.AddSite(id)
 	core.RegisterHandlers(site, s.cluster, s.cluster.Cost())
 	views.RegisterHandlers(site, s.cluster)
+	cluster.RegisterStatsHandler(site)
 }
 
 // Evaluate runs the query with the ParBoX algorithm and returns the
@@ -754,6 +774,7 @@ func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 	for _, siteID := range c.Sites() {
 		site, _ := c.Site(siteID)
 		views.RegisterHandlers(site, c)
+		cluster.RegisterStatsHandler(site)
 		if o.failover {
 			serve.RegisterHandlers(site)
 		}
@@ -791,6 +812,11 @@ func deployReplicated(forest *Forest, replicas ReplicaMap, strategy PlacementStr
 		s.tier = tier
 	}
 	s.sched = newScheduler(s, o.coalesceWindow, o.coalesceLanes)
+	if o.introspect != "" {
+		if err := s.startIntrospection(o.introspect); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 

@@ -2,12 +2,14 @@ package parbox
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xpath"
 )
 
@@ -113,6 +115,12 @@ type schedWindow struct {
 type schedWaiter struct {
 	q   *Prepared
 	enq time.Time
+	// spans asks the flusher to attach the round's span tree (plus this
+	// caller's lane span) to the demultiplexed Result. Text rendering, if
+	// any, happens back on the caller's goroutine — the flusher never
+	// writes to a caller-owned writer, so a caller that stopped waiting
+	// races nothing.
+	spans bool
 	// done receives the caller's demultiplexed outcome; buffered so the
 	// flusher never blocks on a caller that stopped waiting.
 	done chan schedOutcome
@@ -147,13 +155,15 @@ func (sch *scheduler) stats() SchedulerStats {
 
 // exec runs one prepared Boolean query through the scheduler and blocks
 // until its round delivers (or ctx expires — the shared round itself is
-// not cancelled by one caller abandoning it).
-func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
+// not cancelled by one caller abandoning it). When trace is non-nil the
+// round's span tree is rendered into it after the outcome arrives; when
+// spans (or trace) is set, Result.Spans carries the tree.
+func (sch *scheduler) exec(ctx context.Context, q *Prepared, trace io.Writer, spans bool) (*Result, error) {
 	sch.inflight.Add(1)
 	defer sch.inflight.Add(-1)
 	sch.queries.Add(1)
 
-	w := &schedWaiter{q: q, enq: time.Now(), done: make(chan schedOutcome, 1)}
+	w := &schedWaiter{q: q, enq: time.Now(), spans: spans || trace != nil, done: make(chan schedOutcome, 1)}
 
 	sch.mu.Lock()
 	opened := sch.win == nil
@@ -215,6 +225,15 @@ func (sch *scheduler) exec(ctx context.Context, q *Prepared) (*Result, error) {
 
 	select {
 	case out := <-w.done:
+		if trace != nil && out.res != nil && len(out.res.Spans) > 0 {
+			obs.RenderTrace(trace, obs.TraceRecord{
+				TraceID: out.res.Spans[0].TraceID,
+				Root:    "coalesced round",
+				Dur:     out.res.Duration,
+				At:      w.enq,
+				Spans:   out.res.Spans,
+			})
+		}
 		return out.res, out.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -322,8 +341,27 @@ func (sch *scheduler) flush(win *schedWindow, reason string) {
 	}
 	sch.mu.Unlock()
 	win.builder = nil
+	// One shared trace for the whole round when any member asked for
+	// spans: the round runs once, so its tree is recorded once and every
+	// traced caller receives the same slice, lane spans included.
+	traced := false
+	for _, w := range win.waiters {
+		if w.spans {
+			traced = true
+			break
+		}
+	}
+	rctx := context.Background()
+	var spanCol *obs.Collector
+	var rootSpan obs.Span
+	if traced {
+		spanCol = obs.NewCollector()
+		rootSpan = obs.Span{TraceID: obs.NewTraceID(), ID: obs.NewSpanID(),
+			Site: "coordinator", Name: "round"}
+		rctx = obs.WithTrace(rctx, obs.TraceContext{TraceID: rootSpan.TraceID, SpanID: rootSpan.ID, Collector: spanCol})
+	}
 	start := time.Now()
-	rep, err := sch.sys.eng().ParBoXBatch(context.Background(), prog, roots)
+	rep, err := sch.sys.eng().ParBoXBatch(rctx, prog, roots)
 	if err != nil {
 		for _, w := range win.waiters {
 			w.done <- schedOutcome{err: err}
@@ -335,6 +373,47 @@ func (sch *scheduler) flush(win *schedWindow, reason string) {
 		sch.coalesced.Add(int64(k))
 	}
 	shared := &rep
+	var tree []obs.Span
+	if traced {
+		rootSpan.Start = start.UnixNano()
+		rootSpan.Dur = time.Since(start).Nanoseconds()
+		rootSpan.Attrs = []obs.Attr{
+			{Key: "queries", Val: int64(k)},
+			{Key: "lanes", Val: int64(prog.QListSize())},
+		}
+		// One immutable tree shared by every traced round-mate: the
+		// round's collected spans, the root, and one lane span per
+		// traced caller. A per-caller copy would cost k×tree allocations
+		// per round — the difference between passing and blowing the
+		// observed-burst overhead gate.
+		collected := spanCol.Spans()
+		tree = make([]obs.Span, 0, len(collected)+1+k)
+		tree = append(tree, collected...)
+		tree = append(tree, rootSpan)
+		now := time.Now()
+		for i, w := range win.waiters {
+			if !w.spans {
+				continue
+			}
+			// Lane attribution: which slot of the fused program answered
+			// this caller, how many queries rode the round, and how long
+			// the caller waited for admission.
+			tree = append(tree, obs.Span{
+				TraceID: rootSpan.TraceID, ID: obs.NewSpanID(), Parent: rootSpan.ID,
+				Site: "coordinator", Name: "lane",
+				Start: w.enq.UnixNano(), Dur: now.Sub(w.enq).Nanoseconds(),
+				Attrs: []obs.Attr{
+					{Key: "lane", Val: int64(i)},
+					{Key: "lanes", Val: int64(k)},
+					{Key: "waited_ns", Val: start.Sub(w.enq).Nanoseconds()},
+				},
+			})
+		}
+		if ring := sch.sys.obsRing; ring != nil {
+			ring.Add(obs.TraceRecord{TraceID: rootSpan.TraceID, Root: "round",
+				Dur: time.Duration(rootSpan.Dur), At: start, Spans: tree})
+		}
+	}
 	// Deterministic site order for splitting the visit counts.
 	sites := make([]SiteID, 0, len(rep.Visits))
 	for s := range rep.Visits {
@@ -378,6 +457,9 @@ func (sch *scheduler) flush(win *schedWindow, reason string) {
 			}
 		}
 		res.Duration = time.Since(w.enq)
+		if w.spans {
+			res.Spans = tree
+		}
 		w.done <- schedOutcome{res: res}
 	}
 }
