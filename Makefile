@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands.
 
-.PHONY: all build test vet lint bench bench-smoke bench-diff fuzz fuzz-fused recovery-smoke transport-soak failover-smoke overload-smoke
+.PHONY: all build test vet lint bench bench-smoke bench-diff fuzz fuzz-fused recovery-smoke transport-soak failover-smoke overload-smoke update-churn-smoke
 
 all: build vet test
 
@@ -37,9 +37,12 @@ bench-diff:
 	go run ./cmd/parbox bench -out /tmp/BENCH_parbox.json -quiet -compare BENCH_parbox.json
 
 # fuzz runs every fuzz target for 30s each, matching CI's fuzz matrix:
-# the fused lane kernel differential, WAL replay, and the v2 frame
-# decoder (demux, torn frames, hostile span blocks).
+# the fused lane kernel differential, the spine-patch differential
+# (patched planes must stay byte-equal to full bottomUp), WAL replay,
+# and the v2 frame decoder (demux, torn frames, push frames, hostile
+# span blocks).
 fuzz: fuzz-fused
+	go test ./internal/eval -run Fuzz -fuzz FuzzSpinePatch -fuzztime 30s
 	go test ./internal/store -run Fuzz -fuzz FuzzWALReplay -fuzztime 30s
 	go test ./internal/cluster -run Fuzz -fuzz FuzzV2ResponseDemux -fuzztime 30s
 
@@ -74,6 +77,16 @@ transport-soak:
 failover-smoke:
 	go test -race -run 'TestDaemonFailover' ./cmd/parbox-site
 	go test -race -run 'TestFailover|TestRebalanceMovesHotFragment' .
+
+# update-churn-smoke is CI's incremental-maintenance gate: real TCP
+# sites under a sustained update stream with 1000 standing
+# subscriptions — every pushed answer must match a polled oracle, with
+# zero dropped deltas — plus the facade subscription lifecycle and the
+# empty-update no-op guarantee, all under the race detector.
+update-churn-smoke:
+	go test -race -run 'TestUpdateChurnSubscriptions' ./internal/integration
+	go test -race -run 'TestSubscribe' .
+	go test -race -run 'TestUpdateEmptyOpsIsNoOp' ./internal/views
 
 # overload-smoke is CI's overload-protection gate: real site daemons
 # serving fat fragments take a 16-worker burst against a tight

@@ -509,11 +509,14 @@ func cmdTop(args []string) error {
 	}
 }
 
-// topOnce scrapes and prints one round of the per-site stats table.
+// topOnce scrapes and prints one round of the per-site stats table. The
+// spine/full/noop/push columns are the update-path health counters: a
+// healthy incremental deployment shows spine recomputes dwarfing full
+// recomputes, and noop updates absorbing irrelevant edits.
 func topOnce(tr *cluster.TCPTransport, sites []frag.SiteID, timeout time.Duration) error {
-	fmt.Printf("%-8s %8s %8s %8s %11s %11s %11s %7s %7s %6s %9s %9s %9s\n",
+	fmt.Printf("%-8s %8s %8s %8s %11s %11s %11s %7s %7s %6s %7s %6s %6s %6s %9s %9s %9s\n",
 		"site", "visits", "msgsIn", "msgsOut", "bytesIn", "bytesOut", "steps",
-		"hits", "miss", "sheds", "p50", "p95", "p99")
+		"hits", "miss", "sheds", "spine", "full", "noop", "push", "p50", "p95", "p99")
 	var firstErr error
 	for _, s := range sites {
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -533,10 +536,11 @@ func topOnce(tr *cluster.TCPTransport, sites []frag.SiteID, timeout time.Duratio
 		q := func(p float64) time.Duration {
 			return time.Duration(snap.Latency.Quantile(p)).Round(time.Microsecond)
 		}
-		fmt.Printf("%-8s %8d %8d %8d %11d %11d %11d %7d %7d %6d %9v %9v %9v\n",
+		fmt.Printf("%-8s %8d %8d %8d %11d %11d %11d %7d %7d %6d %7d %6d %6d %6d %9v %9v %9v\n",
 			s, snap.Visits, snap.MessagesIn, snap.MessagesOut,
 			snap.BytesIn, snap.BytesOut, snap.Steps,
 			snap.CacheHits, snap.CacheMisses, snap.Sheds,
+			snap.SpineRecomputes, snap.FullRecomputes, snap.NoopUpdates, snap.DeltasPushed,
 			q(0.50), q(0.95), q(0.99))
 	}
 	return firstErr

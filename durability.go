@@ -215,14 +215,22 @@ func (s *System) Checkpoint() error {
 	return first
 }
 
-// Close shuts the system down gracefully: the serving tier's background
+// Close shuts the system down gracefully: standing subscriptions are
+// cancelled (their channels close), the serving tier's background
 // goroutines stop, and each durable store checkpoints and closes, so a
 // subsequent Restore starts from snapshots alone. A system that is
 // dropped without Close recovers through WAL replay instead — that is
 // the crash path, and it is equally correct. The introspection server
 // of a WithIntrospection deployment also stops here. No-op without
-// WithDurability, WithFailover or WithIntrospection.
+// WithDurability, WithFailover, WithIntrospection or subscriptions.
 func (s *System) Close() error {
+	s.mu.Lock()
+	subs := s.subs
+	s.subs = nil
+	s.mu.Unlock()
+	if subs != nil {
+		subs.close()
+	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}

@@ -2,12 +2,14 @@
 // document — the xml data dissemination workload the paper cites as the
 // home turf of Boolean XPath (publish-subscribe systems).
 //
-// The system is deployed as a coalescing server: every subscriber issues a
-// plain Exec call, and the scheduler transparently groups the concurrent
-// calls into shared ParBoX rounds (one fused QList, one visit per site,
-// one equation solve for the whole group). The versioned triplet cache
-// makes re-notification rounds over an unchanged document answer from the
-// sites' memoized partial results — zero bottomUp work anywhere.
+// Subscriptions are server-pushed: System.Subscribe registers each query
+// as a standing program at every site, the sites keep its per-fragment
+// triplets incrementally maintained across updates (spine recomputation,
+// not full bottomUp), and when an update flips a fragment's root
+// formulas the site pushes a delta from which the coordinator re-solves
+// and notifies the subscriber. Nobody polls: an update that cannot
+// affect a subscription costs that subscription nothing, regardless of
+// how many subscribers are standing.
 //
 //	go run ./examples/pubsub
 package main
@@ -16,7 +18,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	parbox "repro"
@@ -38,14 +39,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Coalesced serving with the defaults (250µs window, 64-lane budget)
-	// plus the versioned per-fragment triplet cache.
 	sys, err := parbox.Deploy(forest, parbox.Assignment{
 		0: "hub", 1: "mirror-eu", 2: "mirror-asia",
-	}, parbox.WithCoalescedServing(0, 0), parbox.WithTripletCache())
+	}, parbox.WithTripletCache())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	ctx := context.Background()
 
 	subscriptions := []string{
@@ -56,62 +56,85 @@ func main() {
 		`//person[address/city = "Edinburgh"]`,
 		`//item[payment = "Bitcoin"]`, // never matches in 2006
 	}
-	queries := make([]*parbox.Prepared, len(subscriptions))
-	for i, sub := range subscriptions {
-		q, err := parbox.Prepare(sub)
-		if err != nil {
-			log.Fatalf("%s: %v", sub, err)
-		}
-		queries[i] = q
-	}
 
 	fmt.Printf("document: %d nodes over 3 sites\n\n", sys.SourceTree().TotalSize())
 
-	// Each subscriber fires its own Exec, as independent connections
-	// would; the scheduler fuses the burst into shared rounds. serve
-	// returns each subscriber's answer plus the round shape.
-	serve := func() ([]*parbox.Result, time.Duration) {
-		results := make([]*parbox.Result, len(queries))
-		start := time.Now()
-		var wg sync.WaitGroup
-		for i, q := range queries {
-			wg.Add(1)
-			go func(i int, q *parbox.Prepared) {
-				defer wg.Done()
-				res, err := sys.Exec(ctx, q)
-				if err != nil {
-					log.Fatalf("%s: %v", subscriptions[i], err)
-				}
-				results[i] = res
-			}(i, q)
+	// Register every subscription: one standing program per query at each
+	// site, baseline answer solved from the registration triplets.
+	subs := make([]*parbox.Subscription, len(subscriptions))
+	start := time.Now()
+	for i, src := range subscriptions {
+		q, err := parbox.Prepare(src)
+		if err != nil {
+			log.Fatalf("%s: %v", src, err)
 		}
-		wg.Wait()
-		return results, time.Since(start)
+		if subs[i], err = sys.Subscribe(ctx, q); err != nil {
+			log.Fatalf("%s: %v", src, err)
+		}
 	}
-
-	cold, coldTook := serve()
-	for i, sub := range subscriptions {
+	took := time.Since(start)
+	for i, src := range subscriptions {
 		status := "  -  "
-		if cold[i].Answer {
+		if subs[i].Answer() {
 			status = "FIRE "
 		}
-		fmt.Printf("%s %s\n", status, sub)
+		fmt.Printf("%s %s\n", status, src)
 	}
-	stats := sys.SchedulerStats()
-	fmt.Printf("\ncold serve of %d subscriptions: %v, %d shared round(s) (fused QList %d lanes), %d bytes total\n",
-		len(subscriptions), coldTook.Round(time.Microsecond),
-		stats.Rounds, cold[0].Sched.RoundLanes, sys.TotalBytes())
+	fmt.Printf("\nregistered %d standing subscriptions in %v — no polling from here on\n\n",
+		len(subscriptions), took.Round(time.Microsecond))
 
-	// Re-notification over the unchanged document: the sites answer from
-	// their versioned triplet caches — all hits, zero bottomUp steps.
-	warm, warmTook := serve()
-	var hits, misses int64
-	for _, res := range warm {
-		hits += res.CacheHits
-		misses += res.CacheMisses
+	// The publisher side: content updates to the document. A Bitcoin item
+	// appears at the Asian mirror; each update's maintenance runs only
+	// the touched spines at one site, and only subscriptions whose root
+	// formulas flip hear anything.
+	view, err := sys.Materialize(ctx, parbox.MustPrepare(`//item`))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("warm re-serve: %v, triplet cache %d hit / %d miss\n\n",
-		warmTook.Round(time.Microsecond), hits, misses)
+	bitcoin := subs[5]
+	fmt.Println(`publisher: inserting <item><payment>Bitcoin</payment></item> at mirror-asia`)
+	frag := parbox.FragmentID(2)
+	if _, err := view.Update(ctx, frag, []parbox.UpdateOp{
+		{Op: parbox.OpInsert, Label: "item"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fr, _ := forest.Fragment(frag)
+	itemPath := []int{len(fr.Root.Children) - 1}
+	if _, err := view.Update(ctx, frag, []parbox.UpdateOp{
+		{Op: parbox.OpInsert, Path: itemPath, Label: "payment", Text: "Bitcoin"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The pushed notification arrives without any query being re-run.
+	select {
+	case n := <-bitcoin.C():
+		for !n.Flipped {
+			n = <-bitcoin.C()
+		}
+		fmt.Printf("pushed:   %s -> %v (fragment %d, version %d)\n",
+			subscriptions[5], n.Answer, n.Frag, n.Version)
+	case <-time.After(5 * time.Second):
+		log.Fatal("no notification")
+	}
+
+	// Retract it: the subscription flips back, again pushed.
+	fmt.Println("publisher: deleting the item again")
+	if _, err := view.Update(ctx, frag, []parbox.UpdateOp{
+		{Op: parbox.OpDelete, Path: itemPath},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case n := <-bitcoin.C():
+		for !n.Flipped {
+			n = <-bitcoin.C()
+		}
+		fmt.Printf("pushed:   %s -> %v\n\n", subscriptions[5], n.Answer)
+	case <-time.After(5 * time.Second):
+		log.Fatal("no notification")
+	}
 
 	// For fired subscriptions a dissemination system needs the matching
 	// elements, not just a bit: the selection extension finds them without

@@ -219,11 +219,14 @@ func TestWarmCacheZeroBottomUp(t *testing.T) {
 	}
 }
 
-// TestMaintenanceInvalidatesOnlyTouchedFragment: a views-maintenance
-// update must invalidate exactly the updated fragment's cache entries —
-// the next run recomputes that one fragment (observing the new content in
-// its answer) and still hits on every other.
-func TestMaintenanceInvalidatesOnlyTouchedFragment(t *testing.T) {
+// TestMaintenancePatchesTouchedFragment: a views-maintenance update
+// must leave the cache serving the *new* content without a recompute —
+// the maintenance layer patches the updated fragment's cached triplet
+// in place (spine recomputation under the bumped version) instead of
+// invalidating it, so the next run hits on every fragment and still
+// observes the update in its answer. Untouched fragments' entries are
+// untouched.
+func TestMaintenancePatchesTouchedFragment(t *testing.T) {
 	forest, _, err := fixtures.Fig2Forest()
 	if err != nil {
 		t.Fatal(err)
@@ -265,9 +268,9 @@ func TestMaintenanceInvalidatesOnlyTouchedFragment(t *testing.T) {
 	if !after.Answer {
 		t.Error("query still false after the update — stale cached triplet served")
 	}
-	if after.CacheMisses != 1 || after.CacheHits != frags-1 {
-		t.Errorf("after update: %d hits / %d misses, want %d / 1 (only fragment 3 invalidated)",
-			after.CacheHits, after.CacheMisses, frags-1)
+	if after.CacheMisses != 0 || after.CacheHits != frags {
+		t.Errorf("after update: %d hits / %d misses, want %d / 0 (fragment 3's entry patched in place, not invalidated)",
+			after.CacheHits, after.CacheMisses, frags)
 	}
 }
 

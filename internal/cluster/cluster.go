@@ -159,6 +159,16 @@ type AsyncTransport interface {
 	Go(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply
 }
 
+// DeltaSubscriber is the optional transport capability of delivering
+// server-pushed maintenance deltas: fn receives every payload site `to`
+// publishes through Site.PushDelta, until cancel is called. The
+// in-process cluster registers fn on the site directly; the TCP
+// transport subscribes its multiplexed connection (wire v2 push frames).
+// fn runs on a delivery goroutine and must be cheap and non-blocking.
+type DeltaSubscriber interface {
+	SubscribeDeltas(ctx context.Context, from, to frag.SiteID, fn func([]byte)) (cancel func(), err error)
+}
+
 // Go issues a call asynchronously on any Transport: natively when tr
 // implements AsyncTransport (the TCP transport pipelines it onto the
 // peer's multiplexed connection), otherwise by running the synchronous
@@ -244,6 +254,14 @@ type Site struct {
 	// requests for /tracez.
 	stats obs.SiteStats
 	ring  *obs.TraceRing
+
+	// deltaSubs are the site's maintenance-delta observers (standing
+	// subscriptions): every PushDelta payload is fanned out to each
+	// registered function. Local subscribers register directly; the TCP
+	// server registers one forwarder per subscribed connection.
+	deltaMu   sync.Mutex
+	deltaSubs map[uint64]func([]byte)
+	deltaNext uint64
 }
 
 // NewSite creates a detached site (used directly by the TCP server; the
@@ -261,6 +279,44 @@ func NewSite(id frag.SiteID) *Site {
 
 // Stats returns the site's observability counters.
 func (s *Site) Stats() *obs.SiteStats { return &s.stats }
+
+// SubscribeDeltas registers fn to receive every maintenance delta the
+// site publishes (PushDelta) and returns a cancel function. fn is called
+// synchronously from the publishing handler, possibly from many
+// goroutines at once — it must be cheap and non-blocking (hand the
+// payload to a buffered channel or queue).
+func (s *Site) SubscribeDeltas(fn func([]byte)) (cancel func()) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	if s.deltaSubs == nil {
+		s.deltaSubs = make(map[uint64]func([]byte))
+	}
+	id := s.deltaNext
+	s.deltaNext++
+	s.deltaSubs[id] = fn
+	return func() {
+		s.deltaMu.Lock()
+		defer s.deltaMu.Unlock()
+		delete(s.deltaSubs, id)
+	}
+}
+
+// PushDelta publishes one encoded maintenance delta to every registered
+// observer and returns how many were notified. The payload must be
+// immutable — observers on other connections read it concurrently.
+func (s *Site) PushDelta(payload []byte) int {
+	s.deltaMu.Lock()
+	fns := make([]func([]byte), 0, len(s.deltaSubs))
+	for _, fn := range s.deltaSubs {
+		fns = append(fns, fn)
+	}
+	s.deltaMu.Unlock()
+	for _, fn := range fns {
+		fn(payload)
+	}
+	s.stats.DeltasPushed.Add(uint64(len(fns)))
+	return len(fns)
+}
 
 // TraceRing returns the site's retained-trace ring (/tracez).
 func (s *Site) TraceRing() *obs.TraceRing { return s.ring }
@@ -794,6 +850,18 @@ func (c *Cluster) Call(ctx context.Context, from, to frag.SiteID, req Request) (
 // sleeping) of Call is preserved call for call.
 func (c *Cluster) Go(ctx context.Context, from, to frag.SiteID, req Request) <-chan Reply {
 	return goViaCall(ctx, c, from, to, req)
+}
+
+// SubscribeDeltas implements DeltaSubscriber by registering fn directly
+// on the target site.
+func (c *Cluster) SubscribeDeltas(_ context.Context, _, to frag.SiteID, fn func([]byte)) (func(), error) {
+	c.mu.RLock()
+	site, ok := c.sites[to]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, to)
+	}
+	return site.SubscribeDeltas(fn), nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {

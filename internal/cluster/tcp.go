@@ -38,7 +38,22 @@ const (
 	// tcpStatusOverload (v2 only) reports admission control shed the
 	// request; the body carries a uvarint retry-after hint in µs.
 	tcpStatusOverload byte = 3
+	// tcpStatusPush (v2 only, version ≥ 4) marks a server-initiated frame:
+	// not a reply to any request, but a maintenance delta pushed to a
+	// connection that subscribed with SubscribeDeltasKind. Push frames
+	// carry request ID 0 — client-assigned IDs start at 1 — and the body
+	// is the delta payload (views.DecodeDelta). The demultiplexer routes
+	// them to the connection's push observers and never to a pending call.
+	tcpStatusPush byte = 4
 )
+
+// SubscribeDeltasKind is the wire request kind that subscribes the
+// issuing v2 connection to the site's maintenance deltas: the server
+// acks with an empty OK response and thereafter forwards every
+// Site.PushDelta payload as a tcpStatusPush frame until the connection
+// closes. Handled by the server's connection loop, never dispatched to a
+// site handler.
+const SubscribeDeltasKind = "cluster.subscribeDeltas"
 
 // maxFrame bounds accepted frame bodies (64 MiB) so a corrupt length prefix
 // cannot trigger an absurd allocation.
@@ -349,6 +364,26 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 		}
 	}()
 
+	// Delta subscription state. forward runs on the publisher's goroutine
+	// (an update handler mid-PushDelta, on any connection): it blocks on
+	// respCh rather than drop a delta — the writer goroutine drains the
+	// channel even after a write error, so the send always completes —
+	// and the closed flag (flipped before respCh closes, under pushMu)
+	// makes teardown safe against a concurrent publish.
+	var (
+		pushMu     sync.Mutex
+		pushClosed bool
+		cancelSub  func()
+	)
+	forward := func(payload []byte) {
+		pushMu.Lock()
+		defer pushMu.Unlock()
+		if pushClosed {
+			return
+		}
+		respCh <- appendV2Response(nil, 0, tcpStatusPush, Response{Payload: payload})
+	}
+
 	// Per-connection handler concurrency: enough to keep every core busy
 	// plus headroom for handlers blocked on waits rather than CPU (peer
 	// calls of the recursive algorithms, store I/O) — hence the floor of
@@ -364,6 +399,15 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 		id, deadlineMicros, traceID, parentSpan, kind, payload, err := readV2Request(r)
 		if err != nil {
 			break // EOF, torn frame, or drain kick
+		}
+		// Delta subscription is a connection-level affair, served by the
+		// loop itself (idempotently) — never dispatched to a handler.
+		if kind == SubscribeDeltasKind {
+			if cancelSub == nil {
+				cancelSub = s.site.SubscribeDeltas(forward)
+			}
+			respCh <- appendV2Response(nil, id, tcpStatusOK, Response{})
+			continue
 		}
 		recv := time.Now()
 		// Per-connection admission: when the site runs admission control,
@@ -436,6 +480,15 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			respCh <- buf
 		}(id, deadlineMicros, traceID, parentSpan, kind, payload, recv)
 	}
+	// Unsubscribe before closing respCh: cancel stops future publishes
+	// from finding the forwarder, and the closed flag stops ones already
+	// holding a snapshot of it.
+	if cancelSub != nil {
+		cancelSub()
+	}
+	pushMu.Lock()
+	pushClosed = true
+	pushMu.Unlock()
 	handlers.Wait()
 	close(respCh)
 	<-writerDone
@@ -740,6 +793,38 @@ func (t *TCPTransport) Go(ctx context.Context, from, to frag.SiteID, req Request
 		return ch
 	}
 	return t.goRemote(ctx, from, to, req)
+}
+
+// SubscribeDeltas implements DeltaSubscriber. For a local site fn is
+// registered directly; for a remote one the pooled v2 connection gains a
+// push observer and the server is told (idempotently, on that same
+// connection) to start forwarding its deltas as push frames. The
+// subscription lives and dies with the connection: a broken connection
+// silently ends delivery, so resubscribe after transport errors.
+func (t *TCPTransport) SubscribeDeltas(ctx context.Context, from, to frag.SiteID, fn func([]byte)) (func(), error) {
+	t.mu.Lock()
+	local, isLocal := t.locals[to]
+	forceV1 := t.ForceV1
+	t.mu.Unlock()
+	if isLocal {
+		return local.SubscribeDeltas(fn), nil
+	}
+	if forceV1 {
+		return nil, errors.New("cluster: delta subscriptions require wire protocol v2")
+	}
+	c, err := t.muxFor(to)
+	if err != nil {
+		return nil, err
+	}
+	cancel := c.subscribePush(fn)
+	// Subscribe on this exact connection — the observer is tied to it.
+	done := make(chan error, 1)
+	c.send(ctx, SubscribeDeltasKind, nil, 0, 0, func(_ Response, err error) { done <- err })
+	if err := <-done; err != nil {
+		cancel()
+		return nil, err
+	}
+	return cancel, nil
 }
 
 // goRemote issues one v2 call: register, enqueue, and complete with

@@ -441,3 +441,95 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestV2PushDeltaRoundTrip: a client that subscribes over the wire
+// receives every Site.PushDelta payload as a server-initiated push
+// frame, interleaved request/response traffic is unaffected, and
+// cancelling the subscription stops delivery.
+func TestV2PushDeltaRoundTrip(t *testing.T) {
+	site := NewSite("R")
+	site.Handle("echo", echoHandler)
+	srv, err := Serve(site, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[frag.SiteID]string{"R": srv.Addr()})
+	defer tr.Close()
+	ctx := context.Background()
+
+	got := make(chan []byte, 16)
+	cancel, err := tr.SubscribeDeltas(ctx, "C", "R", func(b []byte) {
+		got <- append([]byte(nil), b...)
+	})
+	if err != nil {
+		t.Fatalf("SubscribeDeltas: %v", err)
+	}
+	// The subscribe ack round-tripped, so the server-side forward is
+	// installed: pushes from here on must arrive.
+	for i := 0; i < 3; i++ {
+		if n := site.PushDelta([]byte{byte('a' + i)}); n != 1 {
+			t.Fatalf("PushDelta fan-out = %d observers, want 1", n)
+		}
+		// Request/response traffic shares the connection with pushes.
+		if resp, _, err := tr.Call(ctx, "C", "R", Request{Kind: "echo", Payload: []byte("mid")}); err != nil || string(resp.Payload) != "mid" {
+			t.Fatalf("interleaved call %d: %v %q", i, err, resp.Payload)
+		}
+		select {
+		case b := <-got:
+			if want := string(byte('a' + i)); string(b) != want {
+				t.Fatalf("push %d = %q, want %q", i, b, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("push %d never delivered", i)
+		}
+	}
+	if got := site.Stats().Snapshot().DeltasPushed; got != 3 {
+		t.Fatalf("DeltasPushed = %d, want 3", got)
+	}
+
+	cancel()
+	// After cancel the client observer is gone; the server may still
+	// forward frames, but none may reach fn.
+	site.PushDelta([]byte("late"))
+	if resp, _, err := tr.Call(ctx, "C", "R", Request{Kind: "echo", Payload: []byte("after")}); err != nil || string(resp.Payload) != "after" {
+		t.Fatalf("call after cancel: %v %q", err, resp.Payload)
+	}
+	select {
+	case b := <-got:
+		t.Fatalf("push %q delivered after cancel", b)
+	default:
+	}
+}
+
+// TestSubscribeDeltasLocalAndV1: the local fast path registers directly
+// on the site, and the v1 wire (no push frames) refuses subscriptions
+// instead of silently dropping them.
+func TestSubscribeDeltasLocalAndV1(t *testing.T) {
+	local := NewSite("L")
+	tr := NewTCPTransport(nil)
+	tr.Local(local)
+	defer tr.Close()
+	got := make(chan []byte, 1)
+	cancel, err := tr.SubscribeDeltas(context.Background(), "C", "L", func(b []byte) { got <- b })
+	if err != nil {
+		t.Fatalf("local SubscribeDeltas: %v", err)
+	}
+	defer cancel()
+	local.PushDelta([]byte("direct"))
+	select {
+	case b := <-got:
+		if string(b) != "direct" {
+			t.Fatalf("local push = %q", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("local push never delivered")
+	}
+
+	v1 := NewTCPTransport(map[frag.SiteID]string{"R": "127.0.0.1:1"})
+	v1.ForceV1 = true
+	defer v1.Close()
+	if _, err := v1.SubscribeDeltas(context.Background(), "C", "R", func([]byte) {}); err == nil {
+		t.Fatal("v1 SubscribeDeltas succeeded, want error")
+	}
+}

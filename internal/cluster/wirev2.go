@@ -69,9 +69,11 @@ const (
 	v2Magic byte = 0xB2
 	// v2Version is the protocol version this build speaks. Version 3
 	// added the optional trace-context fields on requests and the span
-	// block on responses; the handshake requires an exact match, so
-	// version-skewed binaries fail loudly instead of misparsing frames.
-	v2Version byte = 3
+	// block on responses; version 4 added server-initiated push frames
+	// (tcpStatusPush, request ID 0) for maintenance-delta subscriptions.
+	// The handshake requires an exact match, so version-skewed binaries
+	// fail loudly instead of misparsing frames.
+	v2Version byte = 4
 	// v2Reject is the version byte of a rejection reply.
 	v2Reject byte = 0
 	// maxKind bounds accepted request kind strings; real kinds are short
@@ -263,6 +265,13 @@ type muxConn struct {
 	pending map[uint64]*muxPending
 	nextID  uint64
 	err     error // sticky connection failure
+
+	// pushSubs are the connection's push-frame observers: every
+	// tcpStatusPush body fans out to each. Request IDs start at 1, so a
+	// push frame (ID 0) can never race a pending call.
+	pushMu   sync.Mutex
+	pushSubs map[uint64]func([]byte)
+	pushNext uint64
 }
 
 // muxPending is one in-flight call: its completion callback (invoked
@@ -320,6 +329,12 @@ func (c *muxConn) readLoop(r *bufio.Reader) {
 			c.fail(err)
 			return
 		}
+		// Server-initiated push frames are not replies: route them to the
+		// push observers and never to a pending call.
+		if status == tcpStatusPush {
+			c.deliverPush(resp.Payload)
+			continue
+		}
 		// Error statuses keep any piggybacked spans: a traced request
 		// that was shed or expired still shows its server-side spans.
 		switch status {
@@ -332,6 +347,37 @@ func (c *muxConn) readLoop(r *bufio.Reader) {
 		default:
 			c.finish(id, resp, nil)
 		}
+	}
+}
+
+// subscribePush registers fn to receive every push-frame body arriving
+// on this connection and returns a cancel function. Delivery runs on the
+// connection's reader goroutine — fn must be cheap and non-blocking.
+func (c *muxConn) subscribePush(fn func([]byte)) (cancel func()) {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	if c.pushSubs == nil {
+		c.pushSubs = make(map[uint64]func([]byte))
+	}
+	id := c.pushNext
+	c.pushNext++
+	c.pushSubs[id] = fn
+	return func() {
+		c.pushMu.Lock()
+		defer c.pushMu.Unlock()
+		delete(c.pushSubs, id)
+	}
+}
+
+func (c *muxConn) deliverPush(payload []byte) {
+	c.pushMu.Lock()
+	fns := make([]func([]byte), 0, len(c.pushSubs))
+	for _, fn := range c.pushSubs {
+		fns = append(fns, fn)
+	}
+	c.pushMu.Unlock()
+	for _, fn := range fns {
+		fn(payload)
 	}
 }
 

@@ -82,11 +82,14 @@ var fuzzSpans = []obs.Span{
 }
 
 // FuzzV2ResponseDemux feeds an arbitrary byte stream to a live demux
-// reader with pending calls registered. The invariants: no panic, no
-// double completion, and — because a stream that ends fails the
-// connection — every pending call completes exactly once, whether its
-// response arrived, arrived torn, or never arrived. Frames addressed to
-// unknown request IDs must be discarded harmlessly.
+// reader with pending calls and a push observer registered. The
+// invariants: no panic, no double completion, and — because a stream
+// that ends fails the connection — every pending call completes exactly
+// once, whether its response arrived, arrived torn, or never arrived.
+// Frames addressed to unknown request IDs must be discarded harmlessly.
+// Push frames (tcpStatusPush, version 4) must reach the push observer
+// and must never complete a pending call, and every push the observer
+// sees must decode back out of the input stream (no invented bodies).
 func FuzzV2ResponseDemux(f *testing.F) {
 	// Interleaved, out-of-order completions of ids 1..3.
 	s := appendV2Response(nil, 2, tcpStatusOK, Response{Payload: []byte("two"), Steps: 7})
@@ -97,6 +100,15 @@ func FuzzV2ResponseDemux(f *testing.F) {
 	f.Add(appendV2Response(nil, 1, tcpStatusOK, Response{Payload: []byte("ok"), Spans: fuzzSpans}), uint8(1))
 	// A response for an id nobody is waiting on (abandoned by ctx expiry).
 	f.Add(appendV2Response(nil, 99, tcpStatusOK, Response{Payload: []byte("late")}), uint8(2))
+	// Server-initiated push frames: ID 0, interleaved with replies.
+	p := appendV2Response(nil, 0, tcpStatusPush, Response{Payload: []byte("delta-1")})
+	p = appendV2Response(p, 1, tcpStatusOK, Response{Payload: []byte("reply")})
+	p = appendV2Response(p, 0, tcpStatusPush, Response{Payload: []byte("delta-2")})
+	f.Add(p, uint8(1))
+	// A push frame carrying a pending call's ID: still a push, never a reply.
+	f.Add(appendV2Response(nil, 2, tcpStatusPush, Response{Payload: []byte("misaddressed")}), uint8(3))
+	// An empty-bodied push.
+	f.Add(appendV2Response(nil, 0, tcpStatusPush, Response{}), uint8(1))
 	// Torn mid-frame.
 	f.Add(s[:len(s)/2], uint8(3))
 	f.Add([]byte{}, uint8(1))
@@ -122,6 +134,26 @@ func FuzzV2ResponseDemux(f *testing.F) {
 				mu.Unlock()
 			}}
 		}
+		var pushes [][]byte
+		cancel := c.subscribePush(func(body []byte) {
+			mu.Lock()
+			pushes = append(pushes, append([]byte(nil), body...))
+			mu.Unlock()
+		})
+		defer cancel()
+		// What the observer should see: every decodable tcpStatusPush
+		// frame in the stream, in order, regardless of its request ID.
+		var wantPushes [][]byte
+		pr := bufio.NewReader(bytes.NewReader(data))
+		for {
+			_, status, resp, err := readV2Response(pr)
+			if err != nil {
+				break
+			}
+			if status == tcpStatusPush {
+				wantPushes = append(wantPushes, resp.Payload)
+			}
+		}
 		// The reader loop runs to stream end, then fails the conn, which
 		// must resolve every still-pending call.
 		c.readLoop(bufio.NewReader(bytes.NewReader(data)))
@@ -135,6 +167,14 @@ func FuzzV2ResponseDemux(f *testing.F) {
 		for id, k := range completions {
 			if id > uint64(n) {
 				t.Fatalf("unregistered id %d completed %d times", id, k)
+			}
+		}
+		if len(pushes) != len(wantPushes) {
+			t.Fatalf("push observer saw %d frames, stream carries %d", len(pushes), len(wantPushes))
+		}
+		for i := range pushes {
+			if !bytes.Equal(pushes[i], wantPushes[i]) {
+				t.Fatalf("push %d: observer saw %q, stream carries %q", i, pushes[i], wantPushes[i])
 			}
 		}
 	})

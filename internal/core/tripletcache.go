@@ -105,6 +105,16 @@ func (c *tripletCache) stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// StoreTriplet installs an externally computed triplet encoding in the
+// site's cache, keyed at the given fragment version. Incremental
+// maintenance (views.applyUpdate) uses it to patch the cache in place at
+// the post-update version — turning what used to be an invalidation (and
+// a full bottomUp on the next visit) into an immediate hit. enc must be
+// immutable once stored.
+func StoreTriplet(site *cluster.Site, id xmltree.FragmentID, version, fp uint64, enc []byte) {
+	siteTripletCache(site).store(id, version, fp, enc)
+}
+
 // TripletRestorer installs recovered triplet-cache entries at restarted
 // sites, sharing one decode slab across the whole restore loop (the
 // decoded formulas are validation-only and discarded; the slab's chunks

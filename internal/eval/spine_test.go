@@ -1,0 +1,251 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// batchProg compiles the queries into one fused program (lanes are
+// subquery slots, so even short batches exercise shared subexpressions).
+func batchProg(t testing.TB, queries ...string) *xpath.Program {
+	t.Helper()
+	b := xpath.NewBatchBuilder()
+	for _, q := range queries {
+		e, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		b.Add(e)
+	}
+	p, _ := b.Program()
+	return p
+}
+
+// spineCheck asserts the plane's root words reproduce a full BottomUp of
+// the current tree — same triplet, byte-equal encoding.
+func spineCheck(t *testing.T, p *Plane, root *xmltree.Node, prog *xpath.Program) {
+	t.Helper()
+	full, _, err := BottomUp(root, prog)
+	if err != nil {
+		t.Fatalf("full bottomUp: %v", err)
+	}
+	vw, cw, dw := p.RootWords()
+	patched := ConstTriplet(len(prog.Subs), vw, cw, dw)
+	if !patched.Equal(full) {
+		t.Fatalf("plane triplet diverges from full recomputation\nV  %#x CV %#x DV %#x", vw, cw, dw)
+	}
+	pe, fe := patched.Encode(), full.Encode()
+	if string(pe) != string(fe) {
+		t.Fatalf("patched encoding not byte-equal to full: %d vs %d bytes", len(pe), len(fe))
+	}
+}
+
+func TestSpinePatchMatchesFull(t *testing.T) {
+	doc := xmltree.NewElement("a", "",
+		xmltree.NewElement("b", "x"),
+		xmltree.NewElement("c", "",
+			xmltree.NewElement("b", "y"),
+			xmltree.NewElement("d", "")),
+		xmltree.NewElement("e", "z"))
+	prog := batchProg(t, `//b[text() = "x"] && //c`, `//e`, `//d && //b`, `//q`)
+
+	p, steps, ok := BuildPlane(doc, prog)
+	if !ok {
+		t.Fatal("BuildPlane refused an eligible fragment")
+	}
+	if steps != int64(doc.Size()*len(prog.Subs)) {
+		t.Fatalf("build steps %d, want %d", steps, doc.Size()*len(prog.Subs))
+	}
+	if p.Len() != doc.Size() {
+		t.Fatalf("plane holds %d nodes, tree has %d", p.Len(), doc.Size())
+	}
+	spineCheck(t, p, doc, prog)
+
+	// setText on a leaf: only the leaf-to-root spine recomputes.
+	leaf := doc.Children[1].Children[0] // the <b>y</b>
+	leaf.Text = "x"
+	steps, ok = p.Patch(nil, []*xmltree.Node{leaf}, nil)
+	if !ok {
+		t.Fatal("patch fell back on a plain setText")
+	}
+	if want := int64(3 * len(prog.Subs)); steps != want { // leaf + <c> + root
+		t.Fatalf("setText patch cost %d steps, want %d", steps, want)
+	}
+	spineCheck(t, p, doc, prog)
+
+	// Insert a fresh leaf: evaluated from scratch, ancestors respun.
+	fresh := doc.Children[1].AppendChild(xmltree.NewElement("q", "hit"))
+	if _, ok = p.Patch([]*xmltree.Node{fresh}, nil, nil); !ok {
+		t.Fatal("patch fell back on an insert")
+	}
+	spineCheck(t, p, doc, prog)
+
+	// Delete a subtree: entries pruned, parent respun.
+	gone := doc.Children[1]
+	doc.RemoveChild(gone)
+	if _, ok = p.Patch(nil, []*xmltree.Node{doc}, []*xmltree.Node{gone}); !ok {
+		t.Fatal("patch fell back on a delete")
+	}
+	spineCheck(t, p, doc, prog)
+	if p.Len() != doc.Size() {
+		t.Fatalf("after delete plane holds %d nodes, tree has %d", p.Len(), doc.Size())
+	}
+}
+
+func TestSpinePatchCostIsSpineLocal(t *testing.T) {
+	// A deep chain with wide shoulders: a single-leaf edit must cost
+	// O(depth), nowhere near the fragment size.
+	r := rand.New(rand.NewSource(7))
+	root := xmltree.NewElement("a", "")
+	cur := root
+	var deepest *xmltree.Node
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 40; j++ {
+			cur.AppendChild(xmltree.NewElement("pad", ""))
+		}
+		cur = cur.AppendChild(xmltree.NewElement("s", ""))
+		deepest = cur
+	}
+	_ = r
+	prog := batchProg(t, `//s[text() = "hit"]`, `//pad`)
+	p, buildSteps, ok := BuildPlane(root, prog)
+	if !ok {
+		t.Fatal("BuildPlane refused")
+	}
+	deepest.Text = "hit"
+	patchSteps, ok := p.Patch(nil, []*xmltree.Node{deepest}, nil)
+	if !ok {
+		t.Fatal("patch fell back")
+	}
+	if patchSteps*10 > buildSteps {
+		t.Fatalf("single-leaf patch cost %d steps vs %d full — not spine-local", patchSteps, buildSteps)
+	}
+	spineCheck(t, p, root, prog)
+}
+
+func TestBuildPlaneFallsBack(t *testing.T) {
+	prog := xpath.MustCompileString(`//b`)
+	virt := xmltree.NewElement("a", "",
+		xmltree.NewElement("b", ""),
+		xmltree.NewVirtual(7))
+	if _, _, ok := BuildPlane(virt, prog); ok {
+		t.Fatal("BuildPlane accepted a fragment with virtual nodes")
+	}
+
+	// A batch wider than one word is outside the single-word kernel.
+	b := xpath.NewBatchBuilder()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 70; i++ {
+		b.Add(xpath.RandomQuery(r, xpath.RandomSpec{MaxDepth: 3, MaxSteps: 4}))
+	}
+	wide, _ := b.Program()
+	if wide.Kernel() != nil && wide.Kernel().Words() == 1 {
+		t.Skip("random batch folded into one word")
+	}
+	doc := xmltree.NewElement("a", "", xmltree.NewElement("b", ""))
+	if _, _, ok := BuildPlane(doc, wide); ok {
+		t.Fatal("BuildPlane accepted a multi-word program")
+	}
+}
+
+func TestTripletDeltaZero(t *testing.T) {
+	if !(TripletDelta{}).Zero() {
+		t.Fatal("zero delta not Zero")
+	}
+	if (TripletDelta{CV: 2}).Zero() {
+		t.Fatal("non-zero delta reported Zero")
+	}
+}
+
+// FuzzSpinePatch is the differential fuzzer for incremental maintenance:
+// arbitrary edit sequences applied through Plane.Patch must leave root
+// triplets byte-equal to a from-scratch BottomUp of the mutated tree.
+// When a patch legitimately falls back (stale plane after pathological
+// delete interleavings) the plane is rebuilt, mirroring the serving path.
+func FuzzSpinePatch(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(6), uint8(4))
+	f.Add(int64(9), uint8(120), uint8(12), uint8(17))
+	f.Add(int64(-3), uint8(3), uint8(20), uint8(1))
+	f.Add(int64(77), uint8(200), uint8(9), uint8(40))
+
+	labels := []string{"a", "b", "c", "d"}
+	texts := []string{"", "x", "y"}
+
+	f.Fuzz(func(t *testing.T, seed int64, nodesRaw, editsRaw, queriesRaw uint8) {
+		r := rand.New(rand.NewSource(seed))
+		tree := xmltree.RandomTree(r, xmltree.RandomSpec{Nodes: 2 + int(nodesRaw)})
+		b := xpath.NewBatchBuilder()
+		nq := 1 + int(queriesRaw)%4
+		for i := 0; i < nq; i++ {
+			b.Add(xpath.RandomQuery(r, xpath.RandomSpec{AllowNot: true, MaxDepth: 4, MaxSteps: 6}))
+		}
+		prog, _ := b.Program()
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("batch program invalid: %v", err)
+		}
+		if kern := prog.Kernel(); kern == nil || kern.Words() != 1 {
+			t.Skip("batch spilled past one word; spine kernel out of scope")
+		}
+		p, _, ok := BuildPlane(tree, prog)
+		if !ok {
+			t.Fatalf("BuildPlane refused a virtual-free single-word fragment (%d subs)", len(prog.Subs))
+		}
+
+		collect := func() []*xmltree.Node {
+			var all []*xmltree.Node
+			tree.Walk(func(n *xmltree.Node) { all = append(all, n) })
+			return all
+		}
+		edits := 1 + int(editsRaw)%16
+		for k := 0; k < edits; k++ {
+			// A batch of 1–3 ops patched together, as Apply delivers them.
+			var fresh, dirty, removed []*xmltree.Node
+			for b := 1 + r.Intn(3); b > 0; b-- {
+				nodes := collect()
+				switch r.Intn(3) {
+				case 0: // insert (always as last child, like OpInsert)
+					parent := nodes[r.Intn(len(nodes))]
+					c := xmltree.NewElement(labels[r.Intn(len(labels))], texts[r.Intn(len(texts))])
+					parent.AppendChild(c)
+					fresh = append(fresh, c)
+				case 1: // delete a non-root subtree
+					if len(nodes) < 2 {
+						continue
+					}
+					n := nodes[1+r.Intn(len(nodes)-1)]
+					parent := n.Parent
+					if parent == nil || !parent.RemoveChild(n) {
+						continue
+					}
+					removed = append(removed, n)
+					dirty = append(dirty, parent)
+				case 2: // setText
+					n := nodes[r.Intn(len(nodes))]
+					n.Text = texts[r.Intn(len(texts))]
+					dirty = append(dirty, n)
+				}
+			}
+			if _, ok := p.Patch(fresh, dirty, removed); !ok {
+				p, _, ok = BuildPlane(tree, prog)
+				if !ok {
+					t.Fatal("rebuild after fallback refused")
+				}
+			}
+			full, _, err := BottomUp(tree, prog)
+			if err != nil {
+				t.Fatalf("full bottomUp after edit %d: %v", k, err)
+			}
+			vw, cw, dw := p.RootWords()
+			patched := ConstTriplet(len(prog.Subs), vw, cw, dw)
+			if !patched.Equal(full) {
+				t.Fatalf("edit %d: patched triplet diverges from full recomputation", k)
+			}
+			if string(patched.Encode()) != string(full.Encode()) {
+				t.Fatalf("edit %d: patched encoding not byte-equal", k)
+			}
+		}
+	})
+}

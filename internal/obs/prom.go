@@ -117,6 +117,14 @@ func (p *Prom) SiteStatsProm(sites ...SiteStatsSnapshot) {
 		func(s SiteStatsSnapshot) uint64 { return s.DeadlineExpired })
 	each("parbox_site_errors_total", "Requests that returned an error.",
 		func(s SiteStatsSnapshot) uint64 { return s.Errors })
+	each("parbox_site_spine_recomputes_total", "Updates maintained by spine recomputation (touched-to-root only).",
+		func(s SiteStatsSnapshot) uint64 { return s.SpineRecomputes })
+	each("parbox_site_full_recomputes_total", "Updates maintained by full fragment recomputation (spine fallback).",
+		func(s SiteStatsSnapshot) uint64 { return s.FullRecomputes })
+	each("parbox_site_noop_updates_total", "Updates whose recomputation reproduced identical root formulas.",
+		func(s SiteStatsSnapshot) uint64 { return s.NoopUpdates })
+	each("parbox_site_deltas_pushed_total", "Triplet deltas pushed to standing subscribers.",
+		func(s SiteStatsSnapshot) uint64 { return s.DeltasPushed })
 	for _, s := range sites {
 		p.Histogram("parbox_site_request_seconds", "Service latency of dispatched requests.", s.Latency, 1e9, "site", s.Site)
 	}

@@ -23,6 +23,13 @@ type SiteStats struct {
 	Sheds           atomic.Uint64
 	DeadlineExpired atomic.Uint64
 	Errors          atomic.Uint64
+	// Update-path maintenance health (views.applyUpdate / standing
+	// subscriptions): how triplets were brought current after edits, and
+	// how many root-flip deltas went out to subscribers.
+	SpineRecomputes atomic.Uint64
+	FullRecomputes  atomic.Uint64
+	NoopUpdates     atomic.Uint64
+	DeltasPushed    atomic.Uint64
 	Latency         Histogram
 }
 
@@ -40,6 +47,10 @@ type SiteStatsSnapshot struct {
 	Sheds           uint64
 	DeadlineExpired uint64
 	Errors          uint64
+	SpineRecomputes uint64
+	FullRecomputes  uint64
+	NoopUpdates     uint64
+	DeltasPushed    uint64
 	Latency         HistSnapshot
 }
 
@@ -58,6 +69,10 @@ func (s *SiteStats) Snapshot() SiteStatsSnapshot {
 		Sheds:           s.Sheds.Load(),
 		DeadlineExpired: s.DeadlineExpired.Load(),
 		Errors:          s.Errors.Load(),
+		SpineRecomputes: s.SpineRecomputes.Load(),
+		FullRecomputes:  s.FullRecomputes.Load(),
+		NoopUpdates:     s.NoopUpdates.Load(),
+		DeltasPushed:    s.DeltasPushed.Load(),
 		Latency:         s.Latency.Snapshot(),
 	}
 }
@@ -70,7 +85,8 @@ func (s SiteStatsSnapshot) Encode(dst []byte) []byte {
 	for _, v := range [...]uint64{
 		s.Visits, s.MessagesIn, s.MessagesOut, s.BytesIn, s.BytesOut,
 		s.Steps, s.CacheHits, s.CacheMisses, s.Sheds, s.DeadlineExpired,
-		s.Errors,
+		s.Errors, s.SpineRecomputes, s.FullRecomputes, s.NoopUpdates,
+		s.DeltasPushed,
 	} {
 		dst = binary.AppendUvarint(dst, v)
 	}
@@ -103,7 +119,8 @@ func DecodeSiteStats(buf []byte) (SiteStatsSnapshot, error) {
 	for _, p := range [...]*uint64{
 		&s.Visits, &s.MessagesIn, &s.MessagesOut, &s.BytesIn, &s.BytesOut,
 		&s.Steps, &s.CacheHits, &s.CacheMisses, &s.Sheds, &s.DeadlineExpired,
-		&s.Errors,
+		&s.Errors, &s.SpineRecomputes, &s.FullRecomputes, &s.NoopUpdates,
+		&s.DeltasPushed,
 	} {
 		if *p, off, err = readUvarint(buf, off); err != nil {
 			return s, err

@@ -21,6 +21,7 @@ func RegisterHandlers(site *cluster.Site, tr cluster.Transport) {
 	site.Handle(KindMerge, handleMerge(tr))
 	site.Handle(KindYield, handleYield)
 	site.Handle(KindSetParent, handleSetParent)
+	site.Handle(KindRegisterProg, handleRegisterProg)
 }
 
 func decodeProg(buf []byte) (*xpath.Program, error) {
@@ -31,8 +32,12 @@ func decodeProg(buf []byte) (*xpath.Program, error) {
 	return prog, nil
 }
 
-// handleApplyUpdate applies content updates to one fragment and re-runs
-// Procedure bottomUp on it alone — the paper's localized recomputation.
+// handleApplyUpdate applies content updates to one fragment and brings
+// its triplets current — the paper's localized recomputation, sharpened
+// to the touched spines: a retained eval.Plane is patched in O(depth +
+// changed) per maintained program, the triplet cache is patched in place
+// at the post-update version (no invalidation miss on the next visit),
+// and standing programs whose root formulas flipped publish a Delta.
 func handleApplyUpdate(_ context.Context, site *cluster.Site, req cluster.Request) (cluster.Response, error) {
 	progBytes, id, ops, err := decodeApplyUpdateReq(req.Payload)
 	if err != nil {
@@ -46,29 +51,68 @@ func handleApplyUpdate(_ context.Context, site *cluster.Site, req cluster.Reques
 	if !ok {
 		return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
 	}
+	fm := maintOf(site).fragment(id)
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	var fresh, dirty, removed []*xmltree.Node
 	for i, op := range ops {
-		if err := op.Apply(fr.Root); err != nil {
+		tch, err := op.ApplyTracked(fr.Root)
+		if err != nil {
 			// Ops apply in place, so earlier ops of the batch have already
 			// mutated the tree. Bump before failing: the half-applied state
 			// is what the site now serves, and it must not be served
 			// against pre-batch cached triplets (or, durably, resurrect as
-			// the pre-batch tree after a restart).
+			// the pre-batch tree after a restart). The retained planes and
+			// baselines no longer match either state — drop them.
 			if i > 0 {
 				site.BumpFragment(fr)
 			}
+			fm.reset()
 			return cluster.Response{}, fmt.Errorf("views: op %d: %w", i, err)
 		}
+		if tch.Fresh != nil {
+			fresh = append(fresh, tch.Fresh)
+		}
+		if tch.Dirty != nil {
+			dirty = append(dirty, tch.Dirty)
+		}
+		if tch.Removed != nil {
+			removed = append(removed, tch.Removed)
+		}
 	}
-	// The fragment's tree changed: advance its version so every memoized
-	// triplet of this fragment (the serving layer's cache) is invalidated.
-	site.BumpFragment(fr)
-	t, steps, err := eval.BottomUp(fr.Root, prog)
+	// The fragment's tree changed: advance its version. Stale cached
+	// triplets are invalidated by the version key; the patched entries
+	// stored below make the new version hit immediately.
+	version := site.BumpFragment(fr)
+
+	// Maintain the requesting program (its triplet is the response) and
+	// every other maintained program — standing subscriptions included.
+	reqFP := prog.Fingerprint()
+	pm := fm.prog(prog, false)
+	enc, delta, changed, steps, err := pm.recompute(site, fr, fresh, dirty, removed)
 	if err != nil {
+		fm.reset()
 		return cluster.Response{}, err
 	}
+	pm.patchAndPush(site, id, version, enc, delta, changed)
+	total := steps
+	for fp, other := range fm.progs {
+		if fp == reqFP {
+			continue
+		}
+		oenc, odelta, ochanged, s, err := other.recompute(site, fr, fresh, dirty, removed)
+		total += s
+		if err != nil {
+			// The shared tree is fine (the requesting program evaluated
+			// it); only this program's maintenance failed. Drop it.
+			delete(fm.progs, fp)
+			continue
+		}
+		other.patchAndPush(site, id, version, oenc, odelta, ochanged)
+	}
 	return cluster.Response{
-		Payload: encodeTripletSizeResp(t.Encode(), fr.Size()),
-		Steps:   steps,
+		Payload: encodeTripletSizeResp(enc, fr.Size()),
+		Steps:   total,
 	}, nil
 }
 
@@ -148,8 +192,9 @@ func handleSplit(tr cluster.Transport) cluster.Handler {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
 		// The split mutated the owning fragment in place (subtree replaced
-		// by a virtual node).
+		// by a virtual node); node-keyed maintenance planes are stale.
 		site.BumpFragment(fr)
+		maintOf(site).invalidate(id)
 
 		// Re-journal the moved sub-fragments stored at this site under
 		// their new parent, so the persisted Parent relation stays exact.
@@ -202,6 +247,9 @@ func handleAdopt(_ context.Context, site *cluster.Site, req cluster.Request) (cl
 	}
 	fr := &frag.Fragment{ID: id, Parent: parent, Root: root}
 	site.AddFragment(fr)
+	// A re-adopted fragment ID must not inherit planes keyed to the old
+	// incarnation's nodes.
+	maintOf(site).invalidate(id)
 	t, steps, err := eval.BottomUp(root, prog)
 	if err != nil {
 		return cluster.Response{}, err
@@ -271,10 +319,14 @@ func handleMerge(tr cluster.Transport) cluster.Handler {
 		if !vnode.Parent.ReplaceChild(vnode, childRoot) {
 			return cluster.Response{}, fmt.Errorf("views: corrupt fragment %d", id)
 		}
-		// The merged-into fragment absorbed a subtree.
+		// The merged-into fragment absorbed a subtree; node-keyed
+		// maintenance planes are stale.
 		site.BumpFragment(fr)
+		m := maintOf(site)
+		m.invalidate(id)
 		if removeLocal {
 			site.RemoveFragment(childID)
+			m.drop(childID)
 		}
 		t, steps, err := eval.BottomUp(fr.Root, prog)
 		if err != nil {
@@ -299,5 +351,6 @@ func handleYield(_ context.Context, site *cluster.Site, req cluster.Request) (cl
 		return cluster.Response{}, fmt.Errorf("views: site %s does not store fragment %d", site.ID(), id)
 	}
 	site.RemoveFragment(id)
+	maintOf(site).drop(id)
 	return cluster.Response{Payload: xmltree.Encode(fr.Root)}, nil
 }

@@ -42,6 +42,12 @@ const (
 	KindMerge = "views.merge"
 	// KindYield removes a fragment from a site and returns its subtree.
 	KindYield = "views.yield"
+	// KindRegisterProg registers a standing program (a subscription's
+	// prepared query batch) for a set of fragments at their site: the
+	// site keeps the program's triplets incrementally maintained across
+	// updates and pushes a Delta whenever a fragment's root formulas
+	// flip. The response carries the per-fragment baseline triplets.
+	KindRegisterProg = "views.registerProg"
 	// KindSetParent re-journals a stored fragment under a new parent — a
 	// split that moves a subtree containing virtual nodes re-parents the
 	// referenced sub-fragments, and ones stored away from the split site
@@ -111,36 +117,54 @@ func PathOf(node *xmltree.Node) []int {
 	return path
 }
 
+// Touched reports the nodes one applied op affected, in the vocabulary
+// of eval.Plane.Patch: a freshly inserted subtree root, a node whose
+// in-place inputs changed (a setText target, or the parent a child was
+// deleted from), and a detached subtree root.
+type Touched struct {
+	Fresh   *xmltree.Node
+	Dirty   *xmltree.Node
+	Removed *xmltree.Node
+}
+
 // Apply executes the op against a fragment root, mutating it in place.
 func (op UpdateOp) Apply(root *xmltree.Node) error {
+	_, err := op.ApplyTracked(root)
+	return err
+}
+
+// ApplyTracked executes the op and reports which nodes it touched, so
+// incremental maintenance can recompute only the affected spines.
+func (op UpdateOp) ApplyTracked(root *xmltree.Node) (Touched, error) {
 	n, err := NodeAt(root, op.Path)
 	if err != nil {
-		return err
+		return Touched{}, err
 	}
 	switch op.Op {
 	case OpInsert:
 		if n.Virtual {
-			return fmt.Errorf("%w: cannot insert under a virtual node", ErrBadUpdate)
+			return Touched{}, fmt.Errorf("%w: cannot insert under a virtual node", ErrBadUpdate)
 		}
-		n.AppendChild(xmltree.NewElement(op.Label, op.Text))
-		return nil
+		c := n.AppendChild(xmltree.NewElement(op.Label, op.Text))
+		return Touched{Fresh: c}, nil
 	case OpDelete:
 		if n.Parent == nil {
-			return fmt.Errorf("%w: cannot delete the fragment root", ErrBadUpdate)
+			return Touched{}, fmt.Errorf("%w: cannot delete the fragment root", ErrBadUpdate)
 		}
 		if len(n.VirtualNodes()) > 0 {
-			return fmt.Errorf("%w: subtree contains virtual nodes; merge sub-fragments first", ErrBadUpdate)
+			return Touched{}, fmt.Errorf("%w: subtree contains virtual nodes; merge sub-fragments first", ErrBadUpdate)
 		}
-		n.Parent.RemoveChild(n)
-		return nil
+		parent := n.Parent
+		parent.RemoveChild(n)
+		return Touched{Dirty: parent, Removed: n}, nil
 	case OpSetText:
 		if n.Virtual {
-			return fmt.Errorf("%w: virtual nodes carry no text", ErrBadUpdate)
+			return Touched{}, fmt.Errorf("%w: virtual nodes carry no text", ErrBadUpdate)
 		}
 		n.Text = op.Text
-		return nil
+		return Touched{Dirty: n}, nil
 	default:
-		return fmt.Errorf("%w: unknown op %d", ErrBadUpdate, op.Op)
+		return Touched{}, fmt.Errorf("%w: unknown op %d", ErrBadUpdate, op.Op)
 	}
 }
 
@@ -290,6 +314,168 @@ func decodeTripletSizeResp(buf []byte) (triplet []byte, size int, err error) {
 		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
 	}
 	return triplet, int(sz), nil
+}
+
+// registerReq: program, fragment IDs.
+func encodeRegisterReq(prog []byte, ids []xmltree.FragmentID) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(prog)))
+	dst = append(dst, prog...)
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(uint32(id)))
+	}
+	return dst
+}
+
+func decodeRegisterReq(buf []byte) (prog []byte, ids []xmltree.FragmentID, err error) {
+	r := &opReader{buf: buf}
+	pn, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if pn > uint64(len(buf)-r.pos) {
+		return nil, nil, fmt.Errorf("%w: program overruns buffer", ErrBadUpdate)
+	}
+	prog = buf[r.pos : r.pos+int(pn)]
+	r.pos += int(pn)
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cnt > uint64(len(buf)-r.pos)+1 {
+		return nil, nil, fmt.Errorf("%w: id list overruns buffer", ErrBadUpdate)
+	}
+	ids = make([]xmltree.FragmentID, cnt)
+	for i := range ids {
+		v, verr := r.uvarint()
+		if verr != nil {
+			return nil, nil, verr
+		}
+		ids[i] = xmltree.FragmentID(uint32(v))
+	}
+	if r.pos != len(buf) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return prog, ids, nil
+}
+
+// RegItem is one fragment's registration baseline: its triplet under the
+// standing program, computed at the given version.
+type RegItem struct {
+	Frag    xmltree.FragmentID
+	Version uint64
+	Triplet []byte
+}
+
+func encodeRegisterResp(items []RegItem) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(items)))
+	for _, it := range items {
+		dst = binary.AppendUvarint(dst, uint64(uint32(it.Frag)))
+		dst = binary.AppendUvarint(dst, it.Version)
+		dst = binary.AppendUvarint(dst, uint64(len(it.Triplet)))
+		dst = append(dst, it.Triplet...)
+	}
+	return dst
+}
+
+func decodeRegisterResp(buf []byte) ([]RegItem, error) {
+	r := &opReader{buf: buf}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt > uint64(len(buf)-r.pos)+1 {
+		return nil, fmt.Errorf("%w: item count overruns buffer", ErrBadUpdate)
+	}
+	items := make([]RegItem, cnt)
+	for i := range items {
+		idRaw, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		items[i].Frag = xmltree.FragmentID(uint32(idRaw))
+		if items[i].Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(buf)-r.pos) {
+			return nil, fmt.Errorf("%w: triplet overruns buffer", ErrBadUpdate)
+		}
+		items[i].Triplet = buf[r.pos : r.pos+int(n)]
+		r.pos += int(n)
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return items, nil
+}
+
+// Delta is one pushed maintenance notification: after an update to Frag,
+// the standing program FP's root formulas changed from the previous
+// version's. Flip words record which lanes flipped per vector (all-zero
+// when only the formula structure changed — possible with virtual
+// nodes); Triplet is the full new encoding, so a subscriber re-solves
+// without a round trip.
+type Delta struct {
+	Frag                  xmltree.FragmentID
+	Version               uint64
+	FP                    uint64
+	FlipV, FlipCV, FlipDV uint64
+	Triplet               []byte
+}
+
+// Encode renders the delta in the wire form DecodeDelta reads.
+func (d Delta) Encode() []byte {
+	dst := binary.AppendUvarint(nil, uint64(uint32(d.Frag)))
+	dst = binary.AppendUvarint(dst, d.Version)
+	dst = binary.AppendUvarint(dst, d.FP)
+	dst = binary.AppendUvarint(dst, d.FlipV)
+	dst = binary.AppendUvarint(dst, d.FlipCV)
+	dst = binary.AppendUvarint(dst, d.FlipDV)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Triplet)))
+	return append(dst, d.Triplet...)
+}
+
+// DecodeDelta parses a pushed delta payload.
+func DecodeDelta(buf []byte) (Delta, error) {
+	var d Delta
+	r := &opReader{buf: buf}
+	idRaw, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	d.Frag = xmltree.FragmentID(uint32(idRaw))
+	if d.Version, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	if d.FP, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	if d.FlipV, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	if d.FlipCV, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	if d.FlipDV, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	if n > uint64(len(buf)-r.pos) {
+		return d, fmt.Errorf("%w: delta triplet overruns buffer", ErrBadUpdate)
+	}
+	d.Triplet = buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	if r.pos != len(buf) {
+		return d, fmt.Errorf("%w: %d trailing bytes", ErrBadUpdate, len(buf)-r.pos)
+	}
+	return d, nil
 }
 
 // splitReq: program, fragment, path of the split node, the new fragment's

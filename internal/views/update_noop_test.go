@@ -1,0 +1,49 @@
+package views
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// TestUpdateEmptyOpsIsNoOp: an empty update batch is a true no-op — no
+// site visit (message counters frozen), no re-solve, zero
+// MaintenanceCost — for both nil and empty-slice spellings. Guards the
+// early return in View.Update against regressing into a site round trip
+// that would bump the fragment version and invalidate cached triplets
+// for nothing.
+func TestUpdateEmptyOpsIsNoOp(t *testing.T) {
+	c, _, st := deploy(t)
+	ctx := context.Background()
+	prog := xpath.MustCompileString(`//stock[code = "GOOG" && sell = "373"]`)
+	v, err := Materialize(ctx, c, "S0", st, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := v.Answer()
+	msgsBefore := make(map[string]uint64)
+	for _, id := range st.Sites() {
+		site, _ := c.Site(id)
+		msgsBefore[string(id)] = site.Stats().Snapshot().MessagesIn
+	}
+	for _, ops := range [][]UpdateOp{nil, {}} {
+		mc, err := v.Update(ctx, 3, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Recomputed || mc.Bytes != 0 || mc.Steps != 0 || len(mc.SitesVisited) != 0 {
+			t.Errorf("empty update cost %+v, want all-zero MaintenanceCost", mc)
+		}
+	}
+	for _, id := range st.Sites() {
+		site, _ := c.Site(id)
+		if got := site.Stats().Snapshot().MessagesIn; got != msgsBefore[string(id)] {
+			t.Errorf("site %s received %d messages during empty updates, want 0",
+				id, got-msgsBefore[string(id)])
+		}
+	}
+	if v.Answer() != before {
+		t.Error("empty update changed the view answer")
+	}
+}

@@ -175,6 +175,11 @@ func (v *View) Update(ctx context.Context, id xmltree.FragmentID, ops []UpdateOp
 	if !ok {
 		return mc, fmt.Errorf("views: unknown fragment %d", id)
 	}
+	if len(ops) == 0 {
+		// Nothing to apply: a true no-op — no site visit, no version bump,
+		// no cache invalidation, zero MaintenanceCost.
+		return mc, nil
+	}
 	resp, cost, err := v.tr.Call(ctx, v.home, entry.Site, cluster.Request{
 		Kind:    KindApplyUpdate,
 		Payload: encodeApplyUpdateReq(v.prog.Encode(), id, ops),

@@ -361,12 +361,14 @@ type System struct {
 	httpSrv *http.Server
 	httpLn  net.Listener
 
-	// mu guards engine, which Replan swaps; forest/replicas are retained
-	// for Replan on replicated deployments and never change.
+	// mu guards engine, which Replan swaps, and subs, which the first
+	// Subscribe creates; forest/replicas are retained for Replan on
+	// replicated deployments and never change.
 	mu       sync.RWMutex
 	engine   *core.Engine
 	forest   *Forest
 	replicas ReplicaMap
+	subs     *subManager
 }
 
 // SchedulerStats returns the coalescing scheduler's cumulative counters

@@ -1,0 +1,213 @@
+package parbox
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// subRecv reads one notification with a timeout.
+func subRecv(t *testing.T, sub *Subscription) Notification {
+	t.Helper()
+	select {
+	case n, ok := <-sub.C():
+		if !ok {
+			t.Fatal("subscription channel closed")
+		}
+		return n
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification within 5s")
+	}
+	panic("unreachable")
+}
+
+// TestSubscribePushesFlips: a standing subscription's answer follows
+// content updates through pushed deltas alone — no polling Exec calls —
+// and two subscribers of one query share state and both hear the flips.
+func TestSubscribePushesFlips(t *testing.T) {
+	doc := NewElement("r", "", NewElement("a", ""))
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1"}, WithTripletCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+
+	q := MustPrepare(`//b`)
+	sub, err := sys.Subscribe(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Answer() {
+		t.Fatal("baseline answer true, want false (no <b> yet)")
+	}
+	// A second subscriber of the same query rides the same solver state.
+	sub2, err := sys.Subscribe(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	view, err := sys.Materialize(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a <b> into fragment 1: the site's standing program flips and
+	// pushes; both subscribers are notified without any further calls.
+	if _, err := view.Update(ctx, 1, []UpdateOp{{Op: OpInsert, Label: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Subscription{sub, sub2} {
+		n := subRecv(t, s)
+		if !n.Flipped || !n.Answer {
+			t.Fatalf("insert notification = %+v, want Flipped && Answer", n)
+		}
+		if n.Frag != 1 {
+			t.Fatalf("notification names fragment %d, want 1", n.Frag)
+		}
+	}
+	if !sub.Answer() || !sub2.Answer() {
+		t.Fatal("answers not true after flip")
+	}
+
+	// Delete it again: the answer flips back.
+	if _, err := view.Update(ctx, 1, []UpdateOp{{Op: OpDelete, Path: []int{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Subscription{sub, sub2} {
+		n := subRecv(t, s)
+		if !n.Flipped || n.Answer {
+			t.Fatalf("delete notification = %+v, want Flipped && !Answer", n)
+		}
+	}
+
+	// Cancel closes Done; the survivor keeps hearing flips.
+	sub2.Cancel()
+	select {
+	case <-sub2.Done():
+	default:
+		t.Fatal("cancelled subscription's Done still open")
+	}
+	if _, err := view.Update(ctx, 1, []UpdateOp{{Op: OpInsert, Label: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := subRecv(t, sub); !n.Flipped || !n.Answer {
+		t.Fatalf("post-cancel notification = %+v, want Flipped && Answer", n)
+	}
+	select {
+	case n := <-sub2.C():
+		t.Fatalf("cancelled subscription received %+v", n)
+	default:
+	}
+}
+
+// TestSubscribeBaselineTrue: the registration baseline solves the
+// initial answer without an Exec round.
+func TestSubscribeBaselineTrue(t *testing.T) {
+	doc := NewElement("r", "", NewElement("a", "", NewElement("b", "hi")))
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sub, err := sys.Subscribe(context.Background(), MustPrepare(`//b[text() = "hi"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Answer() {
+		t.Fatal("baseline answer false, want true")
+	}
+	sub.Cancel()
+}
+
+// TestSubscribeAgainstOracle: a stream of randomized updates, with every
+// subscription answer checked against a freshly executed query after
+// each settled notification batch — the polled oracle the pushed path
+// must match.
+func TestSubscribeAgainstOracle(t *testing.T) {
+	doc := NewElement("r", "",
+		NewElement("a", ""),
+		NewElement("c", ""),
+	)
+	forest := NewForest(doc)
+	if _, err := forest.Split(doc.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := forest.Split(doc.Children[1]); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(forest, Assignment{0: "S0", 1: "S1", 2: "S2"}, WithTripletCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+
+	queries := []*Prepared{
+		MustPrepare(`//b`),
+		MustPrepare(`//a[b/text() = "x"]`),
+		MustPrepare(`//c && //b`),
+	}
+	subs := make([]*Subscription, len(queries))
+	for i, q := range queries {
+		s, err := sys.Subscribe(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+		// Drain in the background: this test polls Answer(), the oracle,
+		// not the notification stream.
+		go func(s *Subscription) {
+			for {
+				select {
+				case <-s.C():
+				case <-s.Done():
+					return
+				}
+			}
+		}(s)
+	}
+	view, err := sys.Materialize(ctx, MustPrepare(`//r`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []struct {
+		frag FragmentID
+		ops  []UpdateOp
+	}{
+		{1, []UpdateOp{{Op: OpInsert, Label: "b", Text: "x"}}},
+		{2, []UpdateOp{{Op: OpInsert, Label: "b"}}},
+		{1, []UpdateOp{{Op: OpSetText, Path: []int{0}, Text: "y"}}},
+		{1, []UpdateOp{{Op: OpDelete, Path: []int{0}}}},
+		{2, []UpdateOp{{Op: OpDelete, Path: []int{0}}}},
+	}
+	for i, step := range steps {
+		if _, err := view.Update(ctx, step.frag, step.ops); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		for j, q := range queries {
+			want, err := sys.Exec(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The push is asynchronous; wait for the subscription to
+			// converge on the oracle.
+			deadline := time.Now().Add(5 * time.Second)
+			for subs[j].Answer() != want.Answer {
+				if time.Now().After(deadline) {
+					t.Fatalf("step %d query %d: subscription answer %v, oracle %v",
+						i, j, subs[j].Answer(), want.Answer)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
